@@ -1,0 +1,31 @@
+# Convenience targets for the SCR reproduction.
+
+.PHONY: install test bench reproduce examples clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Full paper reproduction: every table/figure bench with printed series,
+# results captured under results/.
+reproduce:
+	mkdir -p results
+	pytest tests/ 2>&1 | tee results/test_output.txt
+	pytest benchmarks/ --benchmark-only -s 2>&1 | tee results/bench_output.txt
+
+# The paper-fidelity variant: sweep every core count (slower).
+reproduce-full:
+	mkdir -p results
+	SCR_FULL_SWEEP=1 pytest benchmarks/ --benchmark-only -s 2>&1 | tee results/bench_output_full.txt
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+clean:
+	rm -rf results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,68 @@
+"""Extension experiment: how far can SCR scale? (Principle #3 at 44 cores)
+
+§4.3 notes the Tofino sequencer can feed the DDoS mitigator over 44 cores.
+The paper's testbed stops at 14; the Appendix A model says scaling tapers
+as (k-1)·c2 grows against t.  This bench pushes the simulator to the full
+Tofino capacity and checks the taper against both the analytic model and
+``linear_scaling_limit`` (the core count where per-core efficiency halves).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench import (
+    find_mlffr,
+    linear_scaling_limit,
+    predicted_scr_mpps,
+    render_table,
+)
+from repro.cpu import PerfTrace, TABLE4_PARAMS
+from repro.packet import make_udp_packet
+from repro.parallel import ScrEngine
+from repro.programs import make_program
+from repro.sequencer import TofinoSequencerModel
+from repro.traffic import Trace
+
+CORES = [1, 2, 4, 8, 16, 24, 32, 44]
+
+
+@pytest.mark.benchmark(group="ext-limit")
+def test_ext_scaling_to_tofino_capacity(benchmark):
+    tofino = TofinoSequencerModel()
+    assert tofino.max_cores(make_program("ddos")) == 44
+
+    pkts = [make_udp_packet(1 + i % 40, 2, 3, 4) for i in range(4000)]
+    pt = PerfTrace.from_trace(Trace(pkts).truncated(192), make_program("ddos"))
+
+    def run():
+        out = {}
+        for k in CORES:
+            engine = ScrEngine(make_program("ddos"), k, count_wire_overhead=False)
+            out[k] = find_mlffr(pt, engine, max_pps=800e6).mlffr_mpps
+        return out
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    costs = TABLE4_PARAMS["ddos"]
+    rows = []
+    for k in CORES:
+        model = predicted_scr_mpps(costs, k)
+        per_core_eff = measured[k] / (k * measured[1])
+        rows.append([k, f"{model:.1f}", f"{measured[k]:.1f}", f"{per_core_eff:.2f}"])
+    emit(render_table(
+        ["cores", "model (Mpps)", "measured (Mpps)", "per-core efficiency"],
+        rows,
+        title="DDoS mitigator to the Tofino sequencer's 44-core capacity",
+    ))
+    half_limit = linear_scaling_limit(costs, efficiency=0.5)
+    emit(f"analytic 50%-efficiency point: {half_limit} cores")
+
+    # Still monotone all the way out...
+    values = [measured[k] for k in CORES]
+    assert all(b >= a * 0.97 for a, b in zip(values, values[1:]))
+    # ...matching the model...
+    for k in CORES:
+        assert measured[k] == pytest.approx(predicted_scr_mpps(costs, k), rel=0.2)
+    # ...with efficiency dropping through ~50% near the analytic limit.
+    eff_at_limit = measured[CORES[-1]] / (CORES[-1] * measured[1])
+    assert eff_at_limit < 0.65
+    assert 4 <= half_limit <= 44

@@ -1,0 +1,75 @@
+"""Extension experiment: tail latency under skewed load (§1's motivation).
+
+The introduction argues that elephant flows on a single core "reduce total
+throughput and inflate tail latencies for all packets".  The throughput
+half is Figure 6; this bench measures the latency half: per-packet sojourn
+times (arrival → service completion) at the same offered load, for SCR vs
+RSS sharding, on an elephant-dominated workload.
+
+Expected: at a load one core cannot carry alone, RSS's elephant core
+builds deep queues — p99 latency explodes — while SCR spreads the same
+load evenly and keeps the tail flat.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench import render_table
+from repro.cpu import PerfTrace, simulate
+from repro.parallel import make_engine
+from repro.programs import make_program
+from repro.traffic import Trace
+from repro.packet import make_udp_packet
+
+
+def skewed_trace(n=4000):
+    """90 % of packets from one source, the rest from many mice."""
+    pkts = []
+    for i in range(n):
+        src = 1 if i % 10 else 100 + (i // 10) % 50
+        pkts.append(make_udp_packet(src, 2, 3, 4))
+    return Trace(pkts).truncated(192)
+
+
+@pytest.mark.benchmark(group="ext-latency")
+def test_ext_tail_latency_scr_vs_rss(benchmark):
+    prog_name = "ddos"
+    pt = PerfTrace.from_trace(skewed_trace(), make_program(prog_name))
+    cores = 7
+    offered = 12e6  # ~1.4x a single core's rate: fine for 7 cores, fatal for 1
+
+    def run():
+        rows = []
+        for tech in ("scr", "rss", "shared"):
+            engine = make_engine(tech, make_program(prog_name), cores)
+            res = simulate(pt, offered, engine, collect_latency=True)
+            rows.append({
+                "tech": tech,
+                "p50": res.latency_percentile_ns(0.50),
+                "p99": res.latency_percentile_ns(0.99),
+                "p999": res.latency_percentile_ns(0.999),
+                "loss": res.loss_fraction,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(render_table(
+        ["technique", "p50 (ns)", "p99 (ns)", "p99.9 (ns)", "loss"],
+        [
+            [r["tech"], f"{r['p50']:.0f}", f"{r['p99']:.0f}",
+             f"{r['p999']:.0f}", f"{r['loss']:.3f}"]
+            for r in rows
+        ],
+        title=f"Tail latency @ {offered/1e6:.0f} Mpps offered, {cores} cores "
+              f"(90 % single-source)",
+    ))
+
+    by_tech = {r["tech"]: r for r in rows}
+    # RSS's elephant core is overloaded: queues (or drops) blow up the tail.
+    assert (
+        by_tech["rss"]["p99"] > 10 * by_tech["scr"]["p99"]
+        or by_tech["rss"]["loss"] > 0.2
+    )
+    # SCR's tail stays within a few service times of its median.
+    assert by_tech["scr"]["p999"] < 20 * by_tech["scr"]["p50"]
+    assert by_tech["scr"]["loss"] < 0.01

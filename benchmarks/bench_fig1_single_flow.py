@@ -1,0 +1,51 @@
+"""Figure 1: scaling a SINGLE TCP connection's conntrack throughput.
+
+Paper result: shared state degrades beyond 2 cores; RSS/RSS++ cannot exceed
+one core; SCR scales linearly.
+"""
+
+import pytest
+
+from benchmarks.conftest import CORES_7, emit
+from repro.bench import render_scaling_series
+
+TECHNIQUES = ["scr", "shared", "rss", "rss++"]
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_single_tcp_connection(benchmark, runner):
+    def run():
+        series = {}
+        scr_kwargs = {"count_wire_overhead": False}  # 256 B frames budget history
+        for tech in TECHNIQUES:
+            series[tech] = [
+                (
+                    k,
+                    runner.mlffr_point(
+                        "conntrack", "single-flow", tech, k,
+                        engine_kwargs=scr_kwargs if tech == "scr" else None,
+                    ).mlffr_mpps,
+                )
+                for k in CORES_7
+            ]
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(render_scaling_series(
+        series,
+        title="Figure 1 — conntrack, single TCP connection (Mpps)",
+    ))
+
+    scr = dict(series["scr"])
+    rss = dict(series["rss"])
+    rsspp = dict(series["rss++"])
+    shared = dict(series["shared"])
+    # SCR: linear scale-up on one flow.
+    assert scr[7] > 2.5 * scr[1]
+    # Sharding: pinned to a single core regardless of core count.
+    assert rss[7] < 1.3 * rss[1]
+    assert rsspp[7] < 1.3 * rsspp[1]
+    # Shared locks: degraded beyond 2 cores.
+    assert shared[7] < shared[2]
+    # SCR wins outright at 7 cores.
+    assert scr[7] > max(rss[7], rsspp[7], shared[7])

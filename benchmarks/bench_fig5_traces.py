@@ -1,0 +1,63 @@
+"""Figure 5: flow-size distributions of the three evaluation traces.
+
+Regenerates the CDF series (log-x) for the university DC, CAIDA backbone,
+and hyperscalar-DC workloads, plus summary skew statistics of the actual
+synthesized traces.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench import render_table
+from repro.traffic import TRACE_DISTRIBUTIONS, synthesize_trace
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_flow_size_distributions(benchmark):
+    def run():
+        out = {}
+        for name, factory in TRACE_DISTRIBUTIONS.items():
+            dist = factory()
+            xs, ys = dist.cdf_series(points=12)
+            sizes = dist.sample_packets(np.random.default_rng(0), 3000)
+            trace = synthesize_trace(
+                dist, 50, seed=7, max_packets=3000,
+                mean_flow_interarrival_ns=3000, flow_duration_ns=200_000,
+            )
+            out[name] = {
+                "cdf": list(zip(xs, ys)),
+                "mean_pkts": float(np.mean(sizes)),
+                "median_pkts": float(np.median(sizes)),
+                "p99_pkts": float(np.percentile(sizes, 99)),
+                "top_share": trace.stats().top_flow_share,
+            }
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for name, d in data.items():
+        emit(render_table(
+            ["flow size (bytes)", "CDF"],
+            [[f"{x:,.0f}", f"{y:.3f}"] for x, y in d["cdf"]],
+            title=f"Figure 5 — {name} flow-size CDF",
+        ))
+    emit(render_table(
+        ["trace", "mean pkts/flow", "median", "p99", "top-flow share"],
+        [
+            [n, f"{d['mean_pkts']:.1f}", f"{d['median_pkts']:.1f}",
+             f"{d['p99_pkts']:.0f}", f"{d['top_share']:.2f}"]
+            for n, d in data.items()
+        ],
+        title="Synthesized trace skew summary",
+    ))
+
+    for name, d in data.items():
+        # Heavy tail: mean well above median, p99 far above mean.
+        assert d["mean_pkts"] > 1.5 * d["median_pkts"], name
+        assert d["p99_pkts"] > 3 * d["mean_pkts"], name
+        # In-window skew: the top flow carries a sizeable share.
+        assert d["top_share"] > 0.15, name
+        # CDFs reach 1 and are monotone.
+        ys = [y for _, y in d["cdf"]]
+        assert all(b >= a - 1e-9 for a, b in zip(ys, ys[1:]))

@@ -1,0 +1,46 @@
+"""Figure 7: TCP connection tracking on the hyperscalar DC trace.
+
+Paper result: SCR scales linearly to 7 cores; shared locks collapse; RSS
+and RSS++ (with symmetric hashing) are limited by flow skew.
+"""
+
+import pytest
+
+from benchmarks.conftest import CORES_7, emit
+from repro.bench import render_scaling_series
+
+TECHNIQUES = ["scr", "shared", "rss", "rss++"]
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_conntrack_hyperscalar(benchmark, runner):
+    def run():
+        scr_kwargs = {"count_wire_overhead": False}  # 256 B frames budget history
+        return {
+            tech: [
+                (
+                    k,
+                    runner.mlffr_point(
+                        "conntrack", "hyperscalar_dc", tech, k,
+                        engine_kwargs=scr_kwargs if tech == "scr" else None,
+                    ).mlffr_mpps,
+                )
+                for k in CORES_7
+            ]
+            for tech in TECHNIQUES
+        }
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(render_scaling_series(
+        series, title="Figure 7 — conntrack on hyperscalar DC trace (Mpps)"
+    ))
+
+    scr = dict(series["scr"])
+    shared = dict(series["shared"])
+    rss = dict(series["rss"])
+    rsspp = dict(series["rss++"])
+
+    assert scr[7] > 2.5 * scr[1]
+    assert scr[7] > max(shared[7], rss[7], rsspp[7])
+    assert shared[7] < shared[2]  # lock collapse
+    assert rss[7] < 0.5 * 7 * rss[1]  # skew-capped sharding

@@ -1,0 +1,76 @@
+"""Figure 9: SCR scaling limits as compute latency grows (Principle #3).
+
+A stateless program is given artificial compute latency; with SCR the
+history items cost the same compute, so per-packet time is d + k·c.  While
+dispatch dominates (small c), N cores give ≈N× throughput; as c grows the
+relative benefit collapses toward 1.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench import find_mlffr, render_table
+from repro.cpu import PerfTrace, TABLE4_PARAMS, CostParams
+from repro.packet import make_udp_packet
+from repro.parallel import ScrEngine
+from repro.programs import make_program
+from repro.traffic import Trace
+
+COMPUTE_NS = [0, 25, 50, 100, 200, 400]
+CORES = [1, 2, 4, 7]
+TWO_RXQ_DISPATCH_SCALE = 0.93
+
+
+def capacity(extra_ns, cores, rxqs=1):
+    pkts = [make_udp_packet(1, 2, 3, 4) for _ in range(3000)]
+    pt = PerfTrace.from_trace(Trace(pkts).truncated(64), make_program("forwarder"))
+    base = TABLE4_PARAMS["forwarder"]
+    d = base.d * (TWO_RXQ_DISPATCH_SCALE if rxqs == 2 else 1.0)
+    costs = CostParams(t=d + base.c1, c2=base.c2, d=d, c1=base.c1)
+    engine = ScrEngine(
+        make_program("forwarder"), cores, costs=costs,
+        extra_compute_ns=extra_ns, dummy_eth=False,
+    )
+    return find_mlffr(pt, engine).mlffr_mpps
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_compute_latency_sweep(benchmark):
+    def run():
+        out = {}
+        for rxqs in (1, 2):
+            out[rxqs] = {
+                c: {k: capacity(c, k, rxqs) for k in CORES} for c in COMPUTE_NS
+            }
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for rxqs in (1, 2):
+        emit(render_table(
+            ["compute (ns)"] + [f"{k} cores (Mpps)" for k in CORES],
+            [
+                [c] + [f"{data[rxqs][c][k]:.2f}" for k in CORES]
+                for c in COMPUTE_NS
+            ],
+            title=f"Figure 9{'a' if rxqs == 1 else 'b'} — stateless program, {rxqs} RXQ",
+        ))
+    emit(render_table(
+        ["compute (ns)"] + [f"{k} cores (×1-core)" for k in CORES],
+        [
+            [c] + [f"{data[1][c][k] / data[1][c][1]:.2f}" for k in CORES]
+            for c in COMPUTE_NS
+        ],
+        title="Figure 9c — normalized to 1 core at the same compute latency",
+    ))
+
+    d1 = data[1]
+    # Small compute: near-linear scale-up (7 cores ≥ 5×).
+    assert d1[0][7] / d1[0][1] > 5.0
+    # Large compute: relative benefit collapses.
+    assert d1[400][7] / d1[400][1] < 2.0
+    # The normalized benefit decreases monotonically with compute latency.
+    ratios = [d1[c][7] / d1[c][1] for c in COMPUTE_NS]
+    assert all(b <= a * 1.05 for a, b in zip(ratios, ratios[1:]))
+    # 2 RXQ shifts curves up slightly at low compute.
+    assert data[2][0][7] > data[1][0][7]

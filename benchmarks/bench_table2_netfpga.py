@@ -1,0 +1,55 @@
+"""Table 2: NetFPGA sequencer resource usage vs history rows."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench import render_table
+from repro.sequencer import PUBLISHED_SYNTHESIS, NetFpgaSequencerModel
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_netfpga_synthesis(benchmark):
+    def run():
+        rows = []
+        for n in sorted(PUBLISHED_SYNTHESIS):
+            model = NetFpgaSequencerModel(n)
+            luts, logic, ffs = model.synthesis_row()
+            rows.append({
+                "rows": n,
+                "luts": luts,
+                "logic": logic,
+                "lut_pct": model.lut_utilization_pct(),
+                "ffs": ffs,
+                "ff_pct": model.ff_utilization_pct(),
+                "est_luts": model.estimated_luts(),
+                "est_ffs": model.estimated_ffs(),
+                "timing": model.meets_timing(),
+                "bw": model.bandwidth_gbps(),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(render_table(
+        ["rows", "LUT usage", "LUT logic", "LUT %", "FF usage", "FF %",
+         "est LUT", "est FF"],
+        [
+            [r["rows"], r["luts"], r["logic"], f"{r['lut_pct']:.3f}",
+             r["ffs"], f"{r['ff_pct']:.3f}", r["est_luts"], r["est_ffs"]]
+            for r in rows
+        ],
+        title="Table 2 — NetFPGA-PLUS sequencer synthesis (250 MHz)",
+    ))
+
+    by_rows = {r["rows"]: r for r in rows}
+    # Verbatim Table 2 values.
+    assert by_rows[16]["luts"] == 1045 and by_rows[16]["ffs"] == 2369
+    assert by_rows[128]["luts"] == 3390 and by_rows[128]["ffs"] == 7786
+    assert by_rows[16]["lut_pct"] == pytest.approx(0.060, abs=0.001)
+    assert by_rows[128]["ff_pct"] == pytest.approx(0.226, abs=0.001)
+    # Structural estimator tracks synthesis within 5 %.
+    for r in rows:
+        assert r["est_luts"] == pytest.approx(r["luts"], rel=0.05)
+        assert r["est_ffs"] == pytest.approx(r["ffs"], rel=0.05)
+    # All sizes meet timing at 250 MHz with > 200 Gbit/s of bandwidth.
+    assert all(r["timing"] for r in rows)
+    assert all(r["bw"] > 200 for r in rows)

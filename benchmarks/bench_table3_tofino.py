@@ -1,0 +1,52 @@
+"""Table 3: Tofino sequencer resource usage and per-program core capacity."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench import render_table
+from repro.programs import make_program
+from repro.sequencer import TofinoSequencerModel
+
+#: Table 3 as printed in the paper (average % across stages).
+EXPECTED_USAGE = {
+    "exact_crossbar_bytes": 23.31,
+    "vliw": 9.11,
+    "stateful_alus": 93.75,
+    "logical_tables": 23.96,
+    "srams": 9.69,
+    "tcams": 0.00,
+    "map_rams": 15.62,
+    "gateways": 23.44,
+}
+
+#: §4.3: cores each program can be parallelized over with 44 32-bit fields.
+EXPECTED_CORES = {
+    "ddos": 44,
+    "port_knocking": 22,
+    "heavy_hitter": 9,
+    "token_bucket": 9,
+    "conntrack": 5,
+}
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_tofino_resources(benchmark):
+    model = TofinoSequencerModel()
+    usage = benchmark.pedantic(model.resource_usage, rounds=1, iterations=1)
+
+    emit(render_table(
+        ["resource", "avg % (model)", "avg % (paper)"],
+        [[k, f"{usage[k]:.2f}", f"{EXPECTED_USAGE[k]:.2f}"] for k in EXPECTED_USAGE],
+        title="Table 3 — Tofino sequencer resource usage",
+    ))
+    emit(render_table(
+        ["program", "max cores"],
+        [[n, model.max_cores(make_program(n))] for n in EXPECTED_CORES],
+        title="Tofino history capacity: 44 32-bit fields → cores per program",
+    ))
+
+    assert model.history_fields == 44
+    for key, pct in EXPECTED_USAGE.items():
+        assert usage[key] == pytest.approx(pct, abs=0.1), key
+    for name, cores in EXPECTED_CORES.items():
+        assert model.max_cores(make_program(name)) == cores, name

@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one of the paper's tables or figures: it prints the
+same rows/series the paper reports (absolute numbers come from the
+simulator, shapes should match the paper) and asserts the qualitative
+result.  Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+rendered output.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import ExperimentRunner
+
+#: Core counts swept in the figures.  The paper plots every count up to
+#: 7 (or 14); benches default to a subset for runtime.  Set
+#: ``SCR_FULL_SWEEP=1`` to sweep every core count like the paper does
+#: (roughly triples the benchmark runtime).
+if os.environ.get("SCR_FULL_SWEEP"):
+    CORES_7 = list(range(1, 8))
+    CORES_14 = list(range(1, 15))
+else:
+    CORES_7 = [1, 2, 4, 7]
+    CORES_14 = [1, 2, 4, 7, 10, 14]
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner(num_flows=50, max_packets=3000)
+
+
+def emit(text: str) -> None:
+    """Print a rendered table with surrounding whitespace (shown with -s)."""
+    print("\n" + text + "\n")

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Scenario: planning a sequencer deployment (§3.3, §4.3).
+
+Given a program and a target core count, which hardware can host the
+sequencer?  This example sizes both designs — the Tofino register pipeline
+and the NetFPGA ring module — and previews the per-packet byte overhead the
+history adds on the wire.
+"""
+
+from repro.bench import render_table
+from repro.core import ScrPacketCodec
+from repro.programs import make_program, program_names
+from repro.sequencer import NetFpgaSequencerModel, TofinoSequencerModel
+
+
+def main() -> None:
+    tofino = TofinoSequencerModel()
+    print(f"Tofino pipeline: {tofino.history_fields} 32-bit history fields, "
+          f"{tofino.resource_usage()['stateful_alus']:.1f}% of stateful ALUs\n")
+
+    rows = []
+    for name in program_names(stateful_only=True):
+        prog = make_program(name)
+        fpga = NetFpgaSequencerModel(128)
+        codec16 = ScrPacketCodec(prog.metadata_size, 16, dummy_eth=True)
+        rows.append([
+            name,
+            prog.metadata_size,
+            tofino.max_cores(prog),
+            fpga.max_cores(prog.metadata_size),
+            codec16.overhead_bytes,
+        ])
+    print(render_table(
+        ["program", "metadata (B)", "Tofino max cores", "NetFPGA-128 max cores",
+         "wire overhead @16 cores (B)"],
+        rows,
+        title="Sequencer capacity per program",
+    ))
+
+    print()
+    fpga_rows = []
+    for n in (16, 32, 64, 128):
+        m = NetFpgaSequencerModel(n)
+        luts, _, ffs = m.synthesis_row()
+        fpga_rows.append([
+            n, luts, ffs, f"{m.lut_utilization_pct():.3f}%",
+            "yes" if m.meets_timing() else "no", f"{m.bandwidth_gbps():.0f}",
+        ])
+    print(render_table(
+        ["history rows", "LUTs", "FFs", "LUT util", "250 MHz timing", "Gbit/s"],
+        fpga_rows,
+        title="NetFPGA sequencer synthesis (Alveo U250)",
+    ))
+
+    # A concrete plan: conntrack across 5 cores.
+    prog = make_program("conntrack")
+    k = 5
+    assert tofino.fits(prog, k)
+    codec = ScrPacketCodec(prog.metadata_size, k, dummy_eth=True)
+    print(f"\nplan: conntrack x{k} cores on Tofino — fits "
+          f"({k * prog.metadata_size} history bytes/packet, "
+          f"{codec.overhead_bytes} B total prefix per packet)")
+
+
+if __name__ == "__main__":
+    main()

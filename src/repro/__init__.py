@@ -1,0 +1,56 @@
+"""State-Compute Replication (SCR): an NSDI 2025 reproduction.
+
+A Python library reproducing "State-Compute Replication: Parallelizing
+High-Speed Stateful Packet Processing".  Two layers share one set of packet
+programs:
+
+* the **functional layer** (``repro.core``, ``repro.sequencer``) runs real
+  bytes end-to-end — sequencer, SCR packet format, per-core replicas,
+  Algorithm 1 loss recovery — and is the correctness oracle;
+* the **performance layer** (``repro.cpu``, ``repro.parallel``,
+  ``repro.bench``) is a discrete-event multicore simulator calibrated to
+  the paper's Table 4 cost parameters, regenerating every evaluation
+  figure and table.
+
+Quickstart::
+
+    from repro.core import ScrFunctionalEngine, reference_run
+    from repro.programs import make_program
+    from repro.traffic import single_flow_trace
+
+    trace = single_flow_trace(1000)
+    engine = ScrFunctionalEngine(make_program("conntrack"), num_cores=4)
+    result = engine.run(trace)
+    assert result.replicas_consistent
+"""
+
+__version__ = "1.0.0"
+
+# Convenience re-exports for the quickstart path.
+from .core import (  # noqa: E402
+    ScrFunctionalEngine,
+    ThreadedScrEngine,
+    reference_run,
+    validate_program,
+)
+from .programs import make_program, program_names  # noqa: E402
+
+
+__all__ = [
+    "ScrFunctionalEngine",
+    "ThreadedScrEngine",
+    "reference_run",
+    "validate_program",
+    "make_program",
+    "program_names",
+    "bench",
+    "core",
+    "cpu",
+    "nic",
+    "packet",
+    "parallel",
+    "programs",
+    "sequencer",
+    "state",
+    "traffic",
+]

@@ -1,0 +1,40 @@
+"""Measurement: MLFFR search, analytic model, experiment runner, reports."""
+
+from .mlffr import LOSS_THRESHOLD, SEARCH_TOLERANCE_PPS, MlffrResult, find_mlffr
+from .export import scaling_points_to_csv, series_to_csv, write_csv
+from .model import (
+    fit_cost_params,
+    linear_scaling_limit,
+    predicted_scr_mpps,
+    predicted_scr_pps,
+    predicted_series,
+)
+from .report import format_mpps, render_scaling_series, render_table
+from .runner import (
+    PACKET_SIZE_CONNTRACK,
+    PACKET_SIZE_DEFAULT,
+    ExperimentRunner,
+    ScalingPoint,
+)
+
+__all__ = [
+    "LOSS_THRESHOLD",
+    "SEARCH_TOLERANCE_PPS",
+    "MlffrResult",
+    "find_mlffr",
+    "scaling_points_to_csv",
+    "series_to_csv",
+    "write_csv",
+    "fit_cost_params",
+    "linear_scaling_limit",
+    "predicted_scr_mpps",
+    "predicted_scr_pps",
+    "predicted_series",
+    "format_mpps",
+    "render_scaling_series",
+    "render_table",
+    "PACKET_SIZE_CONNTRACK",
+    "PACKET_SIZE_DEFAULT",
+    "ExperimentRunner",
+    "ScalingPoint",
+]

@@ -1,0 +1,92 @@
+"""Figure presets: the paper's evaluation experiments as data.
+
+Each preset names a figure, its workload, and the (program, trace,
+techniques, cores) grid that regenerates it.  ``benchmarks/`` and the CLI's
+``reproduce`` subcommand both consume these, so the experiment definitions
+live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .runner import ExperimentRunner
+
+__all__ = ["FigurePreset", "FIGURE_PRESETS", "run_preset"]
+
+# SCR_FULL_SWEEP=1 sweeps every core count, as the paper's plots do.
+if os.environ.get("SCR_FULL_SWEEP"):
+    _CORES_7 = tuple(range(1, 8))
+    _CORES_14 = tuple(range(1, 15))
+else:
+    _CORES_7 = (1, 2, 4, 7)
+    _CORES_14 = (1, 2, 4, 7, 10, 14)
+
+#: §4.2: the fixed packet sizes budget the history in-frame, so SCR's
+#: prefix does not additionally inflate the wire.
+_SCR_IN_FRAME = {"count_wire_overhead": False}
+
+
+@dataclass(frozen=True)
+class FigurePreset:
+    """One throughput-vs-cores panel from the paper."""
+
+    figure: str
+    program: str
+    trace: str
+    cores: Tuple[int, ...]
+    techniques: Tuple[str, ...] = ("scr", "shared", "rss", "rss++")
+    packet_size: Optional[int] = None
+    scr_kwargs: Optional[dict] = None
+
+    def describe(self) -> str:
+        return f"Figure {self.figure}: {self.program} on {self.trace}"
+
+
+FIGURE_PRESETS: Dict[str, FigurePreset] = {
+    "1": FigurePreset("1", "conntrack", "single-flow", _CORES_7,
+                      scr_kwargs=_SCR_IN_FRAME),
+    "6a": FigurePreset("6a", "ddos", "caida", _CORES_14, scr_kwargs=_SCR_IN_FRAME),
+    "6b": FigurePreset("6b", "heavy_hitter", "caida", _CORES_7,
+                       scr_kwargs=_SCR_IN_FRAME),
+    "6c": FigurePreset("6c", "port_knocking", "caida", _CORES_14,
+                       scr_kwargs=_SCR_IN_FRAME),
+    "6d": FigurePreset("6d", "token_bucket", "caida", _CORES_7,
+                       scr_kwargs=_SCR_IN_FRAME),
+    "6e": FigurePreset("6e", "ddos", "univ_dc", _CORES_14, scr_kwargs=_SCR_IN_FRAME),
+    "6f": FigurePreset("6f", "heavy_hitter", "univ_dc", _CORES_7,
+                       scr_kwargs=_SCR_IN_FRAME),
+    "6g": FigurePreset("6g", "token_bucket", "univ_dc", _CORES_7,
+                       scr_kwargs=_SCR_IN_FRAME),
+    "6h": FigurePreset("6h", "port_knocking", "univ_dc", _CORES_14,
+                       scr_kwargs=_SCR_IN_FRAME),
+    "7": FigurePreset("7", "conntrack", "hyperscalar_dc", _CORES_7,
+                      scr_kwargs=_SCR_IN_FRAME),
+    "10a": FigurePreset("10a", "token_bucket", "univ_dc",
+                        (1, 2, 4, 7, 10, 12, 14, 16, 18), packet_size=64),
+}
+
+
+def run_preset(
+    preset: FigurePreset,
+    runner: Optional[ExperimentRunner] = None,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Measure a preset; returns technique → [(cores, Mpps), ...]."""
+    runner = runner or ExperimentRunner()
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for technique in preset.techniques:
+        kwargs = preset.scr_kwargs if technique == "scr" else None
+        series[technique] = [
+            (
+                k,
+                runner.mlffr_point(
+                    preset.program, preset.trace, technique, k,
+                    packet_size=preset.packet_size,
+                    engine_kwargs=kwargs,
+                ).mlffr_mpps,
+            )
+            for k in preset.cores
+        ]
+    return series

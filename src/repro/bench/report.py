@@ -1,0 +1,52 @@
+"""Plain-text rendering of the tables and series the benchmarks print."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["render_table", "render_scaling_series", "format_mpps"]
+
+
+def format_mpps(value: float) -> str:
+    return f"{value:7.2f}"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Aligned monospace table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_scaling_series(
+    points_by_technique: Dict[str, List[Tuple[int, float]]], title: str = ""
+) -> str:
+    """Render throughput-vs-cores series, one column per technique.
+
+    ``points_by_technique`` maps technique name → [(cores, mpps), ...].
+    """
+    cores = sorted({c for pts in points_by_technique.values() for c, _ in pts})
+    techniques = list(points_by_technique)
+    headers = ["cores"] + [f"{t} (Mpps)" for t in techniques]
+    lookup = {
+        t: {c: v for c, v in pts} for t, pts in points_by_technique.items()
+    }
+    rows = []
+    for c in cores:
+        row = [c]
+        for t in techniques:
+            v = lookup[t].get(c)
+            row.append("-" if v is None else f"{v:.2f}")
+        rows.append(row)
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,173 @@
+"""Experiment runner: the glue that turns (program, trace, technique, cores)
+tuples into MLFFR numbers, with trace/perf-trace caching so a figure's sweep
+doesn't resynthesize its workload per point.
+
+The defaults mirror §4.1/§4.2: 192-byte packets for most programs, 256 bytes
+for the connection tracker (whose metadata is larger), loss-free SCR unless
+a run asks for recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..cpu.simulator import PerfTrace
+from ..parallel.registry import make_engine
+from ..programs.base import PacketProgram
+from ..programs.registry import make_program
+from ..traffic.distributions import TRACE_DISTRIBUTIONS
+from ..traffic.synthesis import single_flow_trace, synthesize_trace
+from ..traffic.trace import Trace
+from .mlffr import MlffrResult, find_mlffr
+
+__all__ = [
+    "PACKET_SIZE_DEFAULT",
+    "PACKET_SIZE_CONNTRACK",
+    "ScalingPoint",
+    "ExperimentRunner",
+]
+
+#: Fixed packet sizes used across baselines (§4.2).
+PACKET_SIZE_DEFAULT = 192
+PACKET_SIZE_CONNTRACK = 256
+
+
+@dataclass
+class ScalingPoint:
+    """One point of a throughput-vs-cores series."""
+
+    technique: str
+    cores: int
+    mlffr_mpps: float
+    iterations: int = 0
+
+
+class ExperimentRunner:
+    """Caches synthesized traces and lowered perf-traces across sweeps."""
+
+    def __init__(
+        self,
+        num_flows: int = 60,
+        max_packets: int = 4000,
+        seed: int = 7,
+        line_rate_gbps: float = 100.0,
+    ) -> None:
+        self.num_flows = num_flows
+        self.max_packets = max_packets
+        self.seed = seed
+        self.line_rate_gbps = line_rate_gbps
+        self._traces: Dict[tuple, Trace] = {}
+        self._perf: Dict[tuple, PerfTrace] = {}
+
+    # -- workload construction ----------------------------------------------------
+
+    def packet_size_for(self, program_name: str) -> int:
+        return PACKET_SIZE_CONNTRACK if program_name == "conntrack" else PACKET_SIZE_DEFAULT
+
+    def trace_for(
+        self,
+        trace_name: str,
+        bidirectional: bool,
+        packet_size: int,
+        num_flows: Optional[int] = None,
+        max_packets: Optional[int] = None,
+    ) -> Trace:
+        """A synthesized evaluation trace, truncated to ``packet_size``."""
+        flows = num_flows if num_flows is not None else self.num_flows
+        cap = max_packets if max_packets is not None else self.max_packets
+        key = (trace_name, bidirectional, packet_size, flows, cap)
+        if key not in self._traces:
+            if trace_name == "single-flow":
+                trace = single_flow_trace(cap // 2, bidirectional=bidirectional)
+            else:
+                dist = TRACE_DISTRIBUTIONS[trace_name]()
+                # A short flow interarrival keeps many flows concurrently
+                # active inside the packet cap, as in the real captures
+                # ("states created and destroyed throughout", §4.1).
+                trace = synthesize_trace(
+                    dist,
+                    flows,
+                    seed=self.seed,
+                    bidirectional=bidirectional,
+                    mean_flow_interarrival_ns=3_000,
+                    flow_duration_ns=200_000,
+                    max_packets=cap,
+                )
+            self._traces[key] = trace.truncated(packet_size)
+        return self._traces[key]
+
+    def perf_trace_for(
+        self,
+        program: PacketProgram,
+        trace_name: str,
+        packet_size: Optional[int] = None,
+        num_flows: Optional[int] = None,
+        max_packets: Optional[int] = None,
+    ) -> PerfTrace:
+        size = packet_size if packet_size is not None else self.packet_size_for(program.name)
+        key = (program.name, trace_name, size, num_flows, max_packets)
+        if key not in self._perf:
+            trace = self.trace_for(
+                trace_name,
+                bidirectional=program.bidirectional,
+                packet_size=size,
+                num_flows=num_flows,
+                max_packets=max_packets,
+            )
+            self._perf[key] = PerfTrace.from_trace(trace, program)
+        return self._perf[key]
+
+    # -- sweeps ---------------------------------------------------------------------
+
+    def mlffr_point(
+        self,
+        program_name: str,
+        trace_name: str,
+        technique: str,
+        cores: int,
+        packet_size: Optional[int] = None,
+        engine_kwargs: Optional[dict] = None,
+        burst_size: int = 1,
+    ) -> MlffrResult:
+        program = make_program(program_name)
+        perf_trace = self.perf_trace_for(program, trace_name, packet_size=packet_size)
+        engine = make_engine(technique, program, cores, **(engine_kwargs or {}))
+        return find_mlffr(
+            perf_trace,
+            engine,
+            line_rate_gbps=self.line_rate_gbps,
+            burst_size=burst_size,
+        )
+
+    def scaling_sweep(
+        self,
+        program_name: str,
+        trace_name: str,
+        techniques: Iterable[str],
+        cores_list: Iterable[int],
+        packet_size: Optional[int] = None,
+        engine_kwargs_by_technique: Optional[Dict[str, dict]] = None,
+    ) -> List[ScalingPoint]:
+        """MLFFR for every (technique, cores) pair — one Figure 6/7 panel."""
+        points = []
+        kwargs_map = engine_kwargs_by_technique or {}
+        for technique in techniques:
+            for cores in cores_list:
+                res = self.mlffr_point(
+                    program_name,
+                    trace_name,
+                    technique,
+                    cores,
+                    packet_size=packet_size,
+                    engine_kwargs=kwargs_map.get(technique),
+                )
+                points.append(
+                    ScalingPoint(
+                        technique=technique,
+                        cores=cores,
+                        mlffr_mpps=res.mlffr_mpps,
+                        iterations=res.iterations,
+                    )
+                )
+        return points

@@ -1,0 +1,293 @@
+"""Command-line interface: ``python -m repro.cli <subcommand>``.
+
+Subcommands:
+
+* ``programs``   — list the packet programs and their Table 1 properties.
+* ``synthesize`` — build a workload trace and write it (SCRT or pcap).
+* ``run``        — functional SCR run over a trace; verifies replica
+  consistency against the single-threaded reference.
+* ``mlffr``      — one MLFFR throughput measurement.
+* ``sweep``      — throughput-vs-cores sweep across techniques, with
+  optional CSV export.
+* ``hardware``   — sequencer capacity/resources (Tofino + NetFPGA).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import ExperimentRunner, render_scaling_series, render_table
+from .bench.export import scaling_points_to_csv
+from .core import ScrFunctionalEngine, reference_run
+from .programs import make_program, program_names, table1_rows
+from .sequencer import NetFpgaSequencerModel, TofinoSequencerModel
+from .traffic import (
+    TRACE_DISTRIBUTIONS,
+    Trace,
+    read_pcap,
+    synthesize_trace,
+    write_pcap,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="State-compute replication (NSDI 2025) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("programs", help="list registered packet programs")
+
+    p = sub.add_parser("synthesize", help="synthesize a workload trace")
+    p.add_argument("--workload", choices=sorted(TRACE_DISTRIBUTIONS), default="univ_dc")
+    p.add_argument("--flows", type=int, default=50)
+    p.add_argument("--packets", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--bidirectional", action="store_true")
+    p.add_argument("--out", required=True, help=".scrt or .pcap output path")
+
+    p = sub.add_parser("run", help="functional SCR run with verification")
+    p.add_argument("--program", choices=program_names(), default="port_knocking")
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--trace-file", help="SCRT/pcap trace to replay")
+    p.add_argument("--workload", choices=sorted(TRACE_DISTRIBUTIONS), default="univ_dc")
+    p.add_argument("--flows", type=int, default=30)
+    p.add_argument("--packets", type=int, default=2000)
+    p.add_argument("--loss-rate", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("mlffr", help="measure MLFFR throughput")
+    p.add_argument("--program", choices=program_names(), default="ddos")
+    p.add_argument("--workload", choices=sorted(TRACE_DISTRIBUTIONS) + ["single-flow"],
+                   default="univ_dc")
+    p.add_argument("--technique", choices=["scr", "shared", "rss", "rss++"],
+                   default="scr")
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--packets", type=int, default=4000)
+
+    p = sub.add_parser("sweep", help="throughput-vs-cores sweep")
+    p.add_argument("--program", choices=program_names(), default="ddos")
+    p.add_argument("--workload", choices=sorted(TRACE_DISTRIBUTIONS) + ["single-flow"],
+                   default="univ_dc")
+    p.add_argument("--techniques", nargs="+",
+                   default=["scr", "shared", "rss", "rss++"])
+    p.add_argument("--cores", nargs="+", type=int, default=[1, 2, 4, 7])
+    p.add_argument("--packets", type=int, default=4000)
+    p.add_argument("--csv", help="write results to this CSV path")
+
+    p = sub.add_parser("hardware", help="sequencer capacity and resources")
+    p.add_argument("--rows", type=int, default=16, help="NetFPGA history rows")
+
+    p = sub.add_parser("reproduce", help="re-measure a paper figure")
+    p.add_argument("figure", help='figure id, e.g. "1", "6e", "7", "10a", or "list"')
+    p.add_argument("--packets", type=int, default=4000)
+    p.add_argument("--csv", help="write the series to this CSV path")
+
+    p = sub.add_parser("validate", help="check a program's SCR safety")
+    p.add_argument("--program", choices=program_names(), required=True)
+    p.add_argument("--workload", choices=sorted(TRACE_DISTRIBUTIONS), default="univ_dc")
+    p.add_argument("--flows", type=int, default=20)
+    p.add_argument("--packets", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _load_or_synthesize(args) -> Trace:
+    if getattr(args, "trace_file", None):
+        path = args.trace_file
+        if path.endswith(".pcap"):
+            return read_pcap(path)
+        return Trace.load(path)
+    program = make_program(args.program) if hasattr(args, "program") else None
+    bidirectional = bool(program.bidirectional) if program else False
+    return synthesize_trace(
+        TRACE_DISTRIBUTIONS[args.workload](),
+        args.flows,
+        seed=args.seed,
+        bidirectional=bidirectional or getattr(args, "bidirectional", False),
+        max_packets=args.packets,
+    )
+
+
+def cmd_programs(args, out) -> int:
+    rows = table1_rows()
+    print(render_table(
+        ["program", "metadata (B)", "RSS fields", "atomics vs locks"],
+        [[r["program"], r["metadata_bytes"], r["rss_fields"], r["atomics_or_locks"]]
+         for r in rows],
+        title="Table 1 programs",
+    ), file=out)
+    extensions = sorted(set(program_names()) - {r["program"] for r in rows})
+    print(f"extensions: {', '.join(extensions)}", file=out)
+    return 0
+
+
+def cmd_synthesize(args, out) -> int:
+    trace = synthesize_trace(
+        TRACE_DISTRIBUTIONS[args.workload](),
+        args.flows,
+        seed=args.seed,
+        bidirectional=args.bidirectional,
+        max_packets=args.packets,
+    )
+    if args.out.endswith(".pcap"):
+        write_pcap(trace, args.out)
+    else:
+        trace.save(args.out)
+    stats = trace.stats(bidirectional=args.bidirectional)
+    print(f"wrote {stats.packets} packets / {stats.flows} flows to {args.out} "
+          f"(top flow {stats.top_flow_share:.0%})", file=out)
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    trace = _load_or_synthesize(args)
+    engine = ScrFunctionalEngine(
+        make_program(args.program),
+        num_cores=args.cores,
+        with_recovery=args.loss_rate > 0,
+        loss_rate=args.loss_rate,
+        seed=args.seed,
+    )
+    result = engine.run(trace)
+    ref_verdicts, ref_state = reference_run(make_program(args.program), trace)
+    consistent = result.replicas_consistent
+    matches = (
+        not result.lost_seqs
+        and result.replica_snapshots[0] == ref_state
+        and result.verdicts == ref_verdicts
+    )
+    print(f"program={args.program} cores={args.cores} "
+          f"packets={result.offered} lost={len(result.lost_seqs)} "
+          f"recovered={result.recovered}", file=out)
+    print(f"replicas consistent: {consistent}", file=out)
+    if not result.lost_seqs:
+        print(f"matches single-threaded reference: {matches}", file=out)
+    return 0 if consistent else 1
+
+
+def cmd_mlffr(args, out) -> int:
+    runner = ExperimentRunner(max_packets=args.packets)
+    res = runner.mlffr_point(args.program, args.workload, args.technique, args.cores)
+    print(f"{args.program} @ {args.workload}, {args.technique}, "
+          f"{args.cores} cores: {res.mlffr_mpps:.2f} Mpps "
+          f"({res.iterations} search iterations)", file=out)
+    return 0
+
+
+def cmd_sweep(args, out) -> int:
+    runner = ExperimentRunner(max_packets=args.packets)
+    points = runner.scaling_sweep(
+        args.program, args.workload, args.techniques, args.cores
+    )
+    series = {}
+    for p in points:
+        series.setdefault(p.technique, []).append((p.cores, p.mlffr_mpps))
+    print(render_scaling_series(
+        series, title=f"{args.program} @ {args.workload} (Mpps)"
+    ), file=out)
+    if args.csv:
+        path = scaling_points_to_csv(points, args.csv)
+        print(f"wrote {path}", file=out)
+    return 0
+
+
+def cmd_hardware(args, out) -> int:
+    tofino = TofinoSequencerModel()
+    rows = []
+    for name in program_names(stateful_only=True):
+        prog = make_program(name)
+        rows.append([name, prog.metadata_size, tofino.max_cores(prog)])
+    print(render_table(
+        ["program", "metadata (B)", "Tofino max cores"], rows,
+        title=f"Tofino: {tofino.history_fields} 32-bit history fields",
+    ), file=out)
+    fpga = NetFpgaSequencerModel(args.rows)
+    luts, _, ffs = fpga.synthesis_row()
+    print(f"\nNetFPGA @ {args.rows} rows: {luts} LUTs "
+          f"({fpga.lut_utilization_pct():.3f}%), {ffs} FFs "
+          f"({fpga.ff_utilization_pct():.3f}%), "
+          f"timing @250 MHz: {'met' if fpga.meets_timing() else 'NOT met'}, "
+          f"{fpga.bandwidth_gbps():.0f} Gbit/s", file=out)
+    return 0
+
+
+def cmd_reproduce(args, out) -> int:
+    from .bench.export import series_to_csv
+    from .bench.figures import FIGURE_PRESETS, run_preset
+
+    if args.figure == "list":
+        for name, preset in FIGURE_PRESETS.items():
+            print(f"{name:>4}  {preset.describe()}", file=out)
+        return 0
+    try:
+        preset = FIGURE_PRESETS[args.figure]
+    except KeyError:
+        print(f"unknown figure {args.figure!r}; try 'reproduce list'", file=out)
+        return 2
+    runner = ExperimentRunner(max_packets=args.packets)
+    series = run_preset(preset, runner)
+    print(render_scaling_series(series, title=f"{preset.describe()} (Mpps)"),
+          file=out)
+    if args.csv:
+        path = series_to_csv(series, args.csv)
+        print(f"wrote {path}", file=out)
+    return 0
+
+
+def cmd_validate(args, out) -> int:
+    from .core import validate_program
+
+    program = make_program(args.program)
+    trace = synthesize_trace(
+        TRACE_DISTRIBUTIONS[args.workload](),
+        args.flows,
+        seed=args.seed,
+        bidirectional=program.bidirectional,
+        max_packets=args.packets,
+    )
+    report = validate_program(program, list(trace))
+    if report.ok:
+        print(f"{args.program}: SCR-safe "
+              f"({report.packets_checked} packets checked)", file=out)
+        return 0
+    print(f"{args.program}: NOT SCR-safe:", file=out)
+    for problem in report.problems:
+        print(f"  - {problem}", file=out)
+    return 1
+
+
+_COMMANDS = {
+    "programs": cmd_programs,
+    "synthesize": cmd_synthesize,
+    "run": cmd_run,
+    "mlffr": cmd_mlffr,
+    "sweep": cmd_sweep,
+    "hardware": cmd_hardware,
+    "reproduce": cmd_reproduce,
+    "validate": cmd_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out if out is not None else sys.stdout)
+    except BrokenPipeError:
+        # Output piped into a consumer that closed early (e.g. head):
+        # exit quietly like a well-behaved Unix tool.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""The SCR packet format (Figure 4a).
+
+The sequencer prefixes each packet with, in order:
+
+* a **dummy Ethernet header** (only when the sequencer runs on a ToR switch,
+  §3.3.1) so the NIC parses the frame and can RSS-hash on L2 fields;
+* an **SCR header**: sequence number (for loss recovery, §3.4), the
+  sequencer's hardware timestamp for the *current* packet (determinism,
+  §3.4), the ring index pointer, slot count and metadata size;
+* the **history block**: a raw dump of the sequencer's ring memory — N rows
+  of ``meta_size`` bytes.  Rows are in *ring order*; the index pointer marks
+  the earliest row, and software walks the ring from there (§3.3.2 puts the
+  ring-order-to-chronological translation in software to keep the hardware
+  a dumb memory dump);
+* the **original packet**, byte-for-byte, so the program's packet parsing
+  needs no changes (§3.3.1).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..packet import ETH_P_SCR, EthernetHeader
+from ..packet.headers import ETH_HLEN
+
+__all__ = ["ScrHeader", "ScrPacketCodec", "SCR_MAGIC"]
+
+SCR_MAGIC = 0x5C12
+
+_HEADER = struct.Struct("!HBBBBQQ")  # magic, flags, index_ptr, slots, meta_size, seq, timestamp
+
+_FLAG_HAS_DUMMY_ETH = 0x01
+
+
+@dataclass(frozen=True)
+class ScrHeader:
+    """Parsed SCR header fields."""
+
+    seq: int
+    timestamp_ns: int
+    index_ptr: int
+    num_slots: int
+    meta_size: int
+
+    @property
+    def history_bytes(self) -> int:
+        return self.num_slots * self.meta_size
+
+
+class ScrPacketCodec:
+    """Encode/decode SCR packets for one program's metadata layout."""
+
+    def __init__(
+        self,
+        meta_size: int,
+        num_slots: int,
+        dummy_eth: bool = True,
+    ) -> None:
+        if meta_size < 0:
+            raise ValueError("meta_size must be non-negative")
+        if not 0 < num_slots <= 255:
+            raise ValueError("num_slots must be in 1..255")
+        self.meta_size = meta_size
+        self.num_slots = num_slots
+        self.dummy_eth = dummy_eth
+
+    # -- sizes ----------------------------------------------------------------
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Bytes the sequencer adds to every packet."""
+        eth = ETH_HLEN if self.dummy_eth else 0
+        return eth + _HEADER.size + self.num_slots * self.meta_size
+
+    # -- encode -----------------------------------------------------------------
+
+    def encode(
+        self,
+        seq: int,
+        timestamp_ns: int,
+        ring_rows: List[bytes],
+        index_ptr: int,
+        original: bytes,
+    ) -> bytes:
+        """Build the on-wire SCR packet around ``original``.
+
+        ``ring_rows`` is the raw ring dump (length ``num_slots``, each row
+        ``meta_size`` bytes, zero-filled when never written), exactly what
+        the hardware reads out of its memory (§3.3.2).
+        """
+        if len(ring_rows) != self.num_slots:
+            raise ValueError(
+                f"expected {self.num_slots} ring rows, got {len(ring_rows)}"
+            )
+        if any(len(r) != self.meta_size for r in ring_rows):
+            raise ValueError("ring row size mismatch")
+        if not 0 <= index_ptr < self.num_slots:
+            raise ValueError("index pointer out of range")
+        parts = []
+        flags = 0
+        if self.dummy_eth:
+            flags |= _FLAG_HAS_DUMMY_ETH
+            parts.append(EthernetHeader(ethertype=ETH_P_SCR).pack())
+        parts.append(
+            _HEADER.pack(
+                SCR_MAGIC, flags, index_ptr, self.num_slots, self.meta_size,
+                seq, timestamp_ns,
+            )
+        )
+        parts.extend(ring_rows)
+        parts.append(original)
+        return b"".join(parts)
+
+    # -- decode -----------------------------------------------------------------
+
+    def decode(self, data: bytes) -> Tuple[ScrHeader, List[bytes], bytes]:
+        """Parse an SCR packet into (header, chronological rows, original).
+
+        The returned rows are reordered oldest-first by walking the ring
+        from the index pointer — the software half of the ring-buffer
+        semantics (App. C).
+        """
+        offset = 0
+        if self.dummy_eth:
+            eth = EthernetHeader.unpack(data)
+            if eth.ethertype != ETH_P_SCR:
+                raise ValueError(
+                    f"expected SCR dummy Ethernet header, got type {eth.ethertype:#06x}"
+                )
+            offset = ETH_HLEN
+        if len(data) < offset + _HEADER.size:
+            raise ValueError("truncated SCR header")
+        magic, flags, index_ptr, num_slots, meta_size, seq, ts = _HEADER.unpack(
+            data[offset : offset + _HEADER.size]
+        )
+        if magic != SCR_MAGIC:
+            raise ValueError(f"bad SCR magic {magic:#06x}")
+        if num_slots != self.num_slots or meta_size != self.meta_size:
+            raise ValueError(
+                "SCR geometry mismatch: packet says "
+                f"{num_slots}x{meta_size}, codec expects "
+                f"{self.num_slots}x{self.meta_size}"
+            )
+        offset += _HEADER.size
+        history_len = num_slots * meta_size
+        if len(data) < offset + history_len:
+            raise ValueError("truncated SCR history block")
+        rows_raw = data[offset : offset + history_len]
+        offset += history_len
+        rows = [
+            rows_raw[i * meta_size : (i + 1) * meta_size] for i in range(num_slots)
+        ]
+        # Ring order → chronological order, oldest first.
+        chronological = rows[index_ptr:] + rows[:index_ptr]
+        header = ScrHeader(
+            seq=seq,
+            timestamp_ns=ts,
+            index_ptr=index_ptr,
+            num_slots=num_slots,
+            meta_size=meta_size,
+        )
+        return header, chronological, data[offset:]

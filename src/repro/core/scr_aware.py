@@ -1,0 +1,185 @@
+"""The SCR-aware program runtime — the App. C transformation, generically.
+
+App. C walks through hand-transforming an XDP program for SCR: (1) replicate
+the state per core, (2) define per-packet metadata, (3) prepend a fast-forward
+loop over the piggybacked history, then process the current packet with the
+original, unmodified logic.  Because every program in this repo already
+factors into ``extract_metadata`` / ``key`` / ``transition``
+(:class:`~repro.programs.base.PacketProgram`), the transformation is done
+once here for all programs — the "suitable compiler pass" the paper
+anticipates.
+
+:class:`ScrCoreRuntime` is one core's half: it decodes SCR packets, skips
+history it has already applied, fast-forwards its private replica, and only
+then computes a verdict for the current packet.  Historic packets never get
+verdicts (App. C).  With a :class:`~repro.core.recovery.LossRecoveryManager`
+attached, gaps are resolved through the per-core logs of Algorithm 1; while
+a recovery walk waits on another core's log, further arrivals are buffered
+in the core's RX queue, exactly as a real NIC ring would hold them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..packet import Packet
+from ..programs.base import PacketProgram, Verdict
+from ..state.maps import StateMap
+from .packet_format import ScrPacketCodec
+from .recovery import LossRecoveryManager
+
+__all__ = ["ScrCoreRuntime"]
+
+#: (sequence number, verdict) for a processed current packet.
+Outcome = Tuple[int, Verdict]
+
+
+class ScrCoreRuntime:
+    """One CPU core running the SCR-aware variant of ``program``."""
+
+    def __init__(
+        self,
+        program: PacketProgram,
+        core_id: int,
+        codec: ScrPacketCodec,
+        state: StateMap,
+        recovery: Optional[LossRecoveryManager] = None,
+    ) -> None:
+        self.program = program
+        self.core_id = core_id
+        self.codec = codec
+        self.state = state
+        self.recovery = recovery
+        #: highest sequence fully applied to the private replica.
+        self.last_seq = 0
+        self._rx_queue: Deque[bytes] = deque()
+        #: the current packet awaiting its verdict while recovery catches up.
+        self._pending_packet: Optional[Packet] = None
+        self._pending_seq = 0
+        self.packets_processed = 0
+        self.history_applied = 0
+        self.recovered_applied = 0
+
+    # -- receive path -----------------------------------------------------------
+
+    def receive(self, scr_bytes: bytes) -> List[Outcome]:
+        """Handle one SCR packet from the sequencer.
+
+        Returns the (sequence, verdict) outcomes that completed — usually
+        one, none while blocked on recovery, several when this arrival
+        unblocks queued packets.
+        """
+        self._rx_queue.append(scr_bytes)
+        return self.pump()
+
+    def pump(self) -> List[Outcome]:
+        """Make all possible progress: resume walks, drain the RX queue."""
+        outcomes: List[Outcome] = []
+        while True:
+            if self._pending_packet is not None:
+                before = self.last_seq
+                outcome = self._advance_walk()
+                if outcome is not None:
+                    outcomes.append(outcome)
+                if self._pending_packet is not None:
+                    # Still blocked; stop unless the walk moved at all (in
+                    # which case one more probe round costs nothing).
+                    if self.last_seq == before:
+                        break
+                    continue
+                continue
+            if not self._rx_queue:
+                break
+            outcome = self._start(self._rx_queue.popleft())
+            if outcome is not None:
+                outcomes.append(outcome)
+        return outcomes
+
+    # -- starting one packet ------------------------------------------------------
+
+    def _start(self, scr_bytes: bytes) -> Optional[Outcome]:
+        header, rows, original = self.codec.decode(scr_bytes)
+        j = header.seq
+        pkt = Packet.from_bytes(original, timestamp_ns=header.timestamp_ns)
+
+        if self.recovery is None:
+            return self._process_lossfree(j, rows, pkt)
+
+        # Build the seq → metadata map this packet carries: ring rows hold
+        # sequences j-N .. j-1 oldest-first; recovery's window uses
+        # j-N+1 .. j-1 from the rows plus the current packet's own metadata.
+        n = self.codec.num_slots
+        metas: Dict[int, bytes] = {}
+        for m in range(1, n):
+            s = j - n + m
+            if s >= 1:
+                metas[s] = rows[m]
+        metas[j] = self.program.extract_metadata(pkt).pack()
+        self.recovery.deliver(self.core_id, j, metas)
+        self._pending_packet = pkt
+        self._pending_seq = j
+        return self._advance_walk()
+
+    def _process_lossfree(self, j: int, rows, pkt: Packet) -> Outcome:
+        """Fast path when losses cannot occur (NIC-resident sequencer, §3.4)."""
+        n = self.codec.num_slots
+        gap_start = self.last_seq + 1
+        if gap_start < j - n:
+            raise RuntimeError(
+                f"core {self.core_id}: gap {gap_start}..{j - 1} exceeds the "
+                f"{n} history slots; enable loss recovery"
+            )
+        # Fast-forward the missed packets (the App. C loop).  Row m holds
+        # sequence j - n + m; apply only unseen, real sequences.
+        for m in range(n):
+            s = j - n + m
+            if s < gap_start or s < 1:
+                continue
+            meta = self.program.metadata_cls.unpack(rows[m])
+            self.program.fast_forward(self.state, meta)
+            self.history_applied += 1
+        verdict = self.program.process(self.state, pkt)
+        self.last_seq = j
+        self.packets_processed += 1
+        return j, verdict
+
+    # -- recovery-driven progression --------------------------------------------
+
+    def _advance_walk(self) -> Optional[Outcome]:
+        """Resume a recovery walk; returns an outcome when it completes."""
+        if self.recovery is None or self._pending_packet is None:
+            return None
+        entries, done = self.recovery.try_advance(self.core_id)
+        result: Optional[Outcome] = None
+        minseq = self._pending_seq - (self.codec.num_slots - 1)
+        for seq, meta_bytes in entries:
+            if seq == self._pending_seq:
+                verdict = self.program.process(self.state, self._pending_packet)
+                self.packets_processed += 1
+                self.last_seq = seq
+                result = (seq, verdict)
+                continue
+            if meta_bytes is None:
+                # Lost at every core: atomicity says nobody applies it.
+                self.last_seq = seq
+                continue
+            meta = self.program.metadata_cls.unpack(meta_bytes)
+            self.program.fast_forward(self.state, meta)
+            self.history_applied += 1
+            if seq < minseq:
+                self.recovered_applied += 1
+            self.last_seq = seq
+        if done:
+            self._pending_packet = None
+            self._pending_seq = 0
+        return result
+
+    @property
+    def blocked(self) -> bool:
+        """True while a recovery walk is waiting on other cores' logs."""
+        return self._pending_packet is not None
+
+    @property
+    def rx_backlog(self) -> int:
+        return len(self._rx_queue)

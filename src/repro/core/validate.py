@@ -1,0 +1,118 @@
+"""Program validation: is a packet program safe to replicate?
+
+SCR's correctness rests on properties of the *program* (§3.1, §3.4): its
+transition must be deterministic, must depend only on (state value, packet
+metadata), and its metadata must round-trip losslessly through the wire
+format the sequencer carries.  :func:`validate_program` checks these
+dynamically against a packet sample — the test a developer runs before
+deploying a new program under SCR (or before trusting the App. C
+transform with it).
+
+Checks performed:
+
+1. **metadata round-trip** — ``unpack(pack(f(p))) == f(p)`` and the packed
+   size matches the declared metadata size;
+2. **key stability** — the state key derived from round-tripped metadata
+   equals the original (sharding and replication agree on identity);
+3. **transition determinism** — repeated transitions from equal inputs
+   produce equal outputs (catches wall-clock reads, unseeded RNGs,
+   iteration-order leaks);
+4. **replication equivalence** — processing a sample twice through two
+   independent state maps yields identical states and verdicts (catches
+   hidden global mutable state inside the program object);
+5. **history neutrality** — ``fast_forward`` leaves the state exactly as
+   ``apply`` would (the App. C loop discards only the verdict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from ..packet import Packet
+from ..programs.base import PacketProgram
+from ..state.maps import StateMap
+
+__all__ = ["ValidationReport", "validate_program"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_program`; empty problems == SCR-safe."""
+
+    program: str
+    packets_checked: int = 0
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def _fail(self, message: str) -> None:
+        if message not in self.problems:
+            self.problems.append(message)
+
+
+def validate_program(
+    program: PacketProgram,
+    packets: Iterable[Packet],
+    state_capacity: int = 4096,
+) -> ValidationReport:
+    """Dynamically check ``program`` against ``packets`` for SCR safety."""
+    report = ValidationReport(program=program.name)
+    pkts = list(packets)
+    report.packets_checked = len(pkts)
+
+    # 1 + 2: metadata round-trip and key stability.
+    for pkt in pkts:
+        meta = program.extract_metadata(pkt)
+        packed = meta.pack()
+        if len(packed) != program.metadata_size:
+            report._fail(
+                f"packed metadata is {len(packed)} bytes, declared "
+                f"{program.metadata_size}"
+            )
+            break
+        back = program.metadata_cls.unpack(packed)
+        if back != meta:
+            report._fail("metadata does not round-trip through pack/unpack")
+            break
+        if program.key(back) != program.key(meta):
+            report._fail("state key changes across metadata round-trip")
+            break
+
+    # 3: transition determinism on fresh state.
+    for pkt in pkts[: min(64, len(pkts))]:
+        meta = program.extract_metadata(pkt)
+        try:
+            first = program.transition(None, meta)
+            for _ in range(2):
+                if program.transition(None, meta) != first:
+                    report._fail("transition is non-deterministic")
+                    break
+        except NotImplementedError:
+            # multi-entry programs (e.g. NAT) define apply() instead; their
+            # determinism is covered by check 4.
+            break
+
+    # 4: replication equivalence — two independent replicas, same inputs.
+    a, b = StateMap(capacity=state_capacity), StateMap(capacity=state_capacity)
+    for pkt in pkts:
+        va = program.process(a, pkt)
+        vb = program.process(b, pkt)
+        if va != vb:
+            report._fail("verdicts differ between identical replicas")
+            break
+    if a.snapshot() != b.snapshot():
+        report._fail("replica states diverge on identical input")
+
+    # 5: history neutrality — fast_forward must equal apply, state-wise.
+    c, d = StateMap(capacity=state_capacity), StateMap(capacity=state_capacity)
+    for pkt in pkts:
+        meta = program.extract_metadata(pkt)
+        program.apply(c, meta)
+        program.fast_forward(d, meta)
+    if c.snapshot() != d.snapshot():
+        report._fail("fast_forward evolves state differently from apply")
+
+    return report

@@ -1,0 +1,307 @@
+"""Discrete-event multicore packet-processing simulator.
+
+This is the performance layer's engine: the device under test from §4.1,
+reduced to the quantities that determine throughput.  Packets are offered at
+a fixed rate (the replayer's TX rate), admitted through a serializing wire,
+steered to bounded per-core RX rings, and drained by cores whose per-packet
+service time comes from a :class:`PerfEngine` (one per scaling technique in
+``repro.parallel``).  Loss — the MLFFR search signal — arises naturally when
+rings overflow or the wire saturates.
+
+For speed, traces are preprocessed once into :class:`PerfTrace` records
+(program state key, RSS hashes, wire length); each simulated rate then only
+rescales timestamps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Protocol, Sequence, Tuple
+
+from ..nic.nic import ETHERNET_OVERHEAD_BYTES, MIN_FRAME_BYTES
+from ..nic.queues import DEFAULT_DESCRIPTORS
+from ..nic.rss import (
+    SYMMETRIC_RSS_KEY,
+    hash_input_l3,
+    hash_input_l4,
+    toeplitz_hash,
+)
+from ..packet import Packet
+from ..programs.base import PacketProgram
+from ..traffic.trace import Trace
+from .counters import SystemCounters
+
+__all__ = ["PerfPacket", "PerfTrace", "PerfEngine", "SimResult", "simulate"]
+
+#: Frames of backlog the MAC will absorb before dropping on a saturated wire.
+_WIRE_SLACK_FRAMES = 64
+
+#: Per-packet descriptor + completion bytes across the host interconnect.
+_PCIE_DESCRIPTOR_BYTES = 16
+
+
+@dataclass(frozen=True)
+class PerfPacket:
+    """Precomputed per-packet record used by the performance simulator."""
+
+    index: int
+    key: object  # program state key (already normalized where applicable)
+    hash_l3: int  # Toeplitz over src+dst IP
+    hash_l4: int  # Toeplitz over the 4-tuple
+    hash_sym: int  # symmetric-key Toeplitz over the 4-tuple
+    wire_len: int
+    valid: bool  # does this packet touch program state at all?
+    touches_global: bool = False  # does it update globally-shared state?
+
+
+class PerfTrace:
+    """A trace lowered to :class:`PerfPacket` records for one program."""
+
+    def __init__(self, records: Sequence[PerfPacket], program_name: str, name: str):
+        self.records = list(records)
+        self.program_name = program_name
+        self.name = name
+        self.unique_keys = len({r.key for r in self.records if r.valid})
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @classmethod
+    def from_trace(cls, trace: Trace, program: PacketProgram) -> "PerfTrace":
+        records = []
+        for i, pkt in enumerate(trace):
+            meta = program.extract_metadata(pkt)
+            key = program.key(meta)
+            ft = pkt.five_tuple()
+            l3 = toeplitz_hash(hash_input_l3(ft))
+            l4 = toeplitz_hash(hash_input_l4(ft))
+            sym = toeplitz_hash(hash_input_l4(ft), key=SYMMETRIC_RSS_KEY)
+            # "valid" mirrors the program's control dependency: packets that
+            # cannot touch state (wrong protocol) still cost dispatch.
+            valid = pkt.is_ipv4
+            records.append(
+                PerfPacket(
+                    index=i,
+                    key=key,
+                    hash_l3=l3,
+                    hash_l4=l4,
+                    hash_sym=sym,
+                    wire_len=pkt.wire_len,
+                    valid=valid,
+                    touches_global=program.touches_global(meta),
+                )
+            )
+        return cls(records, program_name=program.name, name=trace.name)
+
+
+class PerfEngine(Protocol):
+    """What a scaling technique must provide to the simulator."""
+
+    name: str
+    num_cores: int
+    counters: SystemCounters
+
+    def reset(self) -> None:
+        """Clear all run state (called by :func:`simulate`)."""
+
+    def wire_len(self, pp: PerfPacket) -> int:
+        """Bytes this packet occupies on the wire (SCR adds history)."""
+
+    # Engines may additionally define ``dma_len(pp)`` — bytes crossing the
+    # host interconnect, which can exceed wire bytes when a NIC-resident
+    # sequencer appends history after the MAC (§4.2 PCIe overheads).  The
+    # simulator falls back to ``wire_len`` when absent.
+
+    def steer(self, pp: PerfPacket) -> int:
+        """RX queue / core index for this packet."""
+
+    def pre_enqueue(self, pp: PerfPacket, core: int) -> bool:
+        """Admission hook; returning False models loss before the core."""
+
+    def service_ns(self, core: int, pp: PerfPacket, start_ns: float) -> float:
+        """Per-packet service time; must also charge the core's counters."""
+
+
+@dataclass
+class SimResult:
+    """Outcome of one fixed-rate simulation run."""
+
+    offered: int
+    processed: int
+    wire_dropped: int
+    ring_dropped: int
+    injected_lost: int
+    #: packets still queued when the post-stream grace period expired.
+    unfinished: int
+    duration_ns: float
+    rate_pps: float
+    counters: SystemCounters
+    #: packets dropped because the host interconnect (PCIe) saturated.
+    pcie_dropped: int = 0
+    per_core_packets: List[int] = field(default_factory=list)
+    #: per-packet sojourn times (arrival → service completion), ns; only
+    #: populated when simulate() is called with collect_latency=True.
+    latency_samples_ns: Optional[List[float]] = None
+
+    def latency_percentile_ns(self, q: float) -> float:
+        """The q-quantile (0..1) of per-packet sojourn time."""
+        if not self.latency_samples_ns:
+            raise ValueError("run simulate(collect_latency=True) first")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        ordered = sorted(self.latency_samples_ns)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return 1.0 - self.processed / self.offered
+
+    @property
+    def achieved_pps(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.processed / self.duration_ns * 1e9
+
+    @property
+    def achieved_mpps(self) -> float:
+        return self.achieved_pps / 1e6
+
+
+def _wire_time_ns(wire_len: int, line_rate_bps: float) -> float:
+    frame = max(MIN_FRAME_BYTES, wire_len) + ETHERNET_OVERHEAD_BYTES
+    return frame * 8 / line_rate_bps * 1e9
+
+
+def simulate(
+    perf_trace: PerfTrace,
+    rate_pps: float,
+    engine: PerfEngine,
+    line_rate_gbps: float = 100.0,
+    ring_capacity: int = DEFAULT_DESCRIPTORS,
+    burst_size: int = 1,
+    grace_fraction: float = 0.0,
+    grace_min_ns: float = 1_000.0,
+    pcie_rate_gbps: float = 252.0,
+    collect_latency: bool = False,
+) -> SimResult:
+    """Offer ``perf_trace`` at ``rate_pps`` to ``engine`` and measure.
+
+    Packets arrive at fixed spacing (or in back-to-back bursts of
+    ``burst_size`` sharing an arrival slot), pass the line-rate wire model,
+    get steered to per-core rings, and are drained in arrival order by each
+    core.  Time advances with arrivals; each arrival first lets every core
+    drain work that completes before it.
+
+    After the offered stream ends, cores get a short grace period
+    (``grace_fraction`` of the stream duration, at least ``grace_min_ns``)
+    to finish their backlog; whatever is still queued counts as lost.
+    Without this cutoff an overloaded run would eventually forward
+    everything and MLFFR would be meaningless (RFC 2544 likewise only
+    counts frames received within a timeout).
+
+    ``pcie_rate_gbps`` models the host interconnect (default: effective
+    PCIe 4.0 x16 throughput, §4.1's system bus).  Each packet's DMA bytes
+    (``engine.dma_len``, falling back to ``wire_len``) plus descriptor
+    traffic must fit; SCR's history enlarges DMA even when a NIC-resident
+    sequencer leaves the wire untouched (§4.2).
+    """
+    if rate_pps <= 0:
+        raise ValueError("rate must be positive")
+    engine.reset()
+    k = engine.num_cores
+    interval = 1e9 / rate_pps
+    line_rate_bps = line_rate_gbps * 1e9
+    pcie_rate_bps = pcie_rate_gbps * 1e9
+    dma_len = getattr(engine, "dma_len", engine.wire_len)
+
+    rings: List[Deque[Tuple[float, PerfPacket]]] = [deque() for _ in range(k)]
+    busy = [0.0] * k
+    per_core_packets = [0] * k
+    processed = 0
+    wire_dropped = 0
+    ring_dropped = 0
+    injected_lost = 0
+    pcie_dropped = 0
+    wire_free = 0.0
+    wire_slack_ns = 0.0
+    pcie_free = 0.0
+    pcie_slack_ns = 0.0
+    last_finish = 0.0
+
+    latency_samples: Optional[List[float]] = [] if collect_latency else None
+
+    def drain(core: int, horizon: float) -> None:
+        nonlocal processed, last_finish
+        ring = rings[core]
+        while ring and busy[core] <= horizon:
+            arrival, pp = ring[0]
+            start = busy[core] if busy[core] > arrival else arrival
+            if start > horizon:
+                break
+            ring.popleft()
+            busy[core] = start + engine.service_ns(core, pp, start)
+            per_core_packets[core] += 1
+            processed += 1
+            if latency_samples is not None:
+                latency_samples.append(busy[core] - arrival)
+            if busy[core] > last_finish:
+                last_finish = busy[core]
+
+    records = perf_trace.records
+    offered = len(records)
+    for i, pp in enumerate(records):
+        now = (i // burst_size) * burst_size * interval
+        for core in range(k):
+            drain(core, now)
+        wl = engine.wire_len(pp)
+        wt = _wire_time_ns(wl, line_rate_bps)
+        if i == 0:
+            wire_slack_ns = wt * _WIRE_SLACK_FRAMES
+        if wire_free - now > wire_slack_ns:
+            wire_dropped += 1
+            continue
+        wire_free = (wire_free if wire_free > now else now) + wt
+        # Host interconnect: DMA payload + descriptor + completion traffic.
+        dt = (dma_len(pp) + _PCIE_DESCRIPTOR_BYTES) * 8 / pcie_rate_bps * 1e9
+        if i == 0:
+            pcie_slack_ns = dt * _WIRE_SLACK_FRAMES
+        if pcie_free - now > pcie_slack_ns:
+            pcie_dropped += 1
+            continue
+        pcie_free = (pcie_free if pcie_free > now else now) + dt
+        core = engine.steer(pp)
+        if not engine.pre_enqueue(pp, core):
+            injected_lost += 1
+            continue
+        ring = rings[core]
+        if len(ring) >= ring_capacity:
+            ring_dropped += 1
+            continue
+        ring.append((now, pp))
+
+    stream_end = offered * interval
+    horizon = stream_end + max(grace_min_ns, grace_fraction * stream_end)
+    unfinished = 0
+    for core in range(k):
+        drain(core, horizon)
+        unfinished += len(rings[core])
+
+    duration = max(last_finish, stream_end)
+    return SimResult(
+        offered=offered,
+        processed=processed,
+        wire_dropped=wire_dropped,
+        ring_dropped=ring_dropped,
+        injected_lost=injected_lost,
+        unfinished=unfinished,
+        duration_ns=duration,
+        rate_pps=rate_pps,
+        counters=engine.counters,
+        pcie_dropped=pcie_dropped,
+        per_core_packets=per_core_packets,
+        latency_samples_ns=latency_samples,
+    )

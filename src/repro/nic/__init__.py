@@ -1,0 +1,29 @@
+"""NIC substrate: RSS/Toeplitz, descriptor rings, steering, line-rate model."""
+
+from .nic import ETHERNET_OVERHEAD_BYTES, MIN_FRAME_BYTES, Nic, SteeringMode
+from .queues import DEFAULT_DESCRIPTORS, RxQueue
+from .rss import (
+    MSFT_RSS_KEY,
+    SYMMETRIC_RSS_KEY,
+    RssIndirection,
+    hash_input_l2,
+    hash_input_l3,
+    hash_input_l4,
+    toeplitz_hash,
+)
+
+__all__ = [
+    "ETHERNET_OVERHEAD_BYTES",
+    "MIN_FRAME_BYTES",
+    "Nic",
+    "SteeringMode",
+    "DEFAULT_DESCRIPTORS",
+    "RxQueue",
+    "MSFT_RSS_KEY",
+    "SYMMETRIC_RSS_KEY",
+    "RssIndirection",
+    "hash_input_l2",
+    "hash_input_l3",
+    "hash_input_l4",
+    "toeplitz_hash",
+]

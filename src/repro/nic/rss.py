@@ -1,0 +1,127 @@
+"""Receive Side Scaling: the Toeplitz hash and indirection table [4].
+
+This is the real Toeplitz algorithm used by hardware NICs, including the
+Microsoft-standard 40-byte default key and the symmetric key of Woo & Park
+[70] (``0x6d5a`` repeated), which hashes both directions of a connection to
+the same value — what the connection-tracker sharding baseline needs (§4.1).
+
+The hash input follows the standard layouts: src IP, dst IP (4 bytes each,
+network order), then src port, dst port (2 bytes each) for L4 hashing.  An
+L2 input layout over the Ethernet header is also provided because the SCR
+testbed steers sequencer-prefixed packets by hashing the dummy Ethernet
+header (§3.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..packet import Packet
+from ..packet.flow import FiveTuple
+
+__all__ = [
+    "MSFT_RSS_KEY",
+    "SYMMETRIC_RSS_KEY",
+    "toeplitz_hash",
+    "hash_input_l3",
+    "hash_input_l4",
+    "hash_input_l2",
+    "RssIndirection",
+]
+
+#: The Microsoft-standard verification key from the RSS specification.
+MSFT_RSS_KEY = bytes(
+    [
+        0x6D, 0x5A, 0x56, 0xDA, 0x25, 0x5B, 0x0E, 0xC2,
+        0x41, 0x67, 0x25, 0x3D, 0x43, 0xA3, 0x8F, 0xB0,
+        0xD0, 0xCA, 0x2B, 0xCB, 0xAE, 0x7B, 0x30, 0xB4,
+        0x77, 0xCB, 0x2D, 0xA3, 0x80, 0x30, 0xF2, 0x0C,
+        0x6A, 0x42, 0xB7, 0x3B, 0xBE, 0xAC, 0x01, 0xFA,
+    ]
+)
+
+#: Symmetric RSS key [70]: hash(src,dst) == hash(dst,src).
+SYMMETRIC_RSS_KEY = bytes([0x6D, 0x5A]) * 20
+
+
+def toeplitz_hash(data: bytes, key: bytes = MSFT_RSS_KEY) -> int:
+    """The Toeplitz hash: 32-bit result over ``data`` with ``key``.
+
+    For each set bit in the input (MSB first), XOR in the 32-bit window of
+    the key aligned at that bit position — the textbook hardware definition.
+    """
+    if len(key) * 8 < len(data) * 8 + 32:
+        raise ValueError("key too short for input length")
+    key_int = int.from_bytes(key, "big")
+    key_bits = len(key) * 8
+    result = 0
+    for i, byte in enumerate(data):
+        for bit in range(8):
+            if byte & (0x80 >> bit):
+                shift = key_bits - 32 - (i * 8 + bit)
+                result ^= (key_int >> shift) & 0xFFFFFFFF
+    return result
+
+
+def hash_input_l3(ft: FiveTuple) -> bytes:
+    """RSS input for IP-pair hashing (src & dst IP only)."""
+    return ft.src_ip.to_bytes(4, "big") + ft.dst_ip.to_bytes(4, "big")
+
+
+def hash_input_l4(ft: FiveTuple) -> bytes:
+    """RSS input for 4-tuple hashing (IPs then ports)."""
+    return (
+        ft.src_ip.to_bytes(4, "big")
+        + ft.dst_ip.to_bytes(4, "big")
+        + ft.src_port.to_bytes(2, "big")
+        + ft.dst_port.to_bytes(2, "big")
+    )
+
+
+def hash_input_l2(pkt: Packet) -> bytes:
+    """RSS input over the Ethernet header (dst MAC, src MAC, ethertype).
+
+    Used when the ToR-switch sequencer prepends a dummy Ethernet header and
+    the NIC is configured to hash on L2 fields to spray packets (§3.3.1).
+    """
+    return pkt.eth.dst + pkt.eth.src + pkt.eth.ethertype.to_bytes(2, "big")
+
+
+class RssIndirection:
+    """The RSS indirection table: hash LSBs → queue number.
+
+    Real NICs expose a small table (commonly 128 entries) that the driver
+    (or RSS++ [34]) rewrites to migrate flow *shards* between queues.  Shard
+    migration granularity — the heart of RSS++'s limits — is exactly one
+    table entry.
+    """
+
+    def __init__(self, num_queues: int, table_size: int = 128) -> None:
+        if num_queues < 1:
+            raise ValueError("need at least one queue")
+        if table_size < num_queues:
+            raise ValueError("table must have at least one entry per queue")
+        self.table_size = table_size
+        self.num_queues = num_queues
+        self.table: List[int] = [i % num_queues for i in range(table_size)]
+
+    def shard_of(self, hash_value: int) -> int:
+        """The shard (table index) a hash value falls into."""
+        return hash_value & (self.table_size - 1) if self._pow2() else hash_value % self.table_size
+
+    def _pow2(self) -> bool:
+        return (self.table_size & (self.table_size - 1)) == 0
+
+    def queue_of(self, hash_value: int) -> int:
+        return self.table[self.shard_of(hash_value)]
+
+    def migrate(self, shard: int, queue: int) -> None:
+        """Move one shard to another queue (an RSS++ rebalancing action)."""
+        if not 0 <= shard < self.table_size:
+            raise IndexError(f"shard {shard} out of range")
+        if not 0 <= queue < self.num_queues:
+            raise IndexError(f"queue {queue} out of range")
+        self.table[shard] = queue
+
+    def shards_on(self, queue: int) -> List[int]:
+        return [s for s, q in enumerate(self.table) if q == queue]

@@ -1,0 +1,47 @@
+"""Internet checksum (RFC 1071) used by IPv4, TCP and UDP headers.
+
+The checksum is the 16-bit ones' complement of the ones' complement sum of
+all 16-bit words in the covered data.  Odd-length payloads are padded with a
+zero byte, per the RFC.
+"""
+
+from __future__ import annotations
+
+__all__ = ["internet_checksum", "pseudo_header", "verify_checksum"]
+
+
+def internet_checksum(data: bytes) -> int:
+    """Return the RFC 1071 internet checksum of ``data`` as a 16-bit integer.
+
+    The caller is expected to have zeroed the checksum field in ``data``
+    before calling this function when computing a checksum for insertion.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    # Fold carries until the sum fits in 16 bits.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def pseudo_header(src_ip: int, dst_ip: int, proto: int, length: int) -> bytes:
+    """Return the IPv4 pseudo-header used by TCP/UDP checksums.
+
+    ``src_ip``/``dst_ip`` are 32-bit integers, ``proto`` is the IP protocol
+    number, and ``length`` is the TCP/UDP segment length in bytes.
+    """
+    return (
+        src_ip.to_bytes(4, "big")
+        + dst_ip.to_bytes(4, "big")
+        + b"\x00"
+        + proto.to_bytes(1, "big")
+        + length.to_bytes(2, "big")
+    )
+
+
+def verify_checksum(data: bytes) -> bool:
+    """Return True when ``data`` (checksum field included) sums to zero."""
+    return internet_checksum(data) == 0

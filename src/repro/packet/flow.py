@@ -1,0 +1,58 @@
+"""Flow identity: 5-tuples and direction-normalized (bidirectional) keys.
+
+Programs shard and key their state on flows.  A :class:`FiveTuple` identifies
+one direction of a connection; :meth:`FiveTuple.normalized` produces a
+canonical key shared by both directions, which is what the TCP connection
+tracker (and symmetric RSS, [70]) requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .headers import IPPROTO_TCP, int_to_ip
+
+__all__ = ["FiveTuple"]
+
+
+@dataclass(frozen=True, order=True)
+class FiveTuple:
+    """A directional (src_ip, dst_ip, src_port, dst_port, proto) tuple."""
+
+    src_ip: int = 0
+    dst_ip: int = 0
+    src_port: int = 0
+    dst_port: int = 0
+    proto: int = IPPROTO_TCP
+
+    def reversed(self) -> "FiveTuple":
+        """The same connection seen from the opposite direction."""
+        return FiveTuple(
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            proto=self.proto,
+        )
+
+    def normalized(self) -> "FiveTuple":
+        """Canonical bidirectional key: both directions map to the same value.
+
+        The lexicographically smaller (ip, port) endpoint is placed first, so
+        ``p.normalized() == p.reversed().normalized()`` always holds.
+        """
+        a = (self.src_ip, self.src_port)
+        b = (self.dst_ip, self.dst_port)
+        if a <= b:
+            return self
+        return self.reversed()
+
+    def is_forward(self) -> bool:
+        """True when this tuple already equals its normalized form."""
+        return self == self.normalized()
+
+    def __str__(self) -> str:
+        return (
+            f"{int_to_ip(self.src_ip)}:{self.src_port} -> "
+            f"{int_to_ip(self.dst_ip)}:{self.dst_port} proto={self.proto}"
+        )

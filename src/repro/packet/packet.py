@@ -1,0 +1,182 @@
+"""The Packet object shared by the traffic, NIC, sequencer, and program layers.
+
+A :class:`Packet` carries parsed headers plus bookkeeping (arrival timestamp in
+nanoseconds, original wire length).  ``to_bytes``/``from_bytes`` round-trip the
+packet through its exact wire representation; the functional SCR layer uses
+the byte form, while the performance simulator works on the parsed form for
+speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .flow import FiveTuple
+from .headers import (
+    ETH_HLEN,
+    ETH_P_IP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    IPV4_HLEN,
+    TCP_HLEN,
+    UDP_HLEN,
+    EthernetHeader,
+    IPv4Header,
+    TCPHeader,
+    UDPHeader,
+)
+
+__all__ = ["Packet", "make_tcp_packet", "make_udp_packet"]
+
+
+@dataclass
+class Packet:
+    """A parsed packet plus metadata used by the simulation layers."""
+
+    eth: EthernetHeader = field(default_factory=EthernetHeader)
+    ip: Optional[IPv4Header] = None
+    l4: Optional[Union[TCPHeader, UDPHeader]] = None
+    payload: bytes = b""
+    #: Arrival timestamp in nanoseconds (assigned by trace / sequencer).
+    timestamp_ns: int = 0
+    #: Length on the wire in bytes; may exceed the carried bytes when the
+    #: trace was truncated to stress packets-per-second (§4.2).
+    wire_len: int = 0
+
+    def __post_init__(self) -> None:
+        if self.wire_len == 0:
+            self.wire_len = self.header_len + len(self.payload)
+
+    @property
+    def header_len(self) -> int:
+        length = ETH_HLEN
+        if self.ip is not None:
+            length += IPV4_HLEN
+        if isinstance(self.l4, TCPHeader):
+            length += TCP_HLEN
+        elif isinstance(self.l4, UDPHeader):
+            length += UDP_HLEN
+        return length
+
+    @property
+    def is_ipv4(self) -> bool:
+        return self.ip is not None
+
+    @property
+    def is_tcp(self) -> bool:
+        return isinstance(self.l4, TCPHeader)
+
+    @property
+    def is_udp(self) -> bool:
+        return isinstance(self.l4, UDPHeader)
+
+    def five_tuple(self) -> FiveTuple:
+        """The directional 5-tuple; ports are zero for non-TCP/UDP packets."""
+        if self.ip is None:
+            return FiveTuple()
+        sport = dport = 0
+        if self.l4 is not None:
+            sport, dport = self.l4.sport, self.l4.dport
+        return FiveTuple(
+            src_ip=self.ip.src,
+            dst_ip=self.ip.dst,
+            src_port=sport,
+            dst_port=dport,
+            proto=self.ip.proto,
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the exact wire representation."""
+        out = [self.eth.pack()]
+        if self.ip is not None:
+            l4_bytes = b""
+            if isinstance(self.l4, TCPHeader):
+                l4_bytes = self.l4.pack()
+            elif isinstance(self.l4, UDPHeader):
+                l4_bytes = self.l4.pack()
+            # Keep the IP total_length consistent with what we serialize.
+            self.ip.total_length = IPV4_HLEN + len(l4_bytes) + len(self.payload)
+            out.append(self.ip.pack())
+            out.append(l4_bytes)
+        out.append(self.payload)
+        return b"".join(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, timestamp_ns: int = 0, wire_len: int = 0) -> "Packet":
+        """Parse a packet from its wire representation.
+
+        Non-IPv4 packets keep everything past the Ethernet header as payload;
+        non-TCP/UDP IPv4 packets keep everything past the IP header.
+        """
+        eth = EthernetHeader.unpack(data)
+        offset = ETH_HLEN
+        ip: Optional[IPv4Header] = None
+        l4: Optional[Union[TCPHeader, UDPHeader]] = None
+        if eth.ethertype == ETH_P_IP and len(data) >= offset + IPV4_HLEN:
+            ip = IPv4Header.unpack(data[offset:])
+            offset += IPV4_HLEN
+            if ip.proto == IPPROTO_TCP and len(data) >= offset + TCP_HLEN:
+                l4 = TCPHeader.unpack(data[offset:])
+                offset += TCP_HLEN
+            elif ip.proto == IPPROTO_UDP and len(data) >= offset + UDP_HLEN:
+                l4 = UDPHeader.unpack(data[offset:])
+                offset += UDP_HLEN
+        return cls(
+            eth=eth,
+            ip=ip,
+            l4=l4,
+            payload=data[offset:],
+            timestamp_ns=timestamp_ns,
+            wire_len=wire_len or len(data),
+        )
+
+    def truncated(self, size: int) -> "Packet":
+        """Return a copy truncated to ``size`` bytes on the wire.
+
+        Headers are always preserved (the evaluation truncates packets to
+        192/256/64 bytes while keeping them parseable); only the payload is
+        cut, and ``wire_len`` records the truncated size.
+        """
+        keep = max(0, size - self.header_len)
+        return Packet(
+            eth=self.eth,
+            ip=self.ip,
+            l4=self.l4,
+            payload=self.payload[:keep],
+            timestamp_ns=self.timestamp_ns,
+            wire_len=max(size, self.header_len),
+        )
+
+
+def make_tcp_packet(
+    src_ip: int,
+    dst_ip: int,
+    src_port: int,
+    dst_port: int,
+    flags: int,
+    seq: int = 0,
+    ack: int = 0,
+    payload: bytes = b"",
+    timestamp_ns: int = 0,
+    wire_len: int = 0,
+) -> Packet:
+    """Convenience constructor for an Ethernet/IPv4/TCP packet."""
+    ip = IPv4Header(src=src_ip, dst=dst_ip, proto=IPPROTO_TCP)
+    tcp = TCPHeader(sport=src_port, dport=dst_port, seq=seq, ack=ack, flags=flags)
+    return Packet(ip=ip, l4=tcp, payload=payload, timestamp_ns=timestamp_ns, wire_len=wire_len)
+
+
+def make_udp_packet(
+    src_ip: int,
+    dst_ip: int,
+    src_port: int,
+    dst_port: int,
+    payload: bytes = b"",
+    timestamp_ns: int = 0,
+    wire_len: int = 0,
+) -> Packet:
+    """Convenience constructor for an Ethernet/IPv4/UDP packet."""
+    ip = IPv4Header(src=src_ip, dst=dst_ip, proto=IPPROTO_UDP)
+    udp = UDPHeader(sport=src_port, dport=dst_port, length=UDP_HLEN + len(payload))
+    return Packet(ip=ip, l4=udp, payload=payload, timestamp_ns=timestamp_ns, wire_len=wire_len)

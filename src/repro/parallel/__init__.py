@@ -1,0 +1,29 @@
+"""Scaling-technique performance engines: shared, sharded, RSS++, SCR."""
+
+from .base import BaseEngine, hash_for_program
+from .functional import (
+    FunctionalRunResult,
+    SharedFunctionalEngine,
+    ShardedFunctionalEngine,
+)
+from .registry import TECHNIQUES, make_engine, technique_names
+from .scr_technique import ScrEngine
+from .sharded import RssPlusPlusEngine, ShardedRssEngine
+from .shared import SharedAtomicEngine, SharedLockEngine, make_shared_engine
+
+__all__ = [
+    "BaseEngine",
+    "hash_for_program",
+    "FunctionalRunResult",
+    "SharedFunctionalEngine",
+    "ShardedFunctionalEngine",
+    "TECHNIQUES",
+    "make_engine",
+    "technique_names",
+    "ScrEngine",
+    "RssPlusPlusEngine",
+    "ShardedRssEngine",
+    "SharedAtomicEngine",
+    "SharedLockEngine",
+    "make_shared_engine",
+]

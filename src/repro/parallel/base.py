@@ -1,0 +1,95 @@
+"""Common machinery for the scaling-technique performance engines.
+
+Each engine implements the :class:`~repro.cpu.simulator.PerfEngine` protocol
+for one technique from §2/§3: shared state (atomics or locks), sharding (RSS
+or RSS++), or SCR.  The engines translate a technique's mechanism into
+per-packet service time and counter charges using the Table 4 cost
+parameters and the contention constants in ``repro.cpu.costmodel``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from ..cpu.cache import L2Model
+from ..cpu.costmodel import (
+    DEFAULT_CONTENTION,
+    TABLE4_PARAMS,
+    ContentionParams,
+    CostParams,
+)
+from ..cpu.counters import CoreCounters, SystemCounters
+from ..cpu.simulator import PerfPacket
+from ..programs.base import PacketProgram
+
+__all__ = ["BaseEngine", "hash_for_program"]
+
+
+def hash_for_program(program: PacketProgram, pp: PerfPacket) -> int:
+    """The RSS hash a NIC would use to shard this program correctly.
+
+    Table 1's "RSS hash fields" column: IP-pair programs hash L3 only;
+    5-tuple programs hash L4; bidirectional programs need the symmetric key
+    so both directions land on one core [70].
+    """
+    if program.bidirectional:
+        return pp.hash_sym
+    if program.rss_fields == "src & dst IP":
+        return pp.hash_l3
+    return pp.hash_l4
+
+
+class BaseEngine(ABC):
+    """Shared state for the per-technique engines."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        program: PacketProgram,
+        num_cores: int,
+        costs: Optional[CostParams] = None,
+        contention: ContentionParams = DEFAULT_CONTENTION,
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        self.program = program
+        self.num_cores = num_cores
+        if costs is None:
+            try:
+                costs = TABLE4_PARAMS[program.name]
+            except KeyError:
+                raise KeyError(
+                    f"no Table 4 cost parameters for program {program.name!r}; "
+                    "pass costs= explicitly"
+                ) from None
+        self.costs = costs
+        self.contention = contention
+        self.counters = SystemCounters()
+        self.l2 = L2Model(num_cores, spill_ns=contention.l2_spill_ns)
+        self._build_counters()
+
+    def _build_counters(self) -> None:
+        self.counters.cores = [CoreCounters(core_id=i) for i in range(self.num_cores)]
+
+    def reset(self) -> None:
+        """Clear run state; subclasses extend."""
+        self._build_counters()
+        self.l2.reset()
+
+    # Default protocol pieces; engines override what differs. ------------------
+
+    def wire_len(self, pp: PerfPacket) -> int:
+        return pp.wire_len
+
+    def pre_enqueue(self, pp: PerfPacket, core: int) -> bool:
+        return True
+
+    @abstractmethod
+    def steer(self, pp: PerfPacket) -> int:
+        ...
+
+    @abstractmethod
+    def service_ns(self, core: int, pp: PerfPacket, start_ns: float) -> float:
+        ...

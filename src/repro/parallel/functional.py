@@ -1,0 +1,139 @@
+"""Functional (byte-level) execution of the baseline techniques.
+
+``repro.core`` runs SCR functionally; this module does the same for the
+baselines so correctness — not just throughput — can be compared:
+
+* :class:`ShardedFunctionalEngine` — real Toeplitz steering through an
+  indirection table into per-core, shared-nothing state maps (the RSS
+  deployment of §2.2).  Correct exactly when every state key is a function
+  of the fields RSS can hash on; programs with global state (NAT) come out
+  wrong, which `tests` and the NAT bench demonstrate.
+* :class:`SharedFunctionalEngine` — every core processes against one
+  shared map (order serialized, as a lock would).  Always correct,
+  arbitrarily slow in hardware — the §2.2 trade-off.
+
+Both spray/steer per packet and report per-core packet counts, so skew is
+observable functionally too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..nic.nic import Nic, SteeringMode
+from ..programs.base import PacketProgram, Verdict
+from ..state.maps import SharedStateMap, StateMap
+from ..traffic.trace import Trace
+
+__all__ = [
+    "FunctionalRunResult",
+    "ShardedFunctionalEngine",
+    "SharedFunctionalEngine",
+]
+
+
+@dataclass
+class FunctionalRunResult:
+    """Outcome of a functional baseline run."""
+
+    verdicts: Dict[int, Verdict] = field(default_factory=dict)
+    per_core_packets: List[int] = field(default_factory=list)
+    offered: int = 0
+
+    @property
+    def max_core_share(self) -> float:
+        """Fraction of packets handled by the busiest core (skew metric)."""
+        if self.offered == 0:
+            return 0.0
+        return max(self.per_core_packets) / self.offered
+
+
+def _steering_mode(program: PacketProgram) -> SteeringMode:
+    """The RSS configuration Table 1 prescribes for this program."""
+    if program.bidirectional:
+        return SteeringMode.RSS_SYMMETRIC
+    if program.rss_fields == "src & dst IP":
+        return SteeringMode.RSS_L3
+    return SteeringMode.RSS_L4
+
+
+class ShardedFunctionalEngine:
+    """Shared-nothing sharding: RSS steering into per-core private maps."""
+
+    def __init__(
+        self,
+        program: PacketProgram,
+        num_cores: int,
+        state_capacity: int = 4096,
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        self.program = program
+        self.num_cores = num_cores
+        self.nic = Nic(num_cores, mode=_steering_mode(program))
+        self.states = [StateMap(capacity=state_capacity) for _ in range(num_cores)]
+
+    def run(self, trace: Trace) -> FunctionalRunResult:
+        result = FunctionalRunResult(per_core_packets=[0] * self.num_cores)
+        for i, pkt in enumerate(trace, start=1):
+            result.offered += 1
+            core = self.nic.steer(pkt)
+            result.per_core_packets[core] += 1
+            result.verdicts[i] = self.program.process(self.states[core], pkt)
+        return result
+
+    def merged_state(self) -> Dict:
+        """Union of the shards (keys are disjoint when sharding is correct)."""
+        merged: Dict = {}
+        for state in self.states:
+            merged.update(state.snapshot())
+        return merged
+
+    def shards_are_disjoint(self) -> bool:
+        """True when no state key appears on two cores — the precondition
+        for sharding to be correct at all."""
+        seen: set = set()
+        for state in self.states:
+            keys = set(state.snapshot())
+            if keys & seen:
+                return False
+            seen |= keys
+        return True
+
+
+class SharedFunctionalEngine:
+    """Shared state: spray across cores, one map, serialized updates."""
+
+    def __init__(
+        self,
+        program: PacketProgram,
+        num_cores: int,
+        state_capacity: int = 4096,
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        self.program = program
+        self.num_cores = num_cores
+        self.state = SharedStateMap(capacity=state_capacity)
+        self._rr = 0
+
+    def run(self, trace: Trace) -> FunctionalRunResult:
+        result = FunctionalRunResult(per_core_packets=[0] * self.num_cores)
+        for i, pkt in enumerate(trace, start=1):
+            result.offered += 1
+            core = self._rr
+            self._rr = (self._rr + 1) % self.num_cores
+            result.per_core_packets[core] += 1
+            # Track cross-core traffic on the entry this packet touches,
+            # then run the ordinary (serialized) update.
+            meta = self.program.extract_metadata(pkt)
+            key = self.program.key(meta)
+            self.state.lookup_from_core(core, key)
+            result.verdicts[i] = self.program.process(self.state, pkt)
+            self.state.note_writer(core, key)
+        return result
+
+    @property
+    def bounce_ratio(self) -> float:
+        return self.state.bounce_ratio

@@ -1,0 +1,39 @@
+"""Technique registry: build any evaluated engine by name."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..programs.base import PacketProgram
+from .base import BaseEngine
+from .scr_technique import ScrEngine
+from .sharded import RssPlusPlusEngine, ShardedRssEngine
+from .shared import make_shared_engine
+
+__all__ = ["TECHNIQUES", "make_engine", "technique_names"]
+
+#: The four techniques compared throughout §4.2.
+TECHNIQUES = ("scr", "shared", "rss", "rss++")
+
+
+def make_engine(
+    technique: str, program: PacketProgram, num_cores: int, **kwargs
+) -> BaseEngine:
+    """Instantiate a scaling-technique engine.
+
+    ``shared`` picks atomics vs locks by the program's Table 1 row, exactly
+    as the evaluation does.
+    """
+    if technique == "scr":
+        return ScrEngine(program, num_cores, **kwargs)
+    if technique == "shared":
+        return make_shared_engine(program, num_cores, **kwargs)
+    if technique == "rss":
+        return ShardedRssEngine(program, num_cores, **kwargs)
+    if technique == "rss++":
+        return RssPlusPlusEngine(program, num_cores, **kwargs)
+    raise KeyError(f"unknown technique {technique!r}; known: {TECHNIQUES}")
+
+
+def technique_names() -> List[str]:
+    return list(TECHNIQUES)

@@ -1,0 +1,170 @@
+"""The SCR performance engine (§3).
+
+Round-robin spraying, per-core private replicas — no serialization points,
+no bouncing.  What SCR pays instead:
+
+* **history fast-forward**: each packet's service grows by ``h × c2``
+  where ``h`` is the number of piggybacked history items (``k-1`` in steady
+  state) — the Appendix A model ``t + (k-1)·c2``;
+* **bytes**: the sequencer's prefix enlarges every frame on the wire and
+  across PCIe, which is what eventually caps scaling at the NIC
+  (Figure 10a) — ``wire_len`` reports the enlarged frame;
+* **memory**: every core holds *all* flows, so SCR's replicas spill out of
+  L2 before a sharded layout would (scaling limit (ii), §3.1);
+* optionally, **loss-recovery costs** (Figure 10b): per-packet log writes,
+  and — when losses are injected — spinning on other cores' logs plus the
+  catch-up transitions for each recovered sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.packet_format import ScrPacketCodec
+from ..cpu.simulator import PerfPacket
+from .base import BaseEngine
+
+__all__ = ["ScrEngine"]
+
+
+class ScrEngine(BaseEngine):
+    """Performance model of state-compute replication across cores."""
+
+    name = "scr"
+
+    def __init__(
+        self,
+        *args,
+        num_slots: Optional[int] = None,
+        dummy_eth: bool = True,
+        with_recovery: bool = False,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+        extra_compute_ns: float = 0.0,
+        count_wire_overhead: bool = True,
+        **kwargs,
+    ) -> None:
+        """``extra_compute_ns`` inflates both ``c1`` and ``c2`` — the knob the
+        Figure 9 compute-latency sweep turns.
+
+        ``count_wire_overhead`` controls whether the sequencer's prefix adds
+        to each frame's wire size.  The Figure 6/7 methodology truncates
+        packets to a fixed size *including* the piggybacked history ("the
+        packet size limits the number of items of history metadata", §4.2),
+        so those sweeps pass False; Figure 10a feeds bare 64-byte packets
+        and lets SCR alone inflate them, so it keeps the default True.
+        """
+        super().__init__(*args, **kwargs)
+        if loss_rate and not with_recovery:
+            raise ValueError("loss injection requires with_recovery=True")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.num_slots = num_slots if num_slots is not None else self.num_cores
+        if self.num_slots < self.num_cores:
+            raise ValueError("history slots must cover the core count")
+        self.codec = ScrPacketCodec(
+            meta_size=self.program.metadata_size,
+            num_slots=self.num_slots,
+            dummy_eth=dummy_eth,
+        )
+        self.count_wire_overhead = count_wire_overhead
+        self.with_recovery = with_recovery
+        self.loss_rate = loss_rate
+        self.seed = seed
+        self.extra_compute_ns = extra_compute_ns
+        self._rng = random.Random(seed)
+        self._rr = 0
+        self._seq = 0
+        #: per-core count of sequences lost ahead of the next delivery;
+        #: their recovery cost lands on that next packet's service.
+        self._pending_lost = [0] * self.num_cores
+        self.injected = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self.seed)
+        self._rr = 0
+        self._seq = 0
+        self._pending_lost = [0] * self.num_cores
+        self.injected = 0
+
+    # -- protocol -----------------------------------------------------------------
+
+    def fits_in_frame(self, frame_bytes: int) -> bool:
+        """Can this core count's history ride inside a fixed frame size?"""
+        return self.codec.overhead_bytes <= frame_bytes
+
+    def wire_len(self, pp: PerfPacket) -> int:
+        if not self.count_wire_overhead:
+            return pp.wire_len
+        return pp.wire_len + self.codec.overhead_bytes
+
+    def dma_len(self, pp: PerfPacket) -> int:
+        """Bytes crossing the host interconnect per packet.
+
+        With a ToR-switch sequencer the wire and PCIe see the same frame.
+        With a NIC-resident sequencer (``dummy_eth=False``) the history is
+        appended *after* the MAC, so PCIe carries it even when the wire
+        does not — the §4.2 PCIe-transaction overhead.
+        """
+        if self.count_wire_overhead:
+            return self.wire_len(pp)
+        if not self.codec.dummy_eth:  # NIC-resident sequencer
+            return pp.wire_len + self.codec.overhead_bytes
+        return pp.wire_len
+
+    def steer(self, pp: PerfPacket) -> int:
+        self._seq += 1
+        core = self._rr
+        self._rr = (self._rr + 1) % self.num_cores
+        return core
+
+    def pre_enqueue(self, pp: PerfPacket, core: int) -> bool:
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self._pending_lost[core] += 1
+            self.injected += 1
+            return False
+        return True
+
+    def _history_items(self) -> int:
+        """Fast-forward work per packet: k-1 in steady state, fewer early."""
+        return min(max(self._seq - 1, 0), self.num_cores - 1)
+
+    def service_ns(self, core: int, pp: PerfPacket, start_ns: float) -> float:
+        c = self.costs
+        counters = self.counters.cores[core]
+        extra = self.extra_compute_ns
+        if not pp.valid:
+            counters.charge_packet(dispatch_ns=c.d, compute_ns=c.c1 + extra, state_accesses=0)
+            return c.d + c.c1 + extra
+        h = self._history_items()
+        compute = (c.c1 + extra) + h * (c.c2 + extra)
+        # Every core holds every flow, so spill is judged against the full
+        # (replicated) working set.
+        miss_frac, spill = self.l2.access(core, pp.key)
+        log_ns = 0.0
+        recovery_transfer_ns = 0.0
+        recovery_misses = 0.0
+        if self.with_recovery:
+            # Logging the h history items plus the packet's own entry.
+            log_ns = (h + 1) * self.contention.log_write_ns
+            lost = self._pending_lost[core]
+            if lost:
+                # Reading another core's log line (a cross-core transfer per
+                # probe) and fast-forwarding through each recovered sequence.
+                probes = 1 + (self.num_cores - 1) / 2
+                recovery_transfer_ns = lost * probes * self.contention.recovery_probe_ns
+                log_ns += lost * (c.c2 + extra)
+                recovery_misses = float(lost)
+                self._pending_lost[core] = 0
+        total = c.d + compute + spill + log_ns + recovery_transfer_ns
+        counters.charge_packet(
+            dispatch_ns=c.d,
+            compute_ns=compute + spill + log_ns,
+            transfer_ns=recovery_transfer_ns,
+            state_accesses=1,
+            l2_misses=miss_frac + recovery_misses,
+            program_ns=compute + spill + log_ns + recovery_transfer_ns,
+        )
+        return total

@@ -1,0 +1,61 @@
+"""The evaluated packet-processing programs (Table 1) and their abstractions."""
+
+from .base import PacketMetadata, PacketProgram, Verdict
+from .chain import ChainMetadata, ProgramChain
+from .conntrack import ConnectionTracker, ConnEntry, ConntrackMetadata, TcpState
+from .ddos import DDoSMetadata, DDoSMitigator, VictimMetadata, VictimMonitor
+from .forwarder import ForwarderMetadata, StatelessForwarder
+from .heavy_hitter import FlowStats, HeavyHitterMetadata, HeavyHitterMonitor
+from .load_balancer import LoadBalancerMetadata, MaglevLoadBalancer, MaglevTable
+from .nat import NAT_POOL_KEY, NatGateway, NatMetadata
+from .port_knocking import KnockState, PortKnockingFirewall, PortKnockingMetadata
+from .sampler import SamplerMetadata, SampleStats, TelemetrySampler
+from .registry import (
+    PAPER_PROGRAMS,
+    PROGRAM_FACTORIES,
+    make_program,
+    program_names,
+    table1_rows,
+)
+from .token_bucket import BucketState, TokenBucketMetadata, TokenBucketPolicer
+
+__all__ = [
+    "PacketMetadata",
+    "PacketProgram",
+    "Verdict",
+    "ChainMetadata",
+    "ProgramChain",
+    "VictimMetadata",
+    "VictimMonitor",
+    "ConnectionTracker",
+    "ConnEntry",
+    "ConntrackMetadata",
+    "TcpState",
+    "DDoSMetadata",
+    "DDoSMitigator",
+    "ForwarderMetadata",
+    "StatelessForwarder",
+    "FlowStats",
+    "HeavyHitterMetadata",
+    "HeavyHitterMonitor",
+    "KnockState",
+    "PortKnockingFirewall",
+    "PortKnockingMetadata",
+    "LoadBalancerMetadata",
+    "MaglevLoadBalancer",
+    "MaglevTable",
+    "NAT_POOL_KEY",
+    "NatGateway",
+    "NatMetadata",
+    "PAPER_PROGRAMS",
+    "PROGRAM_FACTORIES",
+    "make_program",
+    "program_names",
+    "table1_rows",
+    "SamplerMetadata",
+    "SampleStats",
+    "TelemetrySampler",
+    "BucketState",
+    "TokenBucketMetadata",
+    "TokenBucketPolicer",
+]

@@ -1,0 +1,158 @@
+"""Program abstractions: deterministic stateful packet programs + metadata.
+
+Every evaluated program (Table 1) is expressed in the same shape so a single
+SCR engine, sharding engine, and shared-state engine can run all of them:
+
+* ``extract_metadata(pkt)`` — the per-packet metadata ``f(p)`` (§3.2): the
+  exact packet bits the program's state transition depends on, including
+  *control* dependencies like "was this IPv4/TCP at all" (App. C).  The
+  metadata packs to a fixed number of bytes (Table 1's "metadata size"),
+  which is what the sequencer stores and piggybacks.
+* ``key(meta)`` — which state entry this packet reads/updates.
+* ``transition(value, meta)`` — the pure, deterministic state transition:
+  old value (None when absent) → (new value, verdict).  Returning a new
+  value of None deletes the entry.  Determinism is what makes replication
+  correct (Principle #1); timestamps come from the metadata, never from a
+  local clock (§3.4).
+
+``process`` composes these into the single-threaded reference semantics that
+every parallelization must match.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from abc import ABC, abstractmethod
+from typing import Any, Hashable, Optional, Tuple
+
+from ..packet import Packet
+from ..state.maps import StateMap
+
+__all__ = ["Verdict", "PacketMetadata", "PacketProgram"]
+
+
+class Verdict(enum.IntEnum):
+    """XDP-style per-packet verdicts."""
+
+    DROP = 1
+    PASS = 2
+    TX = 3
+
+
+class PacketMetadata:
+    """Fixed-format per-packet metadata ``f(p)``.
+
+    Subclasses (one per program) declare a struct format and field names;
+    ``pack``/``unpack`` round-trip through exactly ``size()`` bytes.  The
+    sequencer's history rows and the SCR packet format carry these bytes.
+    """
+
+    #: struct format (network byte order); subclasses override.
+    FORMAT = "!"
+    #: field names in FORMAT order; subclasses override.
+    FIELDS: Tuple[str, ...] = ()
+
+    __slots__ = ()
+
+    def __init__(self, **kwargs: Any) -> None:
+        for name in self.FIELDS:
+            setattr(self, name, kwargs.get(name, 0))
+
+    @classmethod
+    def size(cls) -> int:
+        return struct.calcsize(cls.FORMAT)
+
+    def pack(self) -> bytes:
+        return struct.pack(self.FORMAT, *(getattr(self, f) for f in self.FIELDS))
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "PacketMetadata":
+        values = struct.unpack(cls.FORMAT, data[: cls.size()])
+        return cls(**dict(zip(cls.FIELDS, values)))
+
+    def astuple(self) -> Tuple[Any, ...]:
+        return tuple(getattr(self, f) for f in self.FIELDS)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.astuple() == other.astuple()  # type: ignore[union-attr]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__,) + self.astuple())
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{f}={getattr(self, f)!r}" for f in self.FIELDS)
+        return f"{type(self).__name__}({fields})"
+
+
+class PacketProgram(ABC):
+    """A deterministic stateful packet-processing program (Table 1 row)."""
+
+    #: short identifier used by the registry / benches.
+    name: str = "program"
+    #: metadata class; its packed size is Table 1's "metadata size".
+    metadata_cls: type = PacketMetadata
+    #: which header fields RSS must hash on for correct sharding (Table 1).
+    rss_fields: str = "5-tuple"
+    #: whether the update fits hardware atomics or needs locks (Table 1).
+    needs_locks: bool = True
+    #: True when both directions of a connection share one state entry,
+    #: requiring symmetric RSS [70] for the sharding baselines.
+    bidirectional: bool = False
+    #: True when some packets update state shared by ALL packets (e.g. a
+    #: NAT's free-port pool, §2.2) — state that sharding cannot place.
+    has_global_state: bool = False
+
+    def touches_global(self, meta: "PacketMetadata") -> bool:
+        """Does this packet update the program's global state (if any)?
+
+        Used by the shared-state performance engines to serialize on the
+        global entry, and by correctness arguments about sharding.
+        """
+        return False
+
+    # -- the three pure pieces ----------------------------------------------
+
+    @abstractmethod
+    def extract_metadata(self, pkt: Packet) -> PacketMetadata:
+        """Compute ``f(p)``: every packet bit the transition depends on."""
+
+    @abstractmethod
+    def key(self, meta: PacketMetadata) -> Hashable:
+        """The state-map key this packet touches (None-like keys not allowed)."""
+
+    @abstractmethod
+    def transition(
+        self, value: Optional[Any], meta: PacketMetadata
+    ) -> Tuple[Optional[Any], Verdict]:
+        """Pure state transition: (old value | None) → (new value | None, verdict)."""
+
+    # -- composed reference semantics ---------------------------------------
+
+    @property
+    def metadata_size(self) -> int:
+        return self.metadata_cls.size()
+
+    def apply(self, state: StateMap, meta: PacketMetadata) -> Verdict:
+        """Run one transition against ``state`` and return the verdict."""
+        k = self.key(meta)
+        old = state.lookup(k)
+        new, verdict = self.transition(old, meta)
+        if new is None:
+            if old is not None:
+                state.delete(k)
+        else:
+            state.update(k, new)
+        return verdict
+
+    def fast_forward(self, state: StateMap, meta: PacketMetadata) -> None:
+        """Apply a *historic* packet's transition, discarding its verdict.
+
+        This is the body of the App. C catch-up loop: historic packets only
+        evolve the state; no verdict is emitted for them.
+        """
+        self.apply(state, meta)
+
+    def process(self, state: StateMap, pkt: Packet) -> Verdict:
+        """Single-threaded reference: extract, transition, verdict."""
+        return self.apply(state, self.extract_metadata(pkt))

@@ -1,0 +1,145 @@
+"""NF service chains: several stateful programs composed on one datapath.
+
+Middleboxes rarely run alone — a firewall feeds a rate limiter feeds a
+monitor (the NFV setting of the frameworks in §5 [44, 51, 64]).  A chain
+is itself a deterministic stateful program, so SCR replicates it like any
+other.  What a chain uniquely exposes is §2.2's sharding-granularity
+problem: its stages may key their state on *incomparable* fields (one per
+source IP, one per destination IP), and then **no** RSS configuration can
+place every stage's state correctly — while replication does not care.
+
+Semantics: stages run in order; a DROP verdict short-circuits the rest
+(a dropped packet never reaches later NFs).  Each stage's state lives
+under a namespaced key, so two stages keying on the same field type do not
+collide.  The chain's metadata is the concatenation of the stages'
+metadata, which keeps it a fixed-size, sequencer-carriable ``f(p)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
+
+from ..packet import Packet
+from ..state.maps import StateMap
+from .base import PacketMetadata, PacketProgram, Verdict
+
+__all__ = ["ChainMetadata", "ProgramChain"]
+
+
+class ChainMetadata(PacketMetadata):
+    """Concatenated stage metadata.  Subclassed dynamically per chain
+    geometry (stage metadata classes fix the layout)."""
+
+    #: stage metadata classes, set on the dynamic subclass.
+    STAGE_CLASSES: Tuple[type, ...] = ()
+
+    __slots__ = ("stages",)
+
+    def __init__(self, stages: Sequence[PacketMetadata]):
+        if len(stages) != len(self.STAGE_CLASSES):
+            raise ValueError("stage count mismatch")
+        self.stages = tuple(stages)
+
+    @classmethod
+    def size(cls) -> int:
+        return sum(c.size() for c in cls.STAGE_CLASSES)
+
+    def pack(self) -> bytes:
+        return b"".join(m.pack() for m in self.stages)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ChainMetadata":
+        stages = []
+        offset = 0
+        for stage_cls in cls.STAGE_CLASSES:
+            stages.append(stage_cls.unpack(data[offset : offset + stage_cls.size()]))
+            offset += stage_cls.size()
+        return cls(stages)
+
+    def astuple(self):
+        return tuple(m.astuple() for m in self.stages)
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.astuple() == other.astuple()
+
+    def __hash__(self) -> int:
+        return hash(self.astuple())
+
+    def __repr__(self) -> str:
+        return f"ChainMetadata({', '.join(repr(m) for m in self.stages)})"
+
+
+class ProgramChain(PacketProgram):
+    """Run ``stages`` in order with DROP short-circuiting (§5 NFV chains)."""
+
+    def __init__(self, stages: Sequence[PacketProgram]) -> None:
+        if not stages:
+            raise ValueError("a chain needs at least one stage")
+        for stage in stages:
+            if type(stage).apply is not PacketProgram.apply:
+                raise ValueError(
+                    f"stage {stage.name!r} overrides apply(); chains compose "
+                    "transition-based programs only"
+                )
+        self.stages: List[PacketProgram] = list(stages)
+        self.name = "chain(" + "+".join(s.name for s in stages) + ")"
+        self.needs_locks = any(s.needs_locks for s in stages)
+        self.bidirectional = any(s.bidirectional for s in stages)
+        self.has_global_state = any(
+            getattr(s, "has_global_state", False) for s in stages
+        )
+        self.rss_fields = "composite: " + "; ".join(s.rss_fields for s in stages)
+        # Dynamic metadata class fixing this chain's layout.
+        self.metadata_cls = type(
+            "ChainMetadata_" + "_".join(s.name for s in stages),
+            (ChainMetadata,),
+            {"STAGE_CLASSES": tuple(s.metadata_cls for s in stages)},
+        )
+
+    # -- PacketProgram interface ---------------------------------------------------
+
+    def extract_metadata(self, pkt: Packet) -> ChainMetadata:
+        return self.metadata_cls([s.extract_metadata(pkt) for s in self.stages])
+
+    def key(self, meta: PacketMetadata) -> Hashable:
+        """The chain has no single key; expose the first stage's for
+        steering heuristics (the point is precisely that no one key
+        covers every stage)."""
+        return (0, self.stages[0].key(meta.stages[0]))
+
+    def transition(self, value, meta):
+        raise NotImplementedError(
+            "a chain updates one entry per stage; use apply()"
+        )
+
+    def apply(self, state: StateMap, meta: ChainMetadata) -> Verdict:
+        final = Verdict.PASS
+        for i, (stage, stage_meta) in enumerate(zip(self.stages, meta.stages)):
+            key = (i, stage.key(stage_meta))
+            old = state.lookup(key)
+            new, verdict = stage.transition(old, stage_meta)
+            if new is None:
+                if old is not None:
+                    state.delete(key)
+            else:
+                state.update(key, new)
+            if verdict == Verdict.DROP:
+                return Verdict.DROP  # later stages never see the packet
+            if verdict == Verdict.TX:
+                final = Verdict.TX
+        return final
+
+    def touches_global(self, meta: PacketMetadata) -> bool:
+        return any(
+            stage.touches_global(stage_meta)
+            for stage, stage_meta in zip(self.stages, meta.stages)
+        )
+
+    # -- introspection ---------------------------------------------------------------
+
+    def stage_state(self, state: StateMap, index: int) -> dict:
+        """One stage's slice of the chain's state map."""
+        return {
+            k[1]: v for k, v in state.items()
+            if isinstance(k, tuple) and len(k) == 2 and k[0] == index
+        }

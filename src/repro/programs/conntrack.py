@@ -1,0 +1,194 @@
+"""TCP connection state tracker.
+
+Table 1 row: key = 5-tuple (bidirectional), value = (TCP state, timestamp,
+sequence number), metadata = 30 bytes/packet, RSS = symmetric 5-tuple hashing
+[70], update too complex for atomics → locks for the shared baseline.
+
+The tracker follows the conntrack design sketched in [39]: both directions of
+a connection share one state entry keyed by the normalized 5-tuple; the
+three-way handshake walks SYN_SENT → SYN_RECV → ESTABLISHED; FIN exchanges
+walk FIN_WAIT → CLOSING → closed (entry deleted); RST tears the entry down
+immediately.  Deleting on close is what lets the evaluation replay traces
+whose flows all begin with SYN and end with FIN (§4.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Any, Hashable, Optional, Tuple
+
+from ..packet import IPPROTO_TCP, Packet, TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN
+from ..packet.flow import FiveTuple
+from .base import PacketMetadata, PacketProgram, Verdict
+
+__all__ = ["TcpState", "ConnEntry", "ConntrackMetadata", "ConnectionTracker"]
+
+
+class TcpState(enum.IntEnum):
+    """Connection states tracked per normalized 5-tuple."""
+
+    SYN_SENT = 1
+    SYN_RECV = 2
+    ESTABLISHED = 3
+    FIN_WAIT = 4  # one side has sent FIN
+    CLOSING = 5  # both sides have sent FIN, awaiting final ACK
+
+
+@dataclass(frozen=True)
+class ConnEntry:
+    """The tracked value: state, originator identity, last seq + timestamp."""
+
+    state: TcpState
+    orig_src_ip: int
+    orig_src_port: int
+    last_seq: int
+    last_ts: int
+    fin_from_orig: bool = False
+    fin_from_resp: bool = False
+
+
+class ConntrackMetadata(PacketMetadata):
+    """30 bytes: 5-tuple (13), TCP flags (1), seq (4), ack (4), timestamp (8)."""
+
+    FORMAT = "!IIHHBBIIQ"
+    FIELDS = (
+        "src_ip",
+        "dst_ip",
+        "src_port",
+        "dst_port",
+        "proto",
+        "flags",
+        "seq",
+        "ack",
+        "timestamp",
+    )
+    __slots__ = FIELDS
+
+
+class ConnectionTracker(PacketProgram):
+    """Track TCP connection establishment and teardown per connection.
+
+    ``idle_timeout_ns`` (optional) evicts entries whose last packet is
+    older than the timeout, lazily, when the next packet of the same
+    connection arrives.  The age is computed from the *sequencer* timestamp
+    carried in the metadata — never a core-local clock — so expiry is
+    deterministic and replicates correctly (§3.4).
+    """
+
+    name = "conntrack"
+    metadata_cls = ConntrackMetadata
+    rss_fields = "5-tuple (symmetric)"
+    needs_locks = True
+    bidirectional = True
+
+    def __init__(self, idle_timeout_ns: Optional[int] = None) -> None:
+        if idle_timeout_ns is not None and idle_timeout_ns <= 0:
+            raise ValueError("idle_timeout_ns must be positive")
+        self.idle_timeout_ns = idle_timeout_ns
+
+    def extract_metadata(self, pkt: Packet) -> ConntrackMetadata:
+        if not (pkt.is_ipv4 and pkt.is_tcp):
+            return ConntrackMetadata(proto=0)
+        ft = pkt.five_tuple()
+        return ConntrackMetadata(
+            src_ip=ft.src_ip,
+            dst_ip=ft.dst_ip,
+            src_port=ft.src_port,
+            dst_port=ft.dst_port,
+            proto=ft.proto,
+            flags=pkt.l4.flags,
+            seq=pkt.l4.seq,
+            ack=pkt.l4.ack,
+            timestamp=pkt.timestamp_ns,
+        )
+
+    def key(self, meta: PacketMetadata) -> Hashable:
+        ft = FiveTuple(meta.src_ip, meta.dst_ip, meta.src_port, meta.dst_port, meta.proto)
+        return ft.normalized()
+
+    def transition(
+        self, value: Optional[Any], meta: PacketMetadata
+    ) -> Tuple[Optional[Any], Verdict]:
+        if meta.proto != IPPROTO_TCP:
+            return value, Verdict.PASS
+
+        entry: Optional[ConnEntry] = value
+        if (
+            entry is not None
+            and self.idle_timeout_ns is not None
+            and meta.timestamp - entry.last_ts > self.idle_timeout_ns
+        ):
+            # Idle expiry (deterministic: sequencer timestamps only).  The
+            # stale entry is treated as absent; the packet is judged fresh.
+            entry = None
+        flags = meta.flags
+        syn = bool(flags & TCP_SYN)
+        fin = bool(flags & TCP_FIN)
+        rst = bool(flags & TCP_RST)
+        ack = bool(flags & TCP_ACK)
+
+        if rst:
+            # RST tears down whatever state exists; the packet itself passes
+            # so the peer also sees the reset.
+            return None, Verdict.TX
+
+        if entry is None:
+            if syn and not ack:
+                entry = ConnEntry(
+                    state=TcpState.SYN_SENT,
+                    orig_src_ip=meta.src_ip,
+                    orig_src_port=meta.src_port,
+                    last_seq=meta.seq,
+                    last_ts=meta.timestamp,
+                )
+                return entry, Verdict.TX
+            # Mid-stream packet for an untracked connection.
+            return None, Verdict.DROP
+
+        from_orig = (
+            meta.src_ip == entry.orig_src_ip and meta.src_port == entry.orig_src_port
+        )
+        state = entry.state
+        new_state = state
+        fin_orig, fin_resp = entry.fin_from_orig, entry.fin_from_resp
+
+        if state is TcpState.SYN_SENT:
+            if syn and ack and not from_orig:
+                new_state = TcpState.SYN_RECV
+            elif syn and not ack and from_orig:
+                new_state = TcpState.SYN_SENT  # SYN retransmission
+            else:
+                return entry, Verdict.DROP
+        elif state is TcpState.SYN_RECV:
+            if ack and not syn and from_orig:
+                new_state = TcpState.ESTABLISHED
+            elif syn and ack and not from_orig:
+                new_state = TcpState.SYN_RECV  # SYN/ACK retransmission
+            else:
+                return entry, Verdict.DROP
+        elif state is TcpState.ESTABLISHED:
+            if fin:
+                new_state = TcpState.FIN_WAIT
+                fin_orig = fin_orig or from_orig
+                fin_resp = fin_resp or not from_orig
+        elif state is TcpState.FIN_WAIT:
+            if fin:
+                fin_orig = fin_orig or from_orig
+                fin_resp = fin_resp or not from_orig
+                if fin_orig and fin_resp:
+                    new_state = TcpState.CLOSING
+        elif state is TcpState.CLOSING:
+            if ack and not fin:
+                # Final ACK: connection fully closed, delete the entry.
+                return None, Verdict.TX
+
+        new_entry = replace(
+            entry,
+            state=new_state,
+            last_seq=meta.seq,
+            last_ts=meta.timestamp,
+            fin_from_orig=fin_orig,
+            fin_from_resp=fin_resp,
+        )
+        return new_entry, Verdict.TX

@@ -1,0 +1,55 @@
+"""Stateless packet forwarder, used to characterize dispatch cost (Fig. 2, 9).
+
+The forwarder swaps Ethernet source/destination and transmits the packet
+back out — the "hairpin" flow of §2.1.  It keeps no state, so all per-packet
+CPU work is dispatch plus whatever artificial compute latency an experiment
+configures (``extra_compute_ns`` drives the Figure 9 sweep in the
+performance layer).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Tuple
+
+from ..packet import Packet
+from .base import PacketMetadata, PacketProgram, Verdict
+
+__all__ = ["ForwarderMetadata", "StatelessForwarder"]
+
+
+class ForwarderMetadata(PacketMetadata):
+    """Zero bytes: a stateless program has nothing to replicate."""
+
+    FORMAT = "!"
+    FIELDS = ()
+    __slots__ = ()
+
+
+class StatelessForwarder(PacketProgram):
+    """MAC-swap-and-transmit with configurable artificial compute latency."""
+
+    name = "forwarder"
+    metadata_cls = ForwarderMetadata
+    rss_fields = "none"
+    needs_locks = False
+
+    def __init__(self, extra_compute_ns: int = 0) -> None:
+        if extra_compute_ns < 0:
+            raise ValueError("extra_compute_ns must be non-negative")
+        self.extra_compute_ns = extra_compute_ns
+
+    def extract_metadata(self, pkt: Packet) -> ForwarderMetadata:
+        return ForwarderMetadata()
+
+    def key(self, meta: PacketMetadata) -> Hashable:
+        return 0
+
+    def transition(
+        self, value: Optional[Any], meta: PacketMetadata
+    ) -> Tuple[Optional[Any], Verdict]:
+        return None, Verdict.TX
+
+    def forward(self, pkt: Packet) -> Packet:
+        """Swap MAC addresses in place and return the packet (the XDP body)."""
+        pkt.eth.dst, pkt.eth.src = pkt.eth.src, pkt.eth.dst
+        return pkt

@@ -1,0 +1,95 @@
+"""Heavy-hitter monitor: per-5-tuple flow-size accounting.
+
+Table 1 row: key = 5-tuple, value = flow size, metadata = 18 bytes/packet,
+RSS hash fields = 5-tuple, update fits hardware atomics.  The monitor always
+forwards; flows whose byte count exceeds ``threshold_bytes`` are flagged in
+their state entry so the control plane can read heavy hitters out of the map.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Tuple
+
+from ..packet import Packet
+from ..packet.flow import FiveTuple
+from .base import PacketMetadata, PacketProgram, Verdict
+
+__all__ = ["HeavyHitterMetadata", "HeavyHitterMonitor", "FlowStats"]
+
+
+class HeavyHitterMetadata(PacketMetadata):
+    """18 bytes: the 5-tuple (13), packet length (4), validity flag (1)."""
+
+    FORMAT = "!IIHHBIB"
+    FIELDS = ("src_ip", "dst_ip", "src_port", "dst_port", "proto", "pkt_len", "valid")
+    __slots__ = FIELDS
+
+
+class FlowStats(tuple):
+    """(packets, bytes, is_heavy) — a value tuple kept hash/eq friendly."""
+
+    __slots__ = ()
+
+    def __new__(cls, packets: int = 0, nbytes: int = 0, is_heavy: bool = False):
+        return super().__new__(cls, (packets, nbytes, bool(is_heavy)))
+
+    @property
+    def packets(self) -> int:
+        return self[0]
+
+    @property
+    def nbytes(self) -> int:
+        return self[1]
+
+    @property
+    def is_heavy(self) -> bool:
+        return self[2]
+
+
+class HeavyHitterMonitor(PacketProgram):
+    """Track per-flow sizes; flag flows above ``threshold_bytes``."""
+
+    name = "heavy_hitter"
+    metadata_cls = HeavyHitterMetadata
+    rss_fields = "5-tuple"
+    needs_locks = False  # size accumulation fits a hardware atomic
+
+    def __init__(self, threshold_bytes: int = 1_000_000) -> None:
+        if threshold_bytes < 1:
+            raise ValueError("threshold_bytes must be positive")
+        self.threshold_bytes = threshold_bytes
+
+    def extract_metadata(self, pkt: Packet) -> HeavyHitterMetadata:
+        if not pkt.is_ipv4:
+            return HeavyHitterMetadata(valid=0)
+        ft = pkt.five_tuple()
+        return HeavyHitterMetadata(
+            src_ip=ft.src_ip,
+            dst_ip=ft.dst_ip,
+            src_port=ft.src_port,
+            dst_port=ft.dst_port,
+            proto=ft.proto,
+            pkt_len=pkt.wire_len,
+            valid=1,
+        )
+
+    def key(self, meta: PacketMetadata) -> Hashable:
+        return FiveTuple(meta.src_ip, meta.dst_ip, meta.src_port, meta.dst_port, meta.proto)
+
+    def transition(
+        self, value: Optional[Any], meta: PacketMetadata
+    ) -> Tuple[Optional[Any], Verdict]:
+        if not meta.valid:
+            return value, Verdict.PASS
+        old = value or FlowStats()
+        nbytes = old.nbytes + meta.pkt_len
+        new = FlowStats(
+            packets=old.packets + 1,
+            nbytes=nbytes,
+            is_heavy=nbytes > self.threshold_bytes,
+        )
+        return new, Verdict.TX
+
+    def heavy_hitters(self, state) -> Tuple[Hashable, ...]:
+        """Read the flagged flows out of a state map (control-plane helper)."""
+        return tuple(k for k, v in state.items() if v.is_heavy)

@@ -1,0 +1,170 @@
+"""Layer-4 load balancer — the paper's opening motivation (§1, [41], [8]).
+
+Software load balancers (Google's Maglev [41], Meta's Katran [8]) are the
+first application §1 names.  This extension implements one faithfully:
+
+* **Maglev consistent hashing** — the real table-population algorithm from
+  the Maglev paper: each backend gets a (offset, skip) permutation of the
+  table; backends take turns claiming their next preferred slot until the
+  table fills.  Minimal disruption on backend changes, near-equal shares.
+* **Connection table** — per-5-tuple stickiness: the first packet of a
+  flow consults the Maglev table and records the chosen backend; later
+  packets follow the recorded binding even if the backend set has changed
+  (connection affinity, the property LBs exist to preserve).
+
+Under SCR the connection table is ordinary replicated state; the Maglev
+table is read-only configuration, identical on every core.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
+
+from ..packet import Packet, TCP_FIN, TCP_RST, TCP_SYN
+from ..packet.flow import FiveTuple
+from .base import PacketMetadata, PacketProgram, Verdict
+
+__all__ = ["MaglevTable", "LoadBalancerMetadata", "MaglevLoadBalancer"]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _hash(data: bytes, seed: int) -> int:
+    value = _FNV_OFFSET ^ seed
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & _MASK64
+    value ^= value >> 33
+    return value
+
+
+class MaglevTable:
+    """The Maglev lookup table: size-M consistent hashing over backends."""
+
+    def __init__(self, backends: Sequence[int], table_size: int = 65537) -> None:
+        """``table_size`` should be prime (the Maglev paper uses 65537)."""
+        if not backends:
+            raise ValueError("need at least one backend")
+        if len(set(backends)) != len(backends):
+            raise ValueError("backends must be distinct")
+        if table_size < len(backends):
+            raise ValueError("table must have at least one slot per backend")
+        self.backends = list(backends)
+        self.table_size = table_size
+        self.table = self._populate()
+
+    def _populate(self) -> List[int]:
+        m = self.table_size
+        n = len(self.backends)
+        offsets = []
+        skips = []
+        for backend in self.backends:
+            name = backend.to_bytes(4, "big")
+            offsets.append(_hash(name, seed=0xB1) % m)
+            skips.append(_hash(name, seed=0xB2) % (m - 1) + 1)
+        # Each backend walks its permutation claiming free slots in turn.
+        next_index = [0] * n
+        table = [-1] * m
+        filled = 0
+        while filled < m:
+            for i in range(n):
+                if filled >= m:
+                    break
+                while True:
+                    slot = (offsets[i] + next_index[i] * skips[i]) % m
+                    next_index[i] += 1
+                    if table[slot] < 0:
+                        table[slot] = self.backends[i]
+                        filled += 1
+                        break
+        return table
+
+    def lookup(self, flow_hash: int) -> int:
+        return self.table[flow_hash % self.table_size]
+
+    def shares(self) -> dict:
+        """Fraction of table slots per backend (≈ equal by construction)."""
+        counts: dict = {}
+        for backend in self.table:
+            counts[backend] = counts.get(backend, 0) + 1
+        return {b: c / self.table_size for b, c in counts.items()}
+
+    def disruption(self, other: "MaglevTable") -> float:
+        """Fraction of slots mapping differently in ``other`` (minimal-
+        disruption property: removing one of n backends should remap only
+        ≈ 1/n of slots)."""
+        if other.table_size != self.table_size:
+            raise ValueError("tables must be the same size")
+        changed = sum(1 for a, b in zip(self.table, other.table) if a != b)
+        return changed / self.table_size
+
+
+class LoadBalancerMetadata(PacketMetadata):
+    """15 bytes: 5-tuple (13), TCP flags (1), validity (1)."""
+
+    FORMAT = "!IIHHBBB"
+    FIELDS = ("src_ip", "dst_ip", "src_port", "dst_port", "proto", "flags", "valid")
+    __slots__ = FIELDS
+
+
+class MaglevLoadBalancer(PacketProgram):
+    """Consistent-hash L4 load balancing with per-connection affinity."""
+
+    name = "load_balancer"
+    metadata_cls = LoadBalancerMetadata
+    rss_fields = "5-tuple"
+    needs_locks = True
+
+    def __init__(
+        self,
+        backends: Sequence[int] = (1, 2, 3, 4),
+        table_size: int = 251,
+    ) -> None:
+        self.maglev = MaglevTable(backends, table_size=table_size)
+
+    def extract_metadata(self, pkt: Packet) -> LoadBalancerMetadata:
+        if not (pkt.is_ipv4 and pkt.is_tcp):
+            return LoadBalancerMetadata(valid=0)
+        ft = pkt.five_tuple()
+        return LoadBalancerMetadata(
+            src_ip=ft.src_ip,
+            dst_ip=ft.dst_ip,
+            src_port=ft.src_port,
+            dst_port=ft.dst_port,
+            proto=ft.proto,
+            flags=pkt.l4.flags,
+            valid=1,
+        )
+
+    def key(self, meta: PacketMetadata) -> Hashable:
+        return FiveTuple(meta.src_ip, meta.dst_ip, meta.src_port, meta.dst_port,
+                         meta.proto)
+
+    def pick_backend(self, meta: LoadBalancerMetadata) -> int:
+        flow_bytes = meta.pack()[:13]  # the 5-tuple fields
+        return self.maglev.lookup(_hash(flow_bytes, seed=0x1B))
+
+    def transition(
+        self, value: Optional[Any], meta: PacketMetadata
+    ) -> Tuple[Optional[Any], Verdict]:
+        if not meta.valid:
+            return value, Verdict.PASS
+        backend = value
+        if backend is None:
+            if not meta.flags & TCP_SYN:
+                # mid-flow packet with no connection entry: in Maglev this
+                # still lands consistently via the table, so forward it —
+                # but do not create state for it.
+                return None, Verdict.TX
+            backend = self.pick_backend(meta)
+        if meta.flags & (TCP_FIN | TCP_RST):
+            return None, Verdict.TX  # connection over: reap the entry
+        return backend, Verdict.TX
+
+    def connections_per_backend(self, state) -> dict:
+        counts: dict = {}
+        for _key, backend in state.items():
+            counts[backend] = counts.get(backend, 0) + 1
+        return counts

@@ -1,0 +1,152 @@
+"""NAT gateway — an extension program with *global* shared state.
+
+§2.2 motivates exactly this case: "there may be parts of the program state
+that are shared across all packets, such as a list of free external ports
+in a Network Address Translation (NAT) application".  No flow-sharding
+scheme can place such state correctly — every core needs to update the one
+port pool.  Under SCR, the pool is just more replicated state: every core
+replays every allocation in the same order and converges to identical
+bindings, with no synchronization.
+
+The program keeps two kinds of entries in one map:
+
+* ``("bind", five_tuple)`` → allocated external port, per connection;
+* ``NAT_POOL_KEY`` → the global allocator: (next fresh index, free list),
+  kept as plain tuples so replicas are bit-identical.
+
+Allocation is deterministic: released ports are reused LIFO, then fresh
+ports are handed out in order.  SYN allocates, FIN/RST releases.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Tuple
+
+from ..packet import IPPROTO_TCP, Packet, TCP_FIN, TCP_RST, TCP_SYN
+from ..packet.flow import FiveTuple
+from .base import PacketMetadata, PacketProgram, Verdict
+from ..state.maps import StateMap
+
+__all__ = ["NatMetadata", "NatGateway", "NAT_POOL_KEY"]
+
+#: The single global allocator entry every packet may touch.
+NAT_POOL_KEY = "_nat_port_pool"
+
+
+class NatMetadata(PacketMetadata):
+    """15 bytes: 5-tuple (13), TCP flags (1), validity (1)."""
+
+    FORMAT = "!IIHHBBB"
+    FIELDS = ("src_ip", "dst_ip", "src_port", "dst_port", "proto", "flags", "valid")
+    __slots__ = FIELDS
+
+
+class NatGateway(PacketProgram):
+    """Source NAT with a global free-port pool (extension, not in Table 1)."""
+
+    name = "nat"
+    metadata_cls = NatMetadata
+    rss_fields = "5-tuple"
+    needs_locks = True
+    #: the free-port pool is one entry shared by ALL packets — the case
+    #: where sharding cannot even be configured correctly (§2.2).
+    has_global_state = True
+
+    def __init__(self, port_base: int = 40_000, port_count: int = 1024) -> None:
+        if port_count < 1:
+            raise ValueError("need at least one external port")
+        if not 1 <= port_base <= 65_535 - port_count:
+            raise ValueError("port range must fit in 16 bits")
+        self.port_base = port_base
+        self.port_count = port_count
+
+    def extract_metadata(self, pkt: Packet) -> NatMetadata:
+        if not (pkt.is_ipv4 and pkt.is_tcp):
+            return NatMetadata(valid=0)
+        ft = pkt.five_tuple()
+        return NatMetadata(
+            src_ip=ft.src_ip,
+            dst_ip=ft.dst_ip,
+            src_port=ft.src_port,
+            dst_port=ft.dst_port,
+            proto=ft.proto,
+            flags=pkt.l4.flags,
+            valid=1,
+        )
+
+    def touches_global(self, meta: PacketMetadata) -> bool:
+        """SYN allocates from and FIN/RST releases to the shared pool."""
+        return bool(meta.valid) and bool(meta.flags & (TCP_SYN | TCP_FIN | TCP_RST))
+
+    def key(self, meta: PacketMetadata) -> Hashable:
+        return (
+            "bind",
+            FiveTuple(meta.src_ip, meta.dst_ip, meta.src_port, meta.dst_port,
+                      IPPROTO_TCP),
+        )
+
+    def transition(
+        self, value: Optional[Any], meta: PacketMetadata
+    ) -> Tuple[Optional[Any], Verdict]:
+        raise NotImplementedError(
+            "NAT updates two entries per packet (binding + global pool); "
+            "use apply()"
+        )
+
+    # NAT overrides apply() because one packet may touch both its flow
+    # binding and the global pool; apply remains pure in (state, meta).
+    def apply(self, state: StateMap, meta: NatMetadata) -> Verdict:
+        if not meta.valid:
+            return Verdict.PASS
+        flow_key = self.key(meta)
+        binding = state.lookup(flow_key)
+        syn = bool(meta.flags & TCP_SYN)
+        closing = bool(meta.flags & (TCP_FIN | TCP_RST))
+
+        if binding is None:
+            if not syn:
+                # mid-stream packet with no binding: cannot translate.
+                return Verdict.DROP
+            port = self._allocate(state)
+            if port is None:
+                return Verdict.DROP  # pool exhausted
+            state.update(flow_key, port)
+            binding = port
+
+        if closing:
+            self._release(state, binding)
+            state.delete(flow_key)
+        return Verdict.TX
+
+    # -- the global allocator -------------------------------------------------
+
+    def _pool(self, state: StateMap) -> Tuple[int, tuple]:
+        return state.lookup(NAT_POOL_KEY) or (0, ())
+
+    def _allocate(self, state: StateMap) -> Optional[int]:
+        next_fresh, free = self._pool(state)
+        if free:
+            port, free = free[-1], free[:-1]  # LIFO reuse
+        elif next_fresh < self.port_count:
+            port = self.port_base + next_fresh
+            next_fresh += 1
+        else:
+            return None
+        state.update(NAT_POOL_KEY, (next_fresh, free))
+        return port
+
+    def _release(self, state: StateMap, port: int) -> None:
+        next_fresh, free = self._pool(state)
+        state.update(NAT_POOL_KEY, (next_fresh, free + (port,)))
+
+    # -- introspection ----------------------------------------------------------
+
+    def bindings(self, state: StateMap) -> dict:
+        return {
+            k[1]: v for k, v in state.items()
+            if isinstance(k, tuple) and k[0] == "bind"
+        }
+
+    def ports_in_use(self, state: StateMap) -> int:
+        next_fresh, free = self._pool(state)
+        return next_fresh - len(free)

@@ -1,0 +1,86 @@
+"""Port-knocking firewall — the running example of App. C.
+
+Table 1 row: key = source IP, value = knocking state, metadata = 8 bytes,
+RSS = src & dst IP, locks for the shared baseline.
+
+A source that sends TCP packets to the secret ports in order
+(PORT_1, PORT_2, PORT_3) moves CLOSED_1 → CLOSED_2 → CLOSED_3 → OPEN; only
+OPEN sources may pass.  Any out-of-sequence knock resets to CLOSED_1, and
+non-IPv4/TCP packets are dropped outright, exactly as the App. C listing.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Hashable, Optional, Tuple
+
+from ..packet import Packet
+from .base import PacketMetadata, PacketProgram, Verdict
+
+__all__ = ["KnockState", "PortKnockingMetadata", "PortKnockingFirewall"]
+
+
+class KnockState(enum.IntEnum):
+    CLOSED_1 = 1
+    CLOSED_2 = 2
+    CLOSED_3 = 3
+    OPEN = 4
+
+
+class PortKnockingMetadata(PacketMetadata):
+    """8 bytes: src IP (4), TCP dst port (2), validity (1), pad (1).
+
+    ``valid`` carries the App. C control dependency (l3proto/l4proto check):
+    the state transition must know whether the packet was IPv4/TCP at all.
+    """
+
+    FORMAT = "!IHBB"
+    FIELDS = ("src_ip", "dst_port", "valid", "_pad")
+    __slots__ = FIELDS
+
+
+class PortKnockingFirewall(PacketProgram):
+    """The App. C port-knocking state machine, one automaton per source IP."""
+
+    name = "port_knocking"
+    metadata_cls = PortKnockingMetadata
+    rss_fields = "src & dst IP"
+    needs_locks = True
+
+    def __init__(self, ports: Tuple[int, int, int] = (7001, 7002, 7003)) -> None:
+        if len(ports) != 3 or len(set(ports)) != 3:
+            raise ValueError("need three distinct knock ports")
+        self.ports = tuple(ports)
+
+    def extract_metadata(self, pkt: Packet) -> PortKnockingMetadata:
+        if not (pkt.is_ipv4 and pkt.is_tcp):
+            return PortKnockingMetadata(valid=0)
+        return PortKnockingMetadata(
+            src_ip=pkt.ip.src, dst_port=pkt.l4.dport, valid=1
+        )
+
+    def key(self, meta: PacketMetadata) -> Hashable:
+        return meta.src_ip
+
+    def next_state(self, current: KnockState, dport: int) -> KnockState:
+        """The ``get_new_state`` function from the App. C listing."""
+        if current == KnockState.CLOSED_1 and dport == self.ports[0]:
+            return KnockState.CLOSED_2
+        if current == KnockState.CLOSED_2 and dport == self.ports[1]:
+            return KnockState.CLOSED_3
+        if current == KnockState.CLOSED_3 and dport == self.ports[2]:
+            return KnockState.OPEN
+        if current == KnockState.OPEN:
+            return KnockState.OPEN
+        return KnockState.CLOSED_1
+
+    def transition(
+        self, value: Optional[Any], meta: PacketMetadata
+    ) -> Tuple[Optional[Any], Verdict]:
+        if not meta.valid:
+            # App. C drops non-IPv4/TCP packets without touching state.
+            return value, Verdict.DROP
+        current = value if value is not None else KnockState.CLOSED_1
+        new_state = self.next_state(current, meta.dst_port)
+        verdict = Verdict.TX if new_state == KnockState.OPEN else Verdict.DROP
+        return new_state, verdict

@@ -1,0 +1,80 @@
+"""Program registry: look up evaluated programs by name (Table 1)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import PacketProgram
+from .conntrack import ConnectionTracker
+from .ddos import DDoSMitigator
+from .forwarder import StatelessForwarder
+from .heavy_hitter import HeavyHitterMonitor
+from .load_balancer import MaglevLoadBalancer
+from .nat import NatGateway
+from .port_knocking import PortKnockingFirewall
+from .sampler import TelemetrySampler
+from .token_bucket import TokenBucketPolicer
+
+__all__ = [
+    "PROGRAM_FACTORIES",
+    "PAPER_PROGRAMS",
+    "make_program",
+    "program_names",
+    "table1_rows",
+]
+
+PROGRAM_FACTORIES: Dict[str, Callable[[], PacketProgram]] = {
+    "ddos": DDoSMitigator,
+    "heavy_hitter": HeavyHitterMonitor,
+    "conntrack": ConnectionTracker,
+    "token_bucket": TokenBucketPolicer,
+    "port_knocking": PortKnockingFirewall,
+    "forwarder": StatelessForwarder,
+    "nat": NatGateway,  # extension: global state (§2.2), not in Table 1
+    "sampler": TelemetrySampler,  # extension: deterministic randomness (§3.4)
+    "load_balancer": MaglevLoadBalancer,  # extension: the §1 motivating app
+}
+
+#: The five stateful programs the paper evaluates (Table 1).
+PAPER_PROGRAMS = (
+    "ddos",
+    "heavy_hitter",
+    "conntrack",
+    "token_bucket",
+    "port_knocking",
+)
+
+
+def make_program(name: str, **kwargs) -> PacketProgram:
+    """Instantiate a registered program by name."""
+    try:
+        factory = PROGRAM_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown program {name!r}; known: {sorted(PROGRAM_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def program_names(stateful_only: bool = False) -> List[str]:
+    """All registered programs; ``stateful_only`` restricts to Table 1's."""
+    if stateful_only:
+        return sorted(PAPER_PROGRAMS)
+    return sorted(PROGRAM_FACTORIES)
+
+
+def table1_rows() -> List[Dict[str, object]]:
+    """Regenerate the Table 1 inventory from the implementations themselves."""
+    rows = []
+    for name in sorted(PAPER_PROGRAMS):
+        prog = make_program(name)
+        rows.append(
+            {
+                "program": name,
+                "metadata_bytes": prog.metadata_size,
+                "rss_fields": prog.rss_fields,
+                "atomics_or_locks": "Locks" if prog.needs_locks else "Atomic HW",
+                "bidirectional": prog.bidirectional,
+            }
+        )
+    return rows

@@ -1,0 +1,133 @@
+"""Telemetry sampler — extension exercising §3.4's determinism rules.
+
+A 1-in-N packet sampler (sFlow-style telemetry) normally draws random
+numbers per packet.  Naive per-core PRNGs would make replicas diverge —
+§3.4's second non-determinism concern.  The paper's fix is to make the
+randomness a deterministic function shared by all replicas ("fixing the
+seed of the pseudorandom number generator used across cores"); we go one
+step further and derive each packet's coin flip from a keyed hash of the
+packet's own metadata, so the decision is independent of processing order
+and identical on every replica by construction.
+
+State per flow: (packets seen, packets sampled).  Sampled packets are
+marked PASS (punted to the collector, like XDP_PASS to the stack); the
+rest are forwarded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Tuple
+
+from ..packet import Packet
+from ..packet.flow import FiveTuple
+from .base import PacketMetadata, PacketProgram, Verdict
+
+__all__ = ["SamplerMetadata", "TelemetrySampler", "SampleStats"]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _keyed_hash(data: bytes, seed: int) -> int:
+    value = _FNV_OFFSET ^ seed
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & _MASK64
+    # FNV's low bits diffuse poorly on structured inputs (counters,
+    # timestamps); a splitmix64-style finalizer fixes the bias the modulo
+    # in should_sample() would otherwise see.
+    value ^= value >> 33
+    value = (value * 0xFF51AFD7ED558CCD) & _MASK64
+    value ^= value >> 33
+    value = (value * 0xC4CEB9FE1A85EC53) & _MASK64
+    value ^= value >> 33
+    return value
+
+
+class SamplerMetadata(PacketMetadata):
+    """21 bytes: 5-tuple (13), IP ident (2), sequencer timestamp (4),
+    packet length (1 slot of the hash input), validity (1).
+
+    The ident+timestamp fields make successive packets of one flow hash
+    differently, so sampling is per *packet*, not per flow.
+    """
+
+    FORMAT = "!IIHHBHIHB"
+    FIELDS = (
+        "src_ip", "dst_ip", "src_port", "dst_port", "proto",
+        "ident", "timestamp_us", "pkt_len", "valid",
+    )
+    __slots__ = FIELDS
+
+
+class SampleStats(tuple):
+    """(packets, sampled) value tuple."""
+
+    __slots__ = ()
+
+    def __new__(cls, packets: int = 0, sampled: int = 0):
+        return super().__new__(cls, (packets, sampled))
+
+    @property
+    def packets(self) -> int:
+        return self[0]
+
+    @property
+    def sampled(self) -> int:
+        return self[1]
+
+
+class TelemetrySampler(PacketProgram):
+    """Sample ~1-in-``rate`` packets with replica-identical randomness."""
+
+    name = "sampler"
+    metadata_cls = SamplerMetadata
+    rss_fields = "5-tuple"
+    needs_locks = False  # counter updates fit atomics
+
+    def __init__(self, rate: int = 64, seed: int = 0x5EED) -> None:
+        if rate < 1:
+            raise ValueError("sampling rate must be >= 1")
+        self.rate = rate
+        self.seed = seed
+
+    def extract_metadata(self, pkt: Packet) -> SamplerMetadata:
+        if not pkt.is_ipv4:
+            return SamplerMetadata(valid=0)
+        ft = pkt.five_tuple()
+        return SamplerMetadata(
+            src_ip=ft.src_ip,
+            dst_ip=ft.dst_ip,
+            src_port=ft.src_port,
+            dst_port=ft.dst_port,
+            proto=ft.proto,
+            ident=pkt.ip.ident,
+            timestamp_us=(pkt.timestamp_ns // 1000) & 0xFFFFFFFF,
+            pkt_len=min(0xFFFF, pkt.wire_len),
+            valid=1,
+        )
+
+    def key(self, meta: PacketMetadata) -> Hashable:
+        return FiveTuple(meta.src_ip, meta.dst_ip, meta.src_port, meta.dst_port,
+                         meta.proto)
+
+    def should_sample(self, meta: SamplerMetadata) -> bool:
+        """The deterministic coin flip: keyed hash of the packet metadata.
+
+        Every replica computes the same bit for the same packet regardless
+        of which core processes it or in what interleaving (§3.4).
+        """
+        return _keyed_hash(meta.pack(), self.seed) % self.rate == 0
+
+    def transition(
+        self, value: Optional[Any], meta: PacketMetadata
+    ) -> Tuple[Optional[Any], Verdict]:
+        if not meta.valid:
+            return value, Verdict.PASS
+        old = value or SampleStats()
+        sampled = self.should_sample(meta)
+        new = SampleStats(old.packets + 1, old.sampled + (1 if sampled else 0))
+        return new, (Verdict.PASS if sampled else Verdict.TX)

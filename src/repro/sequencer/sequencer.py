@@ -1,0 +1,101 @@
+"""Behavioural packet-history sequencer (§3.2, §3.3).
+
+This is the platform-independent model of the sequencer that the Tofino and
+NetFPGA designs implement: it sees every packet arriving at the machine,
+(i) sprays packets round-robin across cores, (ii) maintains the recent
+packet history in a ring, (iii) prefixes each outgoing packet with the SCR
+header and a dump of the ring, and (iv) stamps the hardware timestamp used
+in place of core-local clocks (§3.4).
+
+The sequencer is the *only* writer of the history; cores never write it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.history import HistoryRing
+from ..core.packet_format import ScrPacketCodec
+from ..packet import Packet
+from ..programs.base import PacketProgram
+
+__all__ = ["PacketHistorySequencer", "SequencedPacket"]
+
+
+@dataclass(frozen=True)
+class SequencedPacket:
+    """One sequencer emission: destination core, wire bytes, sequence."""
+
+    core: int
+    data: bytes
+    seq: int
+
+
+class PacketHistorySequencer:
+    """Round-robin spraying + history piggybacking for one program."""
+
+    def __init__(
+        self,
+        program: PacketProgram,
+        num_cores: int,
+        num_slots: Optional[int] = None,
+        dummy_eth: bool = True,
+    ) -> None:
+        """``num_slots`` defaults to ``num_cores``: with round-robin spraying
+        a core misses exactly ``num_cores - 1`` packets between its own, and
+        loss recovery's window needs one more (the packet's own entry), so
+        N = k rows suffice (§3.1, App. B)."""
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        self.program = program
+        self.num_cores = num_cores
+        self.num_slots = num_slots if num_slots is not None else num_cores
+        if self.num_slots < num_cores:
+            raise ValueError(
+                f"{self.num_slots} history slots cannot cover {num_cores} cores"
+            )
+        self.codec = ScrPacketCodec(
+            meta_size=program.metadata_size,
+            num_slots=self.num_slots,
+            dummy_eth=dummy_eth,
+        )
+        self.ring = HistoryRing(self.num_slots, program.metadata_size)
+        self._seq = 0
+        self._rr = 0
+
+    @property
+    def next_seq(self) -> int:
+        return self._seq + 1
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Bytes added to each packet (drives the Fig. 10a NIC pressure)."""
+        return self.codec.overhead_bytes
+
+    def process(self, pkt: Packet) -> SequencedPacket:
+        """Sequence one arriving packet.
+
+        The hardware parser extracts the program's metadata ``f(p)``; the
+        ring is dumped into the packet *before* the current metadata is
+        written (matching the hardware datapath, §3.3.2), so the history
+        block holds the previous ``num_slots`` packets.
+        """
+        self._seq += 1
+        meta = self.program.extract_metadata(pkt)
+        rows, index_ptr = self.ring.dump_and_push(meta.pack())
+        data = self.codec.encode(
+            seq=self._seq,
+            timestamp_ns=pkt.timestamp_ns,
+            ring_rows=rows,
+            index_ptr=index_ptr,
+            original=pkt.to_bytes(),
+        )
+        core = self._rr
+        self._rr = (self._rr + 1) % self.num_cores
+        return SequencedPacket(core=core, data=data, seq=self._seq)
+
+    def reset(self) -> None:
+        self.ring.reset()
+        self._seq = 0
+        self._rr = 0

@@ -1,0 +1,115 @@
+"""Emit a Verilog skeleton of the NetFPGA sequencer module (§3.3.2, Fig. 4c).
+
+The design the paper synthesizes into NetFPGA-PLUS: an N-row × 112-bit
+memory, a ⌈log2 N⌉-bit index pointer, a parser pulling the relevant fields
+off the 1024-bit AXI-Stream bus, a shifter inserting the N·112 + pointer
+bits in front of the packet, and write/increment logic.  This emitter
+prints that module with the geometry of a concrete
+:class:`~repro.sequencer.netfpga.NetFpgaSequencerModel`, so the structural
+claims (prefix size, pointer width, row count) are inspectable and tested
+against the model's arithmetic.
+"""
+
+from __future__ import annotations
+
+from .netfpga import NetFpgaSequencerModel
+
+__all__ = ["emit_verilog"]
+
+_TEMPLATE = """\
+// Auto-generated SCR packet-history sequencer (NSDI'25 §3.3.2, Fig. 4c).
+// Geometry: {rows} rows x {row_bits} bits, {ptr_bits}-bit index pointer,
+// {prefix_bits}-bit prefix inserted per packet.  Target: NetFPGA-PLUS
+// reference switch, {bus_bits}-bit AXIS datapath @ {clock_mhz} MHz.
+
+module scr_sequencer #(
+    parameter ROWS        = {rows},
+    parameter ROW_BITS    = {row_bits},
+    parameter PTR_BITS    = {ptr_bits},
+    parameter BUS_BITS    = {bus_bits},
+    parameter PREFIX_BITS = {prefix_bits}
+) (
+    input  wire                  clk,
+    input  wire                  rst_n,
+
+    // AXI-Stream in: packets from the MAC
+    input  wire [BUS_BITS-1:0]   s_axis_tdata,
+    input  wire                  s_axis_tvalid,
+    input  wire                  s_axis_tlast,
+    output wire                  s_axis_tready,
+
+    // AXI-Stream out: packets with the history prefix inserted
+    output reg  [BUS_BITS-1:0]   m_axis_tdata,
+    output reg                   m_axis_tvalid,
+    output reg                   m_axis_tlast,
+    input  wire                  m_axis_tready
+);
+
+    // ---- history memory: written one row per packet, read whole ----
+    reg [ROW_BITS-1:0] history_mem [0:ROWS-1];
+    reg [PTR_BITS-1:0] index_ptr;
+
+    // ---- parser: extract the program-relevant fields (f(p)) ----
+    // A row holds a TCP 4-tuple (96 bits) plus a 16-bit value (§4.3).
+    wire [ROW_BITS-1:0] parsed_fields;
+    scr_parser parser_i (
+        .tdata (s_axis_tdata),
+        .tvalid(s_axis_tvalid),
+        .fields(parsed_fields)
+    );
+
+    // ---- prefix assembly: the whole memory, in row order, plus pointer ----
+    wire [PREFIX_BITS-1:0] prefix;
+    genvar r;
+    generate
+        for (r = 0; r < ROWS; r = r + 1) begin : dump
+            assign prefix[PREFIX_BITS-1 - r*ROW_BITS -: ROW_BITS]
+                 = history_mem[r];
+        end
+    endgenerate
+    assign prefix[PTR_BITS-1:0] = index_ptr;
+
+    // ---- insertion shifter: move the packet by a fixed, known amount ----
+    // Fixed shift is what makes the prefix placement cheap (§3.3.1): the
+    // write offset is always 0, so the barrel shifter is constant-distance.
+    scr_insert_shifter #(
+        .SHIFT_BITS(PREFIX_BITS),
+        .BUS_BITS  (BUS_BITS)
+    ) shifter_i (
+        .clk    (clk),
+        .tdata_i(s_axis_tdata),
+        .prefix (prefix),
+        .tdata_o(m_axis_tdata)
+    );
+
+    // ---- write + pointer increment (after the dump is captured) ----
+    integer i;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            index_ptr <= {{PTR_BITS{{1'b0}}}};
+            for (i = 0; i < ROWS; i = i + 1)
+                history_mem[i] <= {{ROW_BITS{{1'b0}}}};
+        end else if (s_axis_tvalid && s_axis_tlast && s_axis_tready) begin
+            history_mem[index_ptr] <= parsed_fields;
+            index_ptr <= (index_ptr == ROWS-1) ? {{PTR_BITS{{1'b0}}}}
+                                               : index_ptr + 1'b1;
+        end
+    end
+
+    assign s_axis_tready = m_axis_tready;
+
+endmodule
+"""
+
+
+def emit_verilog(model: NetFpgaSequencerModel) -> str:
+    """Return the Verilog skeleton for ``model``'s geometry."""
+    spec = model.spec
+    return _TEMPLATE.format(
+        rows=model.rows,
+        row_bits=spec.row_bits,
+        ptr_bits=model.pointer_bits,
+        prefix_bits=model.prefix_bits,
+        bus_bits=spec.bus_bits,
+        clock_mhz=spec.clock_mhz,
+    )

@@ -1,0 +1,12 @@
+"""State substrate: cuckoo hash table and shared / per-core map wrappers."""
+
+from .cuckoo import CuckooHashTable, CuckooInsertError
+from .maps import PerCoreStateMap, SharedStateMap, StateMap
+
+__all__ = [
+    "CuckooHashTable",
+    "CuckooInsertError",
+    "PerCoreStateMap",
+    "SharedStateMap",
+    "StateMap",
+]

@@ -1,0 +1,133 @@
+"""State maps: the shared / per-core map abstractions programs run against.
+
+The same program code runs under every scaling technique; what changes is the
+map it is handed:
+
+* :class:`StateMap` — plain dictionary semantics over the cuckoo table.
+* :class:`SharedStateMap` — one map shared by all cores; counts cross-core
+  accesses so the performance layer can charge cache-line transfer penalties.
+* :class:`PerCoreStateMap` — BPF ``PERCPU``-style array of private replicas
+  (one per core), the data structure SCR-aware programs use (App. C step 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
+
+from .cuckoo import CuckooHashTable
+
+__all__ = ["StateMap", "SharedStateMap", "PerCoreStateMap"]
+
+
+class StateMap:
+    """Key-value state with dict-like semantics, backed by a cuckoo table."""
+
+    def __init__(self, capacity: int = 4096, allow_grow: bool = True) -> None:
+        self._table = CuckooHashTable(capacity=capacity, allow_grow=allow_grow)
+
+    def lookup(self, key: Hashable) -> Optional[Any]:
+        return self._table.lookup(key)
+
+    def update(self, key: Hashable, value: Any) -> None:
+        self._table.insert(key, value)
+
+    def delete(self, key: Hashable) -> bool:
+        return self._table.delete(key)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._table
+
+    def items(self) -> Iterator[Tuple[Hashable, Any]]:
+        return self._table.items()
+
+    def snapshot(self) -> Dict[Hashable, Any]:
+        """A plain-dict copy, used by tests to compare replica states."""
+        return dict(self._table.items())
+
+    def clear(self) -> None:
+        self._table.clear()
+
+
+class SharedStateMap(StateMap):
+    """A single map accessed by every core.
+
+    Functionally identical to :class:`StateMap`; additionally records, per
+    key, which core last wrote it and how many times the writing core changed
+    — the cache-line "bounce" count the performance layer turns into stall
+    cycles (§4.2, Figure 8).
+    """
+
+    def __init__(self, capacity: int = 4096, allow_grow: bool = True) -> None:
+        super().__init__(capacity=capacity, allow_grow=allow_grow)
+        self._last_writer: Dict[Hashable, int] = {}
+        self.bounce_count = 0
+        self.access_count = 0
+
+    def update_from_core(self, core_id: int, key: Hashable, value: Any) -> bool:
+        """Write ``key`` from ``core_id``; returns True when the line bounced."""
+        self.access_count += 1
+        bounced = self._last_writer.get(key, core_id) != core_id
+        if bounced:
+            self.bounce_count += 1
+        self._last_writer[key] = core_id
+        self.update(key, value)
+        return bounced
+
+    def lookup_from_core(self, core_id: int, key: Hashable) -> Optional[Any]:
+        """Read ``key`` from ``core_id``; bounces count against reads too."""
+        self.access_count += 1
+        if self._last_writer.get(key, core_id) != core_id:
+            self.bounce_count += 1
+        return self.lookup(key)
+
+    def note_writer(self, core_id: int, key: Hashable) -> None:
+        """Record that ``core_id`` last dirtied ``key``'s cache line.
+
+        For callers that perform the update through the plain map API
+        (e.g. running an unmodified program) but still want bounce
+        accounting.
+        """
+        self._last_writer[key] = core_id
+
+    @property
+    def bounce_ratio(self) -> float:
+        if self.access_count == 0:
+            return 0.0
+        return self.bounce_count / self.access_count
+
+
+class PerCoreStateMap:
+    """An array of private state replicas, one per core (App. C step 1).
+
+    Each core only ever touches its own replica, so there is no sharing to
+    account for.  ``replicas_consistent`` is the correctness oracle used by
+    the SCR tests: after a run, every replica must hold identical contents.
+    """
+
+    def __init__(self, num_cores: int, capacity: int = 4096, allow_grow: bool = True) -> None:
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        self.num_cores = num_cores
+        self._replicas: List[StateMap] = [
+            StateMap(capacity=capacity, allow_grow=allow_grow) for _ in range(num_cores)
+        ]
+
+    def replica(self, core_id: int) -> StateMap:
+        return self._replicas[core_id]
+
+    def lookup(self, core_id: int, key: Hashable) -> Optional[Any]:
+        return self._replicas[core_id].lookup(key)
+
+    def update(self, core_id: int, key: Hashable, value: Any) -> None:
+        self._replicas[core_id].update(key, value)
+
+    def snapshots(self) -> List[Dict[Hashable, Any]]:
+        return [replica.snapshot() for replica in self._replicas]
+
+    def replicas_consistent(self) -> bool:
+        """True when every core's replica holds identical contents."""
+        snaps = self.snapshots()
+        return all(s == snaps[0] for s in snaps[1:])

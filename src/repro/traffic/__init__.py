@@ -1,0 +1,48 @@
+"""Traffic substrate: distributions, synthesis, traces, replay, pcap I/O."""
+
+from .distributions import (
+    MSS_BYTES,
+    TRACE_DISTRIBUTIONS,
+    EmpiricalCDF,
+    EmpiricalFlowSizes,
+    FlowSizeDistribution,
+    LognormalFlowSizes,
+    ParetoFlowSizes,
+    ZipfFlowSizes,
+    caida_backbone_flow_sizes,
+    hyperscalar_dc_flow_sizes,
+    univ_dc_flow_sizes,
+)
+from .pcap import read_pcap, write_pcap
+from .replay import Replayer, replay_at_rate
+from .tools import TraceProblems, burstify, sample_flows, validate_trace
+from .synthesis import FlowSpec, flow_packets, single_flow_trace, synthesize_trace
+from .trace import Trace, TraceStats
+
+__all__ = [
+    "MSS_BYTES",
+    "TRACE_DISTRIBUTIONS",
+    "EmpiricalCDF",
+    "EmpiricalFlowSizes",
+    "FlowSizeDistribution",
+    "LognormalFlowSizes",
+    "ParetoFlowSizes",
+    "ZipfFlowSizes",
+    "caida_backbone_flow_sizes",
+    "hyperscalar_dc_flow_sizes",
+    "univ_dc_flow_sizes",
+    "read_pcap",
+    "write_pcap",
+    "Replayer",
+    "replay_at_rate",
+    "TraceProblems",
+    "burstify",
+    "sample_flows",
+    "validate_trace",
+    "FlowSpec",
+    "flow_packets",
+    "single_flow_trace",
+    "synthesize_trace",
+    "Trace",
+    "TraceStats",
+]

@@ -1,0 +1,77 @@
+"""Minimal libpcap-format reader/writer for interoperability.
+
+Lets synthesized traces be inspected with standard tools (tcpdump/wireshark)
+and lets externally captured pcaps be loaded as :class:`~repro.traffic.Trace`
+objects.  Only the classic (non-ng) format with Ethernet link type and
+microsecond timestamps is supported — enough for packet traces.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Union
+
+from ..packet import Packet
+from .trace import Trace
+
+__all__ = ["write_pcap", "read_pcap"]
+
+_PCAP_MAGIC = 0xA1B2C3D4
+_PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+_LINKTYPE_ETHERNET = 1
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+def write_pcap(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` as a classic little-endian pcap file."""
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(
+            _GLOBAL_HEADER.pack(_PCAP_MAGIC, 2, 4, 0, 0, 65535, _LINKTYPE_ETHERNET)
+        )
+        for pkt in trace:
+            raw = pkt.to_bytes()
+            ts_sec, ts_rem = divmod(pkt.timestamp_ns, 1_000_000_000)
+            fh.write(_RECORD_HEADER.pack(ts_sec, ts_rem // 1000, len(raw), pkt.wire_len))
+            fh.write(raw)
+
+
+def read_pcap(path: Union[str, Path]) -> Trace:
+    """Read a classic pcap (either endianness) into a Trace."""
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < _GLOBAL_HEADER.size:
+        raise ValueError(f"{path}: truncated pcap global header")
+    magic = struct.unpack("<I", data[:4])[0]
+    if magic == _PCAP_MAGIC:
+        endian = "<"
+    elif magic == _PCAP_MAGIC_SWAPPED:
+        endian = ">"
+    else:
+        raise ValueError(f"{path}: not a classic pcap file (magic={magic:#x})")
+    header = struct.Struct(endian + "IHHiIII")
+    record = struct.Struct(endian + "IIII")
+    _, _, _, _, _, _, linktype = header.unpack(data[: header.size])
+    if linktype != _LINKTYPE_ETHERNET:
+        raise ValueError(f"{path}: unsupported link type {linktype}")
+    packets = []
+    offset = header.size
+    while offset + record.size <= len(data):
+        ts_sec, ts_usec, captured, wire_len = record.unpack(
+            data[offset : offset + record.size]
+        )
+        offset += record.size
+        if offset + captured > len(data):
+            raise ValueError(f"{path}: truncated packet record")
+        raw = data[offset : offset + captured]
+        offset += captured
+        packets.append(
+            Packet.from_bytes(
+                raw,
+                timestamp_ns=ts_sec * 1_000_000_000 + ts_usec * 1000,
+                wire_len=wire_len,
+            )
+        )
+    return Trace(packets, name=path.stem)

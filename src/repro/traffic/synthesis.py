@@ -1,0 +1,217 @@
+"""Trace synthesis: turn flow-size samples into realistic packet traces.
+
+Key properties the evaluation relies on (§4.1):
+
+* Every TCP flow that begins in the trace also ends: the first packet of a
+  flow carries SYN, the last carries FIN.  This lets a trace be replayed
+  repeatedly with correct program semantics.
+* Flows are highly dynamic — created and destroyed throughout the trace —
+  not a stable set of active flows.
+* Bidirectional synthesis produces a full handshake / data+ACK / teardown
+  exchange so the connection tracker sees both directions in order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..packet import (
+    Packet,
+    TCP_ACK,
+    TCP_FIN,
+    TCP_SYN,
+    make_tcp_packet,
+)
+from .distributions import FlowSizeDistribution
+from .trace import Trace
+
+__all__ = ["FlowSpec", "synthesize_trace", "single_flow_trace", "flow_packets"]
+
+#: Base of the synthetic address space (10.0.0.0/8 clients, 172.16/12 servers).
+_CLIENT_BASE = 0x0A000000
+_SERVER_BASE = 0xAC100000
+
+
+@dataclass
+class FlowSpec:
+    """One synthetic flow: endpoints, size, and start time."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    data_packets: int
+    start_ns: int
+    gap_ns: int = 1_000  # inter-packet gap within the flow
+
+
+def flow_packets(
+    spec: FlowSpec,
+    bidirectional: bool = False,
+    payload_size: int = 512,
+) -> List[Packet]:
+    """Generate a flow's packets: SYN first, FIN last (§4.1).
+
+    Unidirectional flows emit SYN, data…, FIN from the client only.
+    Bidirectional flows emit the full exchange: SYN, SYN/ACK, ACK, then a
+    data/ACK pair per data packet, then FIN, FIN/ACK, ACK.
+    """
+    if spec.data_packets < 1:
+        raise ValueError("flows carry at least one data packet")
+    payload = bytes(payload_size)
+    pkts: List[Packet] = []
+    t = spec.start_ns
+    seq_c, seq_s = 1000, 5000
+
+    def client(flags: int, seq: int, ack: int = 0, data: bytes = b"") -> Packet:
+        return make_tcp_packet(
+            spec.src_ip, spec.dst_ip, spec.src_port, spec.dst_port,
+            flags, seq=seq, ack=ack, payload=data, timestamp_ns=t,
+        )
+
+    def server(flags: int, seq: int, ack: int = 0, data: bytes = b"") -> Packet:
+        return make_tcp_packet(
+            spec.dst_ip, spec.src_ip, spec.dst_port, spec.src_port,
+            flags, seq=seq, ack=ack, payload=data, timestamp_ns=t,
+        )
+
+    if not bidirectional:
+        pkts.append(client(TCP_SYN, seq_c))
+        t += spec.gap_ns
+        for _ in range(max(0, spec.data_packets - 2)):
+            seq_c += len(payload)
+            pkts.append(client(TCP_ACK, seq_c, data=payload))
+            t += spec.gap_ns
+        seq_c += len(payload)
+        pkts.append(client(TCP_FIN | TCP_ACK, seq_c))
+        return pkts
+
+    # Bidirectional: handshake.
+    pkts.append(client(TCP_SYN, seq_c))
+    t += spec.gap_ns
+    pkts.append(server(TCP_SYN | TCP_ACK, seq_s, ack=seq_c + 1))
+    t += spec.gap_ns
+    seq_c += 1
+    pkts.append(client(TCP_ACK, seq_c, ack=seq_s + 1))
+    t += spec.gap_ns
+    # Data packets from the client, each ACKed by the server.
+    for _ in range(spec.data_packets):
+        pkts.append(client(TCP_ACK, seq_c, ack=seq_s + 1, data=payload))
+        seq_c += len(payload)
+        t += spec.gap_ns
+        pkts.append(server(TCP_ACK, seq_s + 1, ack=seq_c))
+        t += spec.gap_ns
+    # Teardown: client FIN, server FIN/ACK, client final ACK.
+    pkts.append(client(TCP_FIN | TCP_ACK, seq_c, ack=seq_s + 1))
+    t += spec.gap_ns
+    pkts.append(server(TCP_FIN | TCP_ACK, seq_s + 1, ack=seq_c + 1))
+    t += spec.gap_ns
+    pkts.append(client(TCP_ACK, seq_c + 1, ack=seq_s + 2))
+    return pkts
+
+
+def synthesize_trace(
+    distribution: FlowSizeDistribution,
+    num_flows: int,
+    seed: int = 0,
+    bidirectional: bool = False,
+    mean_flow_interarrival_ns: int = 50_000,
+    intra_flow_gap_ns: int = 1_000,
+    flow_duration_ns: Optional[int] = None,
+    payload_size: int = 512,
+    max_packets: Optional[int] = None,
+    name: Optional[str] = None,
+) -> Trace:
+    """Sample ``num_flows`` flows and interleave their packets by timestamp.
+
+    Flow starts follow a Poisson process; each flow's size (in packets) is
+    drawn from ``distribution``.  The merged trace is globally time-ordered,
+    so flows overlap — states are created and destroyed throughout (§4.1).
+    ``max_packets`` caps the trace size (mirroring the paper's flow-sampled
+    CAIDA trace that respects eBPF map-size limits).
+
+    With ``flow_duration_ns`` set, every flow spreads its packets over
+    roughly that wall-clock span (larger flows send proportionally faster),
+    which is how bulk transfers behave in real captures.  This keeps a
+    window of the merged trace as skewed as the size distribution itself —
+    an elephant's share of any window matches its share of the trace.
+    Without it, every flow uses the fixed ``intra_flow_gap_ns``.
+    """
+    if num_flows < 1:
+        raise ValueError("need at least one flow")
+    rng = np.random.default_rng(seed)
+    sizes = distribution.sample_packets(rng, num_flows)
+    interarrivals = rng.exponential(mean_flow_interarrival_ns, num_flows)
+
+    specs: List[FlowSpec] = []
+    start = 0
+    for i, (size, gap) in enumerate(zip(sizes, interarrivals)):
+        start += int(gap)
+        if flow_duration_ns is not None:
+            flow_gap = max(1, flow_duration_ns // max(1, size))
+        else:
+            flow_gap = intra_flow_gap_ns
+        specs.append(
+            FlowSpec(
+                src_ip=_CLIENT_BASE + 1 + (i % 0xFFFF_00) ,
+                dst_ip=_SERVER_BASE + 1 + (i % 1024),
+                src_port=1024 + (i % 60000),
+                dst_port=80 if i % 2 == 0 else 443,
+                data_packets=size,
+                start_ns=start,
+                gap_ns=flow_gap,
+            )
+        )
+
+    # Merge per-flow packet streams by timestamp with a heap; the tie-breaker
+    # (flow index, packet index) keeps synthesis deterministic.
+    streams = [
+        flow_packets(s, bidirectional=bidirectional, payload_size=payload_size)
+        for s in specs
+    ]
+    heap: List[Tuple[int, int, int, Packet]] = []
+    for fi, stream in enumerate(streams):
+        heapq.heappush(heap, (stream[0].timestamp_ns, fi, 0, stream[0]))
+    merged: List[Packet] = []
+    while heap:
+        ts, fi, pi, pkt = heapq.heappop(heap)
+        merged.append(pkt)
+        if max_packets is not None and len(merged) >= max_packets:
+            break
+        if pi + 1 < len(streams[fi]):
+            nxt = streams[fi][pi + 1]
+            heapq.heappush(heap, (nxt.timestamp_ns, fi, pi + 1, nxt))
+
+    trace_name = name or f"{distribution.name}-{num_flows}flows"
+    return Trace(merged, name=trace_name)
+
+
+def single_flow_trace(
+    num_packets: int,
+    bidirectional: bool = True,
+    gap_ns: int = 100,
+    payload_size: int = 512,
+    name: str = "single-flow",
+) -> Trace:
+    """One elephant TCP connection — the Figure 1 workload.
+
+    All packets belong to a single connection, so sharding techniques are
+    pinned to one core while SCR can still spread the work.
+    """
+    if num_packets < 1:
+        raise ValueError("need at least one packet")
+    spec = FlowSpec(
+        src_ip=_CLIENT_BASE + 1,
+        dst_ip=_SERVER_BASE + 1,
+        src_port=40000,
+        dst_port=443,
+        data_packets=num_packets,
+        start_ns=0,
+        gap_ns=gap_ns,
+    )
+    pkts = flow_packets(spec, bidirectional=bidirectional, payload_size=payload_size)
+    return Trace(pkts, name=name)

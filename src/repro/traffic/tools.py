@@ -1,0 +1,184 @@
+"""Trace tools: validation, burst shaping, and flow sampling.
+
+* :func:`validate_trace` — checks the §4.1 invariants a replayable trace
+  must satisfy (SYN-first/FIN-last per flow, time-ordered).
+* :func:`burstify` — reshapes inter-arrival times into ON/OFF bursts; real
+  data-center traffic is heavily bursty [66], and bursts are what overflow
+  the 256-descriptor RX rings first.
+* :func:`sample_flows` — down-samples a trace to a packet budget by keeping
+  whole flows, stratified by flow size so the empirical flow-size
+  distribution is preserved.  This mirrors the paper's CAIDA preparation:
+  "we have sampled flows from the trace's empirical flow size distribution
+  to faithfully reflect the underlying distribution, without over-running
+  the limit on the number of concurrent flows" (§4.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..packet import Packet, TCP_FIN, TCP_RST, TCP_SYN
+from .trace import Trace
+
+__all__ = ["TraceProblems", "validate_trace", "burstify", "sample_flows"]
+
+
+@dataclass
+class TraceProblems:
+    """What validate_trace found wrong (empty == valid)."""
+
+    out_of_order: int = 0
+    flows_not_starting_with_syn: List = field(default_factory=list)
+    flows_not_ending_with_fin: List = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.out_of_order == 0
+            and not self.flows_not_starting_with_syn
+            and not self.flows_not_ending_with_fin
+        )
+
+
+def validate_trace(trace: Trace, bidirectional: bool = False) -> TraceProblems:
+    """Check the replayability invariants of §4.1 on a TCP trace.
+
+    Every TCP flow must open with SYN and close, and timestamps must be
+    non-decreasing.  "Close" means: unidirectional flows end with FIN (or
+    RST); bidirectional connections must have seen a FIN from *each* side
+    (or an RST) — the final packet of a proper teardown is the last ACK,
+    not a FIN.  Non-TCP packets are ignored.
+    """
+    problems = TraceProblems()
+    last_ts = None
+    first: Dict[object, Packet] = {}
+    last: Dict[object, Packet] = {}
+    fin_sides: Dict[object, set] = {}
+    rst_seen: Dict[object, bool] = {}
+    for pkt in trace:
+        if last_ts is not None and pkt.timestamp_ns < last_ts:
+            problems.out_of_order += 1
+        last_ts = pkt.timestamp_ns
+        if not pkt.is_tcp:
+            continue
+        raw_ft = pkt.five_tuple()
+        ft = raw_ft.normalized() if bidirectional else raw_ft
+        if ft not in first:
+            first[ft] = pkt
+            fin_sides[ft] = set()
+            rst_seen[ft] = False
+        last[ft] = pkt
+        if pkt.l4.has_flag(TCP_FIN):
+            fin_sides[ft].add(raw_ft.src_ip)
+        if pkt.l4.has_flag(TCP_RST):
+            rst_seen[ft] = True
+    for ft, pkt in first.items():
+        if not pkt.l4.has_flag(TCP_SYN):
+            problems.flows_not_starting_with_syn.append(ft)
+    for ft, pkt in last.items():
+        if rst_seen[ft]:
+            continue
+        if bidirectional:
+            if len(fin_sides[ft]) < 2:
+                problems.flows_not_ending_with_fin.append(ft)
+        elif not pkt.l4.has_flag(TCP_FIN):
+            problems.flows_not_ending_with_fin.append(ft)
+    return problems
+
+
+def burstify(
+    trace: Trace,
+    burst_size: int = 32,
+    burst_gap_ns: int = 50_000,
+    intra_burst_gap_ns: int = 100,
+) -> Trace:
+    """Reshape arrivals into ON/OFF bursts, preserving packet order.
+
+    Packets are grouped into back-to-back bursts of ``burst_size`` spaced
+    ``intra_burst_gap_ns`` apart, with ``burst_gap_ns`` of silence between
+    bursts — the bursty pattern real applications produce [66].
+    """
+    if burst_size < 1:
+        raise ValueError("burst_size must be positive")
+    out = []
+    t = 0
+    for i, pkt in enumerate(trace):
+        if i and i % burst_size == 0:
+            t += burst_gap_ns
+        else:
+            t += intra_burst_gap_ns if i else 0
+        out.append(
+            Packet(
+                eth=pkt.eth, ip=pkt.ip, l4=pkt.l4, payload=pkt.payload,
+                timestamp_ns=t, wire_len=pkt.wire_len,
+            )
+        )
+    return Trace(out, name=f"{trace.name}-bursty")
+
+
+def sample_flows(
+    trace: Trace,
+    max_packets: int,
+    seed: int = 0,
+    bidirectional: bool = False,
+    size_strata: int = 8,
+) -> Trace:
+    """Down-sample whole flows to a packet budget, preserving the size mix.
+
+    Flows are bucketed into log-sized strata; strata are sampled
+    proportionally so mice stay mice-heavy and elephants keep their share —
+    the paper's approach to fitting CAIDA under eBPF map limits (§4.1).
+    """
+    if max_packets < 1:
+        raise ValueError("max_packets must be positive")
+    sizes = trace.flow_sizes(bidirectional=bidirectional)
+    if not sizes:
+        return Trace([], name=f"{trace.name}-sampled")
+    total = sum(sizes.values())
+    if total <= max_packets:
+        return Trace(list(trace.packets), name=f"{trace.name}-sampled")
+
+    rng = np.random.default_rng(seed)
+    max_size = max(sizes.values())
+    strata: Dict[int, List] = {}
+    for ft, size in sizes.items():
+        stratum = min(size_strata - 1, int(math.log2(size)) if size > 1 else 0)
+        strata.setdefault(stratum, []).append(ft)
+
+    keep_fraction = max_packets / total
+    kept = set()
+    budget = max_packets
+    # walk strata largest-first so elephants (few, heavy) are decided first
+    for stratum in sorted(strata, reverse=True):
+        flows = strata[stratum]
+        rng.shuffle(flows)
+        stratum_packets = sum(sizes[ft] for ft in flows)
+        target = stratum_packets * keep_fraction
+        acc = 0
+        for ft in flows:
+            if acc >= target or sizes[ft] > budget:
+                continue
+            kept.add(ft)
+            acc += sizes[ft]
+            budget -= sizes[ft]
+    # Fill pass: when an oversized elephant left budget unused, top up with
+    # the largest still-fitting flows so the sample uses its packet budget.
+    for ft in sorted(sizes, key=lambda f: -sizes[f]):
+        if budget <= 0:
+            break
+        if ft not in kept and sizes[ft] <= budget:
+            kept.add(ft)
+            budget -= sizes[ft]
+
+    out = []
+    for pkt in trace:
+        ft = pkt.five_tuple()
+        if bidirectional:
+            ft = ft.normalized()
+        if ft in kept:
+            out.append(pkt)
+    return Trace(out, name=f"{trace.name}-sampled")

@@ -1,0 +1,50 @@
+"""The calibration contract: measured SCR throughput must track the
+Appendix A model within MLFFR's loss allowance, for any program and core
+count — the property every figure in EXPERIMENTS.md leans on."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import find_mlffr, predicted_scr_pps
+from repro.cpu import PerfTrace, TABLE4_PARAMS
+from repro.packet import make_udp_packet
+from repro.parallel import ScrEngine
+from repro.programs import make_program
+from repro.traffic import Trace
+
+_PT_CACHE = {}
+
+
+def perf_trace(program_name):
+    if program_name not in _PT_CACHE:
+        pkts = [make_udp_packet(1 + i % 30, 2, 3, 4) for i in range(3000)]
+        _PT_CACHE[program_name] = PerfTrace.from_trace(
+            Trace(pkts).truncated(192), make_program(program_name)
+        )
+    return _PT_CACHE[program_name]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    program=st.sampled_from(["ddos", "heavy_hitter", "token_bucket",
+                             "port_knocking"]),
+    cores=st.integers(min_value=1, max_value=10),
+)
+def test_scr_mlffr_tracks_model_property(program, cores):
+    engine = ScrEngine(make_program(program), cores, count_wire_overhead=False)
+    measured = find_mlffr(perf_trace(program), engine).mlffr_pps
+    predicted = predicted_scr_pps(TABLE4_PARAMS[program], cores)
+    # MLFFR's < 4 % loss allowance and 0.4 Mpps window bound the gap.
+    assert measured == pytest.approx(predicted, rel=0.12), (program, cores)
+
+
+def test_mlffr_never_exceeds_loss_allowance_over_capacity():
+    """Even at its most generous, MLFFR stays within ~6 % of capacity."""
+    for program in ("ddos", "conntrack"):
+        for cores in (1, 4, 7):
+            engine = ScrEngine(make_program(program), cores,
+                               count_wire_overhead=False)
+            measured = find_mlffr(perf_trace(program), engine).mlffr_pps
+            predicted = predicted_scr_pps(TABLE4_PARAMS[program], cores)
+            assert measured <= predicted * 1.08

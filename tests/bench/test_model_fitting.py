@@ -1,0 +1,91 @@
+"""Appendix A inverted: fitting (t, c2) from throughput measurements."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import find_mlffr
+from repro.bench.model import fit_cost_params, predicted_scr_pps
+from repro.cpu import PerfTrace, TABLE4_PARAMS, CostParams
+from repro.packet import make_udp_packet
+from repro.parallel import ScrEngine
+from repro.programs import make_program
+from repro.traffic import Trace
+
+
+def test_exact_model_points_recover_parameters():
+    true = TABLE4_PARAMS["conntrack"]
+    points = [(k, predicted_scr_pps(true, k)) for k in (1, 2, 4, 7)]
+    fitted = fit_cost_params(points)
+    assert fitted.t == pytest.approx(true.t, rel=1e-6)
+    assert fitted.c2 == pytest.approx(true.c2, rel=1e-6)
+
+
+def test_noisy_points_recover_approximately():
+    true = TABLE4_PARAMS["ddos"]
+    noise = [1.02, 0.97, 1.03, 0.99]
+    points = [
+        (k, predicted_scr_pps(true, k) * noise[i])
+        for i, k in enumerate((1, 2, 4, 7))
+    ]
+    fitted = fit_cost_params(points)
+    assert fitted.t == pytest.approx(true.t, rel=0.1)
+    assert fitted.c2 == pytest.approx(true.c2, rel=0.5)
+
+
+def test_fit_from_simulated_mlffr():
+    """The calibration loop a user of a new program would run: measure SCR
+    MLFFR at a few core counts, fit, predict the rest."""
+    pkts = [make_udp_packet(1, 2, 3, 4) for _ in range(3000)]
+    pt = PerfTrace.from_trace(Trace(pkts).truncated(192), make_program("token_bucket"))
+    measured = []
+    for k in (1, 2, 4, 7):
+        engine = ScrEngine(make_program("token_bucket"), k, count_wire_overhead=False)
+        measured.append((k, find_mlffr(pt, engine).mlffr_pps))
+    fitted = fit_cost_params(measured)
+    true = TABLE4_PARAMS["token_bucket"]
+    assert fitted.t == pytest.approx(true.t, rel=0.10)
+    assert fitted.c2 == pytest.approx(true.c2, rel=0.35)
+    # and the fit predicts an unmeasured core count well
+    predicted_10 = predicted_scr_pps(fitted, 10)
+    engine = ScrEngine(make_program("token_bucket"), 10, count_wire_overhead=False)
+    measured_10 = find_mlffr(pt, engine).mlffr_pps
+    assert measured_10 == pytest.approx(predicted_10, rel=0.15)
+
+
+def test_dispatch_fraction_split():
+    points = [(1, 1e9 / 100), (2, 2e9 / 120)]
+    fitted = fit_cost_params(points, dispatch_fraction=0.8)
+    assert fitted.d == pytest.approx(fitted.t * 0.8)
+    assert fitted.c1 == pytest.approx(fitted.t * 0.2)
+
+
+def test_rejects_insufficient_points():
+    with pytest.raises(ValueError):
+        fit_cost_params([(1, 1e6)])
+
+
+def test_rejects_degenerate_core_counts():
+    with pytest.raises(ValueError, match="span"):
+        fit_cost_params([(2, 1e6), (2, 2e6)])
+
+
+def test_rejects_invalid_measurements():
+    with pytest.raises(ValueError):
+        fit_cost_params([(0, 1e6), (2, 1e6)])
+    with pytest.raises(ValueError):
+        fit_cost_params([(1, 0), (2, 1e6)])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    t=st.floats(min_value=50, max_value=300),
+    c2=st.floats(min_value=1, max_value=40),
+)
+def test_fit_inverts_model_property(t, c2):
+    """For any (t, c2), fitting exact model output recovers them."""
+    costs = CostParams(t=t, c2=c2, d=t * 0.7, c1=t * 0.3)
+    points = [(k, predicted_scr_pps(costs, k)) for k in (1, 3, 5, 8)]
+    fitted = fit_cost_params(points)
+    assert fitted.t == pytest.approx(t, rel=1e-6)
+    assert fitted.c2 == pytest.approx(c2, rel=1e-6)

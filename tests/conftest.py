@@ -1,0 +1,66 @@
+"""Shared fixtures: small deterministic traces and program instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.packet import TCP_ACK, TCP_SYN, ip_to_int, make_tcp_packet, make_udp_packet
+from repro.programs import make_program, program_names
+from repro.traffic import (
+    single_flow_trace,
+    synthesize_trace,
+    univ_dc_flow_sizes,
+)
+
+#: programs with state (Table 1), exercised across many suites.
+STATEFUL_PROGRAMS = [n for n in program_names(stateful_only=True)]
+
+
+@pytest.fixture
+def tcp_syn_packet():
+    return make_tcp_packet(
+        ip_to_int("10.0.0.1"), ip_to_int("172.16.0.1"), 40000, 443, TCP_SYN, seq=100
+    )
+
+
+@pytest.fixture
+def udp_packet():
+    return make_udp_packet(
+        ip_to_int("10.0.0.2"), ip_to_int("172.16.0.2"), 5353, 53, payload=b"query"
+    )
+
+
+@pytest.fixture(scope="session")
+def small_unidir_trace():
+    """~800 packets, 20 unidirectional flows, heavy-tailed sizes."""
+    return synthesize_trace(
+        univ_dc_flow_sizes(), 20, seed=11, bidirectional=False, max_packets=800
+    )
+
+
+@pytest.fixture(scope="session")
+def small_bidir_trace():
+    """~800 packets, 12 full TCP conversations (handshake/data/teardown)."""
+    return synthesize_trace(
+        univ_dc_flow_sizes(), 12, seed=13, bidirectional=True, max_packets=800
+    )
+
+
+@pytest.fixture(scope="session")
+def elephant_trace():
+    """One big bidirectional TCP connection (the Figure 1 workload)."""
+    return single_flow_trace(300, bidirectional=True)
+
+
+def trace_for_program(program, **kwargs):
+    """A small trace matching the program's directionality."""
+    defaults = dict(seed=17, max_packets=600)
+    defaults.update(kwargs)
+    return synthesize_trace(
+        univ_dc_flow_sizes(), 15, bidirectional=program.bidirectional, **defaults
+    )
+
+
+@pytest.fixture(params=STATEFUL_PROGRAMS)
+def stateful_program(request):
+    return make_program(request.param)

@@ -1,0 +1,131 @@
+"""SCR packet format: encode/decode, ring-order translation, validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SCR_MAGIC, ScrPacketCodec
+from repro.packet import ETH_HLEN, ETH_P_SCR, EthernetHeader
+
+
+def rows(n, size, start=0):
+    return [bytes([start + i]) * size for i in range(n)]
+
+
+@pytest.fixture
+def codec():
+    return ScrPacketCodec(meta_size=4, num_slots=3, dummy_eth=True)
+
+
+def test_roundtrip(codec):
+    original = b"ORIGINAL PACKET BYTES"
+    data = codec.encode(7, 1234, rows(3, 4), index_ptr=1, original=original)
+    header, chron, out = codec.decode(data)
+    assert header.seq == 7
+    assert header.timestamp_ns == 1234
+    assert header.index_ptr == 1
+    assert header.num_slots == 3
+    assert header.meta_size == 4
+    assert out == original
+
+
+def test_ring_order_becomes_chronological(codec):
+    # ring rows [A, B, C] with index_ptr=1 → oldest is row 1: B, C, A.
+    r = rows(3, 4)
+    data = codec.encode(1, 0, r, index_ptr=1, original=b"x")
+    _, chron, _ = codec.decode(data)
+    assert chron == [r[1], r[2], r[0]]
+
+
+def test_index_zero_keeps_order(codec):
+    r = rows(3, 4)
+    _, chron, _ = codec.decode(codec.encode(1, 0, r, 0, b"x"))
+    assert chron == r
+
+
+def test_dummy_eth_prefix_present(codec):
+    data = codec.encode(1, 0, rows(3, 4), 0, b"x")
+    eth = EthernetHeader.unpack(data)
+    assert eth.ethertype == ETH_P_SCR
+
+
+def test_no_dummy_eth_variant():
+    codec = ScrPacketCodec(meta_size=4, num_slots=2, dummy_eth=False)
+    data = codec.encode(1, 0, rows(2, 4), 0, b"orig")
+    assert codec.overhead_bytes == len(data) - 4
+    _, _, out = codec.decode(data)
+    assert out == b"orig"
+
+
+def test_overhead_bytes_accounts_everything(codec):
+    data = codec.encode(1, 0, rows(3, 4), 0, b"")
+    assert len(data) == codec.overhead_bytes
+    assert codec.overhead_bytes == ETH_HLEN + 22 + 3 * 4  # eth + header + slots
+
+
+def test_encode_validates_row_count(codec):
+    with pytest.raises(ValueError, match="ring rows"):
+        codec.encode(1, 0, rows(2, 4), 0, b"x")
+
+
+def test_encode_validates_row_size(codec):
+    with pytest.raises(ValueError, match="row size"):
+        codec.encode(1, 0, rows(3, 5), 0, b"x")
+
+
+def test_encode_validates_index_ptr(codec):
+    with pytest.raises(ValueError, match="index pointer"):
+        codec.encode(1, 0, rows(3, 4), 3, b"x")
+
+
+def test_decode_rejects_bad_magic(codec):
+    data = bytearray(codec.encode(1, 0, rows(3, 4), 0, b"x"))
+    data[ETH_HLEN] ^= 0xFF
+    with pytest.raises(ValueError, match="magic"):
+        codec.decode(bytes(data))
+
+
+def test_decode_rejects_wrong_ethertype(codec):
+    data = codec.encode(1, 0, rows(3, 4), 0, b"x")
+    plain = EthernetHeader(ethertype=0x0800).pack() + data[ETH_HLEN:]
+    with pytest.raises(ValueError, match="dummy Ethernet"):
+        codec.decode(plain)
+
+
+def test_decode_rejects_geometry_mismatch(codec):
+    other = ScrPacketCodec(meta_size=8, num_slots=3, dummy_eth=True)
+    data = other.encode(1, 0, rows(3, 8), 0, b"x")
+    with pytest.raises(ValueError, match="geometry"):
+        codec.decode(data)
+
+
+def test_decode_rejects_truncated_history(codec):
+    data = codec.encode(1, 0, rows(3, 4), 0, b"x")
+    with pytest.raises(ValueError, match="truncated"):
+        codec.decode(data[: ETH_HLEN + 22 + 5])
+
+
+def test_rejects_bad_constructor_args():
+    with pytest.raises(ValueError):
+        ScrPacketCodec(meta_size=-1, num_slots=3)
+    with pytest.raises(ValueError):
+        ScrPacketCodec(meta_size=4, num_slots=0)
+    with pytest.raises(ValueError):
+        ScrPacketCodec(meta_size=4, num_slots=256)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seq=st.integers(min_value=1, max_value=2**60),
+    ts=st.integers(min_value=0, max_value=2**60),
+    ptr=st.integers(min_value=0, max_value=4),
+    original=st.binary(max_size=200),
+)
+def test_roundtrip_property(seq, ts, ptr, original):
+    codec = ScrPacketCodec(meta_size=6, num_slots=5, dummy_eth=True)
+    r = rows(5, 6)
+    header, chron, out = codec.decode(codec.encode(seq, ts, r, ptr, original))
+    assert (header.seq, header.timestamp_ns) == (seq, ts)
+    assert out == original
+    # chronological order is a rotation of the ring
+    assert chron == r[ptr:] + r[:ptr]

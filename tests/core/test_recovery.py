@@ -1,0 +1,166 @@
+"""Algorithm 1 loss recovery: logs, catch-up walks, blocking, atomicity."""
+
+import pytest
+
+from repro.core import LOST, LossRecoveryManager
+
+
+def metas(lo, hi):
+    """History map for sequences lo..hi with distinguishable bytes."""
+    return {s: bytes([s % 251]) * 2 for s in range(lo, hi + 1)}
+
+
+def deliver(mgr, core, seq, window):
+    mgr.deliver(core, seq, metas(max(1, seq - window + 1), seq))
+
+
+class TestLogStates:
+    def test_initially_not_init(self):
+        mgr = LossRecoveryManager(2, window=3)
+        assert mgr.log_entry(0, 1) is None
+
+    def test_delivery_publishes_history(self):
+        mgr = LossRecoveryManager(2, window=3)
+        deliver(mgr, 0, 1, 3)
+        assert mgr.log_entry(0, 1) == bytes([1]) * 2
+
+    def test_gap_marked_lost(self):
+        mgr = LossRecoveryManager(2, window=2)
+        deliver(mgr, 0, 1, 2)
+        mgr.try_advance(0)
+        # core 0 next receives seq 4 (window covers 3..4): seq 2..? wait
+        deliver(mgr, 0, 4, 2)
+        assert mgr.log_entry(0, 2) is LOST
+
+    def test_monotonic_sequence_enforced(self):
+        mgr = LossRecoveryManager(2, window=3)
+        deliver(mgr, 0, 2, 3)
+        mgr.try_advance(0)
+        with pytest.raises(ValueError, match="non-monotonic"):
+            deliver(mgr, 0, 2, 3)
+
+    def test_missing_history_in_packet_rejected(self):
+        mgr = LossRecoveryManager(2, window=3)
+        with pytest.raises(ValueError, match="missing history"):
+            mgr.deliver(0, 2, {2: b"xx"})  # lacks seq 1
+
+    def test_delivery_while_pending_rejected(self):
+        mgr = LossRecoveryManager(3, window=2)
+        # Core 0 missed seq 1 entirely and no other core has seen anything:
+        # the catch-up walk blocks on their NOT_INIT logs.
+        deliver(mgr, 0, 3, 2)
+        _, done = mgr.try_advance(0)
+        assert not done
+        with pytest.raises(RuntimeError, match="catching up"):
+            deliver(mgr, 0, 5, 2)
+
+
+class TestCatchup:
+    def test_in_window_entries_applied_in_order(self):
+        mgr = LossRecoveryManager(2, window=4)
+        deliver(mgr, 0, 3, 4)
+        entries, done = mgr.try_advance(0)
+        assert done
+        assert [s for s, _ in entries] == [1, 2, 3]
+        assert all(b is not None for _, b in entries)
+
+    def test_recovery_from_other_core_log(self):
+        mgr = LossRecoveryManager(2, window=2)
+        # core 1 receives seq 2 carrying history for 1..2 → logs both.
+        deliver(mgr, 1, 2, 2)
+        mgr.try_advance(1)
+        # core 0's first delivery is seq 3 (window 2..3): seq 1 is a gap.
+        deliver(mgr, 0, 3, 2)
+        entries, done = mgr.try_advance(0)
+        assert done
+        assert entries[0] == (1, bytes([1]) * 2)  # recovered from core 1
+        assert mgr.recovered == 1
+
+    def test_blocks_while_other_core_not_init(self):
+        mgr = LossRecoveryManager(2, window=2)
+        deliver(mgr, 0, 3, 2)  # gap at 1, core 1 knows nothing yet
+        entries, done = mgr.try_advance(0)
+        assert not done
+        assert entries == []
+        assert mgr.blocked_cores() == [0]
+        assert mgr.blocked_waits >= 1
+
+    def test_unblocks_after_other_core_progresses(self):
+        mgr = LossRecoveryManager(2, window=2)
+        deliver(mgr, 0, 3, 2)
+        assert not mgr.try_advance(0)[1]
+        # now core 1 receives seq 2 (history 1..2) → logs history[1]
+        deliver(mgr, 1, 2, 2)
+        mgr.try_advance(1)
+        entries, done = mgr.try_advance(0)
+        assert done
+        assert entries[0][0] == 1 and entries[0][1] is not None
+
+    def test_lost_everywhere_skipped_for_atomicity(self):
+        mgr = LossRecoveryManager(2, window=2)
+        # Both cores jump past seq 1-2 → nobody ever saw history[1].
+        deliver(mgr, 1, 4, 2)
+        mgr.try_advance(1)  # core 1 marks 1,2 ... seq1: probes core0 NOT_INIT → blocked
+        deliver(mgr, 0, 5, 2)
+        mgr.try_advance(0)  # core 0 marks 1..3 LOST (4,5 in window? 4..5)
+        entries1, done1 = mgr.try_advance(1)
+        entries0, done0 = mgr.try_advance(0)
+        # keep advancing both until done
+        for _ in range(5):
+            if not done1:
+                e, done1 = mgr.try_advance(1)
+                entries1 += e
+            if not done0:
+                e, done0 = mgr.try_advance(0)
+                entries0 += e
+        assert done0 and done1
+        assert mgr.skipped > 0
+        assert 1 in mgr.skipped_seqs
+        skipped_entries = [e for e in entries0 + entries1 if e[1] is None]
+        assert skipped_entries
+
+    def test_single_core_skips_gaps(self):
+        """With one core, a lost packet reached nobody: skip, never block."""
+        mgr = LossRecoveryManager(1, window=1)
+        deliver(mgr, 0, 1, 1)
+        mgr.try_advance(0)
+        deliver(mgr, 0, 3, 1)
+        entries, done = mgr.try_advance(0)
+        assert done
+        assert (2, None) in entries
+
+    def test_max_seq_tracks_walk(self):
+        mgr = LossRecoveryManager(2, window=4)
+        deliver(mgr, 0, 3, 4)
+        mgr.try_advance(0)
+        assert mgr.max_seq(0) == 3
+
+
+class TestRoundRobinScenario:
+    def test_three_cores_loss_free_interleaving(self):
+        """RR delivery with window = k: every catch-up resolves instantly."""
+        k, window = 3, 3
+        mgr = LossRecoveryManager(k, window=window)
+        for seq in range(1, 31):
+            core = (seq - 1) % k
+            deliver(mgr, core, seq, window)
+            entries, done = mgr.try_advance(core)
+            assert done
+            assert entries[-1][0] == seq
+
+    def test_every_core_converges_after_single_loss(self):
+        k, window = 3, 3
+        mgr = LossRecoveryManager(k, window=window)
+        lost_seq = 7  # would go to core 0 (seq-1) % 3 == 0
+        for seq in range(1, 16):
+            core = (seq - 1) % k
+            if seq == lost_seq:
+                continue  # dropped on the way to core 0
+            deliver(mgr, core, seq, window)
+            # drain all cores until no progress
+            for _ in range(k):
+                for c in range(k):
+                    mgr.try_advance(c)
+        assert mgr.recovered >= 1
+        assert not mgr.blocked_cores()
+        assert all(mgr.max_seq(c) >= 13 for c in range(k))

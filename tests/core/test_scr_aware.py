@@ -1,0 +1,90 @@
+"""ScrCoreRuntime: the App. C fast-forward loop in isolation."""
+
+import pytest
+
+from repro.core import ScrCoreRuntime, ScrPacketCodec
+from repro.packet import make_udp_packet
+from repro.programs import make_program
+from repro.sequencer import PacketHistorySequencer
+from repro.state import StateMap
+
+
+def make_setup(cores=3, program_name="ddos"):
+    prog = make_program(program_name)
+    seq = PacketHistorySequencer(prog, cores)
+    runtimes = [
+        ScrCoreRuntime(prog, core_id=i, codec=seq.codec, state=StateMap())
+        for i in range(cores)
+    ]
+    return prog, seq, runtimes
+
+
+def pkt(src, ts=0):
+    return make_udp_packet(src, 2, 3, 4, timestamp_ns=ts)
+
+
+def test_verdict_emitted_per_packet():
+    prog, seq, runtimes = make_setup()
+    sp = seq.process(pkt(1))
+    outcomes = runtimes[sp.core].receive(sp.data)
+    assert len(outcomes) == 1
+    assert outcomes[0][0] == 1  # sequence number
+
+
+def test_fast_forward_applies_missed_packets():
+    prog, seq, runtimes = make_setup(cores=2)
+    # seq1 → core0 (src 10), seq2 → core1 (src 10), seq3 → core0.
+    for i in range(3):
+        sp = seq.process(pkt(10))
+        runtimes[sp.core].receive(sp.data)
+    # core0 processed seqs 1,3 and fast-forwarded 2: its count must be 3.
+    assert runtimes[0].state.lookup(10) == 3
+    assert runtimes[0].history_applied == 1
+
+
+def test_history_skips_already_applied_rows():
+    """With more slots than cores, rows for already-seen sequences are
+    skipped by sequence comparison, not reapplied."""
+    prog = make_program("ddos")
+    seq = PacketHistorySequencer(prog, 2, num_slots=6)
+    runtimes = [
+        ScrCoreRuntime(prog, core_id=i, codec=seq.codec, state=StateMap())
+        for i in range(2)
+    ]
+    for _ in range(8):
+        sp = seq.process(pkt(10))
+        runtimes[sp.core].receive(sp.data)
+    # core 1 processed the last packet (seq 8) so it is fully up to date;
+    # core 0's last arrival was seq 7, leaving it one packet behind.
+    assert runtimes[1].state.lookup(10) == 8
+    assert runtimes[0].state.lookup(10) == 7
+
+
+def test_gap_beyond_slots_raises_without_recovery():
+    prog, seq, runtimes = make_setup(cores=2)
+    sp1 = seq.process(pkt(1))
+    runtimes[0].receive(sp1.data)
+    # lose seqs 2..4 to this core (deliver none), then deliver seq 5 → the
+    # 2-slot history cannot cover the gap.
+    for _ in range(3):
+        seq.process(pkt(1))
+    sp5 = seq.process(pkt(1))
+    with pytest.raises(RuntimeError, match="gap"):
+        runtimes[0].receive(sp5.data)
+
+
+def test_blocked_is_false_without_recovery():
+    prog, seq, runtimes = make_setup()
+    sp = seq.process(pkt(1))
+    runtimes[sp.core].receive(sp.data)
+    assert not runtimes[sp.core].blocked
+    assert runtimes[sp.core].rx_backlog == 0
+
+
+def test_counters_track_work():
+    prog, seq, runtimes = make_setup(cores=2)
+    for _ in range(6):
+        sp = seq.process(pkt(9))
+        runtimes[sp.core].receive(sp.data)
+    assert runtimes[0].packets_processed == 3
+    assert runtimes[0].history_applied == 2  # seq 3 and 5 fast-forwards

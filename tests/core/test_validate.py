@@ -1,0 +1,119 @@
+"""validate_program: the SCR-safety checker."""
+
+import random
+import time
+from typing import Any, Hashable, Optional, Tuple
+
+import pytest
+
+from repro.core.validate import validate_program
+from repro.packet import Packet, make_udp_packet
+from repro.programs import PacketMetadata, PacketProgram, Verdict, make_program, program_names
+from repro.traffic import synthesize_trace, univ_dc_flow_sizes
+
+
+@pytest.fixture(scope="module")
+def sample_packets():
+    trace = synthesize_trace(univ_dc_flow_sizes(), 10, seed=6, max_packets=300)
+    return list(trace)
+
+
+@pytest.mark.parametrize("name", sorted(set(program_names()) ))
+def test_all_registered_programs_validate(name, sample_packets):
+    report = validate_program(make_program(name), sample_packets)
+    assert report.ok, (name, report.problems)
+    assert report.packets_checked == len(sample_packets)
+
+
+class _BadMeta(PacketMetadata):
+    FORMAT = "!H"  # too small for a 32-bit source IP
+    FIELDS = ("src_ip",)
+    __slots__ = ("src_ip",)
+
+    def pack(self):  # truncates, breaking the round trip
+        import struct
+        return struct.pack("!H", self.src_ip & 0xFFFF)
+
+
+class _LossyMetadataProgram(PacketProgram):
+    """Metadata drops high bits of the key — invalid for SCR."""
+
+    name = "lossy"
+    metadata_cls = _BadMeta
+
+    def extract_metadata(self, pkt):
+        return _BadMeta(src_ip=pkt.ip.src if pkt.is_ipv4 else 0)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        return (value or 0) + 1, Verdict.TX
+
+
+def test_detects_lossy_metadata():
+    pkts = [make_udp_packet(0x12345678, 2, 3, 4)]
+    report = validate_program(_LossyMetadataProgram(), pkts)
+    assert not report.ok
+    assert any("round-trip" in p or "key" in p for p in report.problems)
+
+
+class _ClockProgram(_LossyMetadataProgram):
+    """Reads the wall clock inside the transition — non-deterministic."""
+
+    name = "clocky"
+
+    def extract_metadata(self, pkt):
+        return _BadMeta(src_ip=1)
+
+    def transition(self, value, meta):
+        return time.perf_counter_ns(), Verdict.TX
+
+
+def test_detects_wall_clock_reads():
+    report = validate_program(_ClockProgram(), [make_udp_packet(1, 2, 3, 4)])
+    assert any("non-deterministic" in p for p in report.problems)
+
+
+class _UnseededRandomProgram(_LossyMetadataProgram):
+    name = "rand"
+
+    def extract_metadata(self, pkt):
+        return _BadMeta(src_ip=1)
+
+    def transition(self, value, meta):
+        return (value or 0), (Verdict.TX if random.random() < 0.5 else Verdict.DROP)
+
+
+def test_detects_unseeded_randomness():
+    pkts = [make_udp_packet(1, 2, 3, 4)] * 40
+    report = validate_program(_UnseededRandomProgram(), pkts)
+    assert not report.ok
+
+
+class _HiddenGlobalProgram(_LossyMetadataProgram):
+    """Keeps a counter on the program object — replicas diverge."""
+
+    name = "hidden"
+
+    def __init__(self):
+        self.calls = 0
+
+    def extract_metadata(self, pkt):
+        return _BadMeta(src_ip=1)
+
+    def transition(self, value, meta):
+        self.calls += 1
+        return self.calls, Verdict.TX
+
+
+def test_detects_hidden_program_state():
+    pkts = [make_udp_packet(1, 2, 3, 4)] * 10
+    report = validate_program(_HiddenGlobalProgram(), pkts)
+    assert any("replica" in p or "non-deterministic" in p for p in report.problems)
+
+
+def test_report_fields():
+    report = validate_program(make_program("ddos"), [make_udp_packet(1, 2, 3, 4)])
+    assert report.program == "ddos"
+    assert report.ok and report.problems == []

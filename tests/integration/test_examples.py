@@ -1,0 +1,51 @@
+"""Smoke tests: the fast examples must run clean as scripts."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+#: the examples that finish in a few seconds (the others run MLFFR sweeps
+#: and are exercised through the benchmarks instead).
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_program.py",
+    "sequencer_capacity_planning.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()
+
+
+def test_quickstart_reports_verification():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "identical to the single-threaded reference" in proc.stdout
+
+
+def test_all_examples_exist():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "ddos_mitigation.py",
+        "connection_tracking.py",
+        "loss_recovery.py",
+        "sequencer_capacity_planning.py",
+        "custom_program.py",
+    } <= present

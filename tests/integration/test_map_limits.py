@@ -1,0 +1,70 @@
+"""The eBPF map-size constraint (§4.1) and the sampling workaround.
+
+The paper's programs run inside eBPF, whose maps are fixed-size; the CAIDA
+trace had to be flow-sampled to fit.  These tests exercise that regime:
+fixed-size maps fail loudly when overrun, and the distribution-preserving
+sampler brings a trace under the limit.
+"""
+
+import pytest
+
+from repro.core import ScrFunctionalEngine
+from repro.programs import make_program
+from repro.state import CuckooInsertError, StateMap
+from repro.traffic import sample_flows, synthesize_trace, caida_backbone_flow_sizes
+
+
+@pytest.fixture(scope="module")
+def wide_trace():
+    """More concurrent flows than a small fixed map can hold."""
+    return synthesize_trace(
+        caida_backbone_flow_sizes(), 400, seed=44, max_packets=3000,
+        mean_flow_interarrival_ns=100,
+    )
+
+
+def count_distinct_keys(trace, program):
+    keys = set()
+    for pkt in trace:
+        keys.add(program.key(program.extract_metadata(pkt)))
+    return len(keys)
+
+
+def test_fixed_map_overrun_fails_loudly(wide_trace):
+    prog = make_program("heavy_hitter")
+    state = StateMap(capacity=64, allow_grow=False)
+    with pytest.raises(CuckooInsertError):
+        for pkt in wide_trace:
+            prog.process(state, pkt)
+
+
+def test_growing_map_absorbs_the_same_trace(wide_trace):
+    prog = make_program("heavy_hitter")
+    state = StateMap(capacity=64, allow_grow=True)
+    for pkt in wide_trace:
+        prog.process(state, pkt)
+    assert len(state) == count_distinct_keys(wide_trace, prog)
+
+
+def test_sampling_brings_trace_under_map_limit(wide_trace):
+    """The paper's CAIDA preparation: sample flows until the state fits."""
+    prog = make_program("heavy_hitter")
+    limit = 128
+    sampled = sample_flows(wide_trace, max_packets=len(wide_trace) // 4, seed=3)
+    while count_distinct_keys(sampled, prog) > int(limit * 0.8):
+        sampled = sample_flows(sampled, max_packets=len(sampled) // 2, seed=3)
+    state = StateMap(capacity=limit, allow_grow=False)
+    for pkt in sampled:
+        prog.process(state, pkt)  # never raises
+    assert 0 < len(state) <= limit
+
+
+def test_scr_engine_respects_state_capacity(wide_trace):
+    """Per-core replicas inherit the fixed-size regime: a too-small
+    capacity fails identically on every core (determinism even in
+    failure)."""
+    engine = ScrFunctionalEngine(
+        make_program("heavy_hitter"), 2, state_capacity=1 << 16
+    )
+    result = engine.run(wide_trace)
+    assert result.replicas_consistent

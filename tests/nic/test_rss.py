@@ -1,0 +1,118 @@
+"""Toeplitz RSS: official verification vectors, symmetry, indirection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nic import (
+    MSFT_RSS_KEY,
+    SYMMETRIC_RSS_KEY,
+    RssIndirection,
+    hash_input_l2,
+    hash_input_l3,
+    hash_input_l4,
+    toeplitz_hash,
+)
+from repro.packet import FiveTuple, make_udp_packet
+
+#: Official Microsoft RSS verification suite (IPv4, with and without ports):
+#: (src ip, dst ip, sport, dport, expected L3 hash, expected L4 hash).
+MSFT_VECTORS = [
+    # 66.9.149.187 -> 161.142.100.80
+    (0x420995BB, 0xA18E6450, 2794, 1766, 0x323E8FC2, 0x51CCC178),
+    # 199.92.111.2 -> 65.69.140.83
+    (0xC75C6F02, 0x41458C53, 14230, 4739, 0xD718262A, 0xC626B0EA),
+    # 24.19.198.95 -> 12.22.207.184
+    (0x1813C65F, 0x0C16CFB8, 12898, 38024, 0xD2D0A5DE, 0x5C2B394A),
+    # 38.27.205.30 -> 209.142.163.6
+    (0x261BCD1E, 0xD18EA306, 48228, 2217, 0x82989176, 0xAFC7327F),
+    # 153.39.163.191 -> 202.188.127.2
+    (0x9927A3BF, 0xCABC7F02, 44251, 1303, 0x5D1809C5, 0x10E828A2),
+]
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+port = st.integers(min_value=0, max_value=65535)
+
+
+@pytest.mark.parametrize("src,dst,sport,dport,l3,l4", MSFT_VECTORS)
+def test_official_l3_vectors(src, dst, sport, dport, l3, l4):
+    ft = FiveTuple(src_ip=src, dst_ip=dst, src_port=sport, dst_port=dport)
+    assert toeplitz_hash(hash_input_l3(ft)) == l3
+
+
+@pytest.mark.parametrize("src,dst,sport,dport,l3,l4", MSFT_VECTORS)
+def test_official_l4_vectors(src, dst, sport, dport, l3, l4):
+    ft = FiveTuple(src_ip=src, dst_ip=dst, src_port=sport, dst_port=dport)
+    assert toeplitz_hash(hash_input_l4(ft)) == l4
+
+
+@given(u32, u32, port, port)
+def test_symmetric_key_hashes_both_directions_equal(src, dst, sport, dport):
+    """The Woo & Park property [70] the conntrack baseline needs."""
+    ft = FiveTuple(src_ip=src, dst_ip=dst, src_port=sport, dst_port=dport)
+    h1 = toeplitz_hash(hash_input_l4(ft), key=SYMMETRIC_RSS_KEY)
+    h2 = toeplitz_hash(hash_input_l4(ft.reversed()), key=SYMMETRIC_RSS_KEY)
+    assert h1 == h2
+
+
+def test_default_key_is_not_symmetric():
+    ft = FiveTuple(src_ip=1, dst_ip=2, src_port=3, dst_port=4)
+    assert toeplitz_hash(hash_input_l4(ft)) != toeplitz_hash(hash_input_l4(ft.reversed()))
+
+
+def test_hash_is_32bit():
+    ft = FiveTuple(0xFFFFFFFF, 0xFFFFFFFF, 0xFFFF, 0xFFFF)
+    assert 0 <= toeplitz_hash(hash_input_l4(ft)) <= 0xFFFFFFFF
+
+
+def test_key_too_short_rejected():
+    with pytest.raises(ValueError):
+        toeplitz_hash(b"\x01" * 12, key=b"\x00" * 10)
+
+
+def test_l2_input_covers_ethernet_header():
+    pkt = make_udp_packet(1, 2, 3, 4)
+    pkt.eth.src, pkt.eth.dst = b"\x01" * 6, b"\x02" * 6
+    data = hash_input_l2(pkt)
+    assert len(data) == 14
+    assert data[:6] == b"\x02" * 6
+
+
+class TestIndirection:
+    def test_default_round_robin_layout(self):
+        t = RssIndirection(4, table_size=8)
+        assert t.table == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_queue_of_uses_low_bits(self):
+        t = RssIndirection(4, table_size=128)
+        assert t.queue_of(0) == t.table[0]
+        assert t.queue_of(129) == t.table[1]
+
+    def test_migrate_moves_single_shard(self):
+        t = RssIndirection(4, table_size=16)
+        t.migrate(5, 3)
+        assert t.table[5] == 3
+        assert t.queue_of(5) == 3
+
+    def test_shards_on(self):
+        t = RssIndirection(2, table_size=8)
+        assert t.shards_on(0) == [0, 2, 4, 6]
+        t.migrate(0, 1)
+        assert 0 not in t.shards_on(0)
+
+    def test_migrate_bounds_checked(self):
+        t = RssIndirection(2, table_size=8)
+        with pytest.raises(IndexError):
+            t.migrate(99, 0)
+        with pytest.raises(IndexError):
+            t.migrate(0, 7)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            RssIndirection(0)
+        with pytest.raises(ValueError):
+            RssIndirection(8, table_size=4)
+
+    def test_non_power_of_two_table(self):
+        t = RssIndirection(3, table_size=96)
+        assert all(0 <= t.queue_of(h) < 3 for h in range(1000))

@@ -1,0 +1,60 @@
+"""Internet checksum (RFC 1071) behaviour."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packet import internet_checksum, pseudo_header, verify_checksum
+
+
+def test_known_vector_rfc1071():
+    # The classic RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2,
+    # checksum is its complement.
+    data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+    assert internet_checksum(data) == (~0xDDF2) & 0xFFFF
+
+
+def test_zero_data_checksums_to_ffff():
+    assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+
+def test_odd_length_padded():
+    # Padding with a zero byte must match explicit padding.
+    assert internet_checksum(b"\xab") == internet_checksum(b"\xab\x00")
+
+
+def test_verify_roundtrip():
+    data = b"\x45\x00\x00\x1c\x00\x00\x00\x00\x40\x11"
+    csum = internet_checksum(data + b"\x00\x00")
+    full = data + csum.to_bytes(2, "big")
+    assert verify_checksum(full)
+
+
+def test_verify_detects_corruption():
+    data = bytearray(b"\x45\x00\x00\x1c\x00\x00\x00\x00\x40\x11")
+    csum = internet_checksum(bytes(data) + b"\x00\x00")
+    full = bytearray(bytes(data) + csum.to_bytes(2, "big"))
+    full[0] ^= 0xFF
+    assert not verify_checksum(bytes(full))
+
+
+def test_pseudo_header_layout():
+    ph = pseudo_header(0x0A000001, 0x0A000002, 6, 20)
+    assert len(ph) == 12
+    assert ph[:4] == b"\x0a\x00\x00\x01"
+    assert ph[8] == 0  # zero byte
+    assert ph[9] == 6  # protocol
+    assert ph[10:12] == b"\x00\x14"
+
+
+@given(st.binary(min_size=0, max_size=128))
+def test_checksum_in_16bit_range(data):
+    assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+@given(st.binary(min_size=2, max_size=128).filter(lambda d: len(d) % 2 == 0))
+def test_inserting_checksum_verifies(data):
+    # Compute checksum over data with a zeroed trailing field, append it,
+    # and the whole thing must verify.
+    csum = internet_checksum(data + b"\x00\x00")
+    assert verify_checksum(data + csum.to_bytes(2, "big"))

@@ -1,0 +1,57 @@
+"""Flow key identity and direction normalization."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packet import FiveTuple, IPPROTO_TCP
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+port = st.integers(min_value=0, max_value=65535)
+
+tuples = st.builds(
+    FiveTuple, src_ip=u32, dst_ip=u32, src_port=port, dst_port=port,
+    proto=st.sampled_from([6, 17]),
+)
+
+
+def test_reversed_swaps_endpoints():
+    ft = FiveTuple(1, 2, 10, 20, IPPROTO_TCP)
+    r = ft.reversed()
+    assert (r.src_ip, r.dst_ip, r.src_port, r.dst_port) == (2, 1, 20, 10)
+    assert r.proto == ft.proto
+
+
+def test_double_reverse_is_identity():
+    ft = FiveTuple(1, 2, 10, 20)
+    assert ft.reversed().reversed() == ft
+
+
+@given(tuples)
+def test_both_directions_share_normalized_key(ft):
+    assert ft.normalized() == ft.reversed().normalized()
+
+
+@given(tuples)
+def test_normalized_is_idempotent(ft):
+    assert ft.normalized().normalized() == ft.normalized()
+
+
+def test_is_forward_for_sorted_endpoints():
+    ft = FiveTuple(1, 2, 10, 20)
+    assert ft.is_forward()
+    assert not ft.reversed().is_forward()
+
+
+def test_ties_on_ip_broken_by_port():
+    ft = FiveTuple(5, 5, 300, 100)
+    assert ft.normalized() == ft.reversed()
+
+
+def test_hashable_and_usable_as_dict_key():
+    d = {FiveTuple(1, 2, 3, 4): "x"}
+    assert d[FiveTuple(1, 2, 3, 4)] == "x"
+
+
+def test_str_renders_dotted_quads():
+    s = str(FiveTuple(0x0A000001, 0x0A000002, 1, 2))
+    assert "10.0.0.1:1" in s and "10.0.0.2:2" in s

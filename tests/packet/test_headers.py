@@ -1,0 +1,140 @@
+"""Byte-exact header pack/unpack."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packet import (
+    ETH_HLEN,
+    ETH_P_IP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    IPV4_HLEN,
+    TCP_ACK,
+    TCP_HLEN,
+    TCP_SYN,
+    UDP_HLEN,
+    EthernetHeader,
+    IPv4Header,
+    TCPHeader,
+    UDPHeader,
+    bytes_to_mac,
+    int_to_ip,
+    ip_to_int,
+    mac_to_bytes,
+    verify_checksum,
+)
+
+ports = st.integers(min_value=0, max_value=65535)
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestAddressHelpers:
+    def test_ip_roundtrip(self):
+        assert int_to_ip(ip_to_int("192.168.1.254")) == "192.168.1.254"
+
+    def test_ip_edge_values(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"])
+    def test_ip_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+
+    def test_int_to_ip_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+
+    def test_mac_roundtrip(self):
+        assert bytes_to_mac(mac_to_bytes("aa:bb:cc:dd:ee:ff")) == "aa:bb:cc:dd:ee:ff"
+
+    def test_mac_rejects_short(self):
+        with pytest.raises(ValueError):
+            mac_to_bytes("aa:bb:cc")
+
+    @given(u32)
+    def test_ip_roundtrip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestEthernet:
+    def test_pack_length(self):
+        assert len(EthernetHeader().pack()) == ETH_HLEN
+
+    def test_roundtrip(self):
+        h = EthernetHeader(dst=b"\x01" * 6, src=b"\x02" * 6, ethertype=ETH_P_IP)
+        assert EthernetHeader.unpack(h.pack()) == h
+
+    def test_unpack_truncated(self):
+        with pytest.raises(ValueError):
+            EthernetHeader.unpack(b"\x00" * 8)
+
+
+class TestIPv4:
+    def test_pack_length(self):
+        assert len(IPv4Header().pack()) == IPV4_HLEN
+
+    def test_checksum_valid_after_pack(self):
+        raw = IPv4Header(src=1, dst=2, proto=IPPROTO_TCP, total_length=40).pack()
+        assert verify_checksum(raw)
+
+    def test_roundtrip_fields(self):
+        h = IPv4Header(src=0x0A000001, dst=0xAC100001, proto=IPPROTO_UDP, ttl=17, tos=3)
+        back = IPv4Header.unpack(h.pack())
+        assert (back.src, back.dst, back.proto, back.ttl, back.tos) == (
+            h.src, h.dst, h.proto, h.ttl, h.tos,
+        )
+
+    def test_rejects_non_ipv4_version(self):
+        raw = bytearray(IPv4Header().pack())
+        raw[0] = (6 << 4) | 5  # claim IPv6
+        with pytest.raises(ValueError):
+            IPv4Header.unpack(bytes(raw))
+
+    def test_unpack_truncated(self):
+        with pytest.raises(ValueError):
+            IPv4Header.unpack(b"\x45" + b"\x00" * 10)
+
+
+class TestTCP:
+    def test_pack_length(self):
+        assert len(TCPHeader().pack()) == TCP_HLEN
+
+    @given(ports, ports, u32, u32)
+    def test_roundtrip_property(self, sport, dport, seq, ack):
+        h = TCPHeader(sport=sport, dport=dport, seq=seq, ack=ack, flags=TCP_SYN | TCP_ACK)
+        back = TCPHeader.unpack(h.pack())
+        assert (back.sport, back.dport, back.seq, back.ack, back.flags) == (
+            sport, dport, seq, ack, TCP_SYN | TCP_ACK,
+        )
+
+    def test_has_flag(self):
+        h = TCPHeader(flags=TCP_SYN | TCP_ACK)
+        assert h.has_flag(TCP_SYN) and h.has_flag(TCP_ACK)
+        assert not h.has_flag(0x01)  # FIN
+
+    def test_checksum_over_pseudo_header(self):
+        from repro.packet import internet_checksum, pseudo_header
+
+        h = TCPHeader(sport=1234, dport=80, seq=7, flags=TCP_ACK)
+        raw = h.pack_with_checksum(0x0A000001, 0x0A000002, payload=b"hi")
+        pseudo = pseudo_header(0x0A000001, 0x0A000002, IPPROTO_TCP, len(raw))
+        assert internet_checksum(pseudo + raw) == 0
+
+    def test_unpack_truncated(self):
+        with pytest.raises(ValueError):
+            TCPHeader.unpack(b"\x00" * 12)
+
+
+class TestUDP:
+    def test_pack_length(self):
+        assert len(UDPHeader().pack()) == UDP_HLEN
+
+    def test_roundtrip(self):
+        h = UDPHeader(sport=53, dport=5353, length=20, checksum=0xABCD)
+        assert UDPHeader.unpack(h.pack()) == h
+
+    def test_unpack_truncated(self):
+        with pytest.raises(ValueError):
+            UDPHeader.unpack(b"\x00" * 4)

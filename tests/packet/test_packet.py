@@ -1,0 +1,107 @@
+"""Packet object: serialization round trips, truncation, 5-tuples."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packet import (
+    ETH_HLEN,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    Packet,
+    TCP_SYN,
+    make_tcp_packet,
+    make_udp_packet,
+)
+
+u32 = st.integers(min_value=1, max_value=0xFFFFFFFF)
+port = st.integers(min_value=1, max_value=65535)
+
+
+def test_tcp_roundtrip(tcp_syn_packet):
+    back = Packet.from_bytes(tcp_syn_packet.to_bytes())
+    assert back.is_tcp
+    assert back.five_tuple() == tcp_syn_packet.five_tuple()
+    assert back.l4.flags == TCP_SYN
+    assert back.l4.seq == 100
+
+
+def test_udp_roundtrip(udp_packet):
+    back = Packet.from_bytes(udp_packet.to_bytes())
+    assert back.is_udp
+    assert back.payload == b"query"
+    assert back.five_tuple() == udp_packet.five_tuple()
+
+
+def test_non_ip_packet_keeps_payload():
+    pkt = Packet(payload=b"\xde\xad\xbe\xef")
+    back = Packet.from_bytes(pkt.to_bytes())
+    assert not back.is_ipv4
+    assert back.payload == b"\xde\xad\xbe\xef"
+
+
+def test_five_tuple_of_non_ip_is_zero():
+    assert Packet().five_tuple().src_ip == 0
+
+
+def test_wire_len_defaults_to_serialized_length():
+    pkt = make_tcp_packet(1, 2, 3, 4, TCP_SYN, payload=b"x" * 10)
+    assert pkt.wire_len == len(pkt.to_bytes())
+
+
+def test_truncated_preserves_headers():
+    pkt = make_tcp_packet(1, 2, 3, 4, TCP_SYN, payload=b"x" * 500)
+    t = pkt.truncated(64)
+    assert t.is_tcp
+    assert t.wire_len == 64
+    assert len(t.payload) == 64 - t.header_len
+
+
+def test_truncated_never_below_header_len():
+    pkt = make_tcp_packet(1, 2, 3, 4, TCP_SYN)
+    t = pkt.truncated(10)
+    assert t.wire_len == t.header_len
+    assert t.payload == b""
+
+
+def test_truncated_records_original_when_larger():
+    pkt = make_tcp_packet(1, 2, 3, 4, TCP_SYN, payload=b"y" * 100)
+    t = pkt.truncated(192)
+    assert t.wire_len == 192  # wire length is the truncation target
+
+
+def test_ip_total_length_consistent_after_to_bytes():
+    pkt = make_udp_packet(1, 2, 3, 4, payload=b"abc")
+    raw = pkt.to_bytes()
+    total_length = int.from_bytes(raw[ETH_HLEN + 2 : ETH_HLEN + 4], "big")
+    assert total_length == len(raw) - ETH_HLEN
+
+
+def test_from_bytes_preserves_timestamp_and_wire_len():
+    pkt = make_tcp_packet(1, 2, 3, 4, TCP_SYN)
+    back = Packet.from_bytes(pkt.to_bytes(), timestamp_ns=777, wire_len=1500)
+    assert back.timestamp_ns == 777
+    assert back.wire_len == 1500
+
+
+@given(u32, u32, port, port, st.binary(max_size=64))
+def test_tcp_byte_roundtrip_property(src, dst, sport, dport, payload):
+    pkt = make_tcp_packet(src, dst, sport, dport, TCP_SYN, payload=payload)
+    back = Packet.from_bytes(pkt.to_bytes())
+    assert back.five_tuple() == pkt.five_tuple()
+    assert back.payload == payload
+    assert back.to_bytes() == pkt.to_bytes()
+
+
+@given(u32, u32, port, port, st.binary(max_size=64))
+def test_udp_byte_roundtrip_property(src, dst, sport, dport, payload):
+    pkt = make_udp_packet(src, dst, sport, dport, payload=payload)
+    back = Packet.from_bytes(pkt.to_bytes())
+    assert back.five_tuple() == pkt.five_tuple()
+    assert back.payload == payload
+
+
+def test_header_len_by_protocol():
+    assert make_tcp_packet(1, 2, 3, 4, TCP_SYN).header_len == 14 + 20 + 20
+    assert make_udp_packet(1, 2, 3, 4).header_len == 14 + 20 + 8
+    assert Packet().header_len == 14

@@ -1,0 +1,110 @@
+"""Functional baseline engines: where sharding is right, wrong, and skewed."""
+
+import pytest
+
+from repro.core import reference_run
+from repro.packet import TCP_ACK, TCP_FIN, TCP_SYN, make_tcp_packet
+from repro.parallel.functional import (
+    SharedFunctionalEngine,
+    ShardedFunctionalEngine,
+)
+from repro.programs import NatGateway, make_program
+from repro.traffic import Trace, single_flow_trace, synthesize_trace, univ_dc_flow_sizes
+from tests.conftest import trace_for_program
+
+
+@pytest.mark.parametrize("name", ["ddos", "heavy_hitter", "port_knocking",
+                                  "token_bucket", "conntrack"])
+def test_sharding_correct_for_table1_programs(name):
+    """Every Table 1 program's key is RSS-shardable, so sharded execution
+    must equal the single-threaded reference."""
+    prog = make_program(name)
+    trace = trace_for_program(prog)
+    engine = ShardedFunctionalEngine(make_program(name), num_cores=4)
+    result = engine.run(trace)
+    ref_verdicts, ref_state = reference_run(make_program(name), trace)
+    assert result.verdicts == ref_verdicts
+    assert engine.merged_state() == ref_state
+    assert engine.shards_are_disjoint()
+
+
+def test_sharding_wrong_for_global_state():
+    """NAT's port pool is global: shards each grow their own pool and the
+    merged result diverges from the reference (§2.2)."""
+    pkts = []
+    for src in range(1, 17):
+        pkts.append(make_tcp_packet(src, 9, 100, 80, TCP_SYN))
+        pkts.append(make_tcp_packet(src, 9, 100, 80, TCP_ACK))
+    trace = Trace(pkts)
+    engine = ShardedFunctionalEngine(NatGateway(port_count=64), num_cores=4)
+    engine.run(trace)
+    assert not engine.shards_are_disjoint()  # every shard has its own pool
+    _, ref_state = reference_run(NatGateway(port_count=64), trace)
+    assert engine.merged_state() != ref_state
+
+
+def test_sharding_skew_single_flow():
+    """One connection → one core does all the work."""
+    trace = single_flow_trace(80, bidirectional=True)
+    engine = ShardedFunctionalEngine(make_program("conntrack"), num_cores=8)
+    result = engine.run(trace)
+    assert result.max_core_share == 1.0
+
+
+def test_sharding_spreads_many_flows():
+    trace = synthesize_trace(univ_dc_flow_sizes(), 40, seed=2, max_packets=800)
+    engine = ShardedFunctionalEngine(make_program("ddos"), num_cores=4)
+    result = engine.run(trace)
+    assert result.max_core_share < 0.95
+    assert sum(result.per_core_packets) == result.offered
+
+
+def test_symmetric_steering_for_conntrack():
+    """Both directions of a connection must reach the same shard."""
+    trace = single_flow_trace(30, bidirectional=True)
+    engine = ShardedFunctionalEngine(make_program("conntrack"), num_cores=8)
+    result = engine.run(trace)
+    busy = [c for c, n in enumerate(result.per_core_packets) if n]
+    assert len(busy) == 1
+
+
+@pytest.mark.parametrize("name", ["ddos", "conntrack", "token_bucket"])
+def test_shared_always_correct(name):
+    prog = make_program(name)
+    trace = trace_for_program(prog)
+    engine = SharedFunctionalEngine(make_program(name), num_cores=4)
+    result = engine.run(trace)
+    ref_verdicts, ref_state = reference_run(make_program(name), trace)
+    assert result.verdicts == ref_verdicts
+    assert engine.state.snapshot() == ref_state
+
+
+def test_shared_correct_even_for_global_state():
+    pkts = [make_tcp_packet(src, 9, 100, 80, TCP_SYN) for src in range(1, 17)]
+    trace = Trace(pkts)
+    engine = SharedFunctionalEngine(NatGateway(port_count=64), num_cores=4)
+    result = engine.run(trace)
+    _, ref_state = reference_run(NatGateway(port_count=64), trace)
+    assert engine.state.snapshot() == ref_state
+
+
+def test_shared_bounces_on_hot_flow():
+    """Round-robin spray over one flow bounces the state line constantly."""
+    trace = single_flow_trace(100, bidirectional=False)
+    engine = SharedFunctionalEngine(make_program("ddos"), num_cores=4)
+    engine.run(trace)
+    assert engine.bounce_ratio > 0.5
+
+
+def test_shared_spreads_work_evenly():
+    trace = single_flow_trace(100, bidirectional=False)
+    engine = SharedFunctionalEngine(make_program("ddos"), num_cores=4)
+    result = engine.run(trace)
+    assert max(result.per_core_packets) - min(result.per_core_packets) <= 1
+
+
+def test_engines_reject_zero_cores():
+    with pytest.raises(ValueError):
+        ShardedFunctionalEngine(make_program("ddos"), 0)
+    with pytest.raises(ValueError):
+        SharedFunctionalEngine(make_program("ddos"), 0)

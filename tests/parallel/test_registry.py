@@ -1,0 +1,52 @@
+"""Technique registry."""
+
+import pytest
+
+from repro.parallel import (
+    TECHNIQUES,
+    RssPlusPlusEngine,
+    ScrEngine,
+    SharedAtomicEngine,
+    SharedLockEngine,
+    ShardedRssEngine,
+    make_engine,
+    technique_names,
+)
+from repro.programs import make_program
+
+
+def test_four_techniques():
+    assert set(TECHNIQUES) == {"scr", "shared", "rss", "rss++"}
+    assert technique_names() == list(TECHNIQUES)
+
+
+@pytest.mark.parametrize(
+    "name,cls",
+    [("scr", ScrEngine), ("rss", ShardedRssEngine), ("rss++", RssPlusPlusEngine)],
+)
+def test_make_engine_types(name, cls):
+    assert isinstance(make_engine(name, make_program("ddos"), 2), cls)
+
+
+def test_shared_dispatches_on_program():
+    assert isinstance(
+        make_engine("shared", make_program("ddos"), 2), SharedAtomicEngine
+    )
+    assert isinstance(
+        make_engine("shared", make_program("conntrack"), 2), SharedLockEngine
+    )
+
+
+def test_unknown_technique():
+    with pytest.raises(KeyError, match="unknown technique"):
+        make_engine("magic", make_program("ddos"), 2)
+
+
+def test_kwargs_forwarded():
+    eng = make_engine("scr", make_program("ddos"), 2, num_slots=8)
+    assert eng.num_slots == 8
+
+
+def test_engine_rejects_zero_cores():
+    with pytest.raises(ValueError):
+        make_engine("rss", make_program("ddos"), 0)

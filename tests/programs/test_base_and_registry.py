@@ -1,0 +1,138 @@
+"""Program abstractions: metadata framework, registry, Table 1 inventory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packet import TCP_SYN, make_tcp_packet
+from repro.programs import (
+    PROGRAM_FACTORIES,
+    ForwarderMetadata,
+    StatelessForwarder,
+    Verdict,
+    make_program,
+    program_names,
+    table1_rows,
+)
+from repro.state import StateMap
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+port = st.integers(min_value=0, max_value=65535)
+
+#: the paper's Table 1 metadata sizes, byte for byte.
+TABLE1_METADATA_BYTES = {
+    "ddos": 4,
+    "heavy_hitter": 18,
+    "conntrack": 30,
+    "token_bucket": 18,
+    "port_knocking": 8,
+}
+
+
+@pytest.mark.parametrize("name,size", sorted(TABLE1_METADATA_BYTES.items()))
+def test_metadata_sizes_match_table1(name, size):
+    assert make_program(name).metadata_size == size
+
+
+@pytest.mark.parametrize("name", sorted(TABLE1_METADATA_BYTES))
+def test_metadata_pack_unpack_roundtrip(name):
+    prog = make_program(name)
+    pkt = make_tcp_packet(0x01020304, 0x05060708, 1111, 2222, TCP_SYN, seq=9)
+    pkt.timestamp_ns = 5_000_000
+    meta = prog.extract_metadata(pkt)
+    assert prog.metadata_cls.unpack(meta.pack()) == meta
+    assert len(meta.pack()) == prog.metadata_size
+
+
+@pytest.mark.parametrize("name", sorted(TABLE1_METADATA_BYTES))
+def test_transition_determinism(name):
+    """The replication prerequisite: same (state, meta) → same output (§3.1)."""
+    prog = make_program(name)
+    pkt = make_tcp_packet(1, 2, 3, 4, TCP_SYN)
+    meta = prog.extract_metadata(pkt)
+    first = prog.transition(None, meta)
+    for _ in range(3):
+        assert prog.transition(None, meta) == first
+
+
+def test_atomics_vs_locks_split_matches_table1():
+    rows = {r["program"]: r["atomics_or_locks"] for r in table1_rows()}
+    assert rows["ddos"] == "Atomic HW"
+    assert rows["heavy_hitter"] == "Atomic HW"
+    assert rows["conntrack"] == "Locks"
+    assert rows["token_bucket"] == "Locks"
+    assert rows["port_knocking"] == "Locks"
+
+
+def test_rss_fields_match_table1():
+    rows = {r["program"]: r["rss_fields"] for r in table1_rows()}
+    assert rows["ddos"] == "src & dst IP"
+    assert rows["port_knocking"] == "src & dst IP"
+    assert rows["heavy_hitter"] == "5-tuple"
+    assert rows["token_bucket"] == "5-tuple"
+    assert "symmetric" in rows["conntrack"]
+
+
+def test_registry_contains_all_programs():
+    assert set(PROGRAM_FACTORIES) == {
+        "ddos", "heavy_hitter", "conntrack", "token_bucket",
+        "port_knocking", "forwarder", "nat", "sampler", "load_balancer",
+    }
+
+
+def test_program_names_stateful_filter():
+    """stateful_only yields exactly the Table 1 set — no forwarder, and no
+    extension programs like NAT."""
+    assert program_names(stateful_only=True) == [
+        "conntrack", "ddos", "heavy_hitter", "port_knocking", "token_bucket",
+    ]
+    assert "forwarder" in program_names()
+    assert "nat" in program_names()
+
+
+def test_make_program_unknown_name():
+    with pytest.raises(KeyError, match="unknown program"):
+        make_program("nope")
+
+
+def test_make_program_passes_kwargs():
+    prog = make_program("ddos", threshold=5)
+    assert prog.threshold == 5
+
+
+class TestForwarder:
+    def test_stateless(self):
+        prog = StatelessForwarder()
+        state = StateMap()
+        pkt = make_tcp_packet(1, 2, 3, 4, TCP_SYN)
+        assert prog.process(state, pkt) == Verdict.TX
+        assert len(state) == 0
+
+    def test_zero_metadata(self):
+        assert StatelessForwarder().metadata_size == 0
+        meta = ForwarderMetadata()
+        assert meta.pack() == b""
+        assert ForwarderMetadata.unpack(b"") == meta
+
+    def test_mac_swap(self):
+        prog = StatelessForwarder()
+        pkt = make_tcp_packet(1, 2, 3, 4, TCP_SYN)
+        pkt.eth.src, pkt.eth.dst = b"\x01" * 6, b"\x02" * 6
+        out = prog.forward(pkt)
+        assert out.eth.src == b"\x02" * 6
+        assert out.eth.dst == b"\x01" * 6
+
+    def test_rejects_negative_compute(self):
+        with pytest.raises(ValueError):
+            StatelessForwarder(extra_compute_ns=-1)
+
+
+@given(u32, u32, port, port)
+def test_metadata_roundtrip_property_all_programs(src, dst, sport, dport):
+    pkt = make_tcp_packet(src, dst, sport, dport, TCP_SYN)
+    for name in TABLE1_METADATA_BYTES:
+        prog = make_program(name)
+        meta = prog.extract_metadata(pkt)
+        back = prog.metadata_cls.unpack(meta.pack())
+        assert back == meta
+        assert prog.key(back) == prog.key(meta)

@@ -1,0 +1,149 @@
+"""NF service chains: composition semantics + the §2.2 sharding-granularity
+infeasibility they expose."""
+
+import pytest
+
+from repro.core import ScrFunctionalEngine, reference_run, validate_program
+from repro.packet import TCP_SYN, make_tcp_packet, make_udp_packet, Packet
+from repro.parallel.functional import ShardedFunctionalEngine
+from repro.programs import (
+    DDoSMitigator,
+    NatGateway,
+    PortKnockingFirewall,
+    TokenBucketPolicer,
+    Verdict,
+)
+from repro.programs.chain import ProgramChain
+from repro.programs.ddos import VictimMonitor
+from repro.state import StateMap
+from repro.traffic import Trace, synthesize_trace, univ_dc_flow_sizes
+
+
+def pkt(src=1, dst=9, sport=100, dport=80):
+    return make_udp_packet(src, dst, sport, dport)
+
+
+class TestChainSemantics:
+    def test_metadata_concatenates(self):
+        chain = ProgramChain([DDoSMitigator(), VictimMonitor()])
+        assert chain.metadata_size == 4 + 4
+        meta = chain.extract_metadata(pkt(src=5, dst=7))
+        assert meta.stages[0].src_ip == 5
+        assert meta.stages[1].dst_ip == 7
+
+    def test_metadata_roundtrip(self):
+        chain = ProgramChain([DDoSMitigator(), TokenBucketPolicer()])
+        meta = chain.extract_metadata(pkt())
+        back = chain.metadata_cls.unpack(meta.pack())
+        assert back == meta
+        assert len(meta.pack()) == chain.metadata_size
+
+    def test_stages_update_namespaced_state(self):
+        chain = ProgramChain([DDoSMitigator(), VictimMonitor()])
+        state = StateMap()
+        chain.process(state, pkt(src=5, dst=5))  # same value, different stages
+        assert state.lookup((0, 5)) == 1
+        assert state.lookup((1, 5)) == 1
+        assert chain.stage_state(state, 0) == {5: 1}
+
+    def test_drop_short_circuits_later_stages(self):
+        chain = ProgramChain([DDoSMitigator(threshold=1), VictimMonitor()])
+        state = StateMap()
+        assert chain.process(state, pkt()) == Verdict.TX
+        assert chain.process(state, pkt()) == Verdict.DROP  # over threshold
+        # the victim monitor never saw the dropped packet
+        assert state.lookup((1, 9)) == 1
+
+    def test_all_pass_yields_pass(self):
+        chain = ProgramChain([DDoSMitigator(), VictimMonitor()])
+        state = StateMap()
+        assert chain.process(state, Packet()) == Verdict.PASS
+
+    def test_properties_aggregate(self):
+        chain = ProgramChain([DDoSMitigator(), TokenBucketPolicer()])
+        assert chain.needs_locks  # token bucket needs locks
+        assert not ProgramChain([DDoSMitigator(), VictimMonitor()]).needs_locks
+        assert "src & dst IP" in chain.rss_fields
+
+    def test_rejects_empty_and_apply_overriders(self):
+        with pytest.raises(ValueError):
+            ProgramChain([])
+        with pytest.raises(ValueError, match="apply"):
+            ProgramChain([NatGateway()])
+
+    def test_firewall_then_policer_realistic_chain(self):
+        knock = PortKnockingFirewall(ports=(7001, 7002, 7003))
+        chain = ProgramChain([knock, TokenBucketPolicer(rate_pps=1000, burst=2)])
+        state = StateMap()
+        # knock open, then the policer takes over as the limiting stage
+        for port in (7001, 7002, 7003):
+            chain.process(state, make_tcp_packet(1, 9, 5, port, TCP_SYN))
+        verdicts = [
+            chain.process(state, make_tcp_packet(1, 9, 5, 443, TCP_SYN))
+            for _ in range(4)
+        ]
+        assert verdicts[0] == Verdict.TX
+        assert Verdict.DROP in verdicts  # bucket drained
+
+
+class TestChainUnderScr:
+    def test_chain_is_scr_safe(self):
+        chain = ProgramChain([DDoSMitigator(), VictimMonitor()])
+        trace = synthesize_trace(univ_dc_flow_sizes(), 10, seed=3, max_packets=300)
+        assert validate_program(chain, list(trace)).ok
+
+    def test_chain_replicates_correctly(self):
+        def fresh():
+            return ProgramChain(
+                [DDoSMitigator(threshold=50), VictimMonitor(),
+                 TokenBucketPolicer(rate_pps=5000, burst=8)]
+            )
+
+        trace = synthesize_trace(univ_dc_flow_sizes(), 12, seed=7, max_packets=600)
+        engine = ScrFunctionalEngine(fresh(), num_cores=4)
+        result = engine.run(trace)
+        ref_verdicts, ref_state = reference_run(fresh(), trace)
+        assert result.replicas_consistent
+        assert result.replica_snapshots[0] == ref_state
+        assert result.verdicts == ref_verdicts
+
+
+class TestShardingGranularityInfeasibility:
+    """§2.2: per-source AND per-destination state cannot both be sharded by
+    one RSS configuration — the chain makes this concrete."""
+
+    def make_trace(self):
+        # many sources fanning in to many destinations, crosswise: any
+        # core split by source scatters each destination and vice versa.
+        pkts = []
+        for r in range(12):
+            for src in range(1, 9):
+                for dst in range(101, 109):
+                    pkts.append(pkt(src=src, dst=dst, sport=r + 1))
+        return Trace(pkts)
+
+    def test_rss_misplaces_one_stage(self):
+        chain = ProgramChain([DDoSMitigator(), VictimMonitor()])
+        trace = self.make_trace()
+        sharded = ShardedFunctionalEngine(chain, num_cores=4)
+        sharded.run(trace)
+        _, ref_state = reference_run(
+            ProgramChain([DDoSMitigator(), VictimMonitor()]), trace
+        )
+        # per-destination entries are scattered across cores: the shards
+        # overlap on stage-1 keys and the merged state is wrong.
+        assert not sharded.shards_are_disjoint()
+        assert sharded.merged_state() != ref_state
+
+    def test_scr_places_both_stages(self):
+        chain = ProgramChain([DDoSMitigator(), VictimMonitor()])
+        trace = self.make_trace()
+        engine = ScrFunctionalEngine(
+            ProgramChain([DDoSMitigator(), VictimMonitor()]), num_cores=4
+        )
+        result = engine.run(trace)
+        _, ref_state = reference_run(
+            ProgramChain([DDoSMitigator(), VictimMonitor()]), trace
+        )
+        assert result.replicas_consistent
+        assert result.replica_snapshots[0] == ref_state

@@ -1,0 +1,170 @@
+"""TCP connection tracker FSM."""
+
+import pytest
+
+from repro.packet import (
+    FiveTuple,
+    Packet,
+    TCP_ACK,
+    TCP_FIN,
+    TCP_RST,
+    TCP_SYN,
+    make_tcp_packet,
+    make_udp_packet,
+)
+from repro.programs import ConnectionTracker, ConntrackMetadata, TcpState, Verdict
+from repro.state import StateMap
+
+C_IP, S_IP, C_PORT, S_PORT = 0x0A000001, 0xAC100001, 40000, 443
+
+
+@pytest.fixture
+def prog():
+    return ConnectionTracker()
+
+
+@pytest.fixture
+def state():
+    return StateMap()
+
+
+def client(flags, seq=0, ack=0):
+    return make_tcp_packet(C_IP, S_IP, C_PORT, S_PORT, flags, seq=seq, ack=ack)
+
+
+def server(flags, seq=0, ack=0):
+    return make_tcp_packet(S_IP, C_IP, S_PORT, C_PORT, flags, seq=seq, ack=ack)
+
+
+def entry(state):
+    values = list(state.snapshot().values())
+    assert len(values) == 1
+    return values[0]
+
+
+def handshake(prog, state):
+    prog.process(state, client(TCP_SYN, seq=100))
+    prog.process(state, server(TCP_SYN | TCP_ACK, seq=500, ack=101))
+    prog.process(state, client(TCP_ACK, seq=101, ack=501))
+
+
+def test_metadata_size_matches_table1(prog):
+    assert prog.metadata_size == 30
+
+
+def test_three_way_handshake(prog, state):
+    assert prog.process(state, client(TCP_SYN, seq=100)) == Verdict.TX
+    assert entry(state).state == TcpState.SYN_SENT
+    assert prog.process(state, server(TCP_SYN | TCP_ACK, seq=500, ack=101)) == Verdict.TX
+    assert entry(state).state == TcpState.SYN_RECV
+    assert prog.process(state, client(TCP_ACK, seq=101, ack=501)) == Verdict.TX
+    assert entry(state).state == TcpState.ESTABLISHED
+
+
+def test_both_directions_share_one_entry(prog, state):
+    handshake(prog, state)
+    assert len(state) == 1
+
+
+def test_state_key_is_normalized(prog):
+    m1 = prog.extract_metadata(client(TCP_SYN))
+    m2 = prog.extract_metadata(server(TCP_SYN | TCP_ACK))
+    assert prog.key(m1) == prog.key(m2)
+
+
+def test_midstream_packet_without_state_dropped(prog, state):
+    assert prog.process(state, client(TCP_ACK, seq=5)) == Verdict.DROP
+    assert len(state) == 0
+
+
+def test_syn_retransmission_tolerated(prog, state):
+    prog.process(state, client(TCP_SYN, seq=100))
+    assert prog.process(state, client(TCP_SYN, seq=100)) == Verdict.TX
+    assert entry(state).state == TcpState.SYN_SENT
+
+
+def test_synack_retransmission_tolerated(prog, state):
+    prog.process(state, client(TCP_SYN, seq=100))
+    prog.process(state, server(TCP_SYN | TCP_ACK, seq=500, ack=101))
+    assert prog.process(state, server(TCP_SYN | TCP_ACK, seq=500, ack=101)) == Verdict.TX
+    assert entry(state).state == TcpState.SYN_RECV
+
+
+def test_established_data_flows(prog, state):
+    handshake(prog, state)
+    assert prog.process(state, client(TCP_ACK, seq=101)) == Verdict.TX
+    assert prog.process(state, server(TCP_ACK, seq=501)) == Verdict.TX
+    assert entry(state).state == TcpState.ESTABLISHED
+
+
+def test_full_teardown_deletes_entry(prog, state):
+    handshake(prog, state)
+    prog.process(state, client(TCP_FIN | TCP_ACK, seq=200))
+    assert entry(state).state == TcpState.FIN_WAIT
+    prog.process(state, server(TCP_FIN | TCP_ACK, seq=600))
+    assert entry(state).state == TcpState.CLOSING
+    assert prog.process(state, client(TCP_ACK, seq=201)) == Verdict.TX
+    assert len(state) == 0  # closed connections are reaped (§4.1 replay)
+
+
+def test_half_close_keeps_entry(prog, state):
+    handshake(prog, state)
+    prog.process(state, client(TCP_FIN | TCP_ACK, seq=200))
+    prog.process(state, server(TCP_ACK, seq=600))  # ACK of FIN, no FIN yet
+    assert entry(state).state == TcpState.FIN_WAIT
+
+
+def test_rst_tears_down_immediately(prog, state):
+    handshake(prog, state)
+    assert prog.process(state, client(TCP_RST)) == Verdict.TX
+    assert len(state) == 0
+
+
+def test_rst_without_state_is_harmless(prog, state):
+    assert prog.process(state, client(TCP_RST)) == Verdict.TX
+    assert len(state) == 0
+
+
+def test_non_tcp_passes_untracked(prog, state):
+    assert prog.process(state, make_udp_packet(1, 2, 3, 4)) == Verdict.PASS
+    assert prog.process(state, Packet()) == Verdict.PASS
+    assert len(state) == 0
+
+
+def test_unexpected_packet_in_syn_sent_dropped(prog, state):
+    prog.process(state, client(TCP_SYN, seq=100))
+    # plain data from the client before the handshake completes
+    assert prog.process(state, client(TCP_ACK, seq=101)) == Verdict.DROP
+    assert entry(state).state == TcpState.SYN_SENT
+
+
+def test_connection_reusable_after_close(prog, state):
+    handshake(prog, state)
+    prog.process(state, client(TCP_FIN | TCP_ACK, seq=200))
+    prog.process(state, server(TCP_FIN | TCP_ACK, seq=600))
+    prog.process(state, client(TCP_ACK, seq=201))
+    # same 5-tuple starts afresh — what makes trace replay work
+    assert prog.process(state, client(TCP_SYN, seq=900)) == Verdict.TX
+    assert entry(state).state == TcpState.SYN_SENT
+
+
+def test_metadata_roundtrip_carries_timestamp(prog):
+    pkt = client(TCP_SYN, seq=100)
+    pkt.timestamp_ns = 123456789
+    meta = prog.extract_metadata(pkt)
+    back = ConntrackMetadata.unpack(meta.pack())
+    assert back.timestamp == 123456789
+    assert back.flags == TCP_SYN
+    assert back.seq == 100
+
+
+def test_orig_direction_tracked(prog, state):
+    prog.process(state, client(TCP_SYN, seq=100))
+    e = entry(state)
+    assert (e.orig_src_ip, e.orig_src_port) == (C_IP, C_PORT)
+
+
+def test_requires_symmetric_rss():
+    prog = ConnectionTracker()
+    assert prog.bidirectional
+    assert "symmetric" in prog.rss_fields

@@ -1,0 +1,79 @@
+"""DDoS mitigator semantics."""
+
+import pytest
+
+from repro.packet import make_tcp_packet, make_udp_packet, Packet, TCP_SYN
+from repro.programs import DDoSMetadata, DDoSMitigator, Verdict
+from repro.state import StateMap
+
+
+@pytest.fixture
+def prog():
+    return DDoSMitigator(threshold=3)
+
+
+def pkt_from(src):
+    return make_udp_packet(src, 99, 1, 2)
+
+
+def test_metadata_size_matches_table1(prog):
+    assert prog.metadata_size == 4
+
+
+def test_counts_per_source(prog):
+    state = StateMap()
+    prog.process(state, pkt_from(1))
+    prog.process(state, pkt_from(1))
+    prog.process(state, pkt_from(2))
+    assert state.lookup(1) == 2
+    assert state.lookup(2) == 1
+
+
+def test_drops_above_threshold(prog):
+    state = StateMap()
+    verdicts = [prog.process(state, pkt_from(7)) for _ in range(5)]
+    assert verdicts[:3] == [Verdict.TX] * 3
+    assert verdicts[3:] == [Verdict.DROP] * 2
+
+
+def test_threshold_is_per_source(prog):
+    state = StateMap()
+    for _ in range(4):
+        prog.process(state, pkt_from(1))
+    # source 2 is unaffected by source 1 crossing the threshold
+    assert prog.process(state, pkt_from(2)) == Verdict.TX
+
+
+def test_non_ipv4_passes_without_state(prog):
+    state = StateMap()
+    assert prog.process(state, Packet()) == Verdict.PASS
+    assert len(state) == 0
+
+
+def test_tcp_and_udp_both_counted(prog):
+    state = StateMap()
+    prog.process(state, make_tcp_packet(9, 1, 2, 3, TCP_SYN))
+    prog.process(state, make_udp_packet(9, 1, 2, 3))
+    assert state.lookup(9) == 2
+
+
+def test_metadata_roundtrip(prog):
+    meta = prog.extract_metadata(pkt_from(0xDEADBEEF))
+    assert DDoSMetadata.unpack(meta.pack()) == meta
+    assert meta.src_ip == 0xDEADBEEF
+
+
+def test_transition_is_pure(prog):
+    meta = DDoSMetadata(src_ip=5)
+    v1 = prog.transition(2, meta)
+    v2 = prog.transition(2, meta)
+    assert v1 == v2 == (3, Verdict.TX)
+
+
+def test_rejects_nonpositive_threshold():
+    with pytest.raises(ValueError):
+        DDoSMitigator(threshold=0)
+
+
+def test_needs_no_locks():
+    assert not DDoSMitigator().needs_locks

@@ -1,0 +1,96 @@
+"""Heavy-hitter monitor: accounting and flagging."""
+
+import pytest
+
+from repro.packet import FiveTuple, Packet, make_udp_packet
+from repro.programs import FlowStats, HeavyHitterMonitor, Verdict
+from repro.state import StateMap
+
+
+@pytest.fixture
+def prog():
+    return HeavyHitterMonitor(threshold_bytes=1000)
+
+
+def pkt(size, src=1, sport=10):
+    p = make_udp_packet(src, 2, sport, 20)
+    p.wire_len = size
+    return p
+
+
+def test_metadata_size_matches_table1(prog):
+    assert prog.metadata_size == 18
+
+
+def test_always_forwards(prog):
+    state = StateMap()
+    for _ in range(5):
+        assert prog.process(state, pkt(600)) == Verdict.TX
+
+
+def test_accumulates_packets_and_bytes(prog):
+    state = StateMap()
+    prog.process(state, pkt(300))
+    prog.process(state, pkt(200))
+    stats = list(state.snapshot().values())[0]
+    assert stats.packets == 2
+    assert stats.nbytes == 500
+    assert not stats.is_heavy
+
+
+def test_flags_heavy_flow_over_threshold(prog):
+    state = StateMap()
+    prog.process(state, pkt(600))
+    prog.process(state, pkt(600))
+    stats = list(state.snapshot().values())[0]
+    assert stats.is_heavy
+
+
+def test_threshold_is_strict(prog):
+    state = StateMap()
+    prog.process(state, pkt(1000))
+    assert not list(state.snapshot().values())[0].is_heavy
+    prog.process(state, pkt(1))
+    assert list(state.snapshot().values())[0].is_heavy
+
+
+def test_flows_keyed_by_full_five_tuple(prog):
+    state = StateMap()
+    prog.process(state, pkt(100, sport=10))
+    prog.process(state, pkt(100, sport=11))
+    assert len(state) == 2
+
+
+def test_heavy_hitters_query(prog):
+    state = StateMap()
+    for _ in range(3):
+        prog.process(state, pkt(600, src=7))
+    prog.process(state, pkt(50, src=8))
+    heavy = prog.heavy_hitters(state)
+    assert len(heavy) == 1
+    assert heavy[0].src_ip == 7
+
+
+def test_non_ipv4_passes_untracked(prog):
+    state = StateMap()
+    assert prog.process(state, Packet()) == Verdict.PASS
+    assert len(state) == 0
+
+
+def test_uses_wire_len_not_captured_len(prog):
+    """Truncated traces must still account original sizes."""
+    state = StateMap()
+    p = make_udp_packet(1, 2, 3, 4, payload=b"xy")
+    p.wire_len = 1500
+    prog.process(state, p)
+    assert list(state.snapshot().values())[0].nbytes == 1500
+
+
+def test_flowstats_is_value_type():
+    assert FlowStats(1, 2, False) == FlowStats(1, 2, False)
+    assert hash(FlowStats(1, 2, True)) == hash(FlowStats(1, 2, True))
+
+
+def test_rejects_bad_threshold():
+    with pytest.raises(ValueError):
+        HeavyHitterMonitor(threshold_bytes=0)

@@ -1,0 +1,128 @@
+"""Maglev load balancer: table properties and connection affinity."""
+
+import pytest
+
+from repro.core import ScrFunctionalEngine, reference_run
+from repro.packet import Packet, TCP_ACK, TCP_FIN, TCP_SYN, make_tcp_packet, make_udp_packet
+from repro.programs import Verdict, make_program
+from repro.programs.load_balancer import MaglevLoadBalancer, MaglevTable
+from repro.state import StateMap
+from repro.traffic import Trace, synthesize_trace, univ_dc_flow_sizes
+
+
+class TestMaglevTable:
+    def test_every_slot_assigned(self):
+        t = MaglevTable([10, 20, 30], table_size=101)
+        assert all(b in (10, 20, 30) for b in t.table)
+
+    def test_shares_nearly_equal(self):
+        """The Maglev property: backends differ by at most ~1-2 % of slots."""
+        t = MaglevTable(list(range(1, 8)), table_size=65537)
+        shares = t.shares()
+        assert len(shares) == 7
+        assert max(shares.values()) - min(shares.values()) < 0.02
+
+    def test_deterministic(self):
+        a = MaglevTable([1, 2, 3], table_size=251)
+        b = MaglevTable([1, 2, 3], table_size=251)
+        assert a.table == b.table
+
+    def test_minimal_disruption_on_backend_removal(self):
+        """Removing 1 of 10 backends remaps ≈ 1/10 of slots, not all."""
+        before = MaglevTable(list(range(10)), table_size=65537)
+        after = MaglevTable(list(range(9)), table_size=65537)
+        disruption = before.disruption(after)
+        assert 0.08 < disruption < 0.35
+
+    def test_lookup_in_backends(self):
+        t = MaglevTable([5, 6], table_size=11)
+        assert all(t.lookup(h) in (5, 6) for h in range(100))
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            MaglevTable([])
+        with pytest.raises(ValueError):
+            MaglevTable([1, 1])
+        with pytest.raises(ValueError):
+            MaglevTable([1, 2, 3], table_size=2)
+
+    def test_disruption_requires_same_size(self):
+        with pytest.raises(ValueError):
+            MaglevTable([1], table_size=11).disruption(MaglevTable([1], table_size=13))
+
+
+class TestLoadBalancerProgram:
+    def syn(self, sport):
+        return make_tcp_packet(1, 9, sport, 80, TCP_SYN)
+
+    def data(self, sport):
+        return make_tcp_packet(1, 9, sport, 80, TCP_ACK)
+
+    def fin(self, sport):
+        return make_tcp_packet(1, 9, sport, 80, TCP_FIN | TCP_ACK)
+
+    def test_syn_creates_binding(self):
+        prog = MaglevLoadBalancer()
+        state = StateMap()
+        assert prog.process(state, self.syn(100)) == Verdict.TX
+        assert len(state) == 1
+
+    def test_connection_affinity(self):
+        prog = MaglevLoadBalancer()
+        state = StateMap()
+        prog.process(state, self.syn(100))
+        backend = list(state.snapshot().values())[0]
+        for _ in range(5):
+            prog.process(state, self.data(100))
+        assert list(state.snapshot().values())[0] == backend
+
+    def test_fin_reaps_entry(self):
+        prog = MaglevLoadBalancer()
+        state = StateMap()
+        prog.process(state, self.syn(100))
+        prog.process(state, self.fin(100))
+        assert len(state) == 0
+
+    def test_midstream_without_state_forwards_statelessly(self):
+        prog = MaglevLoadBalancer()
+        state = StateMap()
+        assert prog.process(state, self.data(100)) == Verdict.TX
+        assert len(state) == 0
+
+    def test_flows_spread_across_backends(self):
+        prog = MaglevLoadBalancer(backends=(1, 2, 3, 4), table_size=251)
+        state = StateMap()
+        for sport in range(1000, 1200):
+            prog.process(state, self.syn(sport))
+        counts = prog.connections_per_backend(state)
+        assert len(counts) == 4
+        assert max(counts.values()) < 3 * min(counts.values())
+
+    def test_backend_choice_is_deterministic(self):
+        a, b = MaglevLoadBalancer(), MaglevLoadBalancer()
+        meta = a.extract_metadata(self.syn(77))
+        assert a.pick_backend(meta) == b.pick_backend(meta)
+
+    def test_non_tcp_passes(self):
+        prog = MaglevLoadBalancer()
+        state = StateMap()
+        assert prog.process(state, make_udp_packet(1, 2, 3, 4)) == Verdict.PASS
+        assert prog.process(state, Packet()) == Verdict.PASS
+
+
+def test_registered_and_scr_safe():
+    from repro.core import validate_program
+
+    prog = make_program("load_balancer")
+    trace = synthesize_trace(univ_dc_flow_sizes(), 12, seed=5, max_packets=400)
+    assert validate_program(prog, list(trace)).ok
+
+
+def test_scr_replication_of_connection_table():
+    trace = synthesize_trace(univ_dc_flow_sizes(), 15, seed=9, max_packets=700)
+    engine = ScrFunctionalEngine(MaglevLoadBalancer(), num_cores=5)
+    result = engine.run(trace)
+    ref_verdicts, ref_state = reference_run(MaglevLoadBalancer(), trace)
+    assert result.replicas_consistent
+    assert result.replica_snapshots[0] == ref_state
+    assert result.verdicts == ref_verdicts

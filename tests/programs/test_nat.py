@@ -1,0 +1,170 @@
+"""NAT gateway (extension): per-flow bindings + the global port pool."""
+
+import pytest
+
+from repro.core import ScrFunctionalEngine, reference_run
+from repro.packet import (
+    Packet,
+    TCP_ACK,
+    TCP_FIN,
+    TCP_RST,
+    TCP_SYN,
+    make_tcp_packet,
+    make_udp_packet,
+)
+from repro.programs import NAT_POOL_KEY, NatGateway, Verdict
+from repro.state import StateMap
+from repro.traffic import Trace
+
+
+@pytest.fixture
+def prog():
+    return NatGateway(port_base=50000, port_count=4)
+
+
+@pytest.fixture
+def state():
+    return StateMap()
+
+
+def syn(src=1, sport=100):
+    return make_tcp_packet(src, 9, sport, 80, TCP_SYN)
+
+
+def data(src=1, sport=100):
+    return make_tcp_packet(src, 9, sport, 80, TCP_ACK)
+
+
+def fin(src=1, sport=100):
+    return make_tcp_packet(src, 9, sport, 80, TCP_FIN | TCP_ACK)
+
+
+def test_syn_allocates_binding(prog, state):
+    assert prog.process(state, syn()) == Verdict.TX
+    bindings = prog.bindings(state)
+    assert list(bindings.values()) == [50000]
+
+
+def test_distinct_flows_get_distinct_ports(prog, state):
+    prog.process(state, syn(src=1))
+    prog.process(state, syn(src=2))
+    prog.process(state, syn(src=3))
+    ports = list(prog.bindings(state).values())
+    assert len(set(ports)) == 3
+
+
+def test_existing_binding_reused_for_data(prog, state):
+    prog.process(state, syn())
+    before = prog.bindings(state)
+    assert prog.process(state, data()) == Verdict.TX
+    assert prog.bindings(state) == before
+    assert prog.ports_in_use(state) == 1
+
+
+def test_midstream_without_binding_dropped(prog, state):
+    assert prog.process(state, data()) == Verdict.DROP
+    assert prog.ports_in_use(state) == 0
+
+
+def test_fin_releases_port(prog, state):
+    prog.process(state, syn())
+    assert prog.process(state, fin()) == Verdict.TX
+    assert prog.ports_in_use(state) == 0
+    assert prog.bindings(state) == {}
+
+
+def test_rst_releases_port(prog, state):
+    prog.process(state, syn())
+    prog.process(state, make_tcp_packet(1, 9, 100, 80, TCP_RST))
+    assert prog.ports_in_use(state) == 0
+
+
+def test_released_port_reused_lifo(prog, state):
+    prog.process(state, syn(src=1))  # 50000
+    prog.process(state, syn(src=2))  # 50001
+    prog.process(state, fin(src=1))  # releases 50000
+    prog.process(state, syn(src=3))
+    assert prog.bindings(state)[syn(src=3).five_tuple()] == 50000
+
+
+def test_pool_exhaustion_drops(prog, state):
+    for src in range(1, 5):
+        assert prog.process(state, syn(src=src)) == Verdict.TX
+    assert prog.process(state, syn(src=99)) == Verdict.DROP
+    assert prog.ports_in_use(state) == 4
+
+
+def test_non_tcp_passes_untouched(prog, state):
+    assert prog.process(state, make_udp_packet(1, 2, 3, 4)) == Verdict.PASS
+    assert prog.process(state, Packet()) == Verdict.PASS
+    assert len(state) == 0
+
+
+def test_metadata_roundtrip(prog):
+    meta = prog.extract_metadata(syn())
+    assert type(meta).unpack(meta.pack()) == meta
+    assert prog.metadata_size == 15
+
+
+def test_transition_not_directly_usable(prog):
+    with pytest.raises(NotImplementedError):
+        prog.transition(None, prog.extract_metadata(syn()))
+
+
+def test_rejects_bad_port_range():
+    with pytest.raises(ValueError):
+        NatGateway(port_count=0)
+    with pytest.raises(ValueError):
+        NatGateway(port_base=65000, port_count=2000)
+
+
+class TestNatUnderScr:
+    """The point of the extension: global state replicates correctly."""
+
+    def make_trace(self):
+        pkts = []
+        for src in range(1, 9):
+            pkts.append(syn(src=src))
+            pkts.append(data(src=src))
+        for src in range(1, 5):
+            pkts.append(fin(src=src))
+        for src in range(20, 24):
+            pkts.append(syn(src=src))  # reuse released ports
+        return Trace(pkts)
+
+    def test_scr_replicates_the_global_pool(self):
+        trace = self.make_trace()
+        engine = ScrFunctionalEngine(NatGateway(port_count=16), num_cores=4)
+        result = engine.run(trace)
+        ref_verdicts, ref_state = reference_run(NatGateway(port_count=16), trace)
+        assert result.replicas_consistent
+        assert result.replica_snapshots[0] == ref_state
+        assert result.verdicts == ref_verdicts
+
+    def test_no_duplicate_allocations_across_cores(self):
+        trace = self.make_trace()
+        prog = NatGateway(port_count=16)
+        engine = ScrFunctionalEngine(prog, num_cores=4)
+        result = engine.run(trace)
+        for snap in result.replica_snapshots:
+            ports = [v for k, v in snap.items()
+                     if isinstance(k, tuple) and k[0] == "bind"]
+            assert len(ports) == len(set(ports))
+
+    def test_sharded_cores_would_collide(self):
+        """The §2.2 failure mode, demonstrated: independent per-core state
+        (what sharding gives you) allocates the SAME external port to
+        different flows on different cores."""
+        trace = self.make_trace()
+        prog = NatGateway(port_count=16)
+        core_states = [StateMap(), StateMap()]
+        for i, pkt in enumerate(trace):
+            core = pkt.five_tuple().src_ip % 2  # a stand-in for RSS
+            prog.process(core_states[core], pkt)
+        all_ports = []
+        for s in core_states:
+            all_ports.extend(
+                v for k, v in s.snapshot().items()
+                if isinstance(k, tuple) and k[0] == "bind"
+            )
+        assert len(all_ports) != len(set(all_ports))  # collision!

@@ -1,0 +1,101 @@
+"""Port-knocking firewall — the App. C state machine."""
+
+import pytest
+
+from repro.packet import Packet, TCP_SYN, make_tcp_packet, make_udp_packet
+from repro.programs import KnockState, PortKnockingFirewall, Verdict
+from repro.state import StateMap
+
+SRC = 0x0A000001
+P1, P2, P3 = 7001, 7002, 7003
+
+
+@pytest.fixture
+def prog():
+    return PortKnockingFirewall(ports=(P1, P2, P3))
+
+
+@pytest.fixture
+def state():
+    return StateMap()
+
+
+def knock(prog, state, dport, src=SRC):
+    return prog.process(state, make_tcp_packet(src, 99, 1234, dport, TCP_SYN))
+
+
+def test_metadata_size_matches_table1(prog):
+    assert prog.metadata_size == 8
+
+
+def test_correct_sequence_opens(prog, state):
+    assert knock(prog, state, P1) == Verdict.DROP
+    assert knock(prog, state, P2) == Verdict.DROP
+    assert knock(prog, state, P3) == Verdict.TX  # transition to OPEN permits
+    assert state.lookup(SRC) == KnockState.OPEN
+
+
+def test_open_stays_open_for_any_port(prog, state):
+    for p in (P1, P2, P3):
+        knock(prog, state, p)
+    assert knock(prog, state, 80) == Verdict.TX
+    assert knock(prog, state, 22) == Verdict.TX
+    assert state.lookup(SRC) == KnockState.OPEN
+
+
+def test_wrong_knock_resets_to_closed1(prog, state):
+    knock(prog, state, P1)
+    knock(prog, state, P3)  # out of order
+    assert state.lookup(SRC) == KnockState.CLOSED_1
+    # must start over
+    assert knock(prog, state, P2) == Verdict.DROP
+    assert state.lookup(SRC) == KnockState.CLOSED_1
+
+
+def test_repeat_of_first_port_mid_sequence_resets(prog, state):
+    knock(prog, state, P1)
+    knock(prog, state, P2)
+    knock(prog, state, 12345)
+    assert state.lookup(SRC) == KnockState.CLOSED_1
+
+
+def test_per_source_automata_independent(prog, state):
+    knock(prog, state, P1, src=1)
+    knock(prog, state, P2, src=1)
+    assert state.lookup(1) == KnockState.CLOSED_3
+    assert knock(prog, state, P3, src=2) == Verdict.DROP
+    assert state.lookup(2) == KnockState.CLOSED_1
+
+
+def test_non_tcp_dropped_without_state_change(prog, state):
+    knock(prog, state, P1)
+    assert prog.process(state, make_udp_packet(SRC, 99, 1, P2)) == Verdict.DROP
+    assert prog.process(state, Packet()) == Verdict.DROP
+    assert state.lookup(SRC) == KnockState.CLOSED_2  # untouched
+
+
+def test_next_state_matches_appendix_c_listing(prog):
+    ns = prog.next_state
+    assert ns(KnockState.CLOSED_1, P1) == KnockState.CLOSED_2
+    assert ns(KnockState.CLOSED_2, P2) == KnockState.CLOSED_3
+    assert ns(KnockState.CLOSED_3, P3) == KnockState.OPEN
+    assert ns(KnockState.OPEN, 1) == KnockState.OPEN
+    assert ns(KnockState.CLOSED_2, P1) == KnockState.CLOSED_1
+    assert ns(KnockState.CLOSED_1, P2) == KnockState.CLOSED_1
+
+
+def test_rejects_duplicate_ports():
+    with pytest.raises(ValueError):
+        PortKnockingFirewall(ports=(1, 1, 2))
+
+
+def test_rejects_wrong_port_count():
+    with pytest.raises(ValueError):
+        PortKnockingFirewall(ports=(1, 2))
+
+
+def test_metadata_carries_control_dependency(prog):
+    valid = prog.extract_metadata(make_tcp_packet(SRC, 9, 1, P1, TCP_SYN))
+    invalid = prog.extract_metadata(make_udp_packet(SRC, 9, 1, P1))
+    assert valid.valid == 1
+    assert invalid.valid == 0

@@ -1,0 +1,103 @@
+"""Telemetry sampler (extension): deterministic randomness (§3.4)."""
+
+import pytest
+
+from repro.core import ScrFunctionalEngine, reference_run
+from repro.packet import Packet, make_udp_packet
+from repro.programs import SampleStats, TelemetrySampler, Verdict, make_program
+from repro.state import StateMap
+from repro.traffic import Trace, synthesize_trace, caida_backbone_flow_sizes
+
+
+def pkt(i, src=1):
+    p = make_udp_packet(src, 2, 3, 4)
+    p.ip.ident = i & 0xFFFF
+    p.timestamp_ns = i * 1000
+    return p
+
+
+@pytest.fixture
+def prog():
+    return TelemetrySampler(rate=8, seed=7)
+
+
+def test_sampling_rate_approximately_one_in_n(prog):
+    state = StateMap()
+    n = 4000
+    for i in range(n):
+        prog.process(state, pkt(i))
+    stats = state.lookup(pkt(0).five_tuple())
+    assert stats.packets == n
+    assert n / 8 * 0.7 < stats.sampled < n / 8 * 1.3
+
+
+def test_sampled_packets_pass_rest_forward(prog):
+    state = StateMap()
+    verdicts = [prog.process(state, pkt(i)) for i in range(200)]
+    assert verdicts.count(Verdict.PASS) == state.lookup(pkt(0).five_tuple()).sampled
+    assert Verdict.TX in verdicts
+
+
+def test_decision_is_per_packet_not_per_flow(prog):
+    """Different packets of one flow can differ in the coin flip."""
+    decisions = {prog.should_sample(prog.extract_metadata(pkt(i))) for i in range(100)}
+    assert decisions == {True, False}
+
+
+def test_decision_deterministic_across_instances():
+    """§3.4: fixed seed → identical decisions on every replica."""
+    a, b = TelemetrySampler(rate=8, seed=7), TelemetrySampler(rate=8, seed=7)
+    for i in range(100):
+        meta = a.extract_metadata(pkt(i))
+        assert a.should_sample(meta) == b.should_sample(meta)
+
+
+def test_seed_changes_decisions():
+    a, b = TelemetrySampler(rate=8, seed=1), TelemetrySampler(rate=8, seed=2)
+    diffs = sum(
+        a.should_sample(a.extract_metadata(pkt(i)))
+        != b.should_sample(b.extract_metadata(pkt(i)))
+        for i in range(300)
+    )
+    assert diffs > 0
+
+
+def test_non_ipv4_passes_untracked(prog):
+    state = StateMap()
+    assert prog.process(state, Packet()) == Verdict.PASS
+    assert len(state) == 0
+
+
+def test_rate_one_samples_everything():
+    prog = TelemetrySampler(rate=1)
+    state = StateMap()
+    assert all(prog.process(state, pkt(i)) == Verdict.PASS for i in range(20))
+
+
+def test_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        TelemetrySampler(rate=0)
+
+
+def test_registered():
+    assert make_program("sampler").name == "sampler"
+
+
+def test_scr_replicas_agree_despite_randomness():
+    """The §3.4 headline: a 'random' program replicates correctly because
+    its randomness is a deterministic function of the packet."""
+    trace = synthesize_trace(
+        caida_backbone_flow_sizes(), 25, seed=19, max_packets=900
+    )
+    engine = ScrFunctionalEngine(TelemetrySampler(rate=4, seed=3), num_cores=5)
+    result = engine.run(trace)
+    ref_verdicts, ref_state = reference_run(TelemetrySampler(rate=4, seed=3), trace)
+    assert result.replicas_consistent
+    assert result.replica_snapshots[0] == ref_state
+    assert result.verdicts == ref_verdicts
+
+
+def test_sample_stats_value_type():
+    assert SampleStats(3, 1).packets == 3
+    assert SampleStats(3, 1).sampled == 1
+    assert SampleStats(3, 1) == SampleStats(3, 1)

@@ -1,0 +1,109 @@
+"""Token-bucket policer: refill math, burst limits, timestamp determinism."""
+
+import pytest
+
+from repro.packet import Packet, make_udp_packet
+from repro.programs import BucketState, TokenBucketPolicer, Verdict
+from repro.state import StateMap
+
+
+def pkt(ts_us, src=1):
+    p = make_udp_packet(src, 2, 3, 4)
+    p.timestamp_ns = ts_us * 1000
+    return p
+
+
+@pytest.fixture
+def prog():
+    # 1000 pps, burst of 2 → one refill per millisecond.
+    return TokenBucketPolicer(rate_pps=1000, burst=2)
+
+
+def test_metadata_size_matches_table1(prog):
+    assert prog.metadata_size == 18
+
+
+def test_new_flow_starts_full_and_spends_one(prog):
+    state = StateMap()
+    assert prog.process(state, pkt(0)) == Verdict.TX
+    value = state.lookup(list(state.snapshot())[0])
+    assert value.milli_tokens == 1000  # burst 2 → 2000 milli, minus one token
+
+
+def test_burst_allows_consecutive_packets(prog):
+    state = StateMap()
+    assert prog.process(state, pkt(0)) == Verdict.TX
+    assert prog.process(state, pkt(0)) == Verdict.TX  # second of the burst
+    assert prog.process(state, pkt(0)) == Verdict.DROP  # bucket empty
+
+
+def test_refill_after_interval(prog):
+    state = StateMap()
+    for _ in range(3):
+        prog.process(state, pkt(0))  # drain the bucket
+    assert prog.process(state, pkt(500)) == Verdict.DROP  # only half a token
+    assert prog.process(state, pkt(1500)) == Verdict.TX  # 1.5 tokens accrued
+
+
+def test_refill_caps_at_burst(prog):
+    state = StateMap()
+    prog.process(state, pkt(0))
+    # a long silence cannot accumulate more than the burst capacity
+    prog.process(state, pkt(10_000_000))
+    value = list(state.snapshot().values())[0]
+    assert value.milli_tokens == 2000 - 1000  # full (2000) minus this packet
+
+
+def test_sustained_rate_enforced(prog):
+    state = StateMap()
+    sent = sum(
+        1
+        for i in range(100)
+        if prog.process(state, pkt(i * 100)) == Verdict.TX  # offered at 10x rate
+    )
+    # 10 ms elapsed at 1000 pps → ~10 refills + burst of 2.
+    assert 10 <= sent <= 13
+
+
+def test_flows_policed_independently(prog):
+    state = StateMap()
+    for _ in range(3):
+        prog.process(state, pkt(0, src=1))
+    assert prog.process(state, pkt(0, src=2)) == Verdict.TX
+
+
+def test_timestamp_wraparound_treated_as_elapsed(prog):
+    state = StateMap()
+    max_us = (1 << 32) - 1
+    prog.process(state, pkt(max_us - 1))
+    for _ in range(2):
+        prog.process(state, pkt(max_us - 1))
+    # timestamp wraps to small value; modular elapsed = 2001 us → 2 tokens
+    assert prog.process(state, pkt(2000)) == Verdict.TX
+
+
+def test_non_ipv4_passes(prog):
+    state = StateMap()
+    assert prog.process(state, Packet()) == Verdict.PASS
+    assert len(state) == 0
+
+
+def test_integer_arithmetic_is_deterministic(prog):
+    s1, s2 = StateMap(), StateMap()
+    for i in range(50):
+        prog.process(s1, pkt(i * 317))
+        prog.process(s2, pkt(i * 317))
+    assert s1.snapshot() == s2.snapshot()
+
+
+def test_bucket_state_tuple_accessors():
+    b = BucketState(42, 1500)
+    assert b.last_ts_us == 42
+    assert b.milli_tokens == 1500
+
+
+def test_rejects_bad_params():
+    with pytest.raises(ValueError):
+        TokenBucketPolicer(rate_pps=0)
+    with pytest.raises(ValueError):
+        TokenBucketPolicer(burst=0)

@@ -1,0 +1,121 @@
+"""Tofino and NetFPGA sequencer models vs Tables 2 and 3."""
+
+import pytest
+
+from repro.programs import make_program
+from repro.sequencer import (
+    ALVEO_U250_FFS,
+    ALVEO_U250_LUTS,
+    PUBLISHED_SYNTHESIS,
+    NetFpgaSequencerModel,
+    TofinoSequencerModel,
+)
+
+
+class TestTofino:
+    def setup_method(self):
+        self.model = TofinoSequencerModel()
+
+    def test_44_history_fields(self):
+        """The paper's design holds 44 32-bit fields (§4.3)."""
+        assert self.model.history_fields == 44
+        assert self.model.history_bits == 44 * 32
+
+    @pytest.mark.parametrize("name,cores", [
+        ("ddos", 44),
+        ("port_knocking", 22),
+        ("heavy_hitter", 9),
+        ("token_bucket", 9),
+        ("conntrack", 5),
+    ])
+    def test_per_program_core_capacity_matches_paper(self, name, cores):
+        assert self.model.max_cores(make_program(name)) == cores
+
+    def test_stateless_program_unbounded(self):
+        assert self.model.max_cores(make_program("forwarder")) > 1000
+
+    def test_fits(self):
+        assert self.model.fits(make_program("conntrack"), 5)
+        assert not self.model.fits(make_program("conntrack"), 6)
+
+    def test_resource_usage_matches_table3(self):
+        usage = self.model.resource_usage()
+        expected = {
+            "stateful_alus": 93.75,
+            "logical_tables": 23.96,
+            "gateways": 23.44,
+            "map_rams": 15.62,
+            "srams": 9.69,
+            "tcams": 0.0,
+            "vliw": 9.11,
+            "exact_crossbar_bytes": 23.31,
+        }
+        for key, pct in expected.items():
+            assert usage[key] == pytest.approx(pct, abs=0.05), key
+
+    def test_stateful_alus_are_the_bottleneck(self):
+        usage = self.model.resource_usage()
+        assert usage["stateful_alus"] == max(usage.values())
+
+
+class TestNetFpga:
+    @pytest.mark.parametrize("rows", sorted(PUBLISHED_SYNTHESIS))
+    def test_published_rows_reproduced(self, rows):
+        model = NetFpgaSequencerModel(rows)
+        assert model.synthesis_row() == PUBLISHED_SYNTHESIS[rows]
+
+    @pytest.mark.parametrize("rows,lut_pct,ff_pct", [
+        (16, 0.060, 0.069),
+        (32, 0.107, 0.091),
+        (64, 0.153, 0.136),
+        (128, 0.196, 0.225),
+    ])
+    def test_utilization_percentages_match_table2(self, rows, lut_pct, ff_pct):
+        model = NetFpgaSequencerModel(rows)
+        assert model.lut_utilization_pct() == pytest.approx(lut_pct, abs=0.001)
+        assert model.ff_utilization_pct() == pytest.approx(ff_pct, abs=0.001)
+
+    @pytest.mark.parametrize("rows", sorted(PUBLISHED_SYNTHESIS))
+    def test_estimator_within_5pct_of_synthesis(self, rows):
+        model = NetFpgaSequencerModel(rows)
+        luts, _, ffs = PUBLISHED_SYNTHESIS[rows]
+        assert model.estimated_luts() == pytest.approx(luts, rel=0.05)
+        assert model.estimated_ffs() == pytest.approx(ffs, rel=0.05)
+
+    def test_estimator_interpolates_unpublished_sizes(self):
+        m48 = NetFpgaSequencerModel(48)
+        m32, m64 = NetFpgaSequencerModel(32), NetFpgaSequencerModel(64)
+        assert m32.estimated_luts() < m48.estimated_luts() < m64.estimated_luts()
+        assert m32.estimated_ffs() < m48.estimated_ffs() < m64.estimated_ffs()
+
+    def test_prefix_bits(self):
+        model = NetFpgaSequencerModel(16)
+        assert model.prefix_bits == 16 * 112 + 4
+
+    def test_row_capacity_112_bits_fits_4tuple_plus_16(self):
+        """A row holds a TCP 4-tuple (96 bits) plus a 16-bit value (§4.3)."""
+        assert NetFpgaSequencerModel(16).spec.row_bits == 96 + 16
+
+    def test_max_cores_by_metadata_size(self):
+        model = NetFpgaSequencerModel(128)
+        assert model.max_cores(14) == 128  # one row per item
+        assert model.max_cores(18) == 64  # two rows per item
+        assert model.max_cores(30) == 42  # three rows per item
+
+    def test_meets_timing_up_to_128_rows(self):
+        assert NetFpgaSequencerModel(128).meets_timing()
+        assert not NetFpgaSequencerModel(256).meets_timing()
+
+    def test_bandwidth_exceeds_200g(self):
+        """250 MHz × 1024-bit bus > 200 Gbit/s (§4.3)."""
+        assert NetFpgaSequencerModel(16).bandwidth_gbps() > 200
+
+    def test_utilization_is_negligible(self):
+        for rows in PUBLISHED_SYNTHESIS:
+            model = NetFpgaSequencerModel(rows)
+            assert model.lut_utilization_pct() < 0.25
+            assert model.ff_utilization_pct() < 0.25
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ValueError):
+            NetFpgaSequencerModel(0)

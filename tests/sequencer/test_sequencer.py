@@ -1,0 +1,106 @@
+"""Behavioural sequencer: spraying, history alignment, overheads."""
+
+import pytest
+
+from repro.core import ScrPacketCodec
+from repro.packet import make_udp_packet
+from repro.programs import make_program
+from repro.sequencer import PacketHistorySequencer
+
+
+def pkt(src, ts=0):
+    return make_udp_packet(src, 2, 3, 4, timestamp_ns=ts)
+
+
+def test_round_robin_spray():
+    seq = PacketHistorySequencer(make_program("ddos"), 3)
+    cores = [seq.process(pkt(i)).core for i in range(7)]
+    assert cores == [0, 1, 2, 0, 1, 2, 0]
+
+
+def test_sequence_numbers_increment_from_one():
+    seq = PacketHistorySequencer(make_program("ddos"), 2)
+    assert [seq.process(pkt(1)).seq for _ in range(3)] == [1, 2, 3]
+    assert seq.next_seq == 4
+
+
+def test_slots_default_to_core_count():
+    seq = PacketHistorySequencer(make_program("ddos"), 5)
+    assert seq.num_slots == 5
+
+
+def test_history_holds_previous_packets_not_current():
+    """The ring dump reflects the state before the current packet (§3.3.2)."""
+    prog = make_program("ddos")
+    seq = PacketHistorySequencer(prog, 2)
+    seq.process(pkt(0xAA))
+    sp = seq.process(pkt(0xBB))
+    _, rows, original = seq.codec.decode(sp.data)
+    metas = [prog.metadata_cls.unpack(r) for r in rows]
+    assert metas[-1].src_ip == 0xAA  # newest history row = previous packet
+    assert 0xBB not in [m.src_ip for m in metas]
+
+
+def test_history_rows_chronological_alignment():
+    """Row m of packet seq j holds sequence j - num_slots + m."""
+    prog = make_program("ddos")
+    seq = PacketHistorySequencer(prog, 3)
+    srcs = [0x10, 0x20, 0x30, 0x40, 0x50]
+    packets = [seq.process(pkt(s)) for s in srcs]
+    _, rows, _ = seq.codec.decode(packets[4].data)  # seq 5
+    metas = [prog.metadata_cls.unpack(r).src_ip for r in rows]
+    assert metas == [0x20, 0x30, 0x40]  # seqs 2, 3, 4
+
+
+def test_timestamp_stamped_into_header():
+    seq = PacketHistorySequencer(make_program("token_bucket"), 2)
+    sp = seq.process(pkt(1, ts=987654))
+    header, _, _ = seq.codec.decode(sp.data)
+    assert header.timestamp_ns == 987654
+
+
+def test_original_packet_embedded_verbatim():
+    p = pkt(7, ts=5)
+    raw = p.to_bytes()
+    seq = PacketHistorySequencer(make_program("ddos"), 2)
+    sp = seq.process(p)
+    _, _, original = seq.codec.decode(sp.data)
+    assert original == raw
+
+
+def test_overhead_bytes_matches_codec():
+    prog = make_program("conntrack")
+    seq = PacketHistorySequencer(prog, 4)
+    expected = ScrPacketCodec(prog.metadata_size, 4, dummy_eth=True).overhead_bytes
+    assert seq.overhead_bytes == expected
+    sp = seq.process(pkt(1))
+    assert len(sp.data) == expected + len(pkt(1).to_bytes())
+
+
+def test_overhead_grows_with_cores():
+    prog = make_program("heavy_hitter")
+    o2 = PacketHistorySequencer(prog, 2).overhead_bytes
+    o7 = PacketHistorySequencer(prog, 7).overhead_bytes
+    assert o7 - o2 == 5 * prog.metadata_size
+
+
+def test_nic_mode_drops_dummy_eth():
+    on_switch = PacketHistorySequencer(make_program("ddos"), 2, dummy_eth=True)
+    on_nic = PacketHistorySequencer(make_program("ddos"), 2, dummy_eth=False)
+    assert on_switch.overhead_bytes - on_nic.overhead_bytes == 14
+
+
+def test_reset():
+    seq = PacketHistorySequencer(make_program("ddos"), 2)
+    seq.process(pkt(1))
+    seq.reset()
+    assert seq.next_seq == 1
+    sp = seq.process(pkt(2))
+    assert sp.core == 0 and sp.seq == 1
+
+
+def test_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        PacketHistorySequencer(make_program("ddos"), 0)
+    with pytest.raises(ValueError):
+        PacketHistorySequencer(make_program("ddos"), 4, num_slots=2)

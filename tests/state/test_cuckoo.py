@@ -1,0 +1,151 @@
+"""Cuckoo hash table: correctness, displacement, growth, fixed-size mode."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.state import CuckooHashTable, CuckooInsertError
+
+
+def test_insert_lookup():
+    t = CuckooHashTable(capacity=64)
+    t.insert("a", 1)
+    assert t.lookup("a") == 1
+    assert t.lookup("b") is None
+
+
+def test_update_in_place():
+    t = CuckooHashTable(capacity=64)
+    t.insert("k", 1)
+    t.insert("k", 2)
+    assert t.lookup("k") == 2
+    assert len(t) == 1
+
+
+def test_delete():
+    t = CuckooHashTable(capacity=64)
+    t.insert("k", 1)
+    assert t.delete("k")
+    assert t.lookup("k") is None
+    assert not t.delete("k")
+    assert len(t) == 0
+
+
+def test_get_with_default():
+    t = CuckooHashTable(capacity=16)
+    assert t.get("missing", 42) == 42
+
+
+def test_contains():
+    t = CuckooHashTable(capacity=16)
+    t.insert(5, "v")
+    assert 5 in t and 6 not in t
+
+
+def test_many_inserts_force_displacement_and_growth():
+    t = CuckooHashTable(capacity=8, allow_grow=True)
+    for i in range(500):
+        t.insert(i, i * 3)
+    assert len(t) == 500
+    for i in range(500):
+        assert t.lookup(i) == i * 3
+
+
+def test_fixed_size_raises_when_full():
+    t = CuckooHashTable(capacity=16, allow_grow=False, max_kicks=32)
+    with pytest.raises(CuckooInsertError):
+        for i in range(10_000):
+            t.insert(i, i)
+    # Everything inserted before the failure is still intact.
+    assert all(t.lookup(k) == k for k, _ in t.items())
+
+
+def test_load_factor_bounds():
+    t = CuckooHashTable(capacity=64)
+    for i in range(40):
+        t.insert(i, i)
+    assert 0 < t.load_factor <= 1
+
+
+def test_items_keys_values_consistent():
+    t = CuckooHashTable(capacity=64)
+    data = {i: i * i for i in range(30)}
+    for k, v in data.items():
+        t.insert(k, v)
+    assert dict(t.items()) == data
+    assert set(t.keys()) == set(data)
+    assert sorted(t.values()) == sorted(data.values())
+
+
+def test_clear():
+    t = CuckooHashTable(capacity=16)
+    for i in range(10):
+        t.insert(i, i)
+    t.clear()
+    assert len(t) == 0
+    assert t.lookup(3) is None
+
+
+def test_mixed_key_types():
+    t = CuckooHashTable(capacity=64)
+    t.insert(b"bytes", 1)
+    t.insert("str", 2)
+    t.insert(12345, 3)
+    t.insert((1, 2, 3), 4)
+    assert t.lookup(b"bytes") == 1
+    assert t.lookup("str") == 2
+    assert t.lookup(12345) == 3
+    assert t.lookup((1, 2, 3)) == 4
+
+
+def test_negative_integer_keys():
+    t = CuckooHashTable(capacity=16)
+    t.insert(-1, "neg")
+    assert t.lookup(-1) == "neg"
+
+
+@pytest.mark.parametrize("bad_kwargs", [
+    {"capacity": 0},
+    {"slots_per_bucket": 0},
+])
+def test_invalid_geometry_rejected(bad_kwargs):
+    with pytest.raises(ValueError):
+        CuckooHashTable(**bad_kwargs)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["ins", "del"]),
+            st.integers(min_value=0, max_value=50),
+            st.integers(min_value=0, max_value=1000),
+        ),
+        max_size=200,
+    )
+)
+def test_dict_equivalence_property(ops):
+    """The cuckoo table must behave exactly like a dict under any op mix."""
+    t = CuckooHashTable(capacity=16, allow_grow=True)
+    model = {}
+    for op, key, value in ops:
+        if op == "ins":
+            t.insert(key, value)
+            model[key] = value
+        else:
+            assert t.delete(key) == (key in model)
+            model.pop(key, None)
+    assert dict(t.items()) == model
+    assert len(t) == len(model)
+    for key in range(51):
+        assert t.lookup(key) == model.get(key)
+
+
+def test_deterministic_across_instances():
+    """Same insert sequence → same internal layout (seeded hashing)."""
+    t1 = CuckooHashTable(capacity=32, seed=9)
+    t2 = CuckooHashTable(capacity=32, seed=9)
+    for i in range(100):
+        t1.insert(i, i)
+        t2.insert(i, i)
+    assert list(t1.items()) == list(t2.items())

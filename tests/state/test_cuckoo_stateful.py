@@ -1,0 +1,64 @@
+"""Rule-based stateful testing: the cuckoo table vs a model dict under
+arbitrary operation interleavings (hypothesis drives the schedule)."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.state import CuckooHashTable
+
+keys = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.text(alphabet="abcxyz", min_size=0, max_size=4),
+    st.tuples(st.integers(min_value=0, max_value=9), st.integers(min_value=0, max_value=9)),
+)
+values = st.integers(min_value=-(10**6), max_value=10**6)
+
+
+class CuckooMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.table = CuckooHashTable(capacity=8, slots_per_bucket=2, allow_grow=True)
+        self.model = {}
+
+    @rule(key=keys, value=values)
+    def insert(self, key, value):
+        self.table.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=keys)
+    def delete(self, key):
+        assert self.table.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=keys)
+    def lookup(self, key):
+        assert self.table.lookup(key) == self.model.get(key)
+
+    @rule()
+    def clear(self):
+        self.table.clear()
+        self.model.clear()
+
+    @invariant()
+    def size_matches(self):
+        assert len(self.table) == len(self.model)
+
+    @invariant()
+    def contents_match(self):
+        assert dict(self.table.items()) == self.model
+
+    @invariant()
+    def load_factor_sane(self):
+        assert 0.0 <= self.table.load_factor <= 1.0
+
+
+TestCuckooStateful = CuckooMachine.TestCase
+TestCuckooStateful.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)

@@ -1,0 +1,96 @@
+"""State map wrappers: shared bounce accounting and per-core replicas."""
+
+import pytest
+
+from repro.state import PerCoreStateMap, SharedStateMap, StateMap
+
+
+class TestStateMap:
+    def test_basic_ops(self):
+        m = StateMap(capacity=32)
+        m.update("k", 1)
+        assert m.lookup("k") == 1
+        assert "k" in m
+        assert len(m) == 1
+        assert m.delete("k")
+        assert m.lookup("k") is None
+
+    def test_snapshot_is_plain_dict_copy(self):
+        m = StateMap()
+        m.update("a", 1)
+        snap = m.snapshot()
+        m.update("a", 2)
+        assert snap == {"a": 1}
+
+    def test_clear(self):
+        m = StateMap()
+        m.update("a", 1)
+        m.clear()
+        assert len(m) == 0
+
+
+class TestSharedStateMap:
+    def test_same_core_writes_do_not_bounce(self):
+        m = SharedStateMap()
+        m.update_from_core(0, "k", 1)
+        assert not m.update_from_core(0, "k", 2)
+        assert m.bounce_count == 0
+
+    def test_cross_core_write_bounces(self):
+        m = SharedStateMap()
+        m.update_from_core(0, "k", 1)
+        assert m.update_from_core(1, "k", 2)
+        assert m.bounce_count == 1
+
+    def test_cross_core_read_bounces(self):
+        m = SharedStateMap()
+        m.update_from_core(0, "k", 1)
+        assert m.lookup_from_core(1, "k") == 1
+        assert m.bounce_count == 1
+
+    def test_bounce_ratio(self):
+        m = SharedStateMap()
+        assert m.bounce_ratio == 0.0
+        m.update_from_core(0, "k", 1)
+        m.update_from_core(1, "k", 2)
+        m.update_from_core(1, "k", 3)
+        assert m.bounce_ratio == pytest.approx(1 / 3)
+
+    def test_distinct_keys_on_distinct_cores_never_bounce(self):
+        m = SharedStateMap()
+        for core in range(4):
+            for i in range(10):
+                m.update_from_core(core, (core, i), i)
+        assert m.bounce_count == 0
+
+
+class TestPerCoreStateMap:
+    def test_replicas_are_independent(self):
+        m = PerCoreStateMap(3)
+        m.update(0, "k", 1)
+        assert m.lookup(0, "k") == 1
+        assert m.lookup(1, "k") is None
+
+    def test_consistency_check(self):
+        m = PerCoreStateMap(3)
+        for core in range(3):
+            m.update(core, "k", 7)
+        assert m.replicas_consistent()
+        m.update(1, "k", 8)
+        assert not m.replicas_consistent()
+
+    def test_snapshots_length(self):
+        m = PerCoreStateMap(4)
+        assert len(m.snapshots()) == 4
+
+    def test_single_core_trivially_consistent(self):
+        assert PerCoreStateMap(1).replicas_consistent()
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            PerCoreStateMap(0)
+
+    def test_replica_accessor_matches_update(self):
+        m = PerCoreStateMap(2)
+        m.replica(1).update("x", 5)
+        assert m.lookup(1, "x") == 5

@@ -1,0 +1,164 @@
+"""CLI subcommands, exercised through main() with a captured stream."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traffic import Trace, read_pcap
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_programs_lists_table1_and_extensions():
+    code, text = run_cli(["programs"])
+    assert code == 0
+    for name in ("ddos", "conntrack", "token_bucket"):
+        assert name in text
+    assert "extensions: forwarder, load_balancer, nat, sampler" in text
+
+
+def test_synthesize_scrt(tmp_path):
+    out_file = tmp_path / "t.scrt"
+    code, text = run_cli([
+        "synthesize", "--workload", "caida", "--flows", "10",
+        "--packets", "400", "--out", str(out_file),
+    ])
+    assert code == 0
+    trace = Trace.load(out_file)
+    assert len(trace) > 0
+    assert str(out_file) in text
+
+
+def test_synthesize_pcap(tmp_path):
+    out_file = tmp_path / "t.pcap"
+    code, _ = run_cli([
+        "synthesize", "--workload", "univ_dc", "--flows", "5",
+        "--packets", "200", "--out", str(out_file),
+    ])
+    assert code == 0
+    assert len(read_pcap(out_file)) > 0
+
+
+def test_run_verifies_consistency():
+    code, text = run_cli([
+        "run", "--program", "ddos", "--cores", "3",
+        "--workload", "univ_dc", "--flows", "10", "--packets", "300",
+    ])
+    assert code == 0
+    assert "replicas consistent: True" in text
+    assert "matches single-threaded reference: True" in text
+
+
+def test_run_with_loss_recovery():
+    code, text = run_cli([
+        "run", "--program", "port_knocking", "--cores", "4",
+        "--packets", "400", "--loss-rate", "0.05",
+    ])
+    assert code == 0
+    assert "replicas consistent: True" in text
+
+
+def test_run_from_trace_file(tmp_path):
+    out_file = tmp_path / "t.scrt"
+    run_cli(["synthesize", "--flows", "8", "--packets", "300",
+             "--out", str(out_file)])
+    code, text = run_cli([
+        "run", "--program", "heavy_hitter", "--cores", "2",
+        "--trace-file", str(out_file),
+    ])
+    assert code == 0
+    assert "replicas consistent: True" in text
+
+
+def test_mlffr_prints_mpps():
+    code, text = run_cli([
+        "mlffr", "--program", "ddos", "--technique", "scr",
+        "--cores", "2", "--packets", "1500",
+    ])
+    assert code == 0
+    assert "Mpps" in text
+
+
+def test_sweep_with_csv(tmp_path):
+    csv_path = tmp_path / "sweep.csv"
+    code, text = run_cli([
+        "sweep", "--program", "ddos", "--techniques", "scr", "rss",
+        "--cores", "1", "2", "--packets", "1500", "--csv", str(csv_path),
+    ])
+    assert code == 0
+    assert "scr (Mpps)" in text
+    content = csv_path.read_text()
+    assert content.startswith("technique,cores,mlffr_mpps")
+    assert content.count("\n") == 5  # header + 4 points
+
+
+def test_hardware_capacity():
+    code, text = run_cli(["hardware", "--rows", "64"])
+    assert code == 0
+    assert "44 32-bit history fields" in text
+    assert "2637 LUTs" in text
+    assert "timing @250 MHz: met" in text
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_program():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--program", "bogus"])
+
+
+def test_validate_subcommand():
+    code, text = run_cli(["validate", "--program", "token_bucket",
+                          "--packets", "300"])
+    assert code == 0
+    assert "SCR-safe" in text
+
+
+def test_validate_all_registered_programs():
+    from repro.programs import program_names
+
+    for name in program_names():
+        code, _ = run_cli(["validate", "--program", name, "--packets", "200"])
+        assert code == 0, name
+
+
+def test_reproduce_list():
+    code, text = run_cli(["reproduce", "list"])
+    assert code == 0
+    assert "Figure 6e" in text and "Figure 10a" in text
+
+
+def test_reproduce_unknown_figure():
+    code, text = run_cli(["reproduce", "99z"])
+    assert code == 2
+    assert "unknown figure" in text
+
+
+def test_reproduce_figure_with_csv(tmp_path):
+    csv_path = tmp_path / "fig1.csv"
+    code, text = run_cli(["reproduce", "1", "--packets", "1500",
+                          "--csv", str(csv_path)])
+    assert code == 0
+    assert "Figure 1" in text
+    assert csv_path.read_text().startswith("cores,scr")
+
+
+def test_run_rejects_missing_trace_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        run_cli(["run", "--program", "ddos",
+                 "--trace-file", str(tmp_path / "missing.scrt")])
+
+
+def test_run_rejects_garbage_trace_file(tmp_path):
+    bad = tmp_path / "garbage.scrt"
+    bad.write_bytes(b"not a trace at all")
+    with pytest.raises(ValueError):
+        run_cli(["run", "--program", "ddos", "--trace-file", str(bad)])

@@ -1,0 +1,28 @@
+"""Top-level package surface."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_quickstart_path_importable_from_top_level():
+    engine = repro.ScrFunctionalEngine(repro.make_program("ddos"), 2)
+    assert engine.num_cores == 2
+    assert callable(repro.reference_run)
+    assert callable(repro.validate_program)
+    assert "conntrack" in repro.program_names()
+
+
+def test_subpackages_importable():
+    import repro.bench
+    import repro.core
+    import repro.cpu
+    import repro.nic
+    import repro.packet
+    import repro.parallel
+    import repro.programs
+    import repro.sequencer
+    import repro.state
+    import repro.traffic

@@ -1,0 +1,133 @@
+"""Flow-size distributions: CDF math and sampler behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import (
+    TRACE_DISTRIBUTIONS,
+    EmpiricalCDF,
+    LognormalFlowSizes,
+    ParetoFlowSizes,
+    ZipfFlowSizes,
+    caida_backbone_flow_sizes,
+    hyperscalar_dc_flow_sizes,
+    univ_dc_flow_sizes,
+)
+
+
+class TestEmpiricalCDF:
+    def setup_method(self):
+        self.cdf = EmpiricalCDF([(10, 0.2), (100, 0.6), (1000, 1.0)])
+
+    def test_cdf_at_anchor_points(self):
+        assert self.cdf.cdf(10) == pytest.approx(0.2)
+        assert self.cdf.cdf(100) == pytest.approx(0.6)
+        assert self.cdf.cdf(1000) == pytest.approx(1.0)
+
+    def test_cdf_clamps_outside_range(self):
+        assert self.cdf.cdf(1) == pytest.approx(0.2)
+        assert self.cdf.cdf(10_000) == 1.0
+
+    def test_quantile_inverts_cdf(self):
+        for u in (0.25, 0.4, 0.6, 0.9):
+            assert self.cdf.cdf(self.cdf.quantile(u)) == pytest.approx(u, abs=1e-9)
+
+    def test_quantile_below_first_prob_returns_min(self):
+        assert self.cdf.quantile(0.1) == pytest.approx(10)
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            self.cdf.quantile(1.5)
+
+    @pytest.mark.parametrize("points", [
+        [(10, 0.5)],  # too few
+        [(10, 0.5), (5, 1.0)],  # not increasing values
+        [(10, 0.9), (20, 0.1)],  # decreasing probs
+        [(10, 0.5), (20, 0.9)],  # doesn't end at 1
+        [(0, 0.5), (20, 1.0)],  # non-positive value
+    ])
+    def test_rejects_malformed_points(self, points):
+        with pytest.raises(ValueError):
+            EmpiricalCDF(points)
+
+    def test_sampling_respects_bounds(self):
+        rng = np.random.default_rng(0)
+        samples = self.cdf.sample(rng, 500)
+        assert all(10 <= s <= 1000 for s in samples)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_monotone(self, u):
+        lower = self.cdf.quantile(max(0.0, u - 0.05))
+        assert self.cdf.quantile(u) >= lower - 1e-9
+
+
+class TestEvaluationWorkloads:
+    @pytest.mark.parametrize("factory", sorted(TRACE_DISTRIBUTIONS))
+    def test_samplers_produce_positive_packet_counts(self, factory):
+        dist = TRACE_DISTRIBUTIONS[factory]()
+        sizes = dist.sample_packets(np.random.default_rng(1), 200)
+        assert len(sizes) == 200
+        assert all(s >= 1 for s in sizes)
+
+    @pytest.mark.parametrize("factory", sorted(TRACE_DISTRIBUTIONS))
+    def test_cdf_series_monotone(self, factory):
+        xs, ys = TRACE_DISTRIBUTIONS[factory]().cdf_series()
+        assert xs == sorted(xs)
+        assert all(b >= a - 1e-12 for a, b in zip(ys, ys[1:]))
+        assert ys[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_workloads_are_heavy_tailed(self):
+        """Mean far above median — the skew every claim rests on (Fig. 5)."""
+        rng = np.random.default_rng(2)
+        for factory in (univ_dc_flow_sizes, caida_backbone_flow_sizes,
+                        hyperscalar_dc_flow_sizes):
+            sizes = factory().sample_packets(rng, 2000)
+            assert np.mean(sizes) > 2 * np.median(sizes)
+
+    def test_hyperscalar_flows_are_bigger_than_caida(self):
+        rng = np.random.default_rng(3)
+        hyper = hyperscalar_dc_flow_sizes().sample_packets(rng, 1000)
+        caida = caida_backbone_flow_sizes().sample_packets(rng, 1000)
+        assert np.median(hyper) > np.median(caida)
+
+
+class TestPrimitives:
+    def test_pareto_bounds(self):
+        dist = ParetoFlowSizes(alpha=1.1, min_packets=2, max_packets=500)
+        sizes = dist.sample_packets(np.random.default_rng(0), 1000)
+        assert all(2 <= s <= 500 for s in sizes)
+
+    def test_pareto_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ParetoFlowSizes(alpha=0)
+        with pytest.raises(ValueError):
+            ParetoFlowSizes(min_packets=10, max_packets=5)
+
+    def test_lognormal_bounds(self):
+        dist = LognormalFlowSizes(max_packets=100)
+        sizes = dist.sample_packets(np.random.default_rng(0), 500)
+        assert all(1 <= s <= 100 for s in sizes)
+
+    def test_zipf_is_deterministic_total(self):
+        dist = ZipfFlowSizes(exponent=1.0, total_packets=10_000)
+        s1 = dist.sample_packets(np.random.default_rng(5), 20)
+        s2 = dist.sample_packets(np.random.default_rng(5), 20)
+        assert sorted(s1) == sorted(s2)
+
+    def test_zipf_has_one_dominant_flow(self):
+        dist = ZipfFlowSizes(exponent=1.2, total_packets=10_000)
+        sizes = sorted(dist.sample_packets(np.random.default_rng(0), 50))
+        # rank-1 vs rank-2 ratio is 2^s ≈ 2.3 for s=1.2
+        assert sizes[-1] > 2 * sizes[-2]
+
+    def test_zipf_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            ZipfFlowSizes(exponent=-1)
+
+    def test_cdf_series_of_primitives_monotone(self):
+        for dist in (ParetoFlowSizes(), LognormalFlowSizes(), ZipfFlowSizes()):
+            xs, ys = dist.cdf_series(points=30)
+            assert all(b >= a - 1e-9 for a, b in zip(ys, ys[1:]))

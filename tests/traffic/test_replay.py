@@ -1,0 +1,65 @@
+"""Rate-controlled replay."""
+
+import pytest
+
+from repro.packet import make_udp_packet
+from repro.traffic import Replayer, Trace, replay_at_rate
+
+
+@pytest.fixture
+def trace():
+    return Trace([make_udp_packet(1, 2, 3, 4, timestamp_ns=i * 777) for i in range(10)])
+
+
+def test_rate_sets_even_spacing(trace):
+    out = replay_at_rate(trace, rate_pps=1e6)  # 1000 ns apart
+    ts = [p.timestamp_ns for p in out]
+    assert ts == [i * 1000 for i in range(10)]
+
+
+def test_original_trace_unmodified(trace):
+    replay_at_rate(trace, rate_pps=1e6)
+    assert trace[1].timestamp_ns == 777
+
+
+def test_order_preserved(trace):
+    out = replay_at_rate(trace, rate_pps=5e6)
+    assert [p.five_tuple() for p in out] == [p.five_tuple() for p in trace]
+
+
+def test_burst_mode_groups_timestamps(trace):
+    out = replay_at_rate(trace, rate_pps=1e6, burst_size=4)
+    ts = [p.timestamp_ns for p in out]
+    assert ts[0] == ts[1] == ts[2] == ts[3] == 0
+    assert ts[4] == ts[7] == 4000  # next burst at mean-rate spacing
+    assert ts[8] == 8000
+
+
+def test_burst_preserves_long_run_rate(trace):
+    out = replay_at_rate(trace, rate_pps=2e6, burst_size=2)
+    # 10 packets at 2 Mpps → last burst starts at 4 * 2 * 500 = 4000 ns
+    assert out[-1].timestamp_ns == 4000
+
+
+def test_loop_count_repeats_trace(trace):
+    r = Replayer(trace, loop_count=3)
+    out = list(r.offered_packets(1e6))
+    assert len(out) == 30
+    assert r.total_packets() == 30
+    ts = [p.timestamp_ns for p in out]
+    assert ts == sorted(ts)
+
+
+def test_rejects_bad_rate(trace):
+    with pytest.raises(ValueError):
+        replay_at_rate(trace, rate_pps=0)
+
+
+def test_rejects_bad_burst(trace):
+    with pytest.raises(ValueError):
+        replay_at_rate(trace, 1e6, burst_size=0)
+
+
+def test_rejects_bad_loop_count(trace):
+    with pytest.raises(ValueError):
+        Replayer(trace, loop_count=0)

@@ -1,0 +1,137 @@
+"""Trace tools: validation, burst shaping, flow sampling."""
+
+import pytest
+
+from repro.packet import TCP_ACK, TCP_SYN, make_tcp_packet, make_udp_packet
+from repro.traffic import (
+    ParetoFlowSizes,
+    Trace,
+    burstify,
+    sample_flows,
+    synthesize_trace,
+    univ_dc_flow_sizes,
+    validate_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def good_trace():
+    # no packet cap: every flow runs to completion (SYN..FIN), the §4.1
+    # invariant validate_trace checks.
+    return synthesize_trace(ParetoFlowSizes(max_packets=100), 15, seed=3)
+
+
+class TestValidate:
+    def test_synthesized_traces_are_valid(self, good_trace):
+        assert validate_trace(good_trace).ok
+
+    def test_bidirectional_traces_are_valid(self):
+        trace = synthesize_trace(
+            ParetoFlowSizes(max_packets=60), 8, seed=4, bidirectional=True
+        )
+        assert validate_trace(trace, bidirectional=True).ok
+
+    def test_detects_missing_syn(self):
+        trace = Trace([make_tcp_packet(1, 2, 3, 4, TCP_ACK)])
+        problems = validate_trace(trace)
+        assert not problems.ok
+        assert len(problems.flows_not_starting_with_syn) == 1
+
+    def test_detects_missing_fin(self):
+        trace = Trace([make_tcp_packet(1, 2, 3, 4, TCP_SYN)])
+        problems = validate_trace(trace)
+        assert len(problems.flows_not_ending_with_fin) == 1
+
+    def test_detects_time_disorder(self):
+        trace = Trace([
+            make_udp_packet(1, 2, 3, 4, timestamp_ns=100),
+            make_udp_packet(1, 2, 3, 4, timestamp_ns=50),
+        ])
+        assert validate_trace(trace).out_of_order == 1
+
+    def test_non_tcp_ignored_for_flags(self):
+        trace = Trace([make_udp_packet(1, 2, 3, 4)])
+        assert validate_trace(trace).ok
+
+    def test_truncated_trace_caps_still_validate(self, good_trace):
+        """max_packets can cut flows mid-life; validate reports it."""
+        cut = Trace(good_trace.packets[: len(good_trace) // 2])
+        problems = validate_trace(cut)
+        assert problems.flows_not_ending_with_fin  # some flows were cut
+
+
+class TestBurstify:
+    def test_groups_into_bursts(self, good_trace):
+        bursty = burstify(good_trace, burst_size=16, burst_gap_ns=100_000,
+                          intra_burst_gap_ns=10)
+        ts = [p.timestamp_ns for p in bursty]
+        # within a burst: tiny gaps; between bursts: the big one
+        assert ts[1] - ts[0] == 10
+        assert ts[16] - ts[15] == 100_000
+
+    def test_preserves_order_and_count(self, good_trace):
+        bursty = burstify(good_trace, burst_size=8)
+        assert len(bursty) == len(good_trace)
+        assert [p.five_tuple() for p in bursty] == [
+            p.five_tuple() for p in good_trace
+        ]
+
+    def test_timestamps_monotone(self, good_trace):
+        ts = [p.timestamp_ns for p in burstify(good_trace, burst_size=4)]
+        assert ts == sorted(ts)
+
+    def test_original_untouched(self, good_trace):
+        before = [p.timestamp_ns for p in good_trace]
+        burstify(good_trace, burst_size=4)
+        assert [p.timestamp_ns for p in good_trace] == before
+
+    def test_rejects_bad_burst(self, good_trace):
+        with pytest.raises(ValueError):
+            burstify(good_trace, burst_size=0)
+
+
+class TestSampleFlows:
+    def test_respects_budget(self, good_trace):
+        sampled = sample_flows(good_trace, max_packets=300, seed=1)
+        assert len(sampled) <= 300
+
+    def test_keeps_whole_flows(self, good_trace):
+        sampled = sample_flows(good_trace, max_packets=300, seed=1)
+        orig_sizes = good_trace.flow_sizes()
+        for ft, size in sampled.flow_sizes().items():
+            assert size == orig_sizes[ft]
+
+    def test_under_budget_returns_everything(self, good_trace):
+        sampled = sample_flows(good_trace, max_packets=10**9)
+        assert len(sampled) == len(good_trace)
+
+    def test_preserves_skew(self):
+        # elephants bounded below the budget so preserving the mix is
+        # possible at all (a flow larger than the budget cannot be kept)
+        trace = synthesize_trace(
+            ParetoFlowSizes(alpha=1.05, max_packets=600), 400, seed=9,
+            mean_flow_interarrival_ns=500,
+        )
+        assert len(trace) > 2100  # the budget must actually bind
+        sampled = sample_flows(trace, max_packets=2000, seed=2)
+        # heavy-tailed before and after: mean >> median
+        import numpy as np
+
+        def skew(t):
+            sizes = list(t.flow_sizes().values())
+            return np.mean(sizes) / max(1, np.median(sizes))
+
+        assert skew(trace) > 2
+        assert skew(sampled) > 0.4 * skew(trace)
+
+    def test_deterministic(self, good_trace):
+        a = sample_flows(good_trace, 300, seed=5)
+        b = sample_flows(good_trace, 300, seed=5)
+        assert [p.to_bytes() for p in a] == [p.to_bytes() for p in b]
+
+    def test_empty_trace(self):
+        assert len(sample_flows(Trace([]), 100)) == 0
+
+    def test_rejects_bad_budget(self, good_trace):
+        with pytest.raises(ValueError):
+            sample_flows(good_trace, 0)
