@@ -1,6 +1,6 @@
 # Convenience targets for the SCR reproduction.
 
-.PHONY: install test bench reproduce examples clean
+.PHONY: install test bench reproduce examples telemetry-demo clean
 
 install:
 	python setup.py develop
@@ -25,6 +25,15 @@ reproduce-full:
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+# Instrumented Figure 6-style sweep -> results/telemetry-demo, then the
+# summary (drop causes, latency percentiles, per-core attribution).
+# Open results/telemetry-demo/trace.json in Perfetto for the timeline.
+telemetry-demo:
+	PYTHONPATH=src python -m repro.cli sweep --program ddos --workload caida \
+		--techniques scr shared --cores 1 2 4 --packets 2000 \
+		--telemetry results/telemetry-demo
+	PYTHONPATH=src python -m repro.cli inspect results/telemetry-demo
 
 clean:
 	rm -rf results .pytest_cache .benchmarks

@@ -43,11 +43,13 @@ def test_ext_tail_latency_scr_vs_rss(benchmark):
         for tech in ("scr", "rss", "shared"):
             engine = make_engine(tech, make_program(prog_name), cores)
             res = simulate(pt, offered, engine, collect_latency=True)
+            # The log-bucketed histogram (repro.telemetry): bounded memory,
+            # ~9 % quantile error — plenty for the order-of-magnitude claims.
             rows.append({
                 "tech": tech,
-                "p50": res.latency_percentile_ns(0.50),
-                "p99": res.latency_percentile_ns(0.99),
-                "p999": res.latency_percentile_ns(0.999),
+                "p50": res.latency_p50_ns,
+                "p99": res.latency_p99_ns,
+                "p999": res.latency_p999_ns,
                 "loss": res.loss_fraction,
             })
         return rows

@@ -10,10 +10,12 @@ it; the reported figure is the highest rate observed to be loss-free.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..cpu.simulator import PerfEngine, PerfTrace, SimResult, simulate
+from ..telemetry.events import EV_MLFFR_PROBE, NULL_TRACER, EventTracer
 
 __all__ = ["MlffrResult", "find_mlffr", "LOSS_THRESHOLD", "SEARCH_TOLERANCE_PPS"]
 
@@ -47,8 +49,16 @@ def find_mlffr(
     tolerance_pps: float = SEARCH_TOLERANCE_PPS,
     line_rate_gbps: float = 100.0,
     burst_size: int = 1,
+    tracer: EventTracer = NULL_TRACER,
+    collect_latency: bool = False,
 ) -> MlffrResult:
-    """Binary-search the highest offered rate with loss below threshold."""
+    """Binary-search the highest offered rate with loss below threshold.
+
+    ``tracer`` receives one ``mlffr.probe`` event per search step (rate,
+    loss, verdict) and is forwarded to every probe's simulation.
+    ``collect_latency`` makes each probe gather latency samples, so
+    ``result_at_mlffr`` carries the percentile histogram.
+    """
     if start_pps <= 0:
         raise ValueError("start rate must be positive")
 
@@ -65,12 +75,22 @@ def find_mlffr(
             engine,
             line_rate_gbps=line_rate_gbps,
             burst_size=burst_size,
+            tracer=tracer,
+            collect_latency=collect_latency,
         )
         probes.append((rate, res.loss_fraction))
         ok = res.loss_fraction <= loss_threshold
+        if tracer.enabled:
+            tracer.emit(EV_MLFFR_PROBE, rate_pps=rate,
+                        loss=res.loss_fraction, iteration=iterations,
+                        lossfree=ok)
         if ok:
             if best_result is None or rate > best_result.rate_pps:
                 best_result = res
+                # The engine mutates one counters object in place across
+                # probes; freeze this probe's attribution so the reported
+                # point's counters survive later (lossy) probes.
+                best_result.counters = copy.deepcopy(res.counters)
         return ok
 
     # Exponential bracket: find lo feasible, hi infeasible.

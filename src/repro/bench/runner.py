@@ -16,6 +16,8 @@ from ..cpu.simulator import PerfTrace
 from ..parallel.registry import make_engine
 from ..programs.base import PacketProgram
 from ..programs.registry import make_program
+from ..telemetry.artifact import Telemetry
+from ..telemetry.events import NULL_TRACER
 from ..traffic.distributions import TRACE_DISTRIBUTIONS
 from ..traffic.synthesis import single_flow_trace, synthesize_trace
 from ..traffic.trace import Trace
@@ -52,13 +54,21 @@ class ExperimentRunner:
         max_packets: int = 4000,
         seed: int = 7,
         line_rate_gbps: float = 100.0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.num_flows = num_flows
         self.max_packets = max_packets
         self.seed = seed
         self.line_rate_gbps = line_rate_gbps
+        #: optional instrumentation: probe events, per-point gauges, and the
+        #: counters/latency snapshot at each reported MLFFR.
+        self.telemetry = telemetry
         self._traces: Dict[tuple, Trace] = {}
         self._perf: Dict[tuple, PerfTrace] = {}
+        #: counters snapshot from the most recent mlffr_point (telemetry on).
+        self.last_counters: Optional[dict] = None
+        #: latency percentiles from the most recent mlffr_point.
+        self.last_latency_ns: Optional[dict] = None
 
     # -- workload construction ----------------------------------------------------
 
@@ -132,13 +142,53 @@ class ExperimentRunner:
     ) -> MlffrResult:
         program = make_program(program_name)
         perf_trace = self.perf_trace_for(program, trace_name, packet_size=packet_size)
-        engine = make_engine(technique, program, cores, **(engine_kwargs or {}))
-        return find_mlffr(
+        kwargs = dict(engine_kwargs or {})
+        tele = self.telemetry
+        instrumented = tele is not None and tele.enabled
+        if instrumented:
+            kwargs.setdefault("tracer", tele.tracer)
+        engine = make_engine(technique, program, cores, **kwargs)
+        res = find_mlffr(
             perf_trace,
             engine,
             line_rate_gbps=self.line_rate_gbps,
             burst_size=burst_size,
+            tracer=tele.tracer if instrumented else NULL_TRACER,
+            collect_latency=instrumented,
         )
+        if instrumented:
+            self._record_point(program_name, trace_name, technique, cores, res)
+        return res
+
+    def _record_point(
+        self,
+        program_name: str,
+        trace_name: str,
+        technique: str,
+        cores: int,
+        res: MlffrResult,
+    ) -> None:
+        """Fold one MLFFR point into the telemetry registry."""
+        reg = self.telemetry.registry
+        labels = (
+            f'program="{program_name}",workload="{trace_name}",'
+            f'technique="{technique}",cores="{cores}"'
+        )
+        reg.gauge(
+            "mlffr_mpps{%s}" % labels,
+            help="maximum loss-free forwarding rate in Mpps (RFC 2544, <4% loss)",
+        ).set(res.mlffr_mpps)
+        reg.counter("mlffr_search_iterations").inc(res.iterations)
+        best = res.result_at_mlffr
+        if best is None:
+            return
+        self.last_counters = best.counters.snapshot()
+        hist = best.latency_histogram
+        if hist is not None and hist.count:
+            self.last_latency_ns = hist.percentiles()
+            reg.histogram(
+                "latency_ns", help="per-packet latency at MLFFR"
+            ).merge(hist)
 
     def scaling_sweep(
         self,

@@ -10,6 +10,11 @@ Subcommands:
 * ``sweep``      — throughput-vs-cores sweep across techniques, with
   optional CSV export.
 * ``hardware``   — sequencer capacity/resources (Tofino + NetFPGA).
+* ``inspect``    — summarize a ``--telemetry`` run artifact directory.
+
+``run``, ``mlffr``, and ``sweep`` accept ``--telemetry DIR``: the run is
+instrumented (event trace, metrics, latency histograms) and a
+:class:`~repro.telemetry.artifact.RunArtifact` is written under ``DIR``.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from .bench.export import scaling_points_to_csv
 from .core import ScrFunctionalEngine, reference_run
 from .programs import make_program, program_names, table1_rows
 from .sequencer import NetFpgaSequencerModel, TofinoSequencerModel
+from .telemetry import NULL_TELEMETRY, Telemetry, summarize_artifact
 from .traffic import (
     TRACE_DISTRIBUTIONS,
     Trace,
@@ -60,6 +66,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--packets", type=int, default=2000)
     p.add_argument("--loss-rate", type=float, default=0.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--telemetry", metavar="DIR",
+                   help="instrument the run and write a run artifact here")
 
     p = sub.add_parser("mlffr", help="measure MLFFR throughput")
     p.add_argument("--program", choices=program_names(), default="ddos")
@@ -69,6 +77,8 @@ def build_parser() -> argparse.ArgumentParser:
                    default="scr")
     p.add_argument("--cores", type=int, default=4)
     p.add_argument("--packets", type=int, default=4000)
+    p.add_argument("--telemetry", metavar="DIR",
+                   help="instrument the run and write a run artifact here")
 
     p = sub.add_parser("sweep", help="throughput-vs-cores sweep")
     p.add_argument("--program", choices=program_names(), default="ddos")
@@ -79,6 +89,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cores", nargs="+", type=int, default=[1, 2, 4, 7])
     p.add_argument("--packets", type=int, default=4000)
     p.add_argument("--csv", help="write results to this CSV path")
+    p.add_argument("--telemetry", metavar="DIR",
+                   help="instrument the run and write a run artifact here")
 
     p = sub.add_parser("hardware", help="sequencer capacity and resources")
     p.add_argument("--rows", type=int, default=16, help="NetFPGA history rows")
@@ -87,6 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("figure", help='figure id, e.g. "1", "6e", "7", "10a", or "list"')
     p.add_argument("--packets", type=int, default=4000)
     p.add_argument("--csv", help="write the series to this CSV path")
+
+    p = sub.add_parser("inspect", help="summarize a telemetry run artifact")
+    p.add_argument("dir", help="artifact directory (or manifest.json path)")
 
     p = sub.add_parser("validate", help="check a program's SCR safety")
     p.add_argument("--program", choices=program_names(), required=True)
@@ -146,14 +161,52 @@ def cmd_synthesize(args, out) -> int:
     return 0
 
 
+def _telemetry_for(args) -> Telemetry:
+    """An enabled Telemetry when ``--telemetry DIR`` was given, else no-op."""
+    if getattr(args, "telemetry", None):
+        return Telemetry()
+    return NULL_TELEMETRY
+
+
+def _config_from(args, *names) -> dict:
+    return {name: getattr(args, name) for name in names if hasattr(args, name)}
+
+
+def _finish_telemetry(tele, args, out, num_cores, extra_metrics=None) -> bool:
+    """Write the run artifact; returns False (with a message) on I/O failure."""
+    if not tele.enabled:
+        return True
+    try:
+        artifact = tele.write_artifact(
+            args.telemetry,
+            command=args.command,
+            config=_config_from(
+                args, "program", "workload", "technique", "techniques",
+                "cores", "packets", "flows", "loss_rate", "seed",
+            ),
+            extra_metrics=extra_metrics,
+            num_cores=num_cores,
+        )
+    except OSError as exc:
+        print(f"error: cannot write telemetry artifact to "
+              f"{args.telemetry!r}: {exc}", file=out)
+        return False
+    print(f"telemetry artifact: {args.telemetry} "
+          f"({artifact.events_emitted} events, "
+          f"{len(artifact.event_type_counts)} types)", file=out)
+    return True
+
+
 def cmd_run(args, out) -> int:
     trace = _load_or_synthesize(args)
+    tele = _telemetry_for(args)
     engine = ScrFunctionalEngine(
         make_program(args.program),
         num_cores=args.cores,
         with_recovery=args.loss_rate > 0,
         loss_rate=args.loss_rate,
         seed=args.seed,
+        tracer=tele.tracer,
     )
     result = engine.run(trace)
     ref_verdicts, ref_state = reference_run(make_program(args.program), trace)
@@ -169,20 +222,48 @@ def cmd_run(args, out) -> int:
     print(f"replicas consistent: {consistent}", file=out)
     if not result.lost_seqs:
         print(f"matches single-threaded reference: {matches}", file=out)
+    if tele.enabled:
+        reg = tele.registry
+        reg.counter("packets_offered").inc(result.offered)
+        reg.counter("packets_lost").inc(len(result.lost_seqs))
+        reg.counter("packets_recovered").inc(result.recovered)
+        reg.counter("packets_skipped").inc(result.skipped)
+        reg.gauge("replicas_consistent").set(1.0 if consistent else 0.0)
+        if not _finish_telemetry(tele, args, out, num_cores=args.cores):
+            return 2
     return 0 if consistent else 1
 
 
+def _runner_metrics(runner: ExperimentRunner) -> Optional[dict]:
+    """Extra artifact metrics from the runner's last instrumented point."""
+    extra = {}
+    if runner.last_counters is not None:
+        extra["counters"] = runner.last_counters
+    if runner.last_latency_ns is not None:
+        extra["latency_ns"] = runner.last_latency_ns
+    return extra or None
+
+
 def cmd_mlffr(args, out) -> int:
-    runner = ExperimentRunner(max_packets=args.packets)
+    tele = _telemetry_for(args)
+    runner = ExperimentRunner(
+        max_packets=args.packets, telemetry=tele if tele.enabled else None
+    )
     res = runner.mlffr_point(args.program, args.workload, args.technique, args.cores)
     print(f"{args.program} @ {args.workload}, {args.technique}, "
           f"{args.cores} cores: {res.mlffr_mpps:.2f} Mpps "
           f"({res.iterations} search iterations)", file=out)
+    if not _finish_telemetry(tele, args, out, num_cores=args.cores,
+                             extra_metrics=_runner_metrics(runner)):
+        return 2
     return 0
 
 
 def cmd_sweep(args, out) -> int:
-    runner = ExperimentRunner(max_packets=args.packets)
+    tele = _telemetry_for(args)
+    runner = ExperimentRunner(
+        max_packets=args.packets, telemetry=tele if tele.enabled else None
+    )
     points = runner.scaling_sweep(
         args.program, args.workload, args.techniques, args.cores
     )
@@ -195,6 +276,9 @@ def cmd_sweep(args, out) -> int:
     if args.csv:
         path = scaling_points_to_csv(points, args.csv)
         print(f"wrote {path}", file=out)
+    if not _finish_telemetry(tele, args, out, num_cores=max(args.cores),
+                             extra_metrics=_runner_metrics(runner)):
+        return 2
     return 0
 
 
@@ -241,6 +325,21 @@ def cmd_reproduce(args, out) -> int:
     return 0
 
 
+def cmd_inspect(args, out) -> int:
+    import json
+
+    try:
+        print(summarize_artifact(args.dir), file=out)
+    except (FileNotFoundError, NotADirectoryError):
+        print(f"no run artifact at {args.dir!r} "
+              "(expected a manifest.json written by --telemetry)", file=out)
+        return 2
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"malformed run artifact at {args.dir!r}: {exc}", file=out)
+        return 2
+    return 0
+
+
 def cmd_validate(args, out) -> int:
     from .core import validate_program
 
@@ -271,6 +370,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "hardware": cmd_hardware,
     "reproduce": cmd_reproduce,
+    "inspect": cmd_inspect,
     "validate": cmd_validate,
 }
 

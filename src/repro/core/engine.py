@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 from ..packet import Packet
 from ..programs.base import PacketProgram, Verdict
 from ..state.maps import PerCoreStateMap, StateMap
+from ..telemetry.events import EV_INJECTED_LOSS, NULL_TRACER, EventTracer
 from ..traffic.trace import Trace
 from .recovery import LossRecoveryManager
 from .scr_aware import ScrCoreRuntime
@@ -70,6 +71,7 @@ class ScrFunctionalEngine:
         loss_rate: float = 0.0,
         seed: int = 0,
         state_capacity: int = 4096,
+        tracer: EventTracer = NULL_TRACER,
     ) -> None:
         if loss_rate and not with_recovery:
             raise ValueError("loss injection requires with_recovery=True")
@@ -90,6 +92,7 @@ class ScrFunctionalEngine:
             if with_recovery
             else None
         )
+        self.tracer = tracer
         self.cores = [
             ScrCoreRuntime(
                 program,
@@ -97,6 +100,7 @@ class ScrFunctionalEngine:
                 codec=self.sequencer.codec,
                 state=self.states.replica(i),
                 recovery=self.recovery,
+                tracer=tracer,
             )
             for i in range(num_cores)
         ]
@@ -152,6 +156,8 @@ class ScrFunctionalEngine:
         sp = self.sequencer.process(pkt)
         if self.loss_rate and self._rng.random() < self.loss_rate:
             result.lost_seqs.append(sp.seq)
+            if self.tracer.enabled:
+                self.tracer.emit(EV_INJECTED_LOSS, core=sp.core, seq=sp.seq)
             return
         for seq, verdict in self.cores[sp.core].receive(sp.data):
             result.verdicts[seq] = verdict

@@ -26,6 +26,14 @@ from typing import Deque, Dict, List, Optional, Tuple
 from ..packet import Packet
 from ..programs.base import PacketProgram, Verdict
 from ..state.maps import StateMap
+from ..telemetry.events import (
+    EV_HISTORY_DEPTH,
+    EV_RECOVERY_BLOCKED,
+    EV_RECOVERY_FINISH,
+    EV_RECOVERY_START,
+    NULL_TRACER,
+    EventTracer,
+)
 from .packet_format import ScrPacketCodec
 from .recovery import LossRecoveryManager
 
@@ -45,12 +53,18 @@ class ScrCoreRuntime:
         codec: ScrPacketCodec,
         state: StateMap,
         recovery: Optional[LossRecoveryManager] = None,
+        tracer: EventTracer = NULL_TRACER,
     ) -> None:
         self.program = program
         self.core_id = core_id
         self.codec = codec
         self.state = state
         self.recovery = recovery
+        #: telemetry event sink; the default disabled tracer is free.
+        self.tracer = tracer
+        #: True while a catch-up that needed peer logs is in flight.
+        self._recovery_round = False
+        self._round_recovered0 = 0
         #: highest sequence fully applied to the private replica.
         self.last_seq = 0
         self._rx_queue: Deque[bytes] = deque()
@@ -119,6 +133,15 @@ class ScrCoreRuntime:
         self.recovery.deliver(self.core_id, j, metas)
         self._pending_packet = pkt
         self._pending_seq = j
+        if self.tracer.enabled:
+            # A recovery *round* means the gap reaches past the carried
+            # history, so Algorithm 1 must consult peer logs.
+            minseq = max(1, j - (n - 1))
+            if self.last_seq + 1 < minseq:
+                self._recovery_round = True
+                self._round_recovered0 = self.recovered_applied
+                self.tracer.emit(EV_RECOVERY_START, core=self.core_id, seq=j,
+                                 gap=minseq - self.last_seq - 1)
         return self._advance_walk()
 
     def _process_lossfree(self, j: int, rows, pkt: Packet) -> Outcome:
@@ -132,6 +155,7 @@ class ScrCoreRuntime:
             )
         # Fast-forward the missed packets (the App. C loop).  Row m holds
         # sequence j - n + m; apply only unseen, real sequences.
+        applied = 0
         for m in range(n):
             s = j - n + m
             if s < gap_start or s < 1:
@@ -139,6 +163,10 @@ class ScrCoreRuntime:
             meta = self.program.metadata_cls.unpack(rows[m])
             self.program.fast_forward(self.state, meta)
             self.history_applied += 1
+            applied += 1
+        if applied and self.tracer.enabled:
+            self.tracer.emit(EV_HISTORY_DEPTH, core=self.core_id, seq=j,
+                             depth=applied)
         verdict = self.program.process(self.state, pkt)
         self.last_seq = j
         self.packets_processed += 1
@@ -171,8 +199,19 @@ class ScrCoreRuntime:
                 self.recovered_applied += 1
             self.last_seq = seq
         if done:
+            if self._recovery_round and self.tracer.enabled:
+                self.tracer.emit(
+                    EV_RECOVERY_FINISH,
+                    core=self.core_id,
+                    seq=self._pending_seq or self.last_seq,
+                    recovered=self.recovered_applied - self._round_recovered0,
+                )
+            self._recovery_round = False
             self._pending_packet = None
             self._pending_seq = 0
+        elif self.tracer.enabled:
+            self.tracer.emit(EV_RECOVERY_BLOCKED, core=self.core_id,
+                             seq=self._pending_seq, at=self.last_seq + 1)
         return result
 
     @property

@@ -25,6 +25,7 @@ from typing import Dict, Optional
 
 from ..programs.base import PacketProgram, Verdict
 from ..state.maps import PerCoreStateMap
+from ..telemetry.events import NULL_TRACER, EventTracer
 from ..traffic.trace import Trace
 from .engine import ScrRunResult
 from .recovery import LossRecoveryManager
@@ -82,6 +83,7 @@ class ThreadedScrEngine:
         seed: int = 0,
         state_capacity: int = 4096,
         ring_capacity: int = 256,
+        tracer: EventTracer = NULL_TRACER,
     ) -> None:
         from ..sequencer.sequencer import PacketHistorySequencer
 
@@ -101,6 +103,9 @@ class ThreadedScrEngine:
         self.loss_rate = loss_rate
         self._seed = seed
         self._ring_capacity = ring_capacity
+        #: event sink shared by every core thread (deque appends are safe
+        #: under the GIL; counts may rarely under-report across threads).
+        self.tracer = tracer
 
     @staticmethod
     def _put(thread: _CoreThread, data: bytes) -> None:
@@ -129,6 +134,7 @@ class ThreadedScrEngine:
                     codec=self.sequencer.codec,
                     state=self.states.replica(i),
                     recovery=self.recovery,
+                    tracer=self.tracer,
                 ),
                 ring_capacity=self._ring_capacity,
             )

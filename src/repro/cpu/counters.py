@@ -13,7 +13,7 @@ stalls.  From those the counters derive the three metrics Figure 8 plots:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from .costmodel import CPU_FREQ_GHZ
 
@@ -105,7 +105,7 @@ class CoreCounters:
         transfer_ns: float = 0.0,
         state_accesses: int = 1,
         l2_misses: float = 0.0,
-        program_ns: float = None,
+        program_ns: Optional[float] = None,
     ) -> None:
         """Attribute one processed packet's time to the counter buckets.
 
@@ -123,6 +123,29 @@ class CoreCounters:
             program_ns = compute_ns + wait_ns + transfer_ns
         self.program_ns += program_ns
         self.instructions += INSNS_PER_DISPATCH + compute_ns * INSNS_PER_COMPUTE_NS
+
+    def snapshot(self) -> dict:
+        """This core's accumulators plus derived metrics, JSON-safe.
+
+        The schema is what the telemetry exporters embed in run artifacts:
+        the four attribution buckets always sum to ``busy_ns``.
+        """
+        return {
+            "core_id": self.core_id,
+            "packets": self.packets,
+            "dispatch_ns": self.dispatch_ns,
+            "compute_ns": self.compute_ns,
+            "wait_ns": self.wait_ns,
+            "transfer_ns": self.transfer_ns,
+            "busy_ns": self.busy_ns,
+            "program_ns": self.program_ns,
+            "l2_accesses": self.l2_accesses,
+            "l2_misses": self.l2_misses,
+            "l2_hit_ratio": self.l2_hit_ratio,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "mean_compute_latency_ns": self.mean_compute_latency_ns,
+        }
 
 
 @dataclass
@@ -169,3 +192,26 @@ class SystemCounters:
 
     def total_packets(self) -> int:
         return sum(c.packets for c in self.cores)
+
+    def snapshot(self) -> dict:
+        """Aggregate + per-core dicts in the run-artifact metrics schema.
+
+        Existing aggregate properties (``mean_ipc`` etc.) stay thin views
+        over the per-core accumulators; this is the one serialization
+        point the exporters use.
+        """
+        cores = [c.snapshot() for c in self.cores]
+        return {
+            "cores": cores,
+            "totals": {
+                "packets": self.total_packets(),
+                "busy_ns": sum(c["busy_ns"] for c in cores),
+                "dispatch_ns": sum(c["dispatch_ns"] for c in cores),
+                "compute_ns": sum(c["compute_ns"] for c in cores),
+                "wait_ns": sum(c["wait_ns"] for c in cores),
+                "transfer_ns": sum(c["transfer_ns"] for c in cores),
+                "mean_l2_hit_ratio": self.mean_l2_hit_ratio(),
+                "mean_ipc": self.mean_ipc(),
+                "mean_compute_latency_ns": self.mean_compute_latency_ns(),
+            },
+        }

@@ -29,6 +29,17 @@ from ..nic.rss import (
 )
 from ..packet import Packet
 from ..programs.base import PacketProgram
+from ..telemetry.events import (
+    EV_INJECTED_LOSS,
+    EV_PCIE_DROP,
+    EV_RING_DROP,
+    EV_RUN_SUMMARY,
+    EV_SERVICE,
+    EV_WIRE_DROP,
+    NULL_TRACER,
+    EventTracer,
+)
+from ..telemetry.metrics import Histogram
 from ..traffic.trace import Trace
 from .counters import SystemCounters
 
@@ -143,9 +154,12 @@ class SimResult:
     #: per-packet sojourn times (arrival → service completion), ns; only
     #: populated when simulate() is called with collect_latency=True.
     latency_samples_ns: Optional[List[float]] = None
+    #: log-bucketed sojourn-time distribution; populated alongside the raw
+    #: samples, bounded memory, the source for the p50/p90/p99/p999 views.
+    latency_histogram: Optional[Histogram] = None
 
     def latency_percentile_ns(self, q: float) -> float:
-        """The q-quantile (0..1) of per-packet sojourn time."""
+        """The q-quantile (0..1) of per-packet sojourn time (exact samples)."""
         if not self.latency_samples_ns:
             raise ValueError("run simulate(collect_latency=True) first")
         if not 0.0 <= q <= 1.0:
@@ -153,6 +167,29 @@ class SimResult:
         ordered = sorted(self.latency_samples_ns)
         idx = min(len(ordered) - 1, int(q * len(ordered)))
         return ordered[idx]
+
+    def latency_percentiles_ns(self) -> dict:
+        """{"p50": ..., "p90": ..., "p99": ..., "p99_9": ...} from the
+        log-bucketed histogram (each within one bucket width, ~9 %)."""
+        if self.latency_histogram is None:
+            raise ValueError("run simulate(collect_latency=True) first")
+        return self.latency_histogram.percentiles()
+
+    @property
+    def latency_p50_ns(self) -> float:
+        return self.latency_percentiles_ns()["p50"]
+
+    @property
+    def latency_p90_ns(self) -> float:
+        return self.latency_percentiles_ns()["p90"]
+
+    @property
+    def latency_p99_ns(self) -> float:
+        return self.latency_percentiles_ns()["p99"]
+
+    @property
+    def latency_p999_ns(self) -> float:
+        return self.latency_percentiles_ns()["p99_9"]
 
     @property
     def loss_fraction(self) -> float:
@@ -187,6 +224,7 @@ def simulate(
     grace_min_ns: float = 1_000.0,
     pcie_rate_gbps: float = 252.0,
     collect_latency: bool = False,
+    tracer: EventTracer = NULL_TRACER,
 ) -> SimResult:
     """Offer ``perf_trace`` at ``rate_pps`` to ``engine`` and measure.
 
@@ -208,6 +246,10 @@ def simulate(
     (``engine.dma_len``, falling back to ``wire_len``) plus descriptor
     traffic must fit; SCR's history enlarges DMA even when a NIC-resident
     sequencer leaves the wire untouched (§4.2).
+
+    ``tracer`` receives typed events (per-packet service spans, every drop
+    with its cause, a run summary); the default disabled tracer costs one
+    branch per packet.
     """
     if rate_pps <= 0:
         raise ValueError("rate must be positive")
@@ -233,6 +275,11 @@ def simulate(
     last_finish = 0.0
 
     latency_samples: Optional[List[float]] = [] if collect_latency else None
+    latency_hist = Histogram("latency_ns") if collect_latency else None
+    #: bind the emit method once; the disabled tracer's emit is a no-op but
+    #: the per-packet guard below avoids even the call overhead.
+    tracing = tracer.enabled
+    emit = tracer.emit
 
     def drain(core: int, horizon: float) -> None:
         nonlocal processed, last_finish
@@ -243,11 +290,16 @@ def simulate(
             if start > horizon:
                 break
             ring.popleft()
-            busy[core] = start + engine.service_ns(core, pp, start)
+            service = engine.service_ns(core, pp, start)
+            busy[core] = start + service
             per_core_packets[core] += 1
             processed += 1
             if latency_samples is not None:
                 latency_samples.append(busy[core] - arrival)
+                latency_hist.observe(busy[core] - arrival)
+            if tracing:
+                emit(EV_SERVICE, ts_ns=start, core=core, dur_ns=service,
+                     index=pp.index)
             if busy[core] > last_finish:
                 last_finish = busy[core]
 
@@ -263,6 +315,9 @@ def simulate(
             wire_slack_ns = wt * _WIRE_SLACK_FRAMES
         if wire_free - now > wire_slack_ns:
             wire_dropped += 1
+            if tracing:
+                emit(EV_WIRE_DROP, ts_ns=now, index=pp.index,
+                     backlog_ns=wire_free - now)
             continue
         wire_free = (wire_free if wire_free > now else now) + wt
         # Host interconnect: DMA payload + descriptor + completion traffic.
@@ -271,15 +326,23 @@ def simulate(
             pcie_slack_ns = dt * _WIRE_SLACK_FRAMES
         if pcie_free - now > pcie_slack_ns:
             pcie_dropped += 1
+            if tracing:
+                emit(EV_PCIE_DROP, ts_ns=now, index=pp.index,
+                     backlog_ns=pcie_free - now)
             continue
         pcie_free = (pcie_free if pcie_free > now else now) + dt
         core = engine.steer(pp)
         if not engine.pre_enqueue(pp, core):
             injected_lost += 1
+            if tracing:
+                emit(EV_INJECTED_LOSS, ts_ns=now, core=core, index=pp.index)
             continue
         ring = rings[core]
         if len(ring) >= ring_capacity:
             ring_dropped += 1
+            if tracing:
+                emit(EV_RING_DROP, ts_ns=now, core=core, index=pp.index,
+                     depth=len(ring))
             continue
         ring.append((now, pp))
 
@@ -291,6 +354,20 @@ def simulate(
         unfinished += len(rings[core])
 
     duration = max(last_finish, stream_end)
+    if tracing:
+        emit(
+            EV_RUN_SUMMARY,
+            ts_ns=duration,
+            engine=getattr(engine, "name", "?"),
+            rate_pps=rate_pps,
+            offered=offered,
+            processed=processed,
+            wire_dropped=wire_dropped,
+            ring_dropped=ring_dropped,
+            pcie_dropped=pcie_dropped,
+            injected_lost=injected_lost,
+            unfinished=unfinished,
+        )
     return SimResult(
         offered=offered,
         processed=processed,
@@ -304,4 +381,5 @@ def simulate(
         pcie_dropped=pcie_dropped,
         per_core_packets=per_core_packets,
         latency_samples_ns=latency_samples,
+        latency_histogram=latency_hist,
     )

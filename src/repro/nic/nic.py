@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 from ..packet import Packet
 from ..packet.flow import FiveTuple
+from ..telemetry.events import EV_RING_DROP, EV_WIRE_DROP, NULL_TRACER, EventTracer
 from .queues import DEFAULT_DESCRIPTORS, RxQueue
 from .rss import (
     SYMMETRIC_RSS_KEY,
@@ -60,6 +61,7 @@ class Nic:
         line_rate_gbps: float = 100.0,
         descriptors: int = DEFAULT_DESCRIPTORS,
         indirection_size: int = 128,
+        tracer: EventTracer = NULL_TRACER,
     ) -> None:
         if num_queues < 1:
             raise ValueError("need at least one queue")
@@ -78,6 +80,8 @@ class Nic:
         self._wire_free_ns = 0.0
         self.wire_dropped = 0
         self.delivered = 0
+        #: telemetry event sink; the default disabled tracer is free.
+        self.tracer = tracer
 
     # -- steering ------------------------------------------------------------
 
@@ -135,6 +139,9 @@ class Nic:
             # More than ~64 frames of backlog on the wire: the offered rate
             # exceeds line rate and the MAC FIFO overflows.
             self.wire_dropped += 1
+            if self.tracer.enabled:
+                self.tracer.emit(EV_WIRE_DROP, ts_ns=float(arrival),
+                                 backlog_ns=self._wire_free_ns - arrival)
             return None
         self._wire_free_ns = max(self._wire_free_ns, float(arrival)) + self.wire_time_ns(
             pkt.wire_len
@@ -143,6 +150,10 @@ class Nic:
         if self.queues[queue_index].enqueue(pkt):
             self.delivered += 1
             return queue_index
+        if self.tracer.enabled:
+            self.tracer.emit(EV_RING_DROP, ts_ns=float(arrival),
+                             core=queue_index,
+                             depth=len(self.queues[queue_index]))
         return None
 
     def reset_counters(self) -> None:

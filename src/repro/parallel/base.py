@@ -22,6 +22,7 @@ from ..cpu.costmodel import (
 from ..cpu.counters import CoreCounters, SystemCounters
 from ..cpu.simulator import PerfPacket
 from ..programs.base import PacketProgram
+from ..telemetry.events import NULL_TRACER, EventTracer
 
 __all__ = ["BaseEngine", "hash_for_program"]
 
@@ -51,11 +52,14 @@ class BaseEngine(ABC):
         num_cores: int,
         costs: Optional[CostParams] = None,
         contention: ContentionParams = DEFAULT_CONTENTION,
+        tracer: EventTracer = NULL_TRACER,
     ) -> None:
         if num_cores < 1:
             raise ValueError("need at least one core")
         self.program = program
         self.num_cores = num_cores
+        #: telemetry event sink; the default disabled tracer is free.
+        self.tracer = tracer
         if costs is None:
             try:
                 costs = TABLE4_PARAMS[program.name]

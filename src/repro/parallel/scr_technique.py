@@ -23,6 +23,7 @@ from typing import Optional
 
 from ..core.packet_format import ScrPacketCodec
 from ..cpu.simulator import PerfPacket
+from ..telemetry.events import EV_FAST_FORWARD, EV_HISTORY_DEPTH, EV_SPRAY
 from .base import BaseEngine
 
 __all__ = ["ScrEngine"]
@@ -118,6 +119,8 @@ class ScrEngine(BaseEngine):
         self._seq += 1
         core = self._rr
         self._rr = (self._rr + 1) % self.num_cores
+        if self.tracer.enabled:
+            self.tracer.emit(EV_SPRAY, core=core, seq=self._seq, index=pp.index)
         return core
 
     def pre_enqueue(self, pp: PerfPacket, core: int) -> bool:
@@ -139,6 +142,8 @@ class ScrEngine(BaseEngine):
             counters.charge_packet(dispatch_ns=c.d, compute_ns=c.c1 + extra, state_accesses=0)
             return c.d + c.c1 + extra
         h = self._history_items()
+        if self.tracer.enabled:
+            self.tracer.emit(EV_HISTORY_DEPTH, ts_ns=start_ns, core=core, depth=h)
         compute = (c.c1 + extra) + h * (c.c2 + extra)
         # Every core holds every flow, so spill is judged against the full
         # (replicated) working set.
@@ -151,6 +156,9 @@ class ScrEngine(BaseEngine):
             log_ns = (h + 1) * self.contention.log_write_ns
             lost = self._pending_lost[core]
             if lost:
+                if self.tracer.enabled:
+                    self.tracer.emit(EV_FAST_FORWARD, ts_ns=start_ns, core=core,
+                                     length=lost)
                 # Reading another core's log line (a cross-core transfer per
                 # probe) and fast-forwarding through each recovered sequence.
                 probes = 1 + (self.num_cores - 1) / 2

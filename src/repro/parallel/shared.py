@@ -20,6 +20,7 @@ from __future__ import annotations
 from ..cpu.cache import BounceTracker
 from ..cpu.locks import SerializationTable
 from ..cpu.simulator import PerfPacket
+from ..telemetry.events import EV_LOCK_WAIT
 from .base import BaseEngine
 
 __all__ = ["SharedAtomicEngine", "SharedLockEngine", "make_shared_engine"]
@@ -60,6 +61,9 @@ class _SharedBase(BaseEngine):
             self.costs.c1 * 0.5, self.num_cores if bounced else 1
         )
         wait = self.serialization.acquire(_GLOBAL_KEY, start_ns, hold)
+        if wait > 0 and self.tracer.enabled:
+            self.tracer.emit(EV_LOCK_WAIT, ts_ns=start_ns, core=core,
+                             dur_ns=wait, lock="global")
         counters = self.counters.cores[core]
         counters.wait_ns += wait
         counters.transfer_ns += read_stall
@@ -99,6 +103,9 @@ class SharedAtomicEngine(_SharedBase):
         hold = self.contention.atomic_hold_ns() if bounced else self.contention.atomic_ns
         # The RMW happens after dispatch + compute + the read stall.
         wait = self.serialization.acquire(pp.key, start_ns + c.d + c.c1 + read_stall, hold)
+        if wait > 0 and self.tracer.enabled:
+            self.tracer.emit(EV_LOCK_WAIT, ts_ns=start_ns, core=core,
+                             dur_ns=wait, lock="atomic")
         miss_frac, spill = self.l2.access(core, pp.key)
         misses = miss_frac + (1.0 if bounced else 0.0)
         total = c.d + c.c1 + read_stall + wait + hold + spill
@@ -131,6 +138,9 @@ class SharedLockEngine(_SharedBase):
         hold = self.contention.lock_hold_ns(c.c1, contenders)
         # The lock is taken after dispatch; the update (c1) runs under it.
         wait = self.serialization.acquire(pp.key, start_ns + c.d, hold)
+        if wait > 0 and self.tracer.enabled:
+            self.tracer.emit(EV_LOCK_WAIT, ts_ns=start_ns, core=core,
+                             dur_ns=wait, lock="spinlock")
         miss_frac, spill = self.l2.access(core, pp.key)
         misses = miss_frac + (1.0 if bounced else 0.0)
         lock_overhead = hold - c.c1  # lock instructions + line handoffs

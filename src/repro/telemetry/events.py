@@ -1,0 +1,177 @@
+"""Structured event tracing: a bounded ring of typed, timestamped events.
+
+This is the per-packet-record instrument the related reordering/contention
+studies rely on: each layer emits small typed events (a NIC ring drop, an
+SCR spray decision, a recovery round) into one ring buffer.  Memory is
+bounded — the ring keeps the most recent ``capacity`` events — but the
+per-type counts cover the *whole* run, so "top drop causes" summaries do
+not depend on ring retention.
+
+Timestamps are simulated nanoseconds where the emitting layer has them
+(the performance simulator, the NIC model); layers with no clock of their
+own (the functional engine walks packets, not time) omit them and the
+tracer stamps a monotonically increasing virtual tick instead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Event",
+    "EventTracer",
+    "NULL_TRACER",
+    "EV_WIRE_DROP",
+    "EV_RING_DROP",
+    "EV_PCIE_DROP",
+    "EV_INJECTED_LOSS",
+    "EV_SERVICE",
+    "EV_SPRAY",
+    "EV_HISTORY_DEPTH",
+    "EV_FAST_FORWARD",
+    "EV_RECOVERY_START",
+    "EV_RECOVERY_FINISH",
+    "EV_RECOVERY_BLOCKED",
+    "EV_LOCK_WAIT",
+    "EV_MLFFR_PROBE",
+    "EV_RUN_SUMMARY",
+]
+
+# -- the event catalog (documented in docs/TELEMETRY.md) -----------------------
+
+#: MAC FIFO overflow: offered rate exceeded the wire (Fig. 10a's regime).
+EV_WIRE_DROP = "nic.wire_drop"
+#: RX descriptor ring full: the core lagged the arrival rate.
+EV_RING_DROP = "nic.ring_drop"
+#: Host-interconnect saturation (PCIe DMA + descriptor bytes, §4.2).
+EV_PCIE_DROP = "nic.pcie_drop"
+#: Loss injected between sequencer and core (Fig. 10b methodology).
+EV_INJECTED_LOSS = "sim.injected_loss"
+#: One packet's service on a core (start + duration → a trace-viewer span).
+EV_SERVICE = "core.service"
+#: SCR sequencer spray decision: sequence → core.
+EV_SPRAY = "scr.spray"
+#: Piggybacked history items fast-forwarded before the current packet.
+EV_HISTORY_DEPTH = "scr.history_depth"
+#: Catch-up fast-forward across a loss gap (length = sequences recovered).
+EV_FAST_FORWARD = "scr.fast_forward"
+#: Algorithm 1 recovery walk started (a gap was detected).
+EV_RECOVERY_START = "recovery.round_start"
+#: Recovery walk finished; fields say how many were recovered vs skipped.
+EV_RECOVERY_FINISH = "recovery.round_finish"
+#: Recovery walk parked waiting on another core's NOT_INIT log slot.
+EV_RECOVERY_BLOCKED = "recovery.blocked_wait"
+#: Lock/atomic serialization stall on a shared-state engine.
+EV_LOCK_WAIT = "lock.wait"
+#: One MLFFR binary-search probe: offered rate and measured loss.
+EV_MLFFR_PROBE = "mlffr.probe"
+#: End-of-run summary from the event simulator (totals, drops, duration).
+EV_RUN_SUMMARY = "sim.run"
+
+
+class Event:
+    """One trace record: (ts_ns, kind, core, dur_ns, fields)."""
+
+    __slots__ = ("ts_ns", "kind", "core", "dur_ns", "fields")
+
+    def __init__(
+        self,
+        ts_ns: float,
+        kind: str,
+        core: Optional[int] = None,
+        dur_ns: Optional[float] = None,
+        fields: Optional[dict] = None,
+    ) -> None:
+        self.ts_ns = ts_ns
+        self.kind = kind
+        self.core = core
+        self.dur_ns = dur_ns
+        self.fields = fields or {}
+
+    def to_dict(self) -> dict:
+        d = {"ts_ns": self.ts_ns, "kind": self.kind}
+        if self.core is not None:
+            d["core"] = self.core
+        if self.dur_ns is not None:
+            d["dur_ns"] = self.dur_ns
+        if self.fields:
+            d.update(self.fields)
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging cosmetics
+        return (f"Event({self.ts_ns:.0f}ns {self.kind}"
+                f"{'' if self.core is None else f' core={self.core}'})")
+
+
+class EventTracer:
+    """Ring-buffered event sink; disabled instances retain nothing.
+
+    ``emit`` is the only hot-path method: when ``enabled`` is False it
+    returns immediately (hot loops may also hoist the flag check).  The
+    ring is a ``deque(maxlen=capacity)`` — appends from the threaded
+    engine's worker threads are safe under the GIL.
+    """
+
+    __slots__ = ("enabled", "capacity", "_ring", "type_counts", "emitted", "_tick")
+
+    def __init__(self, capacity: int = 100_000, enabled: bool = True) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.enabled = enabled
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        #: per-kind counts over the whole run (not just the retained ring).
+        self.type_counts: Dict[str, int] = {}
+        self.emitted = 0
+        self._tick = 0.0
+
+    def emit(
+        self,
+        kind: str,
+        ts_ns: Optional[float] = None,
+        core: Optional[int] = None,
+        dur_ns: Optional[float] = None,
+        **fields,
+    ) -> None:
+        if not self.enabled:
+            return
+        if ts_ns is None:
+            self._tick += 1.0
+            ts_ns = self._tick
+        elif ts_ns > self._tick:
+            self._tick = ts_ns
+        self._ring.append(Event(ts_ns, kind, core, dur_ns, fields))
+        self.type_counts[kind] = self.type_counts.get(kind, 0) + 1
+        self.emitted += 1
+
+    # -- reading back -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(list(self._ring))
+
+    def events(self) -> List[Event]:
+        """Retained events, oldest first (at most ``capacity``)."""
+        return list(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring (emitted but no longer retained)."""
+        return self.emitted - len(self._ring)
+
+    def cores_seen(self) -> List[int]:
+        return sorted({e.core for e in self._ring if e.core is not None})
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.type_counts = {}
+        self.emitted = 0
+        self._tick = 0.0
+
+
+#: The shared disabled tracer every layer defaults to.  Emitting to it is a
+#: single attribute check — the "cheap when disabled" fast path.
+NULL_TRACER = EventTracer(capacity=0, enabled=False)

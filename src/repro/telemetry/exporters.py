@@ -1,0 +1,116 @@
+"""Event-log exporters: JSONL and the Chrome ``trace_event`` format.
+
+* **JSONL** — one JSON object per line, sorted by ``ts_ns``; greppable and
+  trivially loadable (`pandas.read_json(lines=True)`).
+* **Chrome trace** — the ``chrome://tracing`` / Perfetto JSON format with
+  one track (thread) per simulated core, so a Figure 6 run opens as a
+  per-core timeline: service spans as complete ("X") events, drops and
+  decisions as instants ("i").  Events not tied to a core (MLFFR probes,
+  run summaries) land on a dedicated "system" track.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Union
+
+from .events import Event
+
+__all__ = [
+    "events_to_jsonl",
+    "read_jsonl",
+    "events_to_chrome_trace",
+    "chrome_trace_dict",
+]
+
+#: tid used for events with no core attribution.
+SYSTEM_TRACK = "system"
+
+
+def events_to_jsonl(events: Iterable[Event], path: Union[str, Path]) -> Path:
+    """Write events to ``path`` as JSON Lines, sorted by timestamp."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    ordered = sorted(events, key=lambda e: e.ts_ns)
+    with path.open("w") as fh:
+        for e in ordered:
+            fh.write(json.dumps(e.to_dict(), sort_keys=True))
+            fh.write("\n")
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> Iterator[dict]:
+    """Yield the event dicts back out of a JSONL file."""
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def chrome_trace_dict(
+    events: Iterable[Event], num_cores: Optional[int] = None
+) -> dict:
+    """Build the Chrome ``trace_event`` JSON object for ``events``.
+
+    ``num_cores`` forces one named track per simulated core 0..n-1 even if
+    a core emitted nothing (an idle core is itself a finding).  Timestamps
+    convert to the format's microseconds; durations below 1 ns are floored
+    to keep spans visible.
+    """
+    trace_events: List[dict] = []
+    tids = set(range(num_cores)) if num_cores else set()
+    body: List[dict] = []
+    for e in sorted(events, key=lambda ev: ev.ts_ns):
+        tid = e.core if e.core is not None else SYSTEM_TRACK
+        if isinstance(tid, int):
+            tids.add(tid)
+        record = {
+            "name": e.kind,
+            "cat": e.kind.split(".", 1)[0],
+            "ts": e.ts_ns / 1e3,
+            "pid": 0,
+            "tid": tid,
+        }
+        if e.fields:
+            record["args"] = e.fields
+        if e.dur_ns is not None:
+            record["ph"] = "X"
+            record["dur"] = max(e.dur_ns, 1.0) / 1e3
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"  # thread-scoped instant
+        body.append(record)
+    trace_events.append(_thread_name(SYSTEM_TRACK, SYSTEM_TRACK))
+    for tid in sorted(tids):
+        trace_events.append(_thread_name(tid, f"core {tid}"))
+    trace_events.extend(body)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {"producer": "repro.telemetry"},
+    }
+
+
+def events_to_chrome_trace(
+    events: Iterable[Event],
+    path: Union[str, Path],
+    num_cores: Optional[int] = None,
+) -> Path:
+    """Write a ``chrome://tracing``-loadable JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(chrome_trace_dict(events, num_cores=num_cores), fh)
+    return path
+
+
+def _thread_name(tid, name: str) -> dict:
+    return {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": 0,
+        "tid": tid,
+        "args": {"name": name},
+    }

@@ -1,0 +1,148 @@
+"""Artifact inspection: the ``scr-repro inspect`` summary renderer.
+
+Reads a run-artifact directory (manifest + event log) and answers the three
+questions a wrong MLFFR point or a recovery stall raises first:
+
+1. **where did packets go** — drop/loss event counts by cause;
+2. **how long did packets take** — latency percentiles from the histogram
+   metrics snapshot;
+3. **where did core time go** — per-core dispatch/compute/wait/transfer
+   attribution (the Fig. 8 split) from the counters snapshot.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from .artifact import RunArtifact
+
+__all__ = ["summarize_artifact"]
+
+#: Event kinds that represent a lost packet, in "top causes" order.
+_DROP_KINDS = {
+    "nic.wire_drop": "wire saturated (MAC FIFO overflow)",
+    "nic.ring_drop": "RX ring full (core lagged)",
+    "nic.pcie_drop": "host interconnect saturated (PCIe)",
+    "sim.injected_loss": "injected loss (sequencer->core)",
+}
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> List[str]:
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    head = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines = [head, "-" * len(head)]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return lines
+
+
+def _fmt_ns(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.2f} ms"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f} us"
+    return f"{value:.0f} ns"
+
+
+def summarize_artifact(directory: Union[str, Path]) -> str:
+    """Render a human-readable summary of an artifact directory."""
+    artifact = RunArtifact.load(directory)
+    lines: List[str] = []
+    lines.append(f"artifact: {Path(directory)}")
+    lines.append(f"command:  {artifact.command}")
+    lines.append(f"git sha:  {artifact.git_sha}")
+    lines.append(f"created:  {artifact.created_utc}")
+    if artifact.config:
+        cfg = ", ".join(f"{k}={v}" for k, v in sorted(artifact.config.items()))
+        lines.append(f"config:   {cfg}")
+    lines.append(
+        f"events:   {artifact.events_emitted} emitted, "
+        f"{artifact.events_retained} retained "
+        f"({len(artifact.event_type_counts)} types)"
+    )
+
+    # 1. top drop causes ------------------------------------------------------
+    drops = [
+        (kind, count, _DROP_KINDS.get(kind, kind))
+        for kind, count in sorted(
+            artifact.event_type_counts.items(), key=lambda kv: -kv[1]
+        )
+        if kind in _DROP_KINDS and count > 0
+    ]
+    lines.append("")
+    if drops:
+        lines.append("top drop causes:")
+        lines.extend(_table(
+            ["event", "count", "meaning"],
+            [[k, c, meaning] for k, c, meaning in drops],
+        ))
+    else:
+        lines.append("top drop causes: none recorded (loss-free run)")
+
+    # 2. latency percentiles --------------------------------------------------
+    latency = artifact.metrics.get("latency_ns")
+    if latency is None:
+        hist = artifact.metrics.get("registry", {}).get("latency_ns")
+        if hist and hist.get("type") == "histogram":
+            latency = hist.get("percentiles")
+    if latency:
+        lines.append("")
+        lines.append("per-packet latency (arrival -> service completion):")
+        lines.extend(_table(
+            ["percentile", "latency"],
+            [[key, _fmt_ns(value)] for key, value in sorted(latency.items())],
+        ))
+
+    # 3. per-core time attribution -------------------------------------------
+    counters = artifact.metrics.get("counters")
+    if counters and counters.get("cores"):
+        lines.append("")
+        lines.append("per-core time attribution (at the reported rate):")
+        rows = []
+        for c in counters["cores"]:
+            busy = c.get("busy_ns", 0.0) or 1.0
+            rows.append([
+                c.get("core_id", "?"),
+                c.get("packets", 0),
+                f"{100 * c.get('dispatch_ns', 0) / busy:.1f}%",
+                f"{100 * c.get('compute_ns', 0) / busy:.1f}%",
+                f"{100 * c.get('wait_ns', 0) / busy:.1f}%",
+                f"{100 * c.get('transfer_ns', 0) / busy:.1f}%",
+                _fmt_ns(c.get("busy_ns", 0.0)),
+                f"{c.get('ipc', 0.0):.2f}",
+                f"{100 * c.get('l2_hit_ratio', 1.0):.1f}%",
+            ])
+        lines.extend(_table(
+            ["core", "packets", "dispatch", "compute", "wait", "transfer",
+             "busy", "IPC", "L2 hit"],
+            rows,
+        ))
+        totals = counters.get("totals")
+        if totals:
+            lines.append(
+                f"totals: {totals.get('packets', 0)} packets, "
+                f"busy {_fmt_ns(totals.get('busy_ns', 0.0))}, "
+                f"mean compute latency "
+                f"{_fmt_ns(totals.get('mean_compute_latency_ns', 0.0))}"
+            )
+
+    # 4. the rest of the registry --------------------------------------------
+    registry = artifact.metrics.get("registry", {})
+    scalars = [
+        (name, inst["value"])
+        for name, inst in sorted(registry.items())
+        if inst.get("type") in ("counter", "gauge")
+    ]
+    if scalars:
+        lines.append("")
+        lines.append("metrics:")
+        lines.extend(_table(
+            ["name", "value"],
+            [[n, f"{v:g}"] for n, v in scalars],
+        ))
+    return "\n".join(lines)

@@ -90,3 +90,39 @@ def test_more_cores_cut_queueing_latency(pt):
     one = simulate(pt, rate, FixedServiceEngine(1, 100), collect_latency=True)
     four = simulate(pt, rate, FixedServiceEngine(4, 100), collect_latency=True)
     assert four.latency_percentile_ns(0.99) <= one.latency_percentile_ns(0.99)
+
+
+# -- the log-bucketed histogram view (repro.telemetry) ---------------------------
+
+
+def test_histogram_disabled_by_default(pt):
+    res = simulate(pt, 1e6, FixedServiceEngine(1, 100))
+    assert res.latency_histogram is None
+    with pytest.raises(ValueError, match="collect_latency"):
+        res.latency_percentiles_ns()
+
+
+def test_histogram_tracks_samples(pt):
+    res = simulate(pt, 1e6, FixedServiceEngine(2, 100), collect_latency=True)
+    assert res.latency_histogram.count == res.processed
+    # Bucketed percentiles stay within the buckets' ~9 % relative error of
+    # the exact (sorted-samples) answer.
+    assert res.latency_p50_ns == pytest.approx(
+        res.latency_percentile_ns(0.5), rel=0.10
+    )
+    assert res.latency_p99_ns == pytest.approx(
+        res.latency_percentile_ns(0.99), rel=0.10
+    )
+
+
+def test_histogram_percentile_properties_ordered(pt):
+    res = simulate(
+        pt, 8e6, FixedServiceEngine(1, 100), burst_size=16, collect_latency=True
+    )
+    assert (res.latency_p50_ns <= res.latency_p90_ns
+            <= res.latency_p99_ns <= res.latency_p999_ns)
+
+
+def test_histogram_percentiles_dict_keys(pt):
+    res = simulate(pt, 1e6, FixedServiceEngine(1, 100), collect_latency=True)
+    assert set(res.latency_percentiles_ns()) == {"p50", "p90", "p99", "p99_9"}

@@ -1,0 +1,67 @@
+"""Satellite regressions: charge_packet typing and the snapshot schema."""
+
+import typing
+
+import pytest
+
+from repro.cpu.counters import CoreCounters, SystemCounters
+
+
+class TestChargePacketAnnotation:
+    def test_program_ns_is_optional(self):
+        # Regression: the default-None parameter was annotated as a bare
+        # float; it must be Optional[float].
+        hints = typing.get_type_hints(CoreCounters.charge_packet)
+        assert hints["program_ns"] == typing.Optional[float]
+
+    def test_default_program_ns_includes_stalls_excludes_dispatch(self):
+        c = CoreCounters()
+        c.charge_packet(100.0, 40.0, wait_ns=25.0, transfer_ns=10.0)
+        # BPF-profiling semantics: the program's latency is compute plus
+        # in-program stalls (lock spinning, line transfers) but never the
+        # driver's dispatch path.
+        assert c.mean_compute_latency_ns == pytest.approx(75.0)
+        c.charge_packet(100.0, 40.0)  # second packet, no stalls
+        assert c.mean_compute_latency_ns == pytest.approx((75.0 + 40.0) / 2)
+
+    def test_explicit_program_ns_wins(self):
+        c = CoreCounters()
+        c.charge_packet(100.0, 40.0, wait_ns=25.0, program_ns=33.0)
+        assert c.mean_compute_latency_ns == pytest.approx(33.0)
+
+
+class TestSnapshotSchema:
+    def make(self):
+        sc = SystemCounters(cores=[CoreCounters(core_id=i) for i in range(2)])
+        sc.cores[0].charge_packet(100.0, 50.0, l2_misses=0.5)
+        sc.cores[0].charge_packet(100.0, 60.0, wait_ns=20.0)
+        sc.cores[1].charge_packet(100.0, 50.0, transfer_ns=30.0)
+        return sc
+
+    def test_per_core_attribution_sums_to_busy(self):
+        for core in self.make().snapshot()["cores"]:
+            parts = (core["dispatch_ns"] + core["compute_ns"]
+                     + core["wait_ns"] + core["transfer_ns"])
+            assert parts == pytest.approx(core["busy_ns"])
+
+    def test_totals_match_per_core(self):
+        snap = self.make().snapshot()
+        totals = snap["totals"]
+        assert totals["packets"] == sum(c["packets"] for c in snap["cores"])
+        assert totals["busy_ns"] == pytest.approx(
+            sum(c["busy_ns"] for c in snap["cores"])
+        )
+
+    def test_properties_stay_thin_views(self):
+        # snapshot() must not cache: mutate after snapshotting and the
+        # properties (and a fresh snapshot) follow.
+        sc = self.make()
+        before = sc.snapshot()["totals"]["packets"]
+        sc.cores[0].charge_packet(100.0, 50.0)
+        assert sc.total_packets() == before + 1
+        assert sc.snapshot()["totals"]["packets"] == before + 1
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        json.dumps(self.make().snapshot())  # raises on non-serializable

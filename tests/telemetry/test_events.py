@@ -1,0 +1,76 @@
+"""Event tracer: ring retention, whole-run counts, no-op mode."""
+
+from repro.telemetry.events import (
+    EV_RING_DROP,
+    EV_SPRAY,
+    NULL_TRACER,
+    Event,
+    EventTracer,
+)
+
+
+def test_emit_and_read_back():
+    tr = EventTracer()
+    tr.emit(EV_SPRAY, ts_ns=10.0, core=2, seq=7)
+    (ev,) = tr.events()
+    assert ev.kind == EV_SPRAY
+    assert ev.core == 2
+    assert ev.fields["seq"] == 7
+    d = ev.to_dict()
+    assert d["ts_ns"] == 10.0 and d["seq"] == 7
+
+
+def test_ring_bounds_retention_but_not_counts():
+    tr = EventTracer(capacity=10)
+    for i in range(100):
+        tr.emit(EV_RING_DROP, ts_ns=float(i), core=0)
+    assert len(tr.events()) == 10
+    assert tr.emitted == 100
+    assert tr.dropped == 90
+    # Whole-run type counts are independent of ring retention.
+    assert tr.type_counts[EV_RING_DROP] == 100
+
+
+def test_virtual_clock_ratchets():
+    tr = EventTracer()
+    tr.emit(EV_SPRAY)                 # tick 1
+    tr.emit(EV_SPRAY, ts_ns=500.0)    # real timestamp advances the clock
+    tr.emit(EV_SPRAY)                 # tick 501
+    ts = [e.ts_ns for e in tr.events()]
+    assert ts == sorted(ts)
+    assert ts[-1] > 500.0
+
+
+def test_disabled_tracer_retains_nothing():
+    tr = EventTracer(enabled=False)
+    for _ in range(50):
+        tr.emit(EV_SPRAY, core=1)
+    assert tr.events() == []
+    assert tr.emitted == 0
+    assert tr.type_counts == {}
+
+
+def test_null_tracer_is_disabled():
+    assert not NULL_TRACER.enabled
+    NULL_TRACER.emit(EV_SPRAY)  # harmless
+    assert NULL_TRACER.events() == []
+
+
+def test_cores_seen():
+    tr = EventTracer()
+    tr.emit(EV_SPRAY, core=0)
+    tr.emit(EV_SPRAY, core=3)
+    tr.emit(EV_SPRAY)  # systemwide, no core
+    assert tr.cores_seen() == [0, 3]
+
+
+def test_clear():
+    tr = EventTracer()
+    tr.emit(EV_SPRAY, core=0)
+    tr.clear()
+    assert tr.events() == [] and tr.emitted == 0
+
+
+def test_event_slots():
+    ev = Event(1.0, EV_SPRAY, 0, None, {})
+    assert not hasattr(ev, "__dict__")

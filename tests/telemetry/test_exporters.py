@@ -1,0 +1,98 @@
+"""Exporter round-trips: JSONL and the Chrome trace_event format."""
+
+import json
+
+from repro.telemetry.events import (
+    EV_MLFFR_PROBE,
+    EV_RING_DROP,
+    EV_SERVICE,
+    EventTracer,
+)
+from repro.telemetry.exporters import (
+    SYSTEM_TRACK,
+    chrome_trace_dict,
+    events_to_chrome_trace,
+    events_to_jsonl,
+    read_jsonl,
+)
+
+
+def sample_tracer():
+    tr = EventTracer()
+    tr.emit(EV_SERVICE, ts_ns=100.0, core=0, dur_ns=50.0, index=1)
+    tr.emit(EV_RING_DROP, ts_ns=90.0, core=1, depth=256)
+    tr.emit(EV_SERVICE, ts_ns=200.0, core=1, dur_ns=60.0, index=2)
+    tr.emit(EV_MLFFR_PROBE, ts_ns=300.0, rate_pps=1e6, loss=0.0)
+    return tr
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        tr = sample_tracer()
+        path = events_to_jsonl(tr.events(), tmp_path / "ev.jsonl")
+        rows = list(read_jsonl(path))
+        assert len(rows) == 4
+        assert {r["kind"] for r in rows} == {
+            EV_SERVICE, EV_RING_DROP, EV_MLFFR_PROBE
+        }
+        # Custom fields flatten into the record.
+        drop = next(r for r in rows if r["kind"] == EV_RING_DROP)
+        assert drop["depth"] == 256 and drop["core"] == 1
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = events_to_jsonl(sample_tracer().events(), tmp_path / "ev.jsonl")
+        for line in path.read_text().splitlines():
+            json.loads(line)  # raises on malformed output
+
+    def test_sorted_by_timestamp(self, tmp_path):
+        # The ring drop was emitted second but timestamped earliest.
+        path = events_to_jsonl(sample_tracer().events(), tmp_path / "ev.jsonl")
+        ts = [r["ts_ns"] for r in read_jsonl(path)]
+        assert ts == sorted(ts)
+        assert ts[0] == 90.0
+
+
+class TestChromeTrace:
+    def test_file_is_valid_json(self, tmp_path):
+        path = events_to_chrome_trace(
+            sample_tracer().events(), tmp_path / "trace.json", num_cores=2
+        )
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+
+    def test_one_track_per_core(self):
+        doc = chrome_trace_dict(sample_tracer().events(), num_cores=4)
+        names = {
+            r["tid"]: r["args"]["name"]
+            for r in doc["traceEvents"]
+            if r["ph"] == "M" and r["name"] == "thread_name"
+        }
+        # One named track per simulated core plus the system track --
+        # including idle cores 2 and 3 that emitted nothing.
+        assert names == {
+            SYSTEM_TRACK: "system",
+            0: "core 0", 1: "core 1", 2: "core 2", 3: "core 3",
+        }
+
+    def test_spans_and_instants(self):
+        doc = chrome_trace_dict(sample_tracer().events())
+        body = [r for r in doc["traceEvents"] if r["ph"] in ("X", "i")]
+        spans = [r for r in body if r["ph"] == "X"]
+        instants = [r for r in body if r["ph"] == "i"]
+        assert len(spans) == 2 and len(instants) == 2
+        # ts/dur are microseconds in the trace_event format.
+        svc = next(r for r in spans if r["tid"] == 0)
+        assert svc["ts"] == 0.1 and svc["dur"] == 0.05
+
+    def test_uncored_events_on_system_track(self):
+        doc = chrome_trace_dict(sample_tracer().events())
+        probe = next(
+            r for r in doc["traceEvents"] if r["name"] == EV_MLFFR_PROBE
+        )
+        assert probe["tid"] == SYSTEM_TRACK
+
+    def test_category_is_kind_prefix(self):
+        doc = chrome_trace_dict(sample_tracer().events())
+        cats = {r["name"]: r["cat"] for r in doc["traceEvents"] if "cat" in r}
+        assert cats[EV_RING_DROP] == "nic"
+        assert cats[EV_SERVICE] == "core"

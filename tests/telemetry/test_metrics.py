@@ -1,0 +1,150 @@
+"""Metrics registry: instruments, percentile accuracy, exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NOOP_COUNTER,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_snapshot(self):
+        c = Counter("x")
+        c.inc(3)
+        assert c.snapshot() == {"type": "counter", "value": 3.0}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_percentile_accuracy_uniform(self):
+        h = Histogram("lat")
+        for v in range(1, 10001):
+            h.observe(float(v))
+        # Log-bucketed: any quantile within the bucket growth's relative error.
+        for q in (0.5, 0.9, 0.99):
+            exact = q * 10000
+            assert h.percentile(q) == pytest.approx(exact, rel=0.10)
+
+    def test_endpoints_exact(self):
+        h = Histogram("lat")
+        for v in (3.0, 77.0, 1234.0):
+            h.observe(v)
+        assert h.percentile(0.0) == 3.0
+        assert h.percentile(1.0) == 1234.0
+
+    def test_percentiles_keys(self):
+        h = Histogram("lat")
+        h.observe(5.0)
+        ps = h.percentiles()
+        assert set(ps) == {"p50", "p90", "p99", "p99_9"}
+
+    def test_bounded_memory(self):
+        h = Histogram("lat")
+        for i in range(100_000):
+            h.observe(1.0 + (i % 5000))
+        # 1..5001 ns spans ~13 doublings -> ~8 buckets each at 2^(1/8).
+        assert len(h.buckets) < 120
+
+    def test_merge(self):
+        a, b = Histogram("lat"), Histogram("lat")
+        for v in (10.0, 20.0):
+            a.observe(v)
+        for v in (30.0, 40.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.sum == 100.0
+        assert a.min == 10.0 and a.max == 40.0
+
+    def test_merge_growth_mismatch(self):
+        with pytest.raises(ValueError):
+            Histogram("a").merge(Histogram("b", growth=2.0))
+
+    def test_empty(self):
+        h = Histogram("lat")
+        assert h.percentile(0.5) == 0.0
+        assert h.mean == 0.0
+        snap = h.snapshot()
+        assert snap["count"] == 0 and snap["min"] == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").observe(-1.0)
+
+
+class TestRegistry:
+    def test_create_or_get(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("drops")
+        c1.inc()
+        assert reg.counter("drops") is c1
+        assert reg.counter("drops").value == 1
+
+    def test_kind_mismatch(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_disabled_hands_out_noops(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("drops")
+        assert c is NOOP_COUNTER
+        c.inc(1000)  # no-op, no error
+        assert len(reg) == 0
+        assert reg.snapshot() == {}
+
+    def test_snapshot_json_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("drops").inc(3)
+        reg.histogram("lat").observe(42.0)
+        parsed = json.loads(reg.to_json())
+        assert parsed["drops"]["value"] == 3
+        assert parsed["lat"]["count"] == 1
+
+    def test_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.gauge('mlffr_mpps{technique="scr",cores="4"}', help="rate").set(26.5)
+        reg.histogram("lat").observe(100.0)
+        text = reg.to_prometheus()
+        assert '# TYPE mlffr_mpps gauge' in text
+        assert 'mlffr_mpps{technique="scr",cores="4"} 26.5' in text
+        assert '# TYPE lat histogram' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert 'lat_count 1' in text
+
+    def test_prometheus_histogram_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (10.0, 100.0, 1000.0):
+            h.observe(v)
+        lines = [l for l in reg.to_prometheus().splitlines()
+                 if l.startswith("lat_bucket")]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3

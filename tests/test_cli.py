@@ -162,3 +162,72 @@ def test_run_rejects_garbage_trace_file(tmp_path):
     bad.write_bytes(b"not a trace at all")
     with pytest.raises(ValueError):
         run_cli(["run", "--program", "ddos", "--trace-file", str(bad)])
+
+
+# -- telemetry (--telemetry DIR and the inspect subcommand) ----------------------
+
+
+def test_run_with_telemetry_writes_artifact(tmp_path):
+    tdir = tmp_path / "tele"
+    code, text = run_cli([
+        "run", "--program", "port_knocking", "--cores", "2",
+        "--packets", "300", "--telemetry", str(tdir),
+    ])
+    assert code == 0
+    assert "telemetry artifact" in text
+    for name in ("manifest.json", "events.jsonl", "trace.json", "metrics.prom"):
+        assert (tdir / name).exists()
+
+    from repro.telemetry import RunArtifact
+
+    art = RunArtifact.load(tdir)
+    assert art.command == "run"
+    assert art.config["program"] == "port_knocking"
+    assert art.num_cores == 2
+    assert art.metrics["registry"]["packets_offered"]["value"] == 300
+    assert art.metrics["registry"]["replicas_consistent"]["value"] == 1.0
+
+
+def test_mlffr_with_telemetry_records_probes(tmp_path):
+    tdir = tmp_path / "tele"
+    code, text = run_cli([
+        "mlffr", "--program", "ddos", "--workload", "caida",
+        "--cores", "2", "--packets", "600", "--telemetry", str(tdir),
+    ])
+    assert code == 0
+    assert "Mpps" in text
+
+    from repro.telemetry import RunArtifact
+
+    art = RunArtifact.load(tdir)
+    assert art.event_type_counts.get("mlffr.probe", 0) >= 3
+    assert "counters" in art.metrics
+    assert "latency_ns" in art.metrics
+
+
+def test_mlffr_without_telemetry_stays_quiet(capsys):
+    code, text = run_cli([
+        "mlffr", "--program", "ddos", "--workload", "caida",
+        "--cores", "2", "--packets", "600",
+    ])
+    assert code == 0
+    assert "telemetry artifact" not in text
+
+
+def test_inspect_summarizes_artifact(tmp_path):
+    tdir = tmp_path / "tele"
+    run_cli([
+        "mlffr", "--program", "ddos", "--workload", "caida",
+        "--cores", "2", "--packets", "600", "--telemetry", str(tdir),
+    ])
+    code, text = run_cli(["inspect", str(tdir)])
+    assert code == 0
+    assert "per-core time attribution" in text
+    assert "mlffr_mpps" in text
+    assert "p99" in text
+
+
+def test_inspect_missing_artifact(tmp_path):
+    code, text = run_cli(["inspect", str(tmp_path / "nope")])
+    assert code == 2
+    assert "no run artifact" in text
