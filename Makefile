@@ -1,6 +1,7 @@
 # Convenience targets for the SCR reproduction.
 
-.PHONY: install test bench reproduce examples telemetry-demo clean
+.PHONY: install test bench bench-compare bench-baseline bench-figures \
+	reproduce examples telemetry-demo clean
 
 install:
 	python setup.py develop
@@ -8,7 +9,28 @@ install:
 test:
 	pytest tests/
 
+# Perf-regression suite: writes schema-versioned BENCH_*.json artifacts
+# (median + MAD over seeded reps) under results/bench.  See docs/BENCHMARKS.md.
 bench:
+	PYTHONPATH=src python -m repro.cli bench --out results/bench
+
+# Run the quick fig6 suite and gate it against the committed baseline
+# (nonzero exit on a noise-significant throughput regression).
+bench-compare:
+	PYTHONPATH=src python -m repro.cli bench --suite fig6_scaling \
+		--out results/bench
+	PYTHONPATH=src python -m repro.cli bench \
+		--compare benchmarks/baselines results/bench \
+		--markdown results/bench/compare.md
+
+# Refresh the committed baseline (do this deliberately, in its own commit,
+# after a justified perf change — see docs/BENCHMARKS.md).
+bench-baseline:
+	PYTHONPATH=src python -m repro.cli bench --suite fig6_scaling \
+		--out benchmarks/baselines
+
+# The paper-figure pytest benches (tables/figures with printed series).
+bench-figures:
 	pytest benchmarks/ --benchmark-only
 
 # Full paper reproduction: every table/figure bench with printed series,

@@ -10,10 +10,20 @@ rendered output.
 from __future__ import annotations
 
 import os
+import random
 
+import numpy as np
 import pytest
 
 from repro.bench import ExperimentRunner
+
+#: The pinned trace-synthesis seed.  All benchmark workloads derive from
+#: it (the perf suite's repetition i uses BENCH_BASE_SEED + i), so
+#: repeated runs produce identical traces and stable medians; bench
+#: artifacts record the policy under ``seed_policy``.  Must match
+#: ``repro.perf.suite.BASE_SEED`` — asserted below and in
+#: ``tests/perf/test_seed_policy.py``.
+BENCH_BASE_SEED = 7
 
 #: Core counts swept in the figures.  The paper plots every count up to
 #: 7 (or 14); benches default to a subset for runtime.  Set
@@ -27,9 +37,31 @@ else:
     CORES_14 = [1, 2, 4, 7, 10, 14]
 
 
+@pytest.fixture(autouse=True)
+def _pinned_global_rngs():
+    """Pin the process-global RNGs before every bench.
+
+    Workload synthesis must draw only from ``np.random.default_rng(seed)``
+    with an explicit seed; seeding the global streams too means any
+    accidental global draw is at least reproducible rather than a source
+    of run-to-run median jitter.
+    """
+    random.seed(BENCH_BASE_SEED)
+    np.random.seed(BENCH_BASE_SEED)
+    yield
+
+
 @pytest.fixture(scope="session")
 def runner():
-    return ExperimentRunner(num_flows=50, max_packets=3000)
+    from repro.perf.suite import BASE_SEED
+
+    assert BASE_SEED == BENCH_BASE_SEED, (
+        "benchmark seed policy drifted: repro.perf.suite.BASE_SEED "
+        f"({BASE_SEED}) != benchmarks BENCH_BASE_SEED ({BENCH_BASE_SEED})"
+    )
+    r = ExperimentRunner(num_flows=50, max_packets=3000, seed=BENCH_BASE_SEED)
+    assert r.seed == BENCH_BASE_SEED
+    return r
 
 
 def emit(text: str) -> None:

@@ -39,6 +39,17 @@ class MlffrResult:
     def mlffr_mpps(self) -> float:
         return self.mlffr_pps / 1e6
 
+    def to_dict(self) -> dict:
+        """JSON-safe summary (for bench artifacts; probes aid debugging)."""
+        return {
+            "mlffr_mpps": self.mlffr_mpps,
+            "iterations": self.iterations,
+            "probes": [
+                {"rate_mpps": rate / 1e6, "loss": loss}
+                for rate, loss in self.probes
+            ],
+        }
+
 
 def find_mlffr(
     perf_trace: PerfTrace,

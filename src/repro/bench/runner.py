@@ -70,6 +70,22 @@ class ExperimentRunner:
         #: latency percentiles from the most recent mlffr_point.
         self.last_latency_ns: Optional[dict] = None
 
+    def clone_with_seed(self, seed: int) -> "ExperimentRunner":
+        """A fresh runner with the same config but a different synthesis seed.
+
+        The perf suite's median-of-k repetitions re-synthesize the workload
+        per repetition (seed = base + rep index) so the reported MAD
+        captures workload-sampling noise; caches are per-runner, so clones
+        never mix traces across seeds.
+        """
+        return ExperimentRunner(
+            num_flows=self.num_flows,
+            max_packets=self.max_packets,
+            seed=seed,
+            line_rate_gbps=self.line_rate_gbps,
+            telemetry=self.telemetry,
+        )
+
     # -- workload construction ----------------------------------------------------
 
     def packet_size_for(self, program_name: str) -> int:

@@ -11,6 +11,9 @@ Subcommands:
   optional CSV export.
 * ``hardware``   — sequencer capacity/resources (Tofino + NetFPGA).
 * ``inspect``    — summarize a ``--telemetry`` run artifact directory.
+* ``bench``      — run the perf-regression suite (``BENCH_*.json``
+  artifacts) or, with ``--compare OLD NEW``, gate NEW against a baseline
+  with noise-aware thresholds (nonzero exit on regression).
 
 ``run``, ``mlffr``, and ``sweep`` accept ``--telemetry DIR``: the run is
 instrumented (event trace, metrics, latency histograms) and a
@@ -102,6 +105,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("inspect", help="summarize a telemetry run artifact")
     p.add_argument("dir", help="artifact directory (or manifest.json path)")
+
+    p = sub.add_parser(
+        "bench", help="perf-regression bench suite and compare gate"
+    )
+    p.add_argument("--list", action="store_true", help="list the suites")
+    p.add_argument("--suite", action="append", metavar="NAME",
+                   help="suite(s) to run (default: all); repeatable")
+    p.add_argument("--out", default="results/bench", metavar="DIR",
+                   help="directory for BENCH_*.json artifacts")
+    p.add_argument("--reps", type=int, default=3,
+                   help="repetitions per point (median + MAD reported)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the pinned base seed (breaks baseline "
+                        "comparability; recorded in the artifact)")
+    p.add_argument("--full", action="store_true",
+                   help="paper-scale grids instead of the quick suite")
+    p.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                   help="compare two artifacts/directories instead of running")
+    p.add_argument("--markdown", metavar="PATH",
+                   help="with --compare: also write the report to PATH")
+    p.add_argument("--rel-tol", type=float, default=None,
+                   help="relative significance band (default 0.05)")
+    p.add_argument("--noise-mult", type=float, default=None,
+                   help="multiplier on summed MADs (default 3.0)")
 
     p = sub.add_parser("validate", help="check a program's SCR safety")
     p.add_argument("--program", choices=program_names(), required=True)
@@ -327,7 +354,14 @@ def cmd_reproduce(args, out) -> int:
 
 def cmd_inspect(args, out) -> int:
     import json
+    from pathlib import Path
 
+    path = Path(args.dir)
+    if path.is_dir() and not (path / "manifest.json").exists():
+        contents = "empty" if not any(path.iterdir()) else "no manifest.json"
+        print(f"{args.dir!r} is not a telemetry run artifact ({contents}); "
+              "produce one with run/mlffr/sweep --telemetry DIR", file=out)
+        return 2
     try:
         print(summarize_artifact(args.dir), file=out)
     except (FileNotFoundError, NotADirectoryError):
@@ -337,6 +371,77 @@ def cmd_inspect(args, out) -> int:
     except (json.JSONDecodeError, KeyError, TypeError) as exc:
         print(f"malformed run artifact at {args.dir!r}: {exc}", file=out)
         return 2
+    except OSError as exc:
+        print(f"cannot read run artifact at {args.dir!r}: {exc}", file=out)
+        return 2
+    return 0
+
+
+def _cmd_bench_compare(args, out) -> int:
+    from .perf import CompareError, compare_paths, markdown_report
+    from .perf.compare import DEFAULT_NOISE_MULT, DEFAULT_REL_TOL
+
+    old_path, new_path = args.compare
+    try:
+        results, extra = compare_paths(
+            old_path, new_path,
+            rel_tol=args.rel_tol if args.rel_tol is not None else DEFAULT_REL_TOL,
+            noise_mult=(args.noise_mult if args.noise_mult is not None
+                        else DEFAULT_NOISE_MULT),
+        )
+    except CompareError as exc:
+        print(f"compare error: {exc}", file=out)
+        return 2
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"compare error: cannot load artifacts: {exc}", file=out)
+        return 2
+    report = markdown_report(results, extra_artifacts=extra)
+    print(report, file=out)
+    if args.markdown:
+        from pathlib import Path
+
+        md = Path(args.markdown)
+        md.parent.mkdir(parents=True, exist_ok=True)
+        md.write_text(report)
+        print(f"wrote {md}", file=out)
+    regressed = any(r.verdict == "regression" for r in results)
+    return 1 if regressed else 0
+
+
+def cmd_bench(args, out) -> int:
+    from .perf import BASE_SEED, SuiteParams, run_suite, suite_names
+
+    if args.list:
+        for name in suite_names():
+            print(name, file=out)
+        return 0
+    if args.compare:
+        return _cmd_bench_compare(args, out)
+    names = args.suite or suite_names()
+    unknown = sorted(set(names) - set(suite_names()))
+    if unknown:
+        print(f"unknown suite(s): {', '.join(unknown)}; "
+              f"available: {', '.join(suite_names())}", file=out)
+        return 2
+    if args.reps < 1:
+        print("--reps must be >= 1", file=out)
+        return 2
+    params = SuiteParams(
+        reps=args.reps,
+        base_seed=args.seed if args.seed is not None else BASE_SEED,
+        quick=not args.full,
+    )
+    for name in names:
+        artifact = run_suite(name, params)
+        try:
+            path = artifact.save(args.out)
+        except OSError as exc:
+            print(f"error: cannot write bench artifact to "
+                  f"{args.out!r}: {exc}", file=out)
+            return 2
+        npoints = sum(len(s.points) for s in artifact.series.values())
+        print(f"{path}: {len(artifact.series)} series, {npoints} points, "
+              f"{params.reps} reps (seeds {params.rep_seeds})", file=out)
     return 0
 
 
@@ -371,6 +476,7 @@ _COMMANDS = {
     "hardware": cmd_hardware,
     "reproduce": cmd_reproduce,
     "inspect": cmd_inspect,
+    "bench": cmd_bench,
     "validate": cmd_validate,
 }
 

@@ -44,6 +44,10 @@ class CoreCounters:
     packets: int = 0
     #: time spent in the XDP program portion (compute + history), ns.
     compute_ns: float = 0.0
+    #: the subset of ``compute_ns`` spent fast-forwarding piggybacked
+    #: history items (the Appendix A ``(k-1)·c2`` term); the remainder of
+    #: ``compute_ns`` is current-packet work (``c1`` plus memory effects).
+    history_ns: float = 0.0
     #: time spent in dispatch, ns.
     dispatch_ns: float = 0.0
     #: time stalled waiting on locks/atomics, ns.
@@ -106,15 +110,22 @@ class CoreCounters:
         state_accesses: int = 1,
         l2_misses: float = 0.0,
         program_ns: Optional[float] = None,
+        history_ns: float = 0.0,
     ) -> None:
         """Attribute one processed packet's time to the counter buckets.
 
         ``program_ns`` is the packet's XDP-program latency as profiling
         would see it; by default compute plus in-program stalls.
+        ``history_ns`` carves out the fast-forward portion of
+        ``compute_ns`` (it must not exceed it) so the profiler can split
+        ``c1`` from ``(k-1)·c2`` after the fact.
         """
+        if history_ns > compute_ns:
+            raise ValueError("history_ns is a subset of compute_ns")
         self.packets += 1
         self.dispatch_ns += dispatch_ns
         self.compute_ns += compute_ns
+        self.history_ns += history_ns
         self.wait_ns += wait_ns
         self.transfer_ns += transfer_ns
         self.l2_accesses += state_accesses
@@ -135,6 +146,7 @@ class CoreCounters:
             "packets": self.packets,
             "dispatch_ns": self.dispatch_ns,
             "compute_ns": self.compute_ns,
+            "history_ns": self.history_ns,
             "wait_ns": self.wait_ns,
             "transfer_ns": self.transfer_ns,
             "busy_ns": self.busy_ns,
@@ -208,6 +220,7 @@ class SystemCounters:
                 "busy_ns": sum(c["busy_ns"] for c in cores),
                 "dispatch_ns": sum(c["dispatch_ns"] for c in cores),
                 "compute_ns": sum(c["compute_ns"] for c in cores),
+                "history_ns": sum(c["history_ns"] for c in cores),
                 "wait_ns": sum(c["wait_ns"] for c in cores),
                 "transfer_ns": sum(c["transfer_ns"] for c in cores),
                 "mean_l2_hit_ratio": self.mean_l2_hit_ratio(),

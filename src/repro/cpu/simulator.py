@@ -192,6 +192,17 @@ class SimResult:
         return self.latency_percentiles_ns()["p99_9"]
 
     @property
+    def total_busy_ns(self) -> float:
+        """All-core busy time — the denominator of cycle attribution."""
+        return sum(c.busy_ns for c in self.counters.cores)
+
+    def core_utilization(self) -> List[float]:
+        """Per-core busy / wall-clock fraction over the run."""
+        if self.duration_ns <= 0:
+            return [0.0 for _ in self.counters.cores]
+        return [min(1.0, c.busy_ns / self.duration_ns) for c in self.counters.cores]
+
+    @property
     def loss_fraction(self) -> float:
         if self.offered == 0:
             return 0.0

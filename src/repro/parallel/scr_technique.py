@@ -144,7 +144,8 @@ class ScrEngine(BaseEngine):
         h = self._history_items()
         if self.tracer.enabled:
             self.tracer.emit(EV_HISTORY_DEPTH, ts_ns=start_ns, core=core, depth=h)
-        compute = (c.c1 + extra) + h * (c.c2 + extra)
+        history = h * (c.c2 + extra)
+        compute = (c.c1 + extra) + history
         # Every core holds every flow, so spill is judged against the full
         # (replicated) working set.
         miss_frac, spill = self.l2.access(core, pp.key)
@@ -163,7 +164,10 @@ class ScrEngine(BaseEngine):
                 # probe) and fast-forwarding through each recovered sequence.
                 probes = 1 + (self.num_cores - 1) / 2
                 recovery_transfer_ns = lost * probes * self.contention.recovery_probe_ns
-                log_ns += lost * (c.c2 + extra)
+                catchup = lost * (c.c2 + extra)
+                log_ns += catchup
+                # Catch-up transitions are fast-forward work too.
+                history += catchup
                 recovery_misses = float(lost)
                 self._pending_lost[core] = 0
         total = c.d + compute + spill + log_ns + recovery_transfer_ns
@@ -174,5 +178,6 @@ class ScrEngine(BaseEngine):
             state_accesses=1,
             l2_misses=miss_frac + recovery_misses,
             program_ns=compute + spill + log_ns + recovery_transfer_ns,
+            history_ns=history,
         )
         return total

@@ -1,0 +1,78 @@
+"""Performance-regression observability: bench artifacts, compare gate,
+cycle-attribution profiler.
+
+The measure-then-validate loop (Appendix A / Figure 11) as infrastructure:
+``repro.perf.suite`` runs the curated benchmark suite and writes
+schema-versioned ``BENCH_<name>.json`` artifacts (median + MAD over
+seeded repetitions, full provenance); ``repro.perf.compare`` diffs two
+artifacts with noise-aware thresholds so CI can gate on regressions;
+``repro.perf.profiler`` attributes every busy nanosecond to the
+``d``/``c1``/``c2``/contention components and reports residuals against
+the analytic throughput model.  See ``docs/BENCHMARKS.md``.
+"""
+
+from .artifact import (
+    BENCH_SCHEMA,
+    BenchArtifact,
+    BenchPoint,
+    BenchSeries,
+    bench_filename,
+    mad,
+    median,
+)
+from .compare import (
+    IMPROVEMENT,
+    NEUTRAL,
+    REGRESSION,
+    CompareError,
+    CompareResult,
+    PointVerdict,
+    compare_artifacts,
+    compare_paths,
+    markdown_report,
+)
+from .profiler import (
+    CoreAttribution,
+    RunAttribution,
+    attribute_result,
+    attribution_from_snapshot,
+    model_residuals,
+)
+from .suite import (
+    BASE_SEED,
+    SUITES,
+    SuiteParams,
+    run_all_suites,
+    run_suite,
+    suite_names,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchArtifact",
+    "BenchPoint",
+    "BenchSeries",
+    "bench_filename",
+    "median",
+    "mad",
+    "CompareError",
+    "CompareResult",
+    "PointVerdict",
+    "compare_artifacts",
+    "compare_paths",
+    "markdown_report",
+    "REGRESSION",
+    "IMPROVEMENT",
+    "NEUTRAL",
+    "CoreAttribution",
+    "RunAttribution",
+    "attribute_result",
+    "attribution_from_snapshot",
+    "model_residuals",
+    "BASE_SEED",
+    "SUITES",
+    "SuiteParams",
+    "run_suite",
+    "run_all_suites",
+    "suite_names",
+]

@@ -1,0 +1,243 @@
+"""Schema-versioned benchmark artifacts: ``BENCH_<name>.json``.
+
+One artifact captures one suite run as durable, comparable numbers:
+
+* **provenance** — git SHA, python/platform, creation time, the
+  ``TABLE4_PARAMS`` cost rows in effect, and the seed policy (base seed +
+  per-repetition seeds) that produced the workloads;
+* **series** — named measurement series (one per technique, usually),
+  each point carrying the median and MAD over k repetitions plus the raw
+  per-rep values, a unit, and a comparison direction;
+* optional **model fit** (Appendix A residuals per core count) and
+  **profile** (per-core cycle attribution) sections.
+
+The compare engine (:mod:`repro.perf.compare`) refuses to diff artifacts
+whose ``schema`` strings differ — the version is the compatibility
+contract, bump it when the shape changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import json
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..cpu.costmodel import TABLE4_PARAMS
+from ..telemetry.artifact import current_git_sha
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchPoint",
+    "BenchSeries",
+    "BenchArtifact",
+    "median",
+    "mad",
+    "bench_filename",
+]
+
+#: Bump on any incompatible change to the artifact shape.
+BENCH_SCHEMA = "scr-repro/bench-artifact/v1"
+
+#: Directions a series can be compared in.
+_DIRECTIONS = ("higher_better", "lower_better")
+
+
+def median(values: Sequence[float]) -> float:
+    """Median without numpy (artifacts must load dependency-free)."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation — the artifact's per-point noise scale."""
+    m = median(values)
+    return median([abs(v - m) for v in values])
+
+
+@dataclass
+class BenchPoint:
+    """One measured point: the median/MAD over the repetition values."""
+
+    x: Union[int, str]
+    median: float
+    mad: float
+    reps: List[float] = field(default_factory=list)
+
+    @classmethod
+    def from_reps(cls, x: Union[int, str], reps: Sequence[float]) -> "BenchPoint":
+        return cls(x=x, median=median(reps), mad=mad(reps), reps=list(reps))
+
+    def to_dict(self) -> dict:
+        return {"x": self.x, "median": self.median, "mad": self.mad,
+                "reps": self.reps}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchPoint":
+        return cls(x=data["x"], median=data["median"], mad=data["mad"],
+                   reps=list(data.get("reps", [])))
+
+
+@dataclass
+class BenchSeries:
+    """A named series of points sharing a unit and compare direction.
+
+    ``noise_floor`` is an absolute tolerance in the series' unit below
+    which differences are never significant (for MLFFR series this is the
+    ±0.4 Mpps binary-search window).
+    """
+
+    name: str
+    unit: str
+    direction: str = "higher_better"
+    noise_floor: float = 0.0
+    points: List[BenchPoint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(f"direction must be one of {_DIRECTIONS}")
+
+    def point(self, x: Union[int, str]) -> Optional[BenchPoint]:
+        for p in self.points:
+            if p.x == x:
+                return p
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "unit": self.unit,
+            "direction": self.direction,
+            "noise_floor": self.noise_floor,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict) -> "BenchSeries":
+        return cls(
+            name=name,
+            unit=data.get("unit", ""),
+            direction=data.get("direction", "higher_better"),
+            noise_floor=data.get("noise_floor", 0.0),
+            points=[BenchPoint.from_dict(p) for p in data.get("points", [])],
+        )
+
+
+def _table4_dict(programs: Optional[Sequence[str]] = None) -> dict:
+    """The cost rows in effect, JSON-safe (all programs unless narrowed)."""
+    names = programs if programs is not None else sorted(TABLE4_PARAMS)
+    return {
+        name: dataclasses.asdict(TABLE4_PARAMS[name])
+        for name in names
+        if name in TABLE4_PARAMS
+    }
+
+
+def bench_filename(name: str) -> str:
+    return f"BENCH_{name}.json"
+
+
+@dataclass
+class BenchArtifact:
+    """One suite run: provenance + series + optional analysis sections."""
+
+    name: str
+    config: dict = field(default_factory=dict)
+    seed_policy: dict = field(default_factory=dict)
+    series: Dict[str, BenchSeries] = field(default_factory=dict)
+    #: Appendix A model fit: predicted Mpps and relative residuals per x.
+    model_fit: Optional[dict] = None
+    #: per-core d/c1/c2/contention cycle attribution (profiler output).
+    profile: Optional[dict] = None
+    git_sha: str = "unknown"
+    created_utc: str = ""
+    python: str = ""
+    platform: str = ""
+    table4_params: dict = field(default_factory=dict)
+    schema: str = BENCH_SCHEMA
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        config: dict,
+        seed_policy: dict,
+        programs: Optional[Sequence[str]] = None,
+    ) -> "BenchArtifact":
+        """A new artifact stamped with the current environment."""
+        return cls(
+            name=name,
+            config=config,
+            seed_policy=seed_policy,
+            git_sha=current_git_sha(),
+            created_utc=datetime.datetime.now(
+                datetime.timezone.utc
+            ).isoformat(),
+            python=sys.version.split()[0],
+            platform=platform.platform(),
+            table4_params=_table4_dict(programs),
+        )
+
+    def add_series(self, series: BenchSeries) -> BenchSeries:
+        self.series[series.name] = series
+        return series
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "name": self.name,
+            "config": self.config,
+            "seed_policy": self.seed_policy,
+            "git_sha": self.git_sha,
+            "created_utc": self.created_utc,
+            "python": self.python,
+            "platform": self.platform,
+            "table4_params": self.table4_params,
+            "series": {n: s.to_dict() for n, s in sorted(self.series.items())},
+            "model_fit": self.model_fit,
+            "profile": self.profile,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchArtifact":
+        art = cls(
+            name=data.get("name", ""),
+            config=data.get("config", {}),
+            seed_policy=data.get("seed_policy", {}),
+            git_sha=data.get("git_sha", "unknown"),
+            created_utc=data.get("created_utc", ""),
+            python=data.get("python", ""),
+            platform=data.get("platform", ""),
+            table4_params=data.get("table4_params", {}),
+            model_fit=data.get("model_fit"),
+            profile=data.get("profile"),
+            schema=data.get("schema", ""),
+        )
+        for name, sdata in data.get("series", {}).items():
+            art.series[name] = BenchSeries.from_dict(name, sdata)
+        return art
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Write ``BENCH_<name>.json`` under ``directory``; returns the path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / bench_filename(self.name)
+        with path.open("w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "BenchArtifact":
+        path = Path(path)
+        with path.open() as fh:
+            return cls.from_dict(json.load(fh))

@@ -1,0 +1,173 @@
+"""Cycle-attribution profiler: where did every busy nanosecond go?
+
+Decomposes a simulated run into the Appendix A cost components, per core:
+
+* ``d``  — dispatch time (driver/framework labor),
+* ``c1`` — current-packet compute (program work minus fast-forward),
+* ``c2`` — history fast-forward time (the ``(k-1)·c2`` term),
+* ``contention`` — lock/atomic waiting plus cross-core line transfers.
+
+The decomposition comes straight from :class:`~repro.cpu.counters`
+accumulators (``history_ns`` carves ``c2`` out of ``compute_ns``), so
+coverage — the fraction of busy time the four components explain — is 1.0
+by construction for the built-in engines; the figure is still computed
+and reported so a future engine that charges time outside the buckets
+shows up as a coverage drop, not silent misattribution.
+
+:func:`model_residuals` closes the measure-then-validate loop (Fig. 11):
+it reports, per core count, the relative residual of measured throughput
+against the analytic prediction ``k / (t + (k-1)·c2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bench.model import predicted_scr_mpps
+from ..cpu.costmodel import TABLE4_PARAMS
+from ..cpu.simulator import SimResult
+
+__all__ = [
+    "CoreAttribution",
+    "RunAttribution",
+    "attribute_result",
+    "attribution_from_snapshot",
+    "model_residuals",
+]
+
+
+@dataclass
+class CoreAttribution:
+    """One core's busy time split into the Appendix A components (ns)."""
+
+    core_id: int
+    packets: int
+    dispatch_ns: float  # d
+    current_compute_ns: float  # c1 (incl. in-program memory effects)
+    history_ns: float  # (k-1)·c2 fast-forward
+    contention_ns: float  # lock waits + cache-line transfers
+    busy_ns: float
+    utilization: float = 0.0
+
+    @property
+    def attributed_ns(self) -> float:
+        return (self.dispatch_ns + self.current_compute_ns
+                + self.history_ns + self.contention_ns)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of busy time the four components explain."""
+        if self.busy_ns <= 0:
+            return 1.0
+        return self.attributed_ns / self.busy_ns
+
+    def to_dict(self) -> dict:
+        return {
+            "core_id": self.core_id,
+            "packets": self.packets,
+            "dispatch_ns": self.dispatch_ns,
+            "current_compute_ns": self.current_compute_ns,
+            "history_ns": self.history_ns,
+            "contention_ns": self.contention_ns,
+            "busy_ns": self.busy_ns,
+            "utilization": self.utilization,
+            "coverage": self.coverage,
+        }
+
+
+@dataclass
+class RunAttribution:
+    """Per-core attributions plus the aggregate coverage figure."""
+
+    cores: List[CoreAttribution] = field(default_factory=list)
+    duration_ns: float = 0.0
+
+    @property
+    def total_busy_ns(self) -> float:
+        return sum(c.busy_ns for c in self.cores)
+
+    @property
+    def coverage(self) -> float:
+        busy = self.total_busy_ns
+        if busy <= 0:
+            return 1.0
+        return sum(c.attributed_ns for c in self.cores) / busy
+
+    def totals(self) -> dict:
+        return {
+            "packets": sum(c.packets for c in self.cores),
+            "dispatch_ns": sum(c.dispatch_ns for c in self.cores),
+            "current_compute_ns": sum(c.current_compute_ns for c in self.cores),
+            "history_ns": sum(c.history_ns for c in self.cores),
+            "contention_ns": sum(c.contention_ns for c in self.cores),
+            "busy_ns": self.total_busy_ns,
+            "coverage": self.coverage,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "duration_ns": self.duration_ns,
+            "cores": [c.to_dict() for c in self.cores],
+            "totals": self.totals(),
+        }
+
+
+def _core_from_snapshot(core: dict, duration_ns: float) -> CoreAttribution:
+    busy = core.get("busy_ns", 0.0)
+    compute = core.get("compute_ns", 0.0)
+    history = core.get("history_ns", 0.0)
+    return CoreAttribution(
+        core_id=core.get("core_id", 0),
+        packets=core.get("packets", 0),
+        dispatch_ns=core.get("dispatch_ns", 0.0),
+        current_compute_ns=compute - history,
+        history_ns=history,
+        contention_ns=core.get("wait_ns", 0.0) + core.get("transfer_ns", 0.0),
+        busy_ns=busy,
+        utilization=(min(1.0, busy / duration_ns) if duration_ns > 0 else 0.0),
+    )
+
+
+def attribution_from_snapshot(
+    snapshot: dict, duration_ns: float = 0.0
+) -> RunAttribution:
+    """Attribution from a ``SystemCounters.snapshot()`` dict (e.g. one
+    reloaded from a telemetry run artifact's ``metrics.counters``)."""
+    return RunAttribution(
+        cores=[_core_from_snapshot(c, duration_ns)
+               for c in snapshot.get("cores", [])],
+        duration_ns=duration_ns,
+    )
+
+
+def attribute_result(result: SimResult) -> RunAttribution:
+    """Attribute one simulation run's busy time (live counters path)."""
+    return attribution_from_snapshot(
+        result.counters.snapshot(), duration_ns=result.duration_ns
+    )
+
+
+def model_residuals(
+    program_name: str,
+    measured: Sequence[Tuple[int, float]],
+    costs=None,
+) -> Dict[str, dict]:
+    """Per-core-count residuals of measured Mpps vs the Appendix A model.
+
+    Returns ``{str(cores): {measured_mpps, predicted_mpps, residual}}``
+    where ``residual = (measured - predicted) / predicted`` — positive
+    means the simulator beats the analytic prediction.  Keys are strings
+    so the mapping round-trips through JSON unchanged.
+    """
+    if costs is None:
+        costs = TABLE4_PARAMS[program_name]
+    out: Dict[str, dict] = {}
+    for cores, measured_mpps in measured:
+        predicted = predicted_scr_mpps(costs, cores)
+        out[str(cores)] = {
+            "measured_mpps": measured_mpps,
+            "predicted_mpps": predicted,
+            "residual": (measured_mpps - predicted) / predicted,
+        }
+    return out

@@ -1,0 +1,296 @@
+"""The curated perf suite: the runs whose numbers must not silently move.
+
+Four suites, each writing one ``BENCH_<name>.json`` artifact:
+
+* ``fig6_scaling``   — the Figure 6 main-result panel (ddos @ caida, all
+  four techniques vs cores), plus the SCR series' Appendix A residuals
+  and a per-core cycle-attribution profile at the top SCR point;
+* ``engine_mlffr``   — per-technique MLFFR across three programs at a
+  fixed core count (the per-engine throughput floor);
+* ``tail_latency``   — per-packet sojourn percentiles at MLFFR for SCR
+  vs shared state;
+* ``fig11_model_fit``— measured SCR throughput vs the analytic model,
+  with the absolute residual as a gateable series.
+
+Every point is the **median of k repetitions**; repetition ``i``
+re-synthesizes the workload with ``seed = base_seed + i`` (engine seeds
+stay fixed), so the recorded MAD measures workload-sampling noise — the
+scale the compare gate's thresholds are calibrated against.  With the
+same seeds and code, a repeat run reproduces every value exactly: the
+simulator is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..bench.mlffr import SEARCH_TOLERANCE_PPS, find_mlffr
+from ..bench.runner import ExperimentRunner
+from ..parallel.registry import make_engine
+from ..programs.registry import make_program
+from .artifact import BenchArtifact, BenchPoint, BenchSeries
+from .profiler import attribute_result, model_residuals
+
+__all__ = [
+    "BASE_SEED",
+    "SuiteParams",
+    "SUITES",
+    "suite_names",
+    "run_suite",
+    "run_all_suites",
+]
+
+#: The pinned trace-synthesis base seed — must match
+#: ``benchmarks/conftest.BENCH_BASE_SEED`` (asserted by the test suite).
+BASE_SEED = 7
+
+#: ±0.4 Mpps: the MLFFR binary search stops inside this window (§4.1), so
+#: throughput differences below it are quantization, not signal.
+_MPPS_NOISE_FLOOR = SEARCH_TOLERANCE_PPS / 1e6
+
+#: §4.2 in-frame history budget — matches the Figure 6/7 methodology.
+_SCR_IN_FRAME = {"count_wire_overhead": False}
+
+ALL_TECHNIQUES = ("scr", "shared", "rss", "rss++")
+
+
+@dataclass(frozen=True)
+class SuiteParams:
+    """Knobs shared by every suite run."""
+
+    reps: int = 3
+    base_seed: int = BASE_SEED
+    quick: bool = True
+
+    @property
+    def max_packets(self) -> int:
+        return 1500 if self.quick else 3000
+
+    @property
+    def num_flows(self) -> int:
+        return 40 if self.quick else 50
+
+    @property
+    def cores(self) -> Tuple[int, ...]:
+        return (1, 2, 4) if self.quick else (1, 2, 4, 7)
+
+    @property
+    def rep_seeds(self) -> List[int]:
+        return [self.base_seed + i for i in range(self.reps)]
+
+    def seed_policy(self) -> dict:
+        return {
+            "base_seed": self.base_seed,
+            "rep_seeds": self.rep_seeds,
+            "policy": (
+                "repetition i re-synthesizes the workload with "
+                "seed = base_seed + i; engine RNG seeds stay fixed, so a "
+                "repeat run with the same code reproduces every value"
+            ),
+        }
+
+    def runners(self) -> List[ExperimentRunner]:
+        base = ExperimentRunner(
+            num_flows=self.num_flows,
+            max_packets=self.max_packets,
+            seed=self.base_seed,
+        )
+        return [base] + [base.clone_with_seed(s) for s in self.rep_seeds[1:]]
+
+    def config(self, **extra) -> dict:
+        cfg = {
+            "reps": self.reps,
+            "quick": self.quick,
+            "max_packets": self.max_packets,
+            "num_flows": self.num_flows,
+        }
+        cfg.update(extra)
+        return cfg
+
+
+def _mpps_series(name: str) -> BenchSeries:
+    return BenchSeries(name=name, unit="mpps", direction="higher_better",
+                       noise_floor=_MPPS_NOISE_FLOOR)
+
+
+def _engine_kwargs(technique: str) -> Optional[dict]:
+    return dict(_SCR_IN_FRAME) if technique == "scr" else None
+
+
+# -- suites ---------------------------------------------------------------------
+
+
+def run_fig6_scaling(params: SuiteParams) -> BenchArtifact:
+    """Figure 6 panel: ddos @ caida, four techniques vs cores."""
+    program, trace = "ddos", "caida"
+    art = BenchArtifact.create(
+        "fig6_scaling",
+        config=params.config(program=program, trace=trace,
+                             cores=list(params.cores),
+                             techniques=list(ALL_TECHNIQUES)),
+        seed_policy=params.seed_policy(),
+        programs=[program],
+    )
+    runners = params.runners()
+    profile_result = None
+    for technique in ALL_TECHNIQUES:
+        series = art.add_series(_mpps_series(technique))
+        for cores in params.cores:
+            reps = []
+            for runner in runners:
+                res = runner.mlffr_point(
+                    program, trace, technique, cores,
+                    engine_kwargs=_engine_kwargs(technique),
+                )
+                reps.append(res.mlffr_mpps)
+                if (technique == "scr" and cores == max(params.cores)
+                        and runner is runners[0]):
+                    profile_result = res.result_at_mlffr
+            series.points.append(BenchPoint.from_reps(cores, reps))
+    scr = art.series["scr"]
+    art.model_fit = {
+        "program": program,
+        "series": "scr",
+        "residuals": model_residuals(
+            program, [(p.x, p.median) for p in scr.points]
+        ),
+    }
+    if profile_result is not None:
+        art.profile = attribute_result(profile_result).to_dict()
+    return art
+
+
+def run_engine_mlffr(params: SuiteParams) -> BenchArtifact:
+    """Per-technique MLFFR across programs at a fixed core count."""
+    trace, cores = "univ_dc", 4
+    programs = ("ddos", "token_bucket", "conntrack")
+    art = BenchArtifact.create(
+        "engine_mlffr",
+        config=params.config(programs=list(programs), trace=trace,
+                             cores=cores, techniques=list(ALL_TECHNIQUES)),
+        seed_policy=params.seed_policy(),
+        programs=programs,
+    )
+    runners = params.runners()
+    for technique in ALL_TECHNIQUES:
+        series = art.add_series(_mpps_series(technique))
+        for program in programs:
+            reps = [
+                runner.mlffr_point(
+                    program, trace, technique, cores,
+                    engine_kwargs=_engine_kwargs(technique),
+                ).mlffr_mpps
+                for runner in runners
+            ]
+            series.points.append(BenchPoint.from_reps(program, reps))
+    return art
+
+
+#: ~9 % per-bucket width of the log-bucketed latency histogram — the
+#: resolution floor of any percentile it reports.
+_LATENCY_REL_FLOOR = 0.09
+
+
+def run_tail_latency(params: SuiteParams) -> BenchArtifact:
+    """Sojourn-time percentiles at MLFFR: SCR vs shared state."""
+    program, trace, cores = "ddos", "caida", 4
+    percentiles = ("p50", "p90", "p99", "p99_9")
+    art = BenchArtifact.create(
+        "tail_latency",
+        config=params.config(program=program, trace=trace, cores=cores,
+                             techniques=["scr", "shared"]),
+        seed_policy=params.seed_policy(),
+        programs=[program],
+    )
+    runners = params.runners()
+    for technique in ("scr", "shared"):
+        rep_pcts: List[dict] = []
+        for runner in runners:
+            prog = make_program(program)
+            perf_trace = runner.perf_trace_for(prog, trace)
+            engine = make_engine(technique, prog, cores,
+                                 **(_engine_kwargs(technique) or {}))
+            res = find_mlffr(perf_trace, engine,
+                             line_rate_gbps=runner.line_rate_gbps,
+                             collect_latency=True)
+            best = res.result_at_mlffr
+            rep_pcts.append(best.latency_percentiles_ns() if best else {})
+        # p99 latency is noisy by nature; floor at one histogram bucket of
+        # the largest observed median so bucket-edge flips stay neutral.
+        top = max((pct.get("p99_9", 0.0) for pct in rep_pcts), default=0.0)
+        series = art.add_series(BenchSeries(
+            name=f"{technique}_latency", unit="ns", direction="lower_better",
+            noise_floor=top * _LATENCY_REL_FLOOR,
+        ))
+        for key in percentiles:
+            reps = [pct.get(key, 0.0) for pct in rep_pcts]
+            series.points.append(BenchPoint.from_reps(key, reps))
+    return art
+
+
+def run_fig11_model_fit(params: SuiteParams) -> BenchArtifact:
+    """Measured SCR throughput vs the Appendix A analytic prediction."""
+    program, trace = "token_bucket", "caida"
+    art = BenchArtifact.create(
+        "fig11_model_fit",
+        config=params.config(program=program, trace=trace,
+                             cores=list(params.cores)),
+        seed_policy=params.seed_policy(),
+        programs=[program],
+    )
+    runners = params.runners()
+    measured = art.add_series(_mpps_series("scr"))
+    for cores in params.cores:
+        reps = [
+            runner.mlffr_point(program, trace, "scr", cores,
+                               engine_kwargs=dict(_SCR_IN_FRAME)).mlffr_mpps
+            for runner in runners
+        ]
+        measured.points.append(BenchPoint.from_reps(cores, reps))
+    residuals = model_residuals(
+        program, [(p.x, p.median) for p in measured.points]
+    )
+    art.model_fit = {"program": program, "series": "scr",
+                     "residuals": residuals}
+    # Gateable view of model drift: |residual| per core count.  Within the
+    # MLFFR search window the measurement sits up to ~5 % above analytic
+    # capacity, so drift below that is methodology, not regression.
+    drift = art.add_series(BenchSeries(
+        name="abs_model_residual", unit="fraction",
+        direction="lower_better", noise_floor=0.05,
+    ))
+    for cores_str, row in residuals.items():
+        drift.points.append(BenchPoint.from_reps(
+            int(cores_str), [abs(row["residual"])]
+        ))
+    return art
+
+
+SUITES: Dict[str, Callable[[SuiteParams], BenchArtifact]] = {
+    "fig6_scaling": run_fig6_scaling,
+    "engine_mlffr": run_engine_mlffr,
+    "tail_latency": run_tail_latency,
+    "fig11_model_fit": run_fig11_model_fit,
+}
+
+
+def suite_names() -> List[str]:
+    return sorted(SUITES)
+
+
+def run_suite(name: str, params: Optional[SuiteParams] = None) -> BenchArtifact:
+    try:
+        fn = SUITES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown bench suite {name!r}; available: {', '.join(suite_names())}"
+        ) from None
+    return fn(params or SuiteParams())
+
+
+def run_all_suites(
+    params: Optional[SuiteParams] = None,
+    names: Optional[Sequence[str]] = None,
+) -> List[BenchArtifact]:
+    return [run_suite(n, params) for n in (names or suite_names())]

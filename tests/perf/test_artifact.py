@@ -1,0 +1,99 @@
+"""BENCH artifact schema: stats helpers, round-trip, provenance."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BENCH_SCHEMA,
+    BenchArtifact,
+    BenchPoint,
+    BenchSeries,
+    bench_filename,
+    mad,
+    median,
+)
+
+
+class TestStats:
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_median_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mad(self):
+        assert mad([1.0, 2.0, 3.0]) == 1.0
+        assert mad([5.0, 5.0, 5.0]) == 0.0
+
+    def test_point_from_reps(self):
+        p = BenchPoint.from_reps(4, [10.0, 12.0, 11.0])
+        assert p.median == 11.0
+        assert p.mad == 1.0
+        assert p.reps == [10.0, 12.0, 11.0]
+
+
+class TestSeries:
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            BenchSeries(name="s", unit="mpps", direction="sideways")
+
+    def test_point_lookup(self):
+        s = BenchSeries(name="s", unit="mpps")
+        s.points.append(BenchPoint.from_reps(2, [1.0]))
+        assert s.point(2).median == 1.0
+        assert s.point(99) is None
+
+
+def make_artifact(name="fig6_scaling", value=10.0):
+    art = BenchArtifact.create(
+        name,
+        config={"program": "ddos"},
+        seed_policy={"base_seed": 7, "rep_seeds": [7, 8, 9]},
+        programs=["ddos"],
+    )
+    s = art.add_series(BenchSeries(name="scr", unit="mpps",
+                                   noise_floor=0.4))
+    s.points.append(BenchPoint.from_reps(1, [value, value]))
+    s.points.append(BenchPoint.from_reps(2, [value * 2, value * 2]))
+    return art
+
+
+class TestArtifact:
+    def test_schema_and_provenance_stamped(self):
+        art = make_artifact()
+        assert art.schema == BENCH_SCHEMA
+        assert art.python
+        assert art.platform
+        assert art.created_utc
+        # Only the programs in effect carry their Table 4 rows.
+        assert set(art.table4_params) == {"ddos"}
+        assert art.table4_params["ddos"]["t"] == 114.0
+        assert art.seed_policy["rep_seeds"] == [7, 8, 9]
+
+    def test_save_load_round_trip(self, tmp_path):
+        art = make_artifact()
+        path = art.save(tmp_path)
+        assert path.name == bench_filename("fig6_scaling") == \
+            "BENCH_fig6_scaling.json"
+        loaded = BenchArtifact.load(path)
+        assert loaded.to_dict() == art.to_dict()
+        assert loaded.series["scr"].points[0].median == 10.0
+        assert loaded.series["scr"].noise_floor == 0.4
+
+    def test_artifact_is_valid_json(self, tmp_path):
+        path = make_artifact().save(tmp_path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == BENCH_SCHEMA
+        assert data["series"]["scr"]["points"][0]["x"] == 1
+
+    def test_model_fit_and_profile_round_trip(self, tmp_path):
+        art = make_artifact()
+        art.model_fit = {"program": "ddos",
+                         "residuals": {"1": {"residual": 0.02}}}
+        art.profile = {"totals": {"coverage": 1.0}}
+        loaded = BenchArtifact.load(art.save(tmp_path))
+        assert loaded.model_fit["residuals"]["1"]["residual"] == 0.02
+        assert loaded.profile["totals"]["coverage"] == 1.0

@@ -1,0 +1,172 @@
+"""Compare-engine semantics: the noise-aware regression gate."""
+
+import pytest
+
+from repro.perf import (
+    BenchArtifact,
+    BenchPoint,
+    BenchSeries,
+    CompareError,
+    compare_artifacts,
+    compare_paths,
+    markdown_report,
+)
+
+
+def artifact(values, name="fig6_scaling", series="scr", mads=None,
+             direction="higher_better", noise_floor=0.4):
+    """values: {x: median}; mads: {x: mad} (default 0)."""
+    art = BenchArtifact.create(name, config={}, seed_policy={})
+    s = art.add_series(BenchSeries(name=series, unit="mpps",
+                                   direction=direction,
+                                   noise_floor=noise_floor))
+    for x, v in values.items():
+        p = BenchPoint(x=x, median=v, mad=(mads or {}).get(x, 0.0),
+                       reps=[v])
+        s.points.append(p)
+    return art
+
+
+BASE = {1: 9.0, 2: 16.0, 4: 26.0}
+
+
+class TestVerdicts:
+    def test_identical_is_neutral(self):
+        res = compare_artifacts(artifact(BASE), artifact(BASE))
+        assert res.verdict == "neutral"
+        assert all(p.verdict == "neutral" for p in res.points)
+
+    def test_ten_percent_regression_detected(self):
+        worse = {x: v * 0.9 for x, v in BASE.items()}
+        res = compare_artifacts(artifact(BASE), artifact(worse))
+        assert res.verdict == "regression"
+        assert len(res.regressions) == 3
+
+    def test_within_noise_jitter_is_neutral(self):
+        # 3 % wiggle under a 5 % relative band: no verdict either way.
+        jitter = {x: v * 1.03 for x, v in BASE.items()}
+        res = compare_artifacts(artifact(BASE), artifact(jitter))
+        assert res.verdict == "neutral"
+
+    def test_mad_widens_the_band(self):
+        # An 8 % drop beats the 5 % band but not 3×(mad_old+mad_new).
+        worse = {1: 9.0 * 0.92}
+        old = artifact({1: 9.0}, mads={1: 0.3})
+        new = artifact(worse, mads={1: 0.3})
+        res = compare_artifacts(old, new)
+        assert res.points[0].verdict == "neutral"
+        # With tight MADs the same drop is a regression.
+        res = compare_artifacts(artifact({1: 9.0}), artifact(worse))
+        assert res.points[0].verdict == "regression"
+
+    def test_noise_floor_absorbs_small_absolute_moves(self):
+        # 0.3 Mpps below a 0.4 Mpps floor: neutral even though it is >5 %.
+        res = compare_artifacts(artifact({1: 1.0}), artifact({1: 0.7}))
+        assert res.points[0].verdict == "neutral"
+
+    def test_improvement_detected(self):
+        better = {x: v * 1.2 for x, v in BASE.items()}
+        res = compare_artifacts(artifact(BASE), artifact(better))
+        assert res.verdict == "improvement"
+
+    def test_lower_better_direction_flips(self):
+        old = artifact({1: 1000.0}, direction="lower_better", noise_floor=0.0)
+        worse = artifact({1: 1200.0}, direction="lower_better",
+                         noise_floor=0.0)
+        better = artifact({1: 800.0}, direction="lower_better",
+                          noise_floor=0.0)
+        assert compare_artifacts(old, worse).verdict == "regression"
+        assert compare_artifacts(old, better).verdict == "improvement"
+
+
+class TestStructuralErrors:
+    def test_missing_series_rejected(self):
+        new = artifact(BASE)
+        del new.series["scr"]
+        new.add_series(BenchSeries(name="other", unit="mpps"))
+        with pytest.raises(CompareError, match="missing from NEW"):
+            compare_artifacts(artifact(BASE), new)
+
+    def test_missing_point_rejected(self):
+        new = artifact({1: 9.0, 2: 16.0})  # x=4 dropped
+        with pytest.raises(CompareError, match="x=4"):
+            compare_artifacts(artifact(BASE), new)
+
+    def test_schema_mismatch_rejected(self):
+        new = artifact(BASE)
+        new.schema = "scr-repro/bench-artifact/v0"
+        with pytest.raises(CompareError, match="schema"):
+            compare_artifacts(artifact(BASE), new)
+        old = artifact(BASE)
+        old.schema = "something/else"
+        with pytest.raises(CompareError, match="schema"):
+            compare_artifacts(old, artifact(BASE))
+
+    def test_name_mismatch_rejected(self):
+        with pytest.raises(CompareError, match="names differ"):
+            compare_artifacts(artifact(BASE),
+                              artifact(BASE, name="engine_mlffr"))
+
+    def test_extra_series_in_new_reported_not_fatal(self):
+        new = artifact(BASE)
+        new.add_series(BenchSeries(name="extra", unit="mpps"))
+        res = compare_artifacts(artifact(BASE), new)
+        assert res.new_series == ["extra"]
+        assert res.verdict == "neutral"
+
+
+class TestComparePaths:
+    def test_file_pair(self, tmp_path):
+        old = artifact(BASE).save(tmp_path / "old")
+        new = artifact(BASE).save(tmp_path / "new")
+        results, extra = compare_paths(old, new)
+        assert len(results) == 1 and extra == []
+        assert results[0].verdict == "neutral"
+
+    def test_directory_pair_with_extra(self, tmp_path):
+        artifact(BASE).save(tmp_path / "old")
+        artifact(BASE).save(tmp_path / "new")
+        artifact(BASE, name="engine_mlffr").save(tmp_path / "new")
+        results, extra = compare_paths(tmp_path / "old", tmp_path / "new")
+        assert len(results) == 1
+        assert extra == ["BENCH_engine_mlffr.json"]
+
+    def test_baseline_without_counterpart_rejected(self, tmp_path):
+        artifact(BASE).save(tmp_path / "old")
+        (tmp_path / "new").mkdir()
+        with pytest.raises(CompareError, match="no counterpart"):
+            compare_paths(tmp_path / "old", tmp_path / "new")
+
+    def test_missing_path_rejected(self, tmp_path):
+        artifact(BASE).save(tmp_path / "old")
+        with pytest.raises(CompareError, match="does not exist"):
+            compare_paths(tmp_path / "old", tmp_path / "nope")
+
+    def test_empty_old_directory_rejected(self, tmp_path):
+        (tmp_path / "old").mkdir()
+        (tmp_path / "new").mkdir()
+        with pytest.raises(CompareError, match="no BENCH_"):
+            compare_paths(tmp_path / "old", tmp_path / "new")
+
+    def test_mixed_file_and_dir_rejected(self, tmp_path):
+        path = artifact(BASE).save(tmp_path / "old")
+        (tmp_path / "new").mkdir()
+        with pytest.raises(CompareError, match="both"):
+            compare_paths(path, tmp_path / "new")
+
+
+class TestMarkdownReport:
+    def test_report_contains_verdicts_and_deltas(self):
+        worse = {x: v * 0.9 for x, v in BASE.items()}
+        res = compare_artifacts(artifact(BASE), artifact(worse))
+        report = markdown_report([res])
+        assert "Overall: REGRESSION" in report
+        assert "| scr | 1 |" in report
+        assert "-10.0%" in report
+        assert "regression" in report
+
+    def test_neutral_report(self):
+        res = compare_artifacts(artifact(BASE), artifact(BASE))
+        report = markdown_report([res], extra_artifacts=["BENCH_x.json"])
+        assert "Overall: NEUTRAL" in report
+        assert "BENCH_x.json" in report

@@ -1,0 +1,51 @@
+"""Seed policy: pinned seeds, deterministic synthesis, stable medians."""
+
+from repro.perf.suite import BASE_SEED, SuiteParams
+from repro.traffic.distributions import TRACE_DISTRIBUTIONS
+from repro.traffic.synthesis import synthesize_trace
+
+
+def test_suite_seed_matches_benchmarks_pin():
+    from benchmarks.conftest import BENCH_BASE_SEED
+
+    assert BASE_SEED == BENCH_BASE_SEED == 7
+
+
+def test_trace_synthesis_is_seed_deterministic():
+    def synth(seed):
+        trace = synthesize_trace(TRACE_DISTRIBUTIONS["caida"](), 20,
+                                 seed=seed, max_packets=500)
+        return [(p.wire_len, p.five_tuple()) for p in trace]
+
+    assert synth(7) == synth(7)
+    assert synth(7) != synth(8)
+
+
+def test_runner_clone_preserves_config_changes_seed():
+    from repro.bench.runner import ExperimentRunner
+
+    base = ExperimentRunner(num_flows=12, max_packets=345, seed=BASE_SEED)
+    clone = base.clone_with_seed(BASE_SEED + 2)
+    assert clone.seed == BASE_SEED + 2
+    assert (clone.num_flows, clone.max_packets) == (12, 345)
+    # Caches are per-runner: clones never reuse another seed's trace.
+    assert clone._traces is not base._traces
+
+
+def test_repeated_suite_medians_are_identical():
+    # The acceptance loop: same code + same seeds -> identical medians.
+    params = SuiteParams(reps=2, quick=True)
+    runs = []
+    for _ in range(2):
+        runners = params.runners()
+        vals = [r.mlffr_point("ddos", "caida", "scr", 2).mlffr_mpps
+                for r in runners]
+        runs.append(vals)
+    assert runs[0] == runs[1]
+
+
+def test_artifact_records_seed_policy():
+    params = SuiteParams(reps=3, base_seed=BASE_SEED)
+    policy = params.seed_policy()
+    assert policy["rep_seeds"] == [7, 8, 9]
+    assert "base_seed + i" in policy["policy"]

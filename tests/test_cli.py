@@ -231,3 +231,116 @@ def test_inspect_missing_artifact(tmp_path):
     code, text = run_cli(["inspect", str(tmp_path / "nope")])
     assert code == 2
     assert "no run artifact" in text
+
+
+def test_inspect_empty_directory(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    code, text = run_cli(["inspect", str(empty)])
+    assert code == 2
+    assert "empty" in text
+    assert "--telemetry" in text
+    assert "Traceback" not in text
+
+
+def test_inspect_directory_without_manifest(tmp_path):
+    tdir = tmp_path / "tele"
+    tdir.mkdir()
+    (tdir / "events.jsonl").write_text("{}\n")
+    code, text = run_cli(["inspect", str(tdir)])
+    assert code == 2
+    assert "no manifest.json" in text
+
+
+def test_inspect_corrupt_manifest(tmp_path):
+    tdir = tmp_path / "tele"
+    tdir.mkdir()
+    (tdir / "manifest.json").write_text("{not json")
+    code, text = run_cli(["inspect", str(tdir)])
+    assert code == 2
+    assert "malformed" in text
+
+
+# -- bench (perf-regression suite and compare gate) ------------------------------
+
+
+def test_bench_list():
+    code, text = run_cli(["bench", "--list"])
+    assert code == 0
+    for name in ("fig6_scaling", "engine_mlffr", "tail_latency",
+                 "fig11_model_fit"):
+        assert name in text
+
+
+def test_bench_unknown_suite(tmp_path):
+    code, text = run_cli(["bench", "--suite", "bogus",
+                          "--out", str(tmp_path)])
+    assert code == 2
+    assert "unknown suite" in text
+
+
+def test_bench_rejects_zero_reps(tmp_path):
+    code, text = run_cli(["bench", "--suite", "fig11_model_fit",
+                          "--reps", "0", "--out", str(tmp_path)])
+    assert code == 2
+    assert "--reps" in text
+
+
+def test_bench_runs_suite_and_compares(tmp_path):
+    from repro.perf import BENCH_SCHEMA, BenchArtifact
+
+    old = tmp_path / "old"
+    code, text = run_cli(["bench", "--suite", "fig11_model_fit",
+                          "--reps", "1", "--out", str(old)])
+    assert code == 0
+    path = old / "BENCH_fig11_model_fit.json"
+    assert path.exists()
+    assert str(path) in text
+    art = BenchArtifact.load(path)
+    assert art.schema == BENCH_SCHEMA
+    assert art.seed_policy["rep_seeds"] == [7]
+
+    # A repeat run of the same code compares clean (exit 0).
+    new = tmp_path / "new"
+    code, _ = run_cli(["bench", "--suite", "fig11_model_fit",
+                       "--reps", "1", "--out", str(new)])
+    assert code == 0
+    md = tmp_path / "report.md"
+    code, text = run_cli(["bench", "--compare", str(old), str(new),
+                          "--markdown", str(md)])
+    assert code == 0
+    assert "Overall: NEUTRAL" in text
+    assert "Overall: NEUTRAL" in md.read_text()
+
+    # A synthetic 10 % throughput regression trips the gate (exit 1).
+    art = BenchArtifact.load(new / "BENCH_fig11_model_fit.json")
+    scr = art.series["scr"]
+    for p in scr.points:
+        p.median *= 0.9
+        p.reps = [v * 0.9 for v in p.reps]
+    art.save(new)
+    code, text = run_cli(["bench", "--compare", str(old), str(new)])
+    assert code == 1
+    assert "REGRESSION" in text
+
+
+def test_bench_compare_schema_mismatch(tmp_path):
+    from repro.perf import BenchArtifact
+
+    from tests.perf.test_compare import artifact
+
+    artifact({1: 9.0}).save(tmp_path / "old")
+    bad = artifact({1: 9.0})
+    bad.schema = "scr-repro/bench-artifact/v999"
+    bad.save(tmp_path / "new")
+    code, text = run_cli(["bench", "--compare", str(tmp_path / "old"),
+                          str(tmp_path / "new")])
+    assert code == 2
+    assert "schema" in text
+
+
+def test_bench_compare_missing_path(tmp_path):
+    code, text = run_cli(["bench", "--compare", str(tmp_path / "a"),
+                          str(tmp_path / "b")])
+    assert code == 2
+    assert "compare error" in text
