@@ -1,13 +1,31 @@
 # Convenience targets for the SCR reproduction.
 
-.PHONY: install test bench bench-compare bench-baseline bench-figures \
-	reproduce examples telemetry-demo clean
+.PHONY: install test lint typecheck bench bench-compare bench-baseline \
+	bench-figures reproduce examples telemetry-demo clean
 
 install:
 	python setup.py develop
 
 test:
 	pytest tests/
+
+# SCR-safety static analysis (scrlint, rules SCR001-SCR005) plus the
+# generic ruff gate.  ruff is optional locally (pip install -e '.[lint]');
+# CI always runs it.
+lint:
+	PYTHONPATH=src python -m repro.cli lint
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "ruff not installed; skipping (pip install -e '.[lint]')"; \
+	fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else \
+		echo "mypy not installed; skipping (pip install -e '.[lint]')"; \
+	fi
 
 # Perf-regression suite: writes schema-versioned BENCH_*.json artifacts
 # (median + MAD over seeded reps) under results/bench.  See docs/BENCHMARKS.md.

@@ -21,9 +21,7 @@ import pytest
 
 from benchmarks.conftest import emit
 from repro.bench import render_table
-from repro.core import ScrPacketCodec
-from repro.packet import ETH_HLEN, make_tcp_packet, TCP_ACK
-from repro.programs import make_program
+from repro.packet import ETH_HLEN
 from repro.sequencer import PacketHistorySequencer
 from repro.traffic import synthesize_trace, univ_dc_flow_sizes
 

@@ -16,7 +16,7 @@ from repro.bench import (
     predicted_scr_mpps,
     render_table,
 )
-from repro.cpu import PerfTrace, TABLE4_PARAMS
+from repro.cpu import TABLE4_PARAMS, PerfTrace
 from repro.packet import make_udp_packet
 from repro.parallel import ScrEngine
 from repro.programs import make_program

@@ -16,10 +16,10 @@ import pytest
 from benchmarks.conftest import emit
 from repro.bench import render_table
 from repro.cpu import PerfTrace, simulate
+from repro.packet import make_udp_packet
 from repro.parallel import make_engine
 from repro.programs import make_program
 from repro.traffic import Trace
-from repro.packet import make_udp_packet
 
 
 def skewed_trace(n=4000):

@@ -9,11 +9,11 @@ every other technique.
 
 import pytest
 
-from benchmarks.conftest import CORES_14, emit
+from benchmarks.conftest import emit
 from repro.bench import render_scaling_series
+from repro.core import ScrPacketCodec
 from repro.cpu import TABLE4_PARAMS
 from repro.nic.nic import ETHERNET_OVERHEAD_BYTES
-from repro.core import ScrPacketCodec
 from repro.programs import make_program
 
 TECHNIQUES = ["scr", "shared", "rss", "rss++"]

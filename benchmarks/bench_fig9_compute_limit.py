@@ -10,7 +10,7 @@ import pytest
 
 from benchmarks.conftest import emit
 from repro.bench import find_mlffr, render_table
-from repro.cpu import PerfTrace, TABLE4_PARAMS, CostParams
+from repro.cpu import TABLE4_PARAMS, CostParams, PerfTrace
 from repro.packet import make_udp_packet
 from repro.parallel import ScrEngine
 from repro.programs import make_program

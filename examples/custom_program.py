@@ -10,7 +10,7 @@ SYN-flood detector (per-destination SYN/ACK imbalance), checks it with
 from typing import Any, Hashable, Optional, Tuple
 
 from repro.core import ScrFunctionalEngine, reference_run, validate_program
-from repro.packet import IPPROTO_TCP, Packet, TCP_ACK, TCP_SYN
+from repro.packet import TCP_ACK, TCP_SYN, Packet
 from repro.programs import PacketMetadata, PacketProgram, Verdict
 from repro.traffic import synthesize_trace, univ_dc_flow_sizes
 

@@ -8,7 +8,7 @@ throughput (§4.1) of the DDoS mitigator under an attack-heavy trace for
 every scaling technique, then shows the mitigator's verdicts functionally.
 """
 
-from repro.bench import ExperimentRunner, find_mlffr, render_scaling_series
+from repro.bench import find_mlffr, render_scaling_series
 from repro.core import ScrFunctionalEngine
 from repro.cpu import PerfTrace
 from repro.packet import make_udp_packet

@@ -13,7 +13,7 @@ from repro.core import ScrFunctionalEngine, reference_run
 from repro.cpu import PerfTrace
 from repro.parallel import ScrEngine
 from repro.programs import make_program
-from repro.traffic import synthesize_trace, caida_backbone_flow_sizes
+from repro.traffic import caida_backbone_flow_sizes, synthesize_trace
 
 
 def main() -> None:

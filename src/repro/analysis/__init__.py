@@ -1,0 +1,53 @@
+"""scrlint — SCR-safety static analysis for packet programs and engines.
+
+The runtime can only catch replication bugs by accident (a lucky trace that
+happens to diverge); the contract itself — transitions that are pure,
+deterministic functions of ``(value, metadata)``, metadata that captures
+every packet bit the transition reads — is statically checkable, the same
+way the eBPF verifier admission-checks programs before they touch traffic.
+This package is that admission gate for the growing program zoo:
+
+* ``SCR001`` nondeterminism (clocks/RNGs/mutable globals) — §3.4
+* ``SCR002`` transition purity (no self-mutation, I/O, StateMap) — §3.2
+* ``SCR003`` metadata completeness + FORMAT/FIELDS layout — App. C
+* ``SCR004`` hidden clock/state in the scaling engines — §3.4
+* ``SCR005`` float hazard in transitions — §3.4
+
+Use it from pytest (``lint_paths()``/``lint_source()``), from the CLI
+(``scr-repro lint [--format json] [paths]``), or register custom rules via
+:mod:`repro.analysis.rules` — see ``docs/ANALYSIS.md``.
+"""
+
+from .findings import Finding, findings_to_json, render_finding
+from .model import ClassModel, MethodModel, ModuleModel
+from .rules import Rule, all_rules, get_rule, register, rule_ids
+from .runner import (
+    DEFAULT_LINT_PATHS,
+    LintReport,
+    format_json,
+    format_text,
+    lint_paths,
+    lint_source,
+)
+from .suppressions import SuppressionIndex
+
+__all__ = [
+    "Finding",
+    "findings_to_json",
+    "render_finding",
+    "ClassModel",
+    "MethodModel",
+    "ModuleModel",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "rule_ids",
+    "DEFAULT_LINT_PATHS",
+    "LintReport",
+    "format_json",
+    "format_text",
+    "lint_paths",
+    "lint_source",
+    "SuppressionIndex",
+]

@@ -1,0 +1,64 @@
+"""Finding records produced by the scrlint rules.
+
+A :class:`Finding` pins one SCR-safety violation to a source location and a
+rule id (``SCR001``–``SCR005``, or ``SCR000`` for files the analyzer cannot
+parse).  Findings serialize to JSON so CI can archive and diff them; the
+text rendering mirrors compiler diagnostics (``path:line:col: RULE message``)
+so editors can jump to them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Sequence
+
+__all__ = ["Finding", "findings_to_json", "render_finding"]
+
+#: schema tag written into JSON reports so future format changes are
+#: detectable by consumers (mirrors the bench-artifact versioning).
+REPORT_SCHEMA = "scr-repro/lint-report/v1"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is (path, line, col, rule) so reports are stable across runs
+    regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    symbol: str
+    message: str
+    #: extra machine-readable context (e.g. the offending call's dotted name).
+    detail: Dict[str, str] = field(default_factory=dict, compare=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def render_finding(finding: Finding) -> str:
+    """``path:line:col: RULE [symbol] message`` — one line per finding."""
+    where = f"{finding.path}:{finding.line}:{finding.col}"
+    sym = f" [{finding.symbol}]" if finding.symbol else ""
+    return f"{where}: {finding.rule}{sym} {finding.message}"
+
+
+def findings_to_json(
+    findings: Sequence[Finding],
+    *,
+    files_checked: int = 0,
+    suppressed: int = 0,
+) -> str:
+    """The JSON report CI archives (sorted, schema-tagged)."""
+    payload: Dict[str, object] = {
+        "schema": REPORT_SCHEMA,
+        "files_checked": files_checked,
+        "suppressed": suppressed,
+        "findings": [f.to_dict() for f in sorted(findings)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,370 @@
+"""AST model of a module under analysis.
+
+scrlint never *imports* the code it checks — fixtures may be deliberately
+broken, and importing a packet program could run arbitrary module-level
+code.  Instead each file is parsed into a :class:`ModuleModel` that exposes
+what the rules need:
+
+* an **import table** mapping local names to their dotted origin
+  (``from time import time`` makes ``time`` resolve to ``time.time``), so
+  rules reason about *origins*, not spellings;
+* **module-level assignments**, with a mutability classifier for the
+  "module-level mutable global" checks (SCR001/SCR004);
+* **classes** with their base chains resolved within the module, classified
+  against the contract roots in :mod:`repro.programs.base`
+  (``PacketProgram`` / ``PacketMetadata``) and ``BaseEngine``;
+* per-class **method closures**: the methods reachable from a contract
+  method through ``self.helper()`` calls, so a transition cannot hide a
+  ``time.time()`` inside a private helper.
+
+Resolution is textual and intra-module by design: a class is a packet
+program iff its base chain (followed through classes defined in the same
+file) reaches a name in ``PROGRAM_ROOTS``.  Cross-module inheritance of
+*programs from programs* is not resolved — the zoo and the fixtures both
+subclass the roots directly, and the limitation is documented in
+``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "ClassModel",
+    "MethodModel",
+    "ModuleModel",
+    "PROGRAM_ROOTS",
+    "METADATA_ROOTS",
+    "ENGINE_ROOTS",
+]
+
+#: External base-class names that mark a class as a packet program,
+#: a packet metadata layout, or a scaling-technique performance engine.
+PROGRAM_ROOTS = frozenset({"PacketProgram"})
+METADATA_ROOTS = frozenset({"PacketMetadata"})
+ENGINE_ROOTS = frozenset({"BaseEngine", "PerfEngine"})
+
+#: Constructors whose result is shared mutable storage when bound at module
+#: (or class-body) level.
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "collections.defaultdict", "collections.deque", "collections.Counter",
+    "collections.OrderedDict",
+})
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+
+
+@dataclass
+class MethodModel:
+    """One function defined directly in a class body."""
+
+    name: str
+    node: ast.FunctionDef
+    class_name: str
+
+    @property
+    def arg_names(self) -> List[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    @property
+    def symbol(self) -> str:
+        return f"{self.class_name}.{self.name}"
+
+
+@dataclass
+class ClassModel:
+    """One class definition plus the pieces the rules inspect."""
+
+    name: str
+    node: ast.ClassDef
+    #: dotted base names as written (``PacketProgram``, ``base.PacketProgram``).
+    bases: List[str]
+    methods: Dict[str, MethodModel] = field(default_factory=dict)
+    #: class-body ``NAME = <expr>`` assignments (targets that are plain names).
+    assigns: Dict[str, ast.expr] = field(default_factory=dict)
+
+
+def _dotted(expr: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class ModuleModel:
+    """Parsed view of one source file, as the rules see it."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        #: local name -> dotted origin ("random" -> "random",
+        #: "time" (from ``from time import time``) -> "time.time").
+        self.imports: Dict[str, str] = {}
+        self.module_assigns: Dict[str, ast.expr] = {}
+        self.classes: Dict[str, ClassModel] = {}
+        self._scan()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> "ModuleModel":
+        return cls(path, source, ast.parse(source, filename=path))
+
+    def _scan(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.imports[local] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    # Relative imports stay unresolved: their origins are
+                    # inside this package, never a nondeterminism source.
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{node.module}.{alias.name}"
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.module_assigns[target.id] = node.value
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and node.value is not None:
+                    self.module_assigns[node.target.id] = node.value
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = self._scan_class(node)
+
+    def _scan_class(self, node: ast.ClassDef) -> ClassModel:
+        bases = [b for b in (_dotted(base) for base in node.bases) if b]
+        model = ClassModel(name=node.name, node=node, bases=bases)
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef):
+                model.methods[item.name] = MethodModel(
+                    name=item.name, node=item, class_name=node.name
+                )
+            elif isinstance(item, ast.Assign):
+                for target in item.targets:
+                    if isinstance(target, ast.Name):
+                        model.assigns[target.id] = item.value
+            elif isinstance(item, ast.AnnAssign):
+                if isinstance(item.target, ast.Name) and item.value is not None:
+                    model.assigns[item.target.id] = item.value
+        return model
+
+    # -- name resolution ----------------------------------------------------
+
+    def origin_of(self, expr: ast.expr) -> Optional[str]:
+        """Dotted origin of a Name/Attribute chain, import table applied.
+
+        ``time.monotonic()`` after ``import time as t`` spelled ``t.monotonic``
+        resolves to ``time.monotonic``; ``urandom`` after ``from os import
+        urandom`` resolves to ``os.urandom``.  Names that are not rooted in
+        an import (locals, parameters, ``self``) resolve to None.
+        """
+        dotted = _dotted(expr)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        root = self.imports.get(head)
+        if root is None:
+            return None
+        return f"{root}.{rest}" if rest else root
+
+    def call_origin(self, call: ast.Call) -> Optional[str]:
+        return self.origin_of(call.func)
+
+    # -- mutability ---------------------------------------------------------
+
+    def is_mutable_binding(self, value: ast.expr) -> bool:
+        """Does this bound expression create shared mutable storage?"""
+        if isinstance(value, _MUTABLE_LITERALS):
+            return True
+        if isinstance(value, ast.Call):
+            dotted = _dotted(value.func)
+            if dotted is None:
+                return False
+            origin = self.origin_of(value.func) or dotted
+            return (origin in _MUTABLE_CONSTRUCTORS
+                    or dotted in _MUTABLE_CONSTRUCTORS)
+        return False
+
+    def mutable_globals(self) -> Dict[str, ast.expr]:
+        """Module-level names bound to mutable storage (SCR001's hidden state).
+
+        Dunder module attributes (``__all__`` and friends) are interpreter
+        metadata, not program state, and are exempt.
+        """
+        return {
+            name: value
+            for name, value in self.module_assigns.items()
+            if self.is_mutable_binding(value)
+            and not (name.startswith("__") and name.endswith("__"))
+        }
+
+    # -- class classification -----------------------------------------------
+
+    def _reaches(self, cls: ClassModel, roots: frozenset) -> bool:
+        seen: Set[str] = set()
+        stack = list(cls.bases)
+        while stack:
+            base = stack.pop()
+            tail = base.split(".")[-1]
+            if tail in roots:
+                return True
+            if tail in seen:
+                continue
+            seen.add(tail)
+            parent = self.classes.get(tail)
+            if parent is not None:
+                stack.extend(parent.bases)
+        return False
+
+    def _classified(self, roots: frozenset) -> List[ClassModel]:
+        # The root classes themselves (PacketProgram in base.py) are held to
+        # their own contract too.
+        return [
+            c for c in self.classes.values()
+            if c.name in roots or self._reaches(c, roots)
+        ]
+
+    def program_classes(self) -> List[ClassModel]:
+        return self._classified(PROGRAM_ROOTS)
+
+    def metadata_classes(self) -> List[ClassModel]:
+        return self._classified(METADATA_ROOTS)
+
+    def engine_classes(self) -> List[ClassModel]:
+        return self._classified(ENGINE_ROOTS)
+
+    # -- program-contract helpers -------------------------------------------
+
+    def metadata_for(self, program: ClassModel) -> Optional[ClassModel]:
+        """The statically-declared metadata class of a program, if resolvable.
+
+        Requires a class-body ``metadata_cls = SomeName`` whose target is a
+        metadata class defined in the same module.  Programs that build
+        their metadata class dynamically (``ProgramChain``) return None and
+        are exempt from the field-completeness checks.
+        """
+        value = program.assigns.get("metadata_cls")
+        if not isinstance(value, ast.Name):
+            return None
+        candidate = self.classes.get(value.id)
+        if candidate is not None and (
+            candidate.name in METADATA_ROOTS
+            or self._reaches(candidate, METADATA_ROOTS)
+        ):
+            return candidate
+        return None
+
+    def metadata_layout(
+        self, metadata: ClassModel
+    ) -> Tuple[Optional[str], Optional[Tuple[str, ...]]]:
+        """(FORMAT, FIELDS) literals, following in-module inheritance."""
+        fmt: Optional[str] = None
+        fields: Optional[Tuple[str, ...]] = None
+        chain: List[ClassModel] = []
+        cursor: Optional[ClassModel] = metadata
+        seen: Set[str] = set()
+        while cursor is not None and cursor.name not in seen:
+            seen.add(cursor.name)
+            chain.append(cursor)
+            nxt = None
+            for base in cursor.bases:
+                nxt = self.classes.get(base.split(".")[-1])
+                if nxt is not None:
+                    break
+            cursor = nxt
+        for cls in chain:  # nearest definition wins
+            if fmt is None:
+                value = cls.assigns.get("FORMAT")
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    fmt = value.value
+            if fields is None:
+                value = cls.assigns.get("FIELDS")
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    elems = []
+                    ok = True
+                    for el in value.elts:
+                        if isinstance(el, ast.Constant) and isinstance(el.value, str):
+                            elems.append(el.value)
+                        else:
+                            ok = False
+                            break
+                    if ok:
+                        fields = tuple(elems)
+            if fmt is not None and fields is not None:
+                break
+        return fmt, fields
+
+    def method_closure(
+        self, program: ClassModel, start: Sequence[str]
+    ) -> List[MethodModel]:
+        """``start`` methods plus everything reachable via ``self.x()`` calls.
+
+        Follows in-module inheritance for helper lookup; external helpers
+        (inherited from ``PacketProgram`` itself) are trusted — the base
+        class is checked on its own pass over ``programs/base.py``.
+        """
+        resolved: Dict[str, MethodModel] = {}
+        ordered: List[MethodModel] = []
+        pending = list(start)
+        while pending:
+            name = pending.pop(0)
+            if name in resolved:
+                continue
+            method = self._lookup_method(program, name)
+            if method is None:
+                continue
+            resolved[name] = method
+            ordered.append(method)
+            pending.extend(sorted(program_self_calls(method)))
+        return ordered
+
+    def _lookup_method(
+        self, cls: ClassModel, name: str
+    ) -> Optional[MethodModel]:
+        seen: Set[str] = set()
+        cursor: Optional[ClassModel] = cls
+        while cursor is not None and cursor.name not in seen:
+            seen.add(cursor.name)
+            if name in cursor.methods:
+                return cursor.methods[name]
+            nxt = None
+            for base in cursor.bases:
+                nxt = self.classes.get(base.split(".")[-1])
+                if nxt is not None:
+                    break
+            cursor = nxt
+        return None
+
+
+def program_self_calls(method: MethodModel) -> Set[str]:
+    """Names called as ``self.name(...)`` anywhere in the method body."""
+    called: Set[str] = set()
+    for node in ast.walk(method.node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            called.add(node.func.attr)
+    return called

@@ -1,0 +1,100 @@
+"""The scrlint rule registry.
+
+Rules are small classes with an ``id``, a one-line ``title``, a paper
+citation, and a ``check(module)`` generator over findings.  Registering is
+one decorator::
+
+    from repro.analysis.rules import Rule, register
+
+    @register
+    class MyRule(Rule):
+        id = "SCR900"
+        title = "local policy"
+        paper_ref = "internal"
+
+        def check(self, module):
+            yield from ()
+
+Registration is what the CLI and :func:`repro.analysis.lint_paths` pick up;
+``docs/ANALYSIS.md`` documents the extension point.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Type
+
+from ..findings import Finding
+from ..model import ModuleModel
+
+__all__ = ["Rule", "register", "all_rules", "get_rule", "rule_ids"]
+
+_REGISTRY: Dict[str, "Rule"] = {}
+
+
+class Rule(ABC):
+    """One SCR-safety property, checked module by module."""
+
+    #: unique id, ``SCRnnn``; ordering in reports follows location, not id.
+    id: str = "SCR000"
+    #: one-line summary shown by ``scr-repro lint --list-rules``.
+    title: str = ""
+    #: the paper section/appendix the property comes from.
+    paper_ref: str = ""
+
+    @abstractmethod
+    def check(self, module: ModuleModel) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+
+    def finding(
+        self,
+        module: ModuleModel,
+        node: ast.AST,
+        symbol: str,
+        message: str,
+        **detail: str,
+    ) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            symbol=symbol,
+            message=message,
+            detail=dict(detail),
+        )
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    instance = rule_cls()
+    if instance.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.id!r}")
+    _REGISTRY[instance.id] = instance
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+# Importing the rule modules is what populates the registry.
+from . import determinism  # noqa: E402,F401  (registration side effect)
+from . import purity  # noqa: E402,F401
+from . import metadata  # noqa: E402,F401
+from . import engines  # noqa: E402,F401
+from . import floats  # noqa: E402,F401

@@ -1,0 +1,86 @@
+"""SCR001 — nondeterminism in the replicated contract methods.
+
+Principle #1 (§3.4): replication is correct only because every core computes
+the *same* transition for the same ``(value, metadata)``.  A transition (or
+``extract_metadata``/``key``, or any helper they call through ``self``) that
+reads a clock, draws from an RNG, or consults hidden mutable module state
+computes different results on different cores — replicas silently diverge,
+and no tier-1 test catches it.  Timestamps must come from the metadata the
+sequencer stamped, "never from a local clock" (§3.4); randomness must be a
+deterministic function of the packet (see ``TelemetrySampler``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ...programs.base import SCR_DETERMINISTIC_METHODS
+from ..findings import Finding
+from ..model import MethodModel, ModuleModel
+from . import Rule, register
+
+__all__ = ["NondeterminismRule", "BANNED_MODULE_ROOTS"]
+
+#: importable sources of nondeterminism: any call resolving into these
+#: modules is banned inside the deterministic contract methods.
+BANNED_MODULE_ROOTS = frozenset({"time", "datetime", "random", "uuid", "secrets"})
+
+#: precise non-module origins that are banned wherever they resolve from.
+BANNED_ORIGINS = frozenset({"os.urandom", "os.getrandom"})
+
+
+def origin_is_banned(origin: str) -> bool:
+    root = origin.split(".", 1)[0]
+    return root in BANNED_MODULE_ROOTS or origin in BANNED_ORIGINS
+
+
+@register
+class NondeterminismRule(Rule):
+    id = "SCR001"
+    title = ("transition/extract_metadata/key must be deterministic: "
+             "no clocks, RNGs, or mutable module globals")
+    paper_ref = "Principle #1, §3.4"
+
+    def check(self, module: ModuleModel) -> Iterator[Finding]:
+        mutable_globals = module.mutable_globals()
+        # Dedup by function node: a helper inherited in-module would appear
+        # in several programs' closures but is one piece of code.
+        seen: Set[int] = set()
+        for program in module.program_classes():
+            for method in module.method_closure(
+                program, SCR_DETERMINISTIC_METHODS
+            ):
+                if id(method.node) in seen:
+                    continue
+                seen.add(id(method.node))
+                yield from self._check_method(module, program.name, method,
+                                              mutable_globals)
+
+    def _check_method(
+        self,
+        module: ModuleModel,
+        class_name: str,
+        method: MethodModel,
+        mutable_globals: Set[str],
+    ) -> Iterator[Finding]:
+        symbol = f"{class_name}.{method.name}"
+        for node in ast.walk(method.node):
+            if isinstance(node, ast.Call):
+                origin = module.call_origin(node)
+                if origin is not None and origin_is_banned(origin):
+                    yield self.finding(
+                        module, node, symbol,
+                        f"call to nondeterministic {origin}() — replicas "
+                        "would diverge (timestamps/randomness must come "
+                        "from the packet metadata, §3.4)",
+                        origin=origin,
+                    )
+            elif isinstance(node, ast.Name) and node.id in mutable_globals:
+                yield self.finding(
+                    module, node, symbol,
+                    f"reads module-level mutable global {node.id!r} — "
+                    "hidden state outside (value, metadata) breaks "
+                    "replica determinism (Principle #1)",
+                    name=node.id,
+                )

@@ -1,0 +1,112 @@
+"""SCR004 — hidden clocks and hidden per-core state in the engines.
+
+The performance engines under ``repro.parallel`` simulate deterministic
+hardware: every run with the same seed must produce the same schedule, or
+the perf-regression gate (``scr-repro bench --compare``) turns into noise.
+Two ways an engine silently breaks that:
+
+* **wall clocks** — branching on ``time.time()`` (or friends) makes service
+  times depend on the host, not the model;
+* **hidden mutable state** — a module-level (or class-body) list/dict is
+  shared across every engine instance and survives ``reset()``, so one
+  run's state leaks into the next.  Per-core accounting belongs in
+  ``CoreCounters``; per-run state belongs on the instance and must be
+  rebuilt by ``reset()``.
+
+Seeded RNGs are the sanctioned §3.4 pattern (``random.Random(seed)``);
+what this rule flags is the *module-global* RNG (``random.random()``) and
+unseeded constructions (``random.Random()``), both of which draw from
+process-wide state.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator
+
+from ..findings import Finding
+from ..model import ModuleModel
+from . import Rule, register
+
+__all__ = ["EngineStateRule"]
+
+_CLOCK_ORIGINS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.clock_gettime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+def _is_engine_module(module: ModuleModel) -> bool:
+    """The rule applies to ``repro/parallel`` files and to any module that
+    defines an engine class (so fixtures exercise it from anywhere)."""
+    if "parallel" in PurePath(module.path).parts:
+        return True
+    return bool(module.engine_classes())
+
+
+@register
+class EngineStateRule(Rule):
+    id = "SCR004"
+    title = ("engines must not read wall clocks or keep mutable state "
+             "outside instances/CoreCounters")
+    paper_ref = "§3.4; determinism of the Table 4 cost model"
+
+    def check(self, module: ModuleModel) -> Iterator[Finding]:
+        if not _is_engine_module(module):
+            return
+        yield from self._check_clocks_and_rngs(module)
+        yield from self._check_hidden_state(module)
+
+    def _check_clocks_and_rngs(self, module: ModuleModel) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = module.call_origin(node)
+            if origin is None:
+                continue
+            if origin in _CLOCK_ORIGINS:
+                yield self.finding(
+                    module, node, "",
+                    f"wall-clock read {origin}() — engine behavior must be "
+                    "a function of the model and the seed, never the host "
+                    "clock (§3.4)",
+                    origin=origin,
+                )
+            elif origin == "random.Random" and not (node.args or node.keywords):
+                yield self.finding(
+                    module, node, "",
+                    "unseeded random.Random() — seeds must be explicit so "
+                    "runs replay bit-identically (§3.4)",
+                    origin=origin,
+                )
+            elif origin.startswith("random.") and origin != "random.Random":
+                yield self.finding(
+                    module, node, "",
+                    f"{origin}() draws from the process-wide RNG — use a "
+                    "seeded random.Random instance held by the engine "
+                    "(§3.4)",
+                    origin=origin,
+                )
+
+    def _check_hidden_state(self, module: ModuleModel) -> Iterator[Finding]:
+        for name, value in sorted(module.mutable_globals().items()):
+            yield self.finding(
+                module, value, name,
+                f"module-level mutable global {name!r} — shared across "
+                "every engine instance and never cleared by reset(); "
+                "per-run state belongs on the instance",
+                name=name,
+            )
+        for cls in module.engine_classes():
+            for name, value in sorted(cls.assigns.items()):
+                if module.is_mutable_binding(value):
+                    yield self.finding(
+                        module, value, f"{cls.name}.{name}",
+                        f"class-body mutable attribute {name!r} is shared "
+                        "by every instance of the engine — move it into "
+                        "__init__/reset()",
+                        name=name,
+                    )

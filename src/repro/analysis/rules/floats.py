@@ -1,0 +1,90 @@
+"""SCR005 — floating-point hazard in state transitions.
+
+Replica convergence is *bitwise*: the functional engine asserts replicas
+byte-equal after every run.  Float arithmetic endangers that in two ways —
+accumulation order (a core fast-forwarding k-1 history items may reassociate
+a sum the reference computed incrementally; float addition is not
+associative), and platform-divergent rounding in libm calls.  The zoo's own
+pattern is the fix: ``TokenBucketPolicer`` keeps milli-token *integer*
+arithmetic precisely "to keep replicas bit-identical".
+
+Flagged inside ``transition`` (and its ``self.*`` helper closure): float
+literals used in arithmetic, true division ``/``, ``float(...)``
+conversions, and ``math.*`` calls that return floats.  Deliberate,
+argued-safe float use can carry ``# scrlint: disable=SCR005`` with a
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ...programs.base import SCR_PURE_METHODS
+from ..findings import Finding
+from ..model import MethodModel, ModuleModel
+from . import Rule, register
+
+__all__ = ["FloatHazardRule"]
+
+#: math functions that stay in integers and are replica-safe.
+_INTEGER_MATH = frozenset({
+    "math.floor", "math.ceil", "math.gcd", "math.lcm", "math.isqrt",
+    "math.comb", "math.perm", "math.factorial", "math.trunc",
+})
+
+
+@register
+class FloatHazardRule(Rule):
+    id = "SCR005"
+    title = ("float arithmetic in a transition risks cross-core "
+             "reassociation — keep state integral")
+    paper_ref = "§3.4 (bit-identical replicas); cf. TokenBucketPolicer"
+
+    def check(self, module: ModuleModel) -> Iterator[Finding]:
+        seen: Set[int] = set()
+        for program in module.program_classes():
+            # apply() overrides are transitions in all but name.
+            start = tuple(SCR_PURE_METHODS) + ("apply",)
+            for method in module.method_closure(program, start):
+                if id(method.node) in seen or method.name == "fast_forward":
+                    continue
+                seen.add(id(method.node))
+                yield from self._check_method(module, program.name, method)
+
+    def _check_method(
+        self, module: ModuleModel, class_name: str, method: MethodModel
+    ) -> Iterator[Finding]:
+        symbol = f"{class_name}.{method.name}"
+        for node in ast.walk(method.node):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                yield self.finding(
+                    module, node, symbol,
+                    "true division (/) produces floats — use // (or "
+                    "rational integer math like TokenBucketPolicer's "
+                    "milli-tokens) so replicas stay bit-identical (§3.4)",
+                )
+            elif isinstance(node, ast.Call):
+                origin = module.call_origin(node)
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "float":
+                    yield self.finding(
+                        module, node, symbol,
+                        "float() conversion in a transition — state values "
+                        "must stay integral for bitwise replica equality",
+                    )
+                elif (origin is not None and origin.startswith("math.")
+                      and origin not in _INTEGER_MATH):
+                    yield self.finding(
+                        module, node, symbol,
+                        f"{origin}() returns platform-rounded floats — "
+                        "replicas may diverge in the last ulp (§3.4)",
+                        origin=origin,
+                    )
+            elif (isinstance(node, ast.Constant)
+                  and isinstance(node.value, float)):
+                yield self.finding(
+                    module, node, symbol,
+                    f"float literal {node.value!r} in a transition — "
+                    "scale to integers (milli-units) instead (§3.4)",
+                )

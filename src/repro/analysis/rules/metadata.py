@@ -1,0 +1,179 @@
+"""SCR003 — metadata completeness and layout consistency.
+
+App. C: ``extract_metadata`` must capture *every* packet bit the transition
+depends on, control dependencies included — a name the transition reads but
+the metadata class never declares means replicas fast-forwarding from
+history rows reconstruct a different input than the core that saw the real
+packet.  The packed layout is also load-bearing: the sequencer stores and
+piggybacks exactly ``size()`` bytes (Table 1's "metadata size"), so
+``FORMAT`` and ``FIELDS`` must agree in arity and round-trip width.
+
+Three checks per module:
+
+* every metadata class's ``FORMAT`` unpacks into exactly ``len(FIELDS)``
+  values (struct round-trip arity), and uses an explicit byte order so the
+  layout is identical across hosts;
+* every read of the ``meta`` parameter inside the contract methods (and
+  helpers taking a ``meta`` parameter) names a declared field;
+* every keyword passed to the metadata constructor in ``extract_metadata``
+  is a declared field (a typo'd kwarg silently packs as zero).
+
+Programs whose ``metadata_cls`` is not statically resolvable (dynamic
+layouts like ``ProgramChain``) are exempt from the per-field checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import struct
+from typing import Iterator, Set
+
+from ...programs.base import SCR_META_READER_METHODS
+from ..findings import Finding
+from ..model import ClassModel, MethodModel, ModuleModel
+from . import Rule, register
+
+__all__ = ["MetadataRule"]
+
+#: PacketMetadata API reads that are always legitimate on ``meta``.
+_METADATA_API = frozenset({
+    "pack", "unpack", "size", "astuple", "FIELDS", "FORMAT", "stages",
+})
+
+
+@register
+class MetadataRule(Rule):
+    id = "SCR003"
+    title = ("metadata must declare every field the transition reads, and "
+             "FORMAT/FIELDS must agree with the packed size")
+    paper_ref = "App. C; §3.2; Table 1"
+
+    def check(self, module: ModuleModel) -> Iterator[Finding]:
+        for metadata in module.metadata_classes():
+            yield from self._check_layout(module, metadata)
+        seen: Set[int] = set()
+        for program in module.program_classes():
+            metadata = module.metadata_for(program)
+            if metadata is None:
+                continue
+            _, fields = module.metadata_layout(metadata)
+            if fields is None:
+                continue
+            allowed = set(fields) | _METADATA_API
+            for method in self._meta_methods(module, program):
+                if id(method.node) in seen:
+                    continue
+                seen.add(id(method.node))
+                yield from self._check_reads(
+                    module, program, metadata, method, allowed
+                )
+            ctor = program.methods.get("extract_metadata")
+            if ctor is not None:
+                yield from self._check_ctor_kwargs(
+                    module, program, metadata, ctor, set(fields)
+                )
+
+    # -- layout -------------------------------------------------------------
+
+    def _check_layout(
+        self, module: ModuleModel, metadata: ClassModel
+    ) -> Iterator[Finding]:
+        fmt, fields = module.metadata_layout(metadata)
+        if fmt is None or fields is None:
+            return
+        symbol = metadata.name
+        node = metadata.node
+        if fmt[:1] not in ("!", ">", "<", "="):
+            yield self.finding(
+                module, node, symbol,
+                f"FORMAT {fmt!r} has no explicit byte order — native "
+                "alignment differs across hosts; the sequencer's history "
+                "bytes must be layout-identical everywhere (use '!')",
+            )
+            return
+        try:
+            width = struct.calcsize(fmt)
+            arity = len(struct.unpack(fmt, bytes(width)))
+        except struct.error as exc:
+            yield self.finding(
+                module, node, symbol,
+                f"FORMAT {fmt!r} is not a valid struct format: {exc}",
+            )
+            return
+        if arity != len(fields):
+            yield self.finding(
+                module, node, symbol,
+                f"FORMAT {fmt!r} packs {arity} value(s) but FIELDS "
+                f"declares {len(fields)} — pack()/unpack() cannot "
+                "round-trip the history row (Table 1 metadata size)",
+                format=fmt,
+                fields=",".join(fields),
+            )
+
+    # -- field reads --------------------------------------------------------
+
+    def _meta_methods(
+        self, module: ModuleModel, program: ClassModel
+    ) -> Iterator[MethodModel]:
+        """Contract methods plus any same-class helper with a ``meta`` arg."""
+        for method in module.method_closure(program, SCR_META_READER_METHODS):
+            if "meta" in method.arg_names:
+                yield method
+        for name, method in sorted(program.methods.items()):
+            if name not in SCR_META_READER_METHODS and "meta" in method.arg_names:
+                yield method
+
+    def _check_reads(
+        self,
+        module: ModuleModel,
+        program: ClassModel,
+        metadata: ClassModel,
+        method: MethodModel,
+        allowed: Set[str],
+    ) -> Iterator[Finding]:
+        symbol = f"{program.name}.{method.name}"
+        seen_nodes: Set[int] = set()
+        for node in ast.walk(method.node):
+            if id(node) in seen_nodes:
+                continue
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "meta"
+                and not node.attr.startswith("__")
+                and node.attr not in allowed
+            ):
+                seen_nodes.add(id(node))
+                yield self.finding(
+                    module, node, symbol,
+                    f"reads meta.{node.attr} but {metadata.name} declares "
+                    f"no such field — the transition depends on a packet "
+                    "bit the sequencer never captured (App. C)",
+                    field=node.attr,
+                    metadata=metadata.name,
+                )
+
+    def _check_ctor_kwargs(
+        self,
+        module: ModuleModel,
+        program: ClassModel,
+        metadata: ClassModel,
+        method: MethodModel,
+        fields: Set[str],
+    ) -> Iterator[Finding]:
+        symbol = f"{program.name}.{method.name}"
+        for node in ast.walk(method.node):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == metadata.name):
+                continue
+            for kw in node.keywords:
+                if kw.arg is not None and kw.arg not in fields:
+                    yield self.finding(
+                        module, kw.value, symbol,
+                        f"passes {kw.arg}= to {metadata.name} but FIELDS "
+                        "does not declare it — the value is dropped and "
+                        "packs as zero on every replica (App. C)",
+                        field=kw.arg,
+                        metadata=metadata.name,
+                    )

@@ -1,0 +1,179 @@
+"""SCR002 — ``transition`` must be pure.
+
+§3.2 defines the state transition as a function ``(value, metadata) →
+(value', verdict)``: *all* state it reads or writes flows through the
+``value`` argument.  A transition that stores results on ``self``, mutates
+a container hanging off ``self``, performs I/O, or reaches into a
+``StateMap`` directly keeps per-core state the sequencer never replicates —
+each replica's hidden copy drifts independently of the packet history.
+
+Checked on ``transition`` and every helper it calls through ``self``
+(``SCR_PURE_METHODS`` in ``programs/base.py``).  ``apply`` overrides (NAT,
+chains) legitimately write their ``state`` *parameter* — that is the
+replicated map itself — so ``apply`` is exempt here and covered by SCR001's
+determinism closure instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from ...programs.base import SCR_PURE_METHODS
+from ..findings import Finding
+from ..model import MethodModel, ModuleModel
+from . import Rule, register
+
+__all__ = ["PurityRule"]
+
+#: method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "discard", "remove", "pop",
+    "popitem", "clear", "update", "setdefault", "sort", "reverse", "write",
+})
+
+#: call origins that perform I/O; plus the bare builtins below.
+_IO_MODULE_ROOTS = frozenset({"os", "sys", "io", "socket", "subprocess",
+                              "pathlib", "logging"})
+_IO_BUILTINS = frozenset({"open", "print", "input"})
+
+#: StateMap's operations; calling them on a state-ish receiver from a
+#: transition means the program is bypassing the value-in/value-out contract.
+_STATEMAP_OPS = frozenset({"lookup", "delete", "update", "items", "snapshot"})
+
+
+def _rooted_at_self(expr: ast.expr) -> bool:
+    node = expr
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _names_a_state_map(expr: ast.expr) -> bool:
+    """Does the receiver's dotted spelling mention a state map?
+
+    ``state.lookup(...)``, ``self.state.update(...)``, and
+    ``self._flow_state.delete(...)`` all qualify; ``self.maglev.lookup``
+    (read-only config with a coincidental method name) does not.
+    """
+    parts = []
+    node = expr
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return any("state" in part.lower() for part in parts)
+
+
+@register
+class PurityRule(Rule):
+    id = "SCR002"
+    title = ("transition must not mutate self, perform I/O, or reach into "
+             "a StateMap — all state flows through the value argument")
+    paper_ref = "§3.2"
+
+    def check(self, module: ModuleModel) -> Iterator[Finding]:
+        seen: Set[int] = set()
+        for program in module.program_classes():
+            for method in module.method_closure(program, SCR_PURE_METHODS):
+                if id(method.node) in seen:
+                    continue
+                seen.add(id(method.node))
+                yield from self._check_method(module, program.name, method)
+
+    def _check_method(
+        self, module: ModuleModel, class_name: str, method: MethodModel
+    ) -> Iterator[Finding]:
+        symbol = f"{class_name}.{method.name}"
+        for node in ast.walk(method.node):
+            finding = self._check_node(module, symbol, node)
+            if finding is not None:
+                yield finding
+
+    def _check_node(
+        self, module: ModuleModel, symbol: str, node: ast.AST
+    ) -> Optional[Finding]:
+        # -- writes through self -------------------------------------------
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                for el in _flatten_target(target):
+                    if _rooted_at_self(el) and not isinstance(el, ast.Name):
+                        return self.finding(
+                            module, node, symbol,
+                            "assigns through self — per-core hidden state "
+                            "the sequencer never replicates (§3.2: return "
+                            "the new value instead)",
+                        )
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if _rooted_at_self(target) and not isinstance(target, ast.Name):
+                    return self.finding(
+                        module, node, symbol,
+                        "deletes an attribute of self — mutation of "
+                        "unreplicated per-core state (§3.2)",
+                    )
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            return self.finding(
+                module, node, symbol,
+                "rebinds enclosing-scope state from a transition (§3.2)",
+            )
+        # -- calls ----------------------------------------------------------
+        if isinstance(node, ast.Call):
+            return self._check_call(module, symbol, node)
+        # -- direct StateMap references -------------------------------------
+        if isinstance(node, ast.Name) and node.id == "StateMap":
+            return self.finding(
+                module, node, symbol,
+                "references StateMap inside a transition — state must "
+                "arrive via the value argument (§3.2)",
+            )
+        return None
+
+    def _check_call(
+        self, module: ModuleModel, symbol: str, node: ast.Call
+    ) -> Optional[Finding]:
+        func = node.func
+        # Builtin / module-rooted I/O.
+        if isinstance(func, ast.Name) and func.id in _IO_BUILTINS:
+            return self.finding(
+                module, node, symbol,
+                f"I/O call {func.id}() in a transition — transitions run "
+                "per packet on every replica and must stay pure (§3.2)",
+            )
+        origin = module.call_origin(node)
+        if origin is not None and origin.split(".", 1)[0] in _IO_MODULE_ROOTS:
+            return self.finding(
+                module, node, symbol,
+                f"I/O call {origin}() in a transition (§3.2)",
+                origin=origin,
+            )
+        if isinstance(func, ast.Attribute):
+            # Mutating a container reachable from self.
+            if func.attr in _MUTATOR_METHODS and _rooted_at_self(func.value):
+                return self.finding(
+                    module, node, symbol,
+                    f"mutates self.….{func.attr}() — per-core hidden "
+                    "state; replicas drift (§3.2)",
+                )
+            # StateMap operations (state maps only enter a program through
+            # apply(); a transition has no business touching one).
+            if func.attr in _STATEMAP_OPS and _names_a_state_map(func.value):
+                return self.finding(
+                    module, node, symbol,
+                    f"reaches into a StateMap (.{func.attr}()) from a "
+                    "transition — all state flows through the value "
+                    "argument (§3.2)",
+                )
+        return None
+
+
+def _flatten_target(target: ast.expr) -> Iterator[ast.expr]:
+    """Assignment targets, tuple/list destructuring unpacked."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for el in target.elts:
+            yield from _flatten_target(el)
+    else:
+        yield target

@@ -1,0 +1,71 @@
+"""Per-line and per-file suppression directives for scrlint.
+
+Syntax (mirrors pylint/ruff conventions):
+
+* ``# scrlint: disable=SCR002`` — suppress SCR002 findings reported on the
+  same line, or (when the comment is a standalone comment line) on the next
+  non-comment line.
+* ``# scrlint: disable=SCR002,SCR005`` — several rules at once.
+* ``# scrlint: disable=all`` — every rule on that line.
+* ``# scrlint: disable-file=SCR003`` — suppress a rule for the whole file
+  (place it anywhere; by convention near the top).
+
+Suppressions are counted so the JSON report records how many findings were
+muted — a suppression is an auditable exception, not a silent one.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Set
+
+from .findings import Finding
+
+__all__ = ["SuppressionIndex"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*scrlint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+def _parse_rules(raw: str) -> FrozenSet[str]:
+    return frozenset(r.strip().upper() for r in raw.split(",") if r.strip())
+
+
+class SuppressionIndex:
+    """All suppression directives of one source file, queryable by finding."""
+
+    def __init__(self, source: str) -> None:
+        #: physical line number -> rule ids disabled on that line.
+        self.line_rules: Dict[int, FrozenSet[str]] = {}
+        #: rule ids disabled for the entire file.
+        self.file_rules: Set[str] = set()
+        #: line numbers whose directive sits on a comment-only line; such a
+        #: directive also covers the statement that starts on the next line.
+        self._comment_only: Set[int] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _DIRECTIVE.search(line)
+            if match is None:
+                continue
+            rules = _parse_rules(match.group("rules"))
+            if match.group("kind") == "disable-file":
+                self.file_rules |= rules
+                continue
+            self.line_rules[lineno] = rules
+            if line.lstrip().startswith("#"):
+                self._comment_only.add(lineno)
+
+    def _line_disables(self, rule: str, lineno: int) -> bool:
+        rules = self.line_rules.get(lineno)
+        return rules is not None and (rule in rules or "ALL" in rules)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rule = finding.rule.upper()
+        if rule in self.file_rules or "ALL" in self.file_rules:
+            return True
+        if self._line_disables(rule, finding.line):
+            return True
+        # A standalone directive comment suppresses the line right below it.
+        prev = finding.line - 1
+        return prev in self._comment_only and self._line_disables(rule, prev)

@@ -1,7 +1,7 @@
 """Measurement: MLFFR search, analytic model, experiment runner, reports."""
 
-from .mlffr import LOSS_THRESHOLD, SEARCH_TOLERANCE_PPS, MlffrResult, find_mlffr
 from .export import scaling_points_to_csv, series_to_csv, write_csv
+from .mlffr import LOSS_THRESHOLD, SEARCH_TOLERANCE_PPS, MlffrResult, find_mlffr
 from .model import (
     fit_cost_params,
     linear_scaling_limit,

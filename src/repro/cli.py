@@ -14,6 +14,8 @@ Subcommands:
 * ``bench``      — run the perf-regression suite (``BENCH_*.json``
   artifacts) or, with ``--compare OLD NEW``, gate NEW against a baseline
   with noise-aware thresholds (nonzero exit on regression).
+* ``lint``       — scrlint: SCR-safety static analysis of the program zoo
+  and the scaling engines (rules SCR001–SCR005; exit 1 on findings).
 
 ``run``, ``mlffr``, and ``sweep`` accept ``--telemetry DIR``: the run is
 instrumented (event trace, metrics, latency histograms) and a
@@ -32,13 +34,7 @@ from .core import ScrFunctionalEngine, reference_run
 from .programs import make_program, program_names, table1_rows
 from .sequencer import NetFpgaSequencerModel, TofinoSequencerModel
 from .telemetry import NULL_TELEMETRY, Telemetry, summarize_artifact
-from .traffic import (
-    TRACE_DISTRIBUTIONS,
-    Trace,
-    read_pcap,
-    synthesize_trace,
-    write_pcap,
-)
+from .traffic import TRACE_DISTRIBUTIONS, Trace, read_pcap, synthesize_trace, write_pcap
 
 __all__ = ["main", "build_parser"]
 
@@ -129,6 +125,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="relative significance band (default 0.05)")
     p.add_argument("--noise-mult", type=float, default=None,
                    help="multiplier on summed MADs (default 3.0)")
+
+    p = sub.add_parser(
+        "lint", help="SCR-safety static analysis (scrlint, SCR001–SCR005)"
+    )
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="files/directories to lint "
+                        "(default: src/repro/programs src/repro/parallel)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format (json is what CI archives)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list the registered rules and exit")
 
     p = sub.add_parser("validate", help="check a program's SCR safety")
     p.add_argument("--program", choices=program_names(), required=True)
@@ -445,6 +452,28 @@ def cmd_bench(args, out) -> int:
     return 0
 
 
+def cmd_lint(args, out) -> int:
+    from .analysis import all_rules, format_json, format_text, lint_paths
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.title}  [{rule.paper_ref}]", file=out)
+        return 0
+    try:
+        report = lint_paths(args.paths or None)
+    except FileNotFoundError as exc:
+        print(f"lint error: {exc}", file=out)
+        return 2
+    except OSError as exc:
+        print(f"lint error: cannot read sources: {exc}", file=out)
+        return 2
+    if args.format == "json":
+        print(format_json(report), file=out)
+    else:
+        print(format_text(report), file=out)
+    return 0 if report.ok else 1
+
+
 def cmd_validate(args, out) -> int:
     from .core import validate_program
 
@@ -477,6 +506,7 @@ _COMMANDS = {
     "reproduce": cmd_reproduce,
     "inspect": cmd_inspect,
     "bench": cmd_bench,
+    "lint": cmd_lint,
     "validate": cmd_validate,
 }
 

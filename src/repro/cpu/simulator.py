@@ -21,13 +21,7 @@ from typing import Deque, List, Optional, Protocol, Sequence, Tuple
 
 from ..nic.nic import ETHERNET_OVERHEAD_BYTES, MIN_FRAME_BYTES
 from ..nic.queues import DEFAULT_DESCRIPTORS
-from ..nic.rss import (
-    SYMMETRIC_RSS_KEY,
-    hash_input_l3,
-    hash_input_l4,
-    toeplitz_hash,
-)
-from ..packet import Packet
+from ..nic.rss import SYMMETRIC_RSS_KEY, hash_input_l3, hash_input_l4, toeplitz_hash
 from ..programs.base import PacketProgram
 from ..telemetry.events import (
     EV_INJECTED_LOSS,

@@ -3,8 +3,8 @@
 from .base import BaseEngine, hash_for_program
 from .functional import (
     FunctionalRunResult,
-    SharedFunctionalEngine,
     ShardedFunctionalEngine,
+    SharedFunctionalEngine,
 )
 from .registry import TECHNIQUES, make_engine, technique_names
 from .scr_technique import ScrEngine

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..nic.rss import RssIndirection
 from ..cpu.simulator import PerfPacket
+from ..nic.rss import RssIndirection
 from .base import BaseEngine, hash_for_program
 
 __all__ = ["ShardedRssEngine", "RssPlusPlusEngine"]

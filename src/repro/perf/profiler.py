@@ -22,7 +22,7 @@ against the analytic prediction ``k / (t + (k-1)·c2)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..bench.model import predicted_scr_mpps
 from ..cpu.costmodel import TABLE4_PARAMS

@@ -9,7 +9,6 @@ from .heavy_hitter import FlowStats, HeavyHitterMetadata, HeavyHitterMonitor
 from .load_balancer import LoadBalancerMetadata, MaglevLoadBalancer, MaglevTable
 from .nat import NAT_POOL_KEY, NatGateway, NatMetadata
 from .port_knocking import KnockState, PortKnockingFirewall, PortKnockingMetadata
-from .sampler import SamplerMetadata, SampleStats, TelemetrySampler
 from .registry import (
     PAPER_PROGRAMS,
     PROGRAM_FACTORIES,
@@ -17,6 +16,7 @@ from .registry import (
     program_names,
     table1_rows,
 )
+from .sampler import SamplerMetadata, SampleStats, TelemetrySampler
 from .token_bucket import BucketState, TokenBucketMetadata, TokenBucketPolicer
 
 __all__ = [

@@ -29,7 +29,51 @@ from typing import Any, Hashable, Optional, Tuple
 from ..packet import Packet
 from ..state.maps import StateMap
 
-__all__ = ["Verdict", "PacketMetadata", "PacketProgram"]
+__all__ = [
+    "Verdict",
+    "PacketMetadata",
+    "PacketProgram",
+    "SCR_DETERMINISTIC_METHODS",
+    "SCR_PURE_METHODS",
+    "SCR_META_READER_METHODS",
+]
+
+# -- machine-readable SCR contract ------------------------------------------
+#
+# The replication-correctness contract stated in the class docstrings below,
+# in a form tooling can consume.  ``repro.analysis`` (the ``scr-repro lint``
+# static analyzer) reads these to decide which methods it must prove
+# deterministic (SCR001), pure (SCR002), and metadata-complete (SCR003).
+# Extending a program with a new contract method?  Add it here and the
+# analyzer follows.
+
+#: Methods that must be deterministic functions of their arguments alone
+#: (Principle #1, §3.4): no clocks, no RNGs, no hidden module state.
+#: ``transition`` helpers reached via ``self.helper()`` inherit the
+#: obligation transitively.
+SCR_DETERMINISTIC_METHODS: Tuple[str, ...] = (
+    "extract_metadata",
+    "key",
+    "transition",
+    "apply",
+    "fast_forward",
+    "touches_global",
+)
+
+#: Methods that must also be *pure*: no mutation of ``self``, no I/O, and
+#: no direct StateMap access — all state flows through the ``value``
+#: argument so every replica computes the same update (§3.2).
+SCR_PURE_METHODS: Tuple[str, ...] = ("transition",)
+
+#: Methods whose reads of the ``meta`` parameter must stay within the
+#: declared ``FIELDS`` — the metadata-completeness obligation of App. C
+#: (every packet bit the transition depends on is captured by ``f(p)``).
+SCR_META_READER_METHODS: Tuple[str, ...] = (
+    "key",
+    "transition",
+    "apply",
+    "touches_global",
+)
 
 
 class Verdict(enum.IntEnum):

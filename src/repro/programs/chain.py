@@ -35,7 +35,7 @@ class ChainMetadata(PacketMetadata):
 
     __slots__ = ("stages",)
 
-    def __init__(self, stages: Sequence[PacketMetadata]):
+    def __init__(self, stages: Sequence[PacketMetadata]) -> None:
         if len(stages) != len(self.STAGE_CLASSES):
             raise ValueError("stage count mismatch")
         self.stages = tuple(stages)
@@ -56,10 +56,10 @@ class ChainMetadata(PacketMetadata):
             offset += stage_cls.size()
         return cls(stages)
 
-    def astuple(self):
+    def astuple(self) -> Tuple[Any, ...]:
         return tuple(m.astuple() for m in self.stages)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return type(self) is type(other) and self.astuple() == other.astuple()
 
     def __hash__(self) -> int:
@@ -107,7 +107,9 @@ class ProgramChain(PacketProgram):
         covers every stage)."""
         return (0, self.stages[0].key(meta.stages[0]))
 
-    def transition(self, value, meta):
+    def transition(
+        self, value: Optional[Any], meta: PacketMetadata
+    ) -> Tuple[Optional[Any], Verdict]:
         raise NotImplementedError(
             "a chain updates one entry per stage; use apply()"
         )

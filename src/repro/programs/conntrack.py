@@ -18,7 +18,7 @@ import enum
 from dataclasses import dataclass, replace
 from typing import Any, Hashable, Optional, Tuple
 
-from ..packet import IPPROTO_TCP, Packet, TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN
+from ..packet import IPPROTO_TCP, TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN, Packet
 from ..packet.flow import FiveTuple
 from .base import PacketMetadata, PacketProgram, Verdict
 

@@ -12,6 +12,7 @@ from typing import Any, Hashable, Optional, Tuple
 
 from ..packet import Packet
 from ..packet.flow import FiveTuple
+from ..state.maps import StateMap
 from .base import PacketMetadata, PacketProgram, Verdict
 
 __all__ = ["HeavyHitterMetadata", "HeavyHitterMonitor", "FlowStats"]
@@ -30,7 +31,9 @@ class FlowStats(tuple):
 
     __slots__ = ()
 
-    def __new__(cls, packets: int = 0, nbytes: int = 0, is_heavy: bool = False):
+    def __new__(
+        cls, packets: int = 0, nbytes: int = 0, is_heavy: bool = False
+    ) -> "FlowStats":
         return super().__new__(cls, (packets, nbytes, bool(is_heavy)))
 
     @property
@@ -90,6 +93,6 @@ class HeavyHitterMonitor(PacketProgram):
         )
         return new, Verdict.TX
 
-    def heavy_hitters(self, state) -> Tuple[Hashable, ...]:
+    def heavy_hitters(self, state: StateMap) -> Tuple[Hashable, ...]:
         """Read the flagged flows out of a state map (control-plane helper)."""
         return tuple(k for k, v in state.items() if v.is_heavy)

@@ -18,10 +18,11 @@ table is read-only configuration, identical on every core.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
-from ..packet import Packet, TCP_FIN, TCP_RST, TCP_SYN
+from ..packet import TCP_FIN, TCP_RST, TCP_SYN, Packet
 from ..packet.flow import FiveTuple
+from ..state.maps import StateMap
 from .base import PacketMetadata, PacketProgram, Verdict
 
 __all__ = ["MaglevTable", "LoadBalancerMetadata", "MaglevLoadBalancer"]
@@ -163,8 +164,8 @@ class MaglevLoadBalancer(PacketProgram):
             return None, Verdict.TX  # connection over: reap the entry
         return backend, Verdict.TX
 
-    def connections_per_backend(self, state) -> dict:
-        counts: dict = {}
+    def connections_per_backend(self, state: StateMap) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
         for _key, backend in state.items():
             counts[backend] = counts.get(backend, 0) + 1
         return counts

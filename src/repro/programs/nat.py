@@ -22,10 +22,10 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Optional, Tuple
 
-from ..packet import IPPROTO_TCP, Packet, TCP_FIN, TCP_RST, TCP_SYN
+from ..packet import IPPROTO_TCP, TCP_FIN, TCP_RST, TCP_SYN, Packet
 from ..packet.flow import FiveTuple
-from .base import PacketMetadata, PacketProgram, Verdict
 from ..state.maps import StateMap
+from .base import PacketMetadata, PacketProgram, Verdict
 
 __all__ = ["NatMetadata", "NatGateway", "NAT_POOL_KEY"]
 

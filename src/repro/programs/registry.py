@@ -45,7 +45,7 @@ PAPER_PROGRAMS = (
 )
 
 
-def make_program(name: str, **kwargs) -> PacketProgram:
+def make_program(name: str, **kwargs: object) -> PacketProgram:
     """Instantiate a registered program by name."""
     try:
         factory = PROGRAM_FACTORIES[name]

@@ -68,7 +68,7 @@ class SampleStats(tuple):
 
     __slots__ = ()
 
-    def __new__(cls, packets: int = 0, sampled: int = 0):
+    def __new__(cls, packets: int = 0, sampled: int = 0) -> "SampleStats":
         return super().__new__(cls, (packets, sampled))
 
     @property

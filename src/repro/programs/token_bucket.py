@@ -39,7 +39,7 @@ class BucketState(tuple):
 
     __slots__ = ()
 
-    def __new__(cls, last_ts_us: int = 0, milli_tokens: int = 0):
+    def __new__(cls, last_ts_us: int = 0, milli_tokens: int = 0) -> "BucketState":
         return super().__new__(cls, (last_ts_us, milli_tokens))
 
     @property

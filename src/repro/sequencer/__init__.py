@@ -8,9 +8,9 @@ from .netfpga import (
 )
 from .p4_emitter import emit_p4
 from .sequencer import PacketHistorySequencer, SequencedPacket
+from .tofino import TofinoPipelineSpec, TofinoSequencerModel
 from .tofino_pipeline import TofinoPipeline
 from .verilog_emitter import emit_verilog
-from .tofino import TofinoPipelineSpec, TofinoSequencerModel
 
 __all__ = [
     "ALVEO_U250_FFS",

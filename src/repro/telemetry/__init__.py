@@ -34,9 +34,9 @@ from .events import (
     EV_SERVICE,
     EV_SPRAY,
     EV_WIRE_DROP,
+    NULL_TRACER,
     Event,
     EventTracer,
-    NULL_TRACER,
 )
 from .exporters import (
     chrome_trace_dict,

@@ -15,8 +15,8 @@ from .distributions import (
 )
 from .pcap import read_pcap, write_pcap
 from .replay import Replayer, replay_at_rate
-from .tools import TraceProblems, burstify, sample_flows, validate_trace
 from .synthesis import FlowSpec, flow_packets, single_flow_trace, synthesize_trace
+from .tools import TraceProblems, burstify, sample_flows, validate_trace
 from .trace import Trace, TraceStats
 
 __all__ = [

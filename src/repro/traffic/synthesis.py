@@ -19,13 +19,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..packet import (
-    Packet,
-    TCP_ACK,
-    TCP_FIN,
-    TCP_SYN,
-    make_tcp_packet,
-)
+from ..packet import TCP_ACK, TCP_FIN, TCP_SYN, Packet, make_tcp_packet
 from .distributions import FlowSizeDistribution
 from .trace import Trace
 

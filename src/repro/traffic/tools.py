@@ -21,7 +21,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from ..packet import Packet, TCP_FIN, TCP_RST, TCP_SYN
+from ..packet import TCP_FIN, TCP_RST, TCP_SYN, Packet
 from .trace import Trace
 
 __all__ = ["TraceProblems", "validate_trace", "burstify", "sample_flows"]

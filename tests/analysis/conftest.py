@@ -1,0 +1,18 @@
+"""Shared helpers for the scrlint test suite."""
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES
+
+
+def fixture_path(name: str) -> str:
+    path = FIXTURES / name
+    assert path.exists(), f"missing fixture {name}"
+    return str(path)

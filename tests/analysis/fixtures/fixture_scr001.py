@@ -1,0 +1,94 @@
+"""SCR001 fixture: a program whose transition reads clocks/RNGs/globals.
+
+Deliberately broken — parsed by scrlint, never imported (an import would
+fail: there is no real packet here).  Each violation is keyed to an assert
+in ``tests/analysis/test_rules.py``.
+"""
+
+import random
+import time
+from uuid import uuid4
+
+from repro.programs.base import PacketMetadata, PacketProgram, Verdict
+
+_FLOW_CACHE = {}  # mutable module global the bad program consults
+
+
+class ClockMetadata(PacketMetadata):
+    FORMAT = "!I"
+    FIELDS = ("src_ip",)
+    __slots__ = FIELDS
+
+
+class WallClockProgram(PacketProgram):
+    """Reads the local clock — the exact §3.4 anti-pattern."""
+
+    name = "bad_wall_clock"
+    metadata_cls = ClockMetadata
+
+    def extract_metadata(self, pkt):
+        return ClockMetadata(src_ip=pkt.ip.src if pkt.is_ipv4 else 0)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        now = time.time()  # VIOLATION: local clock, not sequencer timestamp
+        return (value or 0) + int(now), Verdict.TX
+
+
+class HiddenRngProgram(PacketProgram):
+    """Hides the RNG inside a helper; the closure walk must find it."""
+
+    name = "bad_hidden_rng"
+    metadata_cls = ClockMetadata
+
+    def extract_metadata(self, pkt):
+        return ClockMetadata(src_ip=0)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def _coin_flip(self):
+        token = uuid4()  # VIOLATION: uuid draws from os randomness
+        return random.randrange(2) or token.int % 2  # VIOLATION: RNG
+
+    def transition(self, value, meta):
+        if self._coin_flip():
+            return value, Verdict.DROP
+        return value, Verdict.TX
+
+
+class GlobalReaderProgram(PacketProgram):
+    """Consults a module-level dict — hidden unreplicated state."""
+
+    name = "bad_global_reader"
+    metadata_cls = ClockMetadata
+
+    def extract_metadata(self, pkt):
+        return ClockMetadata(src_ip=0)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        cached = _FLOW_CACHE.get(meta.src_ip)  # VIOLATION: mutable global
+        return cached, Verdict.TX
+
+
+class CleanCounterProgram(PacketProgram):
+    """The determinism-respecting twin: everything from (value, meta)."""
+
+    name = "clean_counter"
+    metadata_cls = ClockMetadata
+
+    def extract_metadata(self, pkt):
+        return ClockMetadata(src_ip=pkt.ip.src if pkt.is_ipv4 else 0)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        if meta.src_ip == 0:
+            return value, Verdict.PASS
+        return (value or 0) + 1, Verdict.TX

@@ -1,0 +1,86 @@
+"""SCR002 fixture: impure transitions (self-mutation, I/O, StateMap).
+
+Deliberately broken — parsed by scrlint, never imported.
+"""
+
+from repro.programs.base import PacketMetadata, PacketProgram, Verdict
+from repro.state.maps import StateMap
+
+
+class PureMetadata(PacketMetadata):
+    FORMAT = "!IB"
+    FIELDS = ("src_ip", "valid")
+    __slots__ = FIELDS
+
+
+class SelfMutatingProgram(PacketProgram):
+    """Keeps a per-core tally on self — state the sequencer never sees."""
+
+    name = "bad_self_mutator"
+    metadata_cls = PureMetadata
+
+    def extract_metadata(self, pkt):
+        return PureMetadata(src_ip=0, valid=1)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        self.total = (getattr(self, "total", 0)) + 1  # VIOLATION: mutates self
+        self.seen_ips.add(meta.src_ip)  # VIOLATION: mutates container on self
+        return value, Verdict.TX
+
+
+class IoProgram(PacketProgram):
+    """Logs per packet — I/O inside the replicated hot path."""
+
+    name = "bad_io"
+    metadata_cls = PureMetadata
+
+    def extract_metadata(self, pkt):
+        return PureMetadata(src_ip=0, valid=1)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        print("packet from", meta.src_ip)  # VIOLATION: I/O per packet
+        return value, Verdict.TX
+
+
+class StateReachingProgram(PacketProgram):
+    """Bypasses the value argument and touches a StateMap directly."""
+
+    name = "bad_state_reacher"
+    metadata_cls = PureMetadata
+
+    def __init__(self):
+        self.shadow_state = StateMap(capacity=64)
+
+    def extract_metadata(self, pkt):
+        return PureMetadata(src_ip=0, valid=1)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        old = self.shadow_state.lookup(meta.src_ip)  # VIOLATION: StateMap
+        return old, Verdict.TX
+
+
+class CleanPureProgram(PacketProgram):
+    """The pure twin: value in, (value, verdict) out, nothing else."""
+
+    name = "clean_pure"
+    metadata_cls = PureMetadata
+
+    def extract_metadata(self, pkt):
+        return PureMetadata(src_ip=0, valid=1)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        if not meta.valid:
+            return value, Verdict.PASS
+        return (value or 0) + 1, Verdict.TX

@@ -1,0 +1,83 @@
+"""SCR003 fixture: metadata layout and completeness violations.
+
+Deliberately broken — parsed by scrlint, never imported.
+"""
+
+from repro.programs.base import PacketMetadata, PacketProgram, Verdict
+
+
+class ArityMismatchMetadata(PacketMetadata):
+    """FORMAT packs two values; FIELDS declares three — unpack() explodes."""
+
+    FORMAT = "!IH"  # VIOLATION: 2 packed values
+    FIELDS = ("src_ip", "dst_port", "proto")  # ... but 3 declared fields
+    __slots__ = FIELDS
+
+
+class NativeOrderMetadata(PacketMetadata):
+    """No explicit byte order — layout differs across hosts."""
+
+    FORMAT = "IH"  # VIOLATION: native order/alignment
+    FIELDS = ("src_ip", "dst_port")
+    __slots__ = FIELDS
+
+
+class NarrowMetadata(PacketMetadata):
+    """Consistent on its own, but the program below outgrows it."""
+
+    FORMAT = "!I"
+    FIELDS = ("src_ip",)
+    __slots__ = FIELDS
+
+
+class UndeclaredReadProgram(PacketProgram):
+    """Transition branches on a packet field f(p) never captured."""
+
+    name = "bad_undeclared_read"
+    metadata_cls = NarrowMetadata
+
+    def extract_metadata(self, pkt):
+        return NarrowMetadata(src_ip=pkt.ip.src)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        if meta.dst_port == 443:  # VIOLATION: dst_port is not in FIELDS
+            return value, Verdict.DROP
+        return value, Verdict.TX
+
+
+class TypoKwargProgram(PacketProgram):
+    """Passes a kwarg FIELDS does not declare; it silently packs as zero."""
+
+    name = "bad_typo_kwarg"
+    metadata_cls = NarrowMetadata
+
+    def extract_metadata(self, pkt):
+        # VIOLATION: 'source_ip' is not a declared field
+        return NarrowMetadata(source_ip=pkt.ip.src)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        return value, Verdict.TX
+
+
+class CleanMetadataProgram(PacketProgram):
+    """The completeness-respecting twin."""
+
+    name = "clean_metadata"
+    metadata_cls = NarrowMetadata
+
+    def extract_metadata(self, pkt):
+        return NarrowMetadata(src_ip=pkt.ip.src if pkt.is_ipv4 else 0)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        if meta.src_ip == 0:
+            return value, Verdict.PASS
+        return (value or 0) + 1, Verdict.TX

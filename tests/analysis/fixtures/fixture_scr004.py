@@ -1,0 +1,53 @@
+"""SCR004 fixture: engines with hidden clocks / hidden shared state.
+
+Deliberately broken — parsed by scrlint, never imported.
+"""
+
+import random
+import time
+
+from repro.parallel.base import BaseEngine
+
+_MIGRATION_LOG = []  # VIOLATION: shared across instances, survives reset()
+
+
+class WallClockEngine(BaseEngine):
+    """Service time depends on the host clock — runs are irreproducible."""
+
+    name = "bad_wall_clock_engine"
+    scratch = {}  # VIOLATION: class-body mutable shared by all instances
+
+    def steer(self, pp):
+        if time.perf_counter() > 1.0:  # VIOLATION: wall clock
+            return 0
+        return random.randint(0, self.num_cores - 1)  # VIOLATION: global RNG
+
+    def service_ns(self, core, pp, start_ns):
+        rng = random.Random()  # VIOLATION: unseeded
+        _MIGRATION_LOG.append(core)
+        return 100.0 + rng.random()
+
+
+class CleanSeededEngine(BaseEngine):
+    """The sanctioned pattern: explicit seed, instance state, reset() rebuilds."""
+
+    name = "clean_seeded_engine"
+
+    def __init__(self, *args, seed=0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._rr = 0
+
+    def reset(self):
+        super().reset()
+        self._rng = random.Random(self.seed)
+        self._rr = 0
+
+    def steer(self, pp):
+        core = self._rr
+        self._rr = (self._rr + 1) % self.num_cores
+        return core
+
+    def service_ns(self, core, pp, start_ns):
+        return 100.0

@@ -1,0 +1,73 @@
+"""SCR005 fixture: float arithmetic inside transitions.
+
+Deliberately broken — parsed by scrlint, never imported.
+"""
+
+import math
+
+from repro.programs.base import PacketMetadata, PacketProgram, Verdict
+
+
+class RateMetadata(PacketMetadata):
+    FORMAT = "!IIB"
+    FIELDS = ("src_ip", "pkt_len", "valid")
+    __slots__ = FIELDS
+
+
+class FloatEwmaProgram(PacketProgram):
+    """Keeps an EWMA in floats — replicas drift in the last ulp."""
+
+    name = "bad_float_ewma"
+    metadata_cls = RateMetadata
+
+    def extract_metadata(self, pkt):
+        return RateMetadata(src_ip=0, pkt_len=0, valid=1)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        old = value or 0.0  # VIOLATION: float literal seeds the state
+        ewma = old * 0.9 + meta.pkt_len * 0.1  # VIOLATION: float weights
+        return ewma, Verdict.TX
+
+
+class DivisionProgram(PacketProgram):
+    """True division sneaks floats into integer-looking code."""
+
+    name = "bad_division"
+    metadata_cls = RateMetadata
+
+    def extract_metadata(self, pkt):
+        return RateMetadata(src_ip=0, pkt_len=0, valid=1)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def _mean(self, total, count):
+        return math.sqrt(total / count)  # VIOLATION: / and math.sqrt
+
+    def transition(self, value, meta):
+        packets, nbytes = value or (0, 0)
+        if packets and self._mean(nbytes, packets) > 512:
+            return (packets + 1, nbytes + meta.pkt_len), Verdict.DROP
+        return (packets + 1, nbytes + meta.pkt_len), Verdict.TX
+
+
+class CleanIntegerProgram(PacketProgram):
+    """The TokenBucketPolicer pattern: scaled integer arithmetic only."""
+
+    name = "clean_integer"
+    metadata_cls = RateMetadata
+
+    def extract_metadata(self, pkt):
+        return RateMetadata(src_ip=0, pkt_len=0, valid=1)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        packets, milli_mean = value or (0, 0)
+        # EWMA with integer milli-units: new = old*9/10 + len*1/10, scaled.
+        milli_mean = (milli_mean * 9 + meta.pkt_len * 1000) // 10
+        return (packets + 1, milli_mean), Verdict.TX

@@ -1,0 +1,39 @@
+"""Suppression fixture: every violation here carries a justified directive.
+
+scrlint must report this file clean while counting the suppressions.
+"""
+# scrlint: disable-file=SCR005
+# justification: this fixture's float use exists to test file-level
+# suppression; real programs must argue their case per line.
+
+import time
+
+from repro.programs.base import PacketMetadata, PacketProgram, Verdict
+
+
+class SuppressedMetadata(PacketMetadata):
+    FORMAT = "!I"
+    FIELDS = ("src_ip",)
+    __slots__ = FIELDS
+
+
+class SuppressedProgram(PacketProgram):
+    """Each would-be finding is explicitly muted."""
+
+    name = "suppressed"
+    metadata_cls = SuppressedMetadata
+
+    def extract_metadata(self, pkt):
+        return SuppressedMetadata(src_ip=0)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        # Same-line directive:
+        boot_ts = time.time()  # scrlint: disable=SCR001  (fixture only)
+        # Standalone directive covering the next line:
+        # scrlint: disable=SCR002
+        self.last_boot = boot_ts
+        weight = 0.25  # muted by the file-level SCR005 directive above
+        return (value or 0) + int(weight * 0), Verdict.TX

@@ -1,0 +1,94 @@
+"""The AST module model: imports, classification, layouts, closures."""
+
+from repro.analysis import ModuleModel
+from repro.programs.base import SCR_DETERMINISTIC_METHODS, SCR_PURE_METHODS
+
+
+def model(source: str) -> ModuleModel:
+    return ModuleModel.from_source("m.py", source)
+
+
+def test_import_table_resolves_aliases():
+    m = model(
+        "import time as t\n"
+        "from os import urandom\n"
+        "import numpy.random\n"
+    )
+    assert m.imports["t"] == "time"
+    assert m.imports["urandom"] == "os.urandom"
+    # ``import numpy.random`` binds the top-level package name.
+    assert m.imports["numpy"] == "numpy.random"
+
+
+def test_origin_of_resolves_through_aliases():
+    import ast
+
+    m = model("import time as t\nx = t.monotonic()\n")
+    call = next(n for n in ast.walk(m.tree) if isinstance(n, ast.Call))
+    assert m.call_origin(call) == "time.monotonic"
+
+
+def test_program_classification_follows_in_module_chain():
+    m = model(
+        "from repro.programs.base import PacketProgram\n"
+        "class A(PacketProgram):\n"
+        "    pass\n"
+        "class B(A):\n"
+        "    pass\n"
+        "class C:\n"
+        "    pass\n"
+    )
+    names = {c.name for c in m.program_classes()}
+    assert names == {"A", "B"}
+
+
+def test_metadata_layout_inherits_from_in_module_parent():
+    m = model(
+        "from repro.programs.base import PacketMetadata\n"
+        "class Parent(PacketMetadata):\n"
+        "    FORMAT = '!IH'\n"
+        "    FIELDS = ('a', 'b')\n"
+        "class Child(Parent):\n"
+        "    pass\n"
+    )
+    child = m.classes["Child"]
+    fmt, fields = m.metadata_layout(child)
+    assert fmt == "!IH"
+    assert fields == ("a", "b")
+
+
+def test_method_closure_walks_self_calls():
+    m = model(
+        "from repro.programs.base import PacketProgram\n"
+        "class P(PacketProgram):\n"
+        "    def transition(self, value, meta):\n"
+        "        return self._a(value)\n"
+        "    def _a(self, v):\n"
+        "        return self._b(v)\n"
+        "    def _b(self, v):\n"
+        "        return v\n"
+        "    def unrelated(self):\n"
+        "        return 0\n"
+    )
+    closure = m.method_closure(m.classes["P"], SCR_PURE_METHODS)
+    assert [meth.name for meth in closure] == ["transition", "_a", "_b"]
+
+
+def test_mutable_globals_skip_constants_and_dunders():
+    m = model(
+        "__all__ = ['x']\n"
+        "LIMIT = 5\n"
+        "NAMES = ('a',)\n"
+        "_cache = {}\n"
+        "_log = list()\n"
+    )
+    assert set(m.mutable_globals()) == {"_cache", "_log"}
+
+
+def test_contract_markers_cover_the_three_pure_pieces():
+    # The machine-readable contract in programs/base.py is what the rules
+    # consume; losing a method there silently weakens the analyzer.
+    assert {"extract_metadata", "key", "transition"} <= set(
+        SCR_DETERMINISTIC_METHODS
+    )
+    assert "transition" in SCR_PURE_METHODS

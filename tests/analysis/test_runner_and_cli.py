@@ -1,0 +1,120 @@
+"""The lint runner API and the ``scr-repro lint`` CLI surface."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintReport,
+    all_rules,
+    format_json,
+    format_text,
+    get_rule,
+    lint_paths,
+    lint_source,
+    rule_ids,
+)
+from repro.cli import main
+
+from .conftest import fixture_path
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+# -- registry ----------------------------------------------------------------
+
+def test_core_rules_registered():
+    assert rule_ids() == ["SCR001", "SCR002", "SCR003", "SCR004", "SCR005"]
+    for rule in all_rules():
+        assert rule.title
+        assert rule.paper_ref
+
+
+def test_get_rule_round_trips_and_rejects_unknown():
+    assert get_rule("scr001").id == "SCR001"
+    with pytest.raises(KeyError):
+        get_rule("SCR999")
+
+
+# -- runner ------------------------------------------------------------------
+
+def test_lint_source_parse_error_is_a_finding():
+    report = lint_source("def broken(:\n", path="oops.py")
+    assert not report.ok
+    assert report.findings[0].rule == "SCR000"
+
+
+def test_lint_paths_missing_path_raises():
+    with pytest.raises(FileNotFoundError):
+        lint_paths(["/no/such/dir"])
+
+
+def test_findings_sort_by_location():
+    report = lint_paths([fixture_path("fixture_scr001.py")])
+    locations = [(f.path, f.line, f.col) for f in report.findings]
+    assert locations == sorted(locations)
+
+
+def test_format_text_summarizes():
+    clean = format_text(LintReport(files_checked=3))
+    assert "clean: 3 file(s)" in clean
+    dirty = format_text(LintReport(
+        findings=[Finding("p.py", 1, 0, "SCR001", "X.y", "msg")],
+        files_checked=1,
+    ))
+    assert "p.py:1:0: SCR001 [X.y] msg" in dirty
+    assert "SCR001: 1" in dirty
+
+
+def test_format_json_schema():
+    report = lint_paths([fixture_path("fixture_scr005.py")])
+    payload = json.loads(format_json(report))
+    assert payload["schema"] == "scr-repro/lint-report/v1"
+    assert payload["files_checked"] == 1
+    assert payload["findings"]
+    first = payload["findings"][0]
+    assert {"path", "line", "col", "rule", "symbol", "message"} <= set(first)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def test_cli_lint_shipped_tree_exits_zero():
+    code, text = run_cli(["lint"])
+    assert code == 0
+    assert "clean" in text
+
+
+def test_cli_lint_fixture_exits_one_with_scr001():
+    # The acceptance-criteria case: a transition calling time.time().
+    code, text = run_cli(["lint", fixture_path("fixture_scr001.py")])
+    assert code == 1
+    assert "SCR001" in text
+    assert "WallClockProgram.transition" in text
+
+
+def test_cli_lint_json_format():
+    code, text = run_cli([
+        "lint", "--format", "json", fixture_path("fixture_scr004.py"),
+    ])
+    assert code == 1
+    payload = json.loads(text)
+    assert any(f["rule"] == "SCR004" for f in payload["findings"])
+
+
+def test_cli_lint_unknown_path_exits_two():
+    code, text = run_cli(["lint", "/no/such/path.py"])
+    assert code == 2
+    assert "lint error" in text
+
+
+def test_cli_list_rules():
+    code, text = run_cli(["lint", "--list-rules"])
+    assert code == 0
+    for rule_id in ("SCR001", "SCR002", "SCR003", "SCR004", "SCR005"):
+        assert rule_id in text

@@ -1,0 +1,89 @@
+"""Suppression directives: same-line, standalone-above, and file-level."""
+
+from repro.analysis import SuppressionIndex, lint_paths, lint_source
+
+from .conftest import fixture_path
+
+
+def test_suppressed_fixture_reports_clean_but_counts():
+    report = lint_paths([fixture_path("fixture_suppressed.py")])
+    assert report.ok, [str(f) for f in report.findings]
+    # time.time (SCR001) + self-assign (SCR002) + the 0.25 literal (SCR005)
+    assert report.suppressed >= 3
+
+
+def test_same_line_directive_scopes_to_its_rule():
+    source = (
+        "from repro.programs.base import PacketMetadata, PacketProgram, Verdict\n"
+        "import time\n"
+        "class M(PacketMetadata):\n"
+        "    FORMAT = '!I'\n"
+        "    FIELDS = ('src_ip',)\n"
+        "class P(PacketProgram):\n"
+        "    metadata_cls = M\n"
+        "    def extract_metadata(self, pkt):\n"
+        "        return M(src_ip=0)\n"
+        "    def key(self, meta):\n"
+        "        return meta.src_ip\n"
+        "    def transition(self, value, meta):\n"
+        "        t = time.time()  # scrlint: disable=SCR002\n"
+        "        return value, Verdict.TX\n"
+    )
+    report = lint_source(source, path="p.py")
+    # the directive names the wrong rule: SCR001 must still fire
+    assert any(f.rule == "SCR001" for f in report.findings)
+    assert report.suppressed == 0
+
+
+def test_disable_all_on_line():
+    source = (
+        "from repro.programs.base import PacketMetadata, PacketProgram, Verdict\n"
+        "import time\n"
+        "class M(PacketMetadata):\n"
+        "    FORMAT = '!I'\n"
+        "    FIELDS = ('src_ip',)\n"
+        "class P(PacketProgram):\n"
+        "    metadata_cls = M\n"
+        "    def extract_metadata(self, pkt):\n"
+        "        return M(src_ip=0)\n"
+        "    def key(self, meta):\n"
+        "        return meta.src_ip\n"
+        "    def transition(self, value, meta):\n"
+        "        t = time.time()  # scrlint: disable=all\n"
+        "        return value, Verdict.TX\n"
+    )
+    report = lint_source(source, path="p.py")
+    assert report.ok
+    assert report.suppressed == 1
+
+
+def test_index_parses_kinds():
+    idx = SuppressionIndex(
+        "# scrlint: disable-file=SCR003\n"
+        "x = 1  # scrlint: disable=SCR001,SCR005\n"
+    )
+    assert idx.file_rules == {"SCR003"}
+    assert idx.line_rules[2] == frozenset({"SCR001", "SCR005"})
+
+
+def test_suppressions_do_not_leak_to_other_lines():
+    source = (
+        "from repro.programs.base import PacketMetadata, PacketProgram, Verdict\n"
+        "import time\n"
+        "class M(PacketMetadata):\n"
+        "    FORMAT = '!I'\n"
+        "    FIELDS = ('src_ip',)\n"
+        "class P(PacketProgram):\n"
+        "    metadata_cls = M\n"
+        "    def extract_metadata(self, pkt):\n"
+        "        return M(src_ip=0)\n"
+        "    def key(self, meta):\n"
+        "        return meta.src_ip\n"
+        "    def transition(self, value, meta):\n"
+        "        a = time.time()  # scrlint: disable=SCR001\n"
+        "        b = time.time()\n"
+        "        return value, Verdict.TX\n"
+    )
+    report = lint_source(source, path="p.py")
+    assert report.suppressed == 1
+    assert len([f for f in report.findings if f.rule == "SCR001"]) == 1

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bench import find_mlffr, predicted_scr_pps
-from repro.cpu import PerfTrace, TABLE4_PARAMS
+from repro.cpu import TABLE4_PARAMS, PerfTrace
 from repro.packet import make_udp_packet
 from repro.parallel import ScrEngine
 from repro.programs import make_program

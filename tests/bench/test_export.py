@@ -2,8 +2,6 @@
 
 import csv
 
-import pytest
-
 from repro.bench import ScalingPoint
 from repro.bench.export import scaling_points_to_csv, series_to_csv, write_csv
 

@@ -1,6 +1,5 @@
 """Figure presets shared between benchmarks and the CLI."""
 
-import pytest
 
 from repro.bench import ExperimentRunner
 from repro.bench.figures import FIGURE_PRESETS, run_preset

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.bench import find_mlffr
 from repro.bench.model import fit_cost_params, predicted_scr_pps
-from repro.cpu import PerfTrace, TABLE4_PARAMS, CostParams
+from repro.cpu import TABLE4_PARAMS, CostParams, PerfTrace
 from repro.packet import make_udp_packet
 from repro.parallel import ScrEngine
 from repro.programs import make_program

@@ -3,9 +3,9 @@
 import pytest
 
 from repro.bench import (
-    ExperimentRunner,
     PACKET_SIZE_CONNTRACK,
     PACKET_SIZE_DEFAULT,
+    ExperimentRunner,
     linear_scaling_limit,
     predicted_scr_mpps,
     predicted_series,

@@ -4,13 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.packet import TCP_ACK, TCP_SYN, ip_to_int, make_tcp_packet, make_udp_packet
+from repro.packet import TCP_SYN, ip_to_int, make_tcp_packet, make_udp_packet
 from repro.programs import make_program, program_names
-from repro.traffic import (
-    single_flow_trace,
-    synthesize_trace,
-    univ_dc_flow_sizes,
-)
+from repro.traffic import single_flow_trace, synthesize_trace, univ_dc_flow_sizes
 
 #: programs with state (Table 1), exercised across many suites.
 STATEFUL_PROGRAMS = [n for n in program_names(stateful_only=True)]

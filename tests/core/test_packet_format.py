@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import SCR_MAGIC, ScrPacketCodec
+from repro.core import ScrPacketCodec
 from repro.packet import ETH_HLEN, ETH_P_SCR, EthernetHeader
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ScrCoreRuntime, ScrPacketCodec
+from repro.core import ScrCoreRuntime
 from repro.packet import make_udp_packet
 from repro.programs import make_program
 from repro.sequencer import PacketHistorySequencer

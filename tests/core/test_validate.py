@@ -2,13 +2,18 @@
 
 import random
 import time
-from typing import Any, Hashable, Optional, Tuple
 
 import pytest
 
 from repro.core.validate import validate_program
-from repro.packet import Packet, make_udp_packet
-from repro.programs import PacketMetadata, PacketProgram, Verdict, make_program, program_names
+from repro.packet import make_udp_packet
+from repro.programs import (
+    PacketMetadata,
+    PacketProgram,
+    Verdict,
+    make_program,
+    program_names,
+)
 from repro.traffic import synthesize_trace, univ_dc_flow_sizes
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cpu import CPU_FREQ_GHZ, DEFAULT_CONTENTION, TABLE4_PARAMS, CostParams
+from repro.cpu import CPU_FREQ_GHZ, DEFAULT_CONTENTION, TABLE4_PARAMS
 from repro.programs import program_names
 
 

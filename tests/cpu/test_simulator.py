@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.cpu import PerfTrace, SimResult, simulate
+from repro.cpu import PerfTrace, simulate
 from repro.cpu.counters import CoreCounters, SystemCounters
-from repro.cpu.simulator import PerfPacket
 from repro.packet import make_udp_packet
 from repro.programs import make_program
 from repro.traffic import Trace

@@ -7,11 +7,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import ScrPacketCodec
+from repro.cpu import PerfTrace
 from repro.packet import make_udp_packet
 from repro.parallel import ScrEngine
 from repro.programs import make_program, program_names
 from repro.sequencer import PacketHistorySequencer
-from repro.cpu import PerfTrace
 from repro.traffic import Trace
 
 

@@ -1,21 +1,20 @@
 """Integration: functional SCR over realistic traces, larger scale, and the
 property-based sweep over randomly generated workloads."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import ScrFunctionalEngine, reference_run
 from repro.packet import (
-    Packet,
     TCP_ACK,
     TCP_FIN,
     TCP_SYN,
+    Packet,
     make_tcp_packet,
     make_udp_packet,
 )
 from repro.programs import make_program
-from repro.traffic import Trace, synthesize_trace, caida_backbone_flow_sizes
+from repro.traffic import Trace, caida_backbone_flow_sizes, synthesize_trace
 
 
 def test_caida_like_workload_all_programs_consistent():

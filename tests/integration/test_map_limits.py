@@ -11,7 +11,7 @@ import pytest
 from repro.core import ScrFunctionalEngine
 from repro.programs import make_program
 from repro.state import CuckooInsertError, StateMap
-from repro.traffic import sample_flows, synthesize_trace, caida_backbone_flow_sizes
+from repro.traffic import caida_backbone_flow_sizes, sample_flows, synthesize_trace
 
 
 @pytest.fixture(scope="module")

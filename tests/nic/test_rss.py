@@ -5,7 +5,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.nic import (
-    MSFT_RSS_KEY,
     SYMMETRIC_RSS_KEY,
     RssIndirection,
     hash_input_l2,

@@ -1,6 +1,5 @@
 """Internet checksum (RFC 1071) behaviour."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

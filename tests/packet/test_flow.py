@@ -3,7 +3,7 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.packet import FiveTuple, IPPROTO_TCP
+from repro.packet import IPPROTO_TCP, FiveTuple
 
 u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
 port = st.integers(min_value=0, max_value=65535)

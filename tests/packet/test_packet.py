@@ -1,18 +1,9 @@
 """Packet object: serialization round trips, truncation, 5-tuples."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.packet import (
-    ETH_HLEN,
-    IPPROTO_TCP,
-    IPPROTO_UDP,
-    Packet,
-    TCP_SYN,
-    make_tcp_packet,
-    make_udp_packet,
-)
+from repro.packet import ETH_HLEN, TCP_SYN, Packet, make_tcp_packet, make_udp_packet
 
 u32 = st.integers(min_value=1, max_value=0xFFFFFFFF)
 port = st.integers(min_value=1, max_value=65535)

@@ -3,11 +3,8 @@
 import pytest
 
 from repro.core import reference_run
-from repro.packet import TCP_ACK, TCP_FIN, TCP_SYN, make_tcp_packet
-from repro.parallel.functional import (
-    SharedFunctionalEngine,
-    ShardedFunctionalEngine,
-)
+from repro.packet import TCP_ACK, TCP_SYN, make_tcp_packet
+from repro.parallel.functional import ShardedFunctionalEngine, SharedFunctionalEngine
 from repro.programs import NatGateway, make_program
 from repro.traffic import Trace, single_flow_trace, synthesize_trace, univ_dc_flow_sizes
 from tests.conftest import trace_for_program

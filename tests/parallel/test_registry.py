@@ -6,9 +6,9 @@ from repro.parallel import (
     TECHNIQUES,
     RssPlusPlusEngine,
     ScrEngine,
+    ShardedRssEngine,
     SharedAtomicEngine,
     SharedLockEngine,
-    ShardedRssEngine,
     make_engine,
     technique_names,
 )

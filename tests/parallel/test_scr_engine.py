@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cpu import PerfTrace, TABLE4_PARAMS, simulate
+from repro.cpu import TABLE4_PARAMS, PerfTrace, simulate
 from repro.packet import make_udp_packet
 from repro.parallel import ScrEngine, make_engine
 from repro.programs import make_program

@@ -1,6 +1,5 @@
 """Sharded engines: RSS pinning and RSS++ migration."""
 
-import pytest
 
 from repro.cpu import PerfTrace, simulate
 from repro.packet import make_udp_packet

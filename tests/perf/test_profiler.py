@@ -6,11 +6,7 @@ from repro.bench.mlffr import find_mlffr
 from repro.bench.runner import ExperimentRunner
 from repro.cpu.costmodel import TABLE4_PARAMS
 from repro.parallel.registry import make_engine
-from repro.perf import (
-    attribute_result,
-    attribution_from_snapshot,
-    model_residuals,
-)
+from repro.perf import attribute_result, attribution_from_snapshot, model_residuals
 from repro.programs.registry import make_program
 
 

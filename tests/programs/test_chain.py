@@ -4,7 +4,7 @@ infeasibility they expose."""
 import pytest
 
 from repro.core import ScrFunctionalEngine, reference_run, validate_program
-from repro.packet import TCP_SYN, make_tcp_packet, make_udp_packet, Packet
+from repro.packet import TCP_SYN, Packet, make_tcp_packet, make_udp_packet
 from repro.parallel.functional import ShardedFunctionalEngine
 from repro.programs import (
     DDoSMitigator,

@@ -3,12 +3,11 @@
 import pytest
 
 from repro.packet import (
-    FiveTuple,
-    Packet,
     TCP_ACK,
     TCP_FIN,
     TCP_RST,
     TCP_SYN,
+    Packet,
     make_tcp_packet,
     make_udp_packet,
 )

@@ -7,13 +7,7 @@ from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.core import ScrCoreRuntime
-from repro.packet import (
-    TCP_ACK,
-    TCP_FIN,
-    TCP_RST,
-    TCP_SYN,
-    make_tcp_packet,
-)
+from repro.packet import TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN, make_tcp_packet
 from repro.programs import ConnectionTracker, TcpState
 from repro.sequencer import PacketHistorySequencer
 from repro.state import StateMap

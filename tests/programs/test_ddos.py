@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.packet import make_tcp_packet, make_udp_packet, Packet, TCP_SYN
+from repro.packet import TCP_SYN, Packet, make_tcp_packet, make_udp_packet
 from repro.programs import DDoSMetadata, DDoSMitigator, Verdict
 from repro.state import StateMap
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.packet import FiveTuple, Packet, make_udp_packet
+from repro.packet import Packet, make_udp_packet
 from repro.programs import FlowStats, HeavyHitterMonitor, Verdict
 from repro.state import StateMap
 

@@ -3,11 +3,18 @@
 import pytest
 
 from repro.core import ScrFunctionalEngine, reference_run
-from repro.packet import Packet, TCP_ACK, TCP_FIN, TCP_SYN, make_tcp_packet, make_udp_packet
+from repro.packet import (
+    TCP_ACK,
+    TCP_FIN,
+    TCP_SYN,
+    Packet,
+    make_tcp_packet,
+    make_udp_packet,
+)
 from repro.programs import Verdict, make_program
 from repro.programs.load_balancer import MaglevLoadBalancer, MaglevTable
 from repro.state import StateMap
-from repro.traffic import Trace, synthesize_trace, univ_dc_flow_sizes
+from repro.traffic import synthesize_trace, univ_dc_flow_sizes
 
 
 class TestMaglevTable:

@@ -1,0 +1,70 @@
+"""pack()/unpack() round-trip for every registered program's metadata.
+
+The runtime twin of scrlint's SCR003: the sequencer stores and piggybacks
+exactly ``size()`` bytes per packet (Table 1's "metadata size"), so every
+metadata class must (a) round-trip losslessly through its own FORMAT and
+(b) report a size that matches ``struct.calcsize``.  A drifting FORMAT or a
+FIELDS/FORMAT arity mismatch corrupts every history row that crosses cores.
+"""
+
+import struct
+
+import pytest
+
+from repro.programs import make_program, program_names
+
+#: distinct, width-safe test values: field i gets i+1 (every struct code the
+#: zoo uses holds at least 8 bits unsigned, so values stay representable).
+def sample_kwargs(metadata_cls):
+    return {name: i + 1 for i, name in enumerate(metadata_cls.FIELDS)}
+
+
+@pytest.mark.parametrize("name", program_names())
+def test_metadata_roundtrip(name):
+    program = make_program(name)
+    cls = program.metadata_cls
+    meta = cls(**sample_kwargs(cls))
+    packed = meta.pack()
+    assert len(packed) == cls.size()
+    restored = cls.unpack(packed)
+    assert restored == meta
+    assert restored.astuple() == meta.astuple()
+
+
+@pytest.mark.parametrize("name", program_names())
+def test_metadata_size_matches_calcsize(name):
+    program = make_program(name)
+    cls = program.metadata_cls
+    assert cls.size() == struct.calcsize(cls.FORMAT)
+    # Table 1's "metadata size" is reported straight off the class.
+    assert program.metadata_size == cls.size()
+
+
+@pytest.mark.parametrize("name", program_names())
+def test_format_fields_arity_agrees(name):
+    program = make_program(name)
+    cls = program.metadata_cls
+    width = struct.calcsize(cls.FORMAT)
+    values = struct.unpack(cls.FORMAT, bytes(width))
+    assert len(values) == len(cls.FIELDS), (
+        f"{cls.__name__}: FORMAT packs {len(values)} values but FIELDS "
+        f"declares {len(cls.FIELDS)}"
+    )
+
+
+@pytest.mark.parametrize("name", program_names())
+def test_format_is_network_order(name):
+    cls = make_program(name).metadata_cls
+    assert cls.FORMAT.startswith("!"), (
+        f"{cls.__name__}.FORMAT must pin network byte order so history "
+        "rows are layout-identical across hosts"
+    )
+
+
+def test_defaulted_fields_pack_as_zero():
+    # Constructing with no kwargs must produce an all-zero row: history
+    # slots start zeroed and unpack must tolerate that.
+    for name in program_names():
+        cls = make_program(name).metadata_cls
+        meta = cls()
+        assert meta.pack() == bytes(cls.size())

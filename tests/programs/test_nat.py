@@ -4,15 +4,15 @@ import pytest
 
 from repro.core import ScrFunctionalEngine, reference_run
 from repro.packet import (
-    Packet,
     TCP_ACK,
     TCP_FIN,
     TCP_RST,
     TCP_SYN,
+    Packet,
     make_tcp_packet,
     make_udp_packet,
 )
-from repro.programs import NAT_POOL_KEY, NatGateway, Verdict
+from repro.programs import NatGateway, Verdict
 from repro.state import StateMap
 from repro.traffic import Trace
 

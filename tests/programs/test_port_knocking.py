@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.packet import Packet, TCP_SYN, make_tcp_packet, make_udp_packet
+from repro.packet import TCP_SYN, Packet, make_tcp_packet, make_udp_packet
 from repro.programs import KnockState, PortKnockingFirewall, Verdict
 from repro.state import StateMap
 

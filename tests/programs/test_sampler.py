@@ -6,7 +6,7 @@ from repro.core import ScrFunctionalEngine, reference_run
 from repro.packet import Packet, make_udp_packet
 from repro.programs import SampleStats, TelemetrySampler, Verdict, make_program
 from repro.state import StateMap
-from repro.traffic import Trace, synthesize_trace, caida_backbone_flow_sizes
+from repro.traffic import caida_backbone_flow_sizes, synthesize_trace
 
 
 def pkt(i, src=1):

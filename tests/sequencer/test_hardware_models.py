@@ -4,8 +4,6 @@ import pytest
 
 from repro.programs import make_program
 from repro.sequencer import (
-    ALVEO_U250_FFS,
-    ALVEO_U250_LUTS,
     PUBLISHED_SYNTHESIS,
     NetFpgaSequencerModel,
     TofinoSequencerModel,

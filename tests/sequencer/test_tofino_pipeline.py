@@ -10,7 +10,7 @@ from repro.programs import make_program
 from repro.sequencer import PacketHistorySequencer
 from repro.sequencer.tofino_pipeline import TofinoPipeline
 from repro.state import StateMap
-from repro.traffic import Trace, synthesize_trace, univ_dc_flow_sizes
+from repro.traffic import synthesize_trace, univ_dc_flow_sizes
 
 
 def pkt(src, ts=0):

@@ -3,12 +3,7 @@ arbitrary operation interleavings (hypothesis drives the schedule)."""
 
 from hypothesis import settings
 from hypothesis import strategies as st
-from hypothesis.stateful import (
-    Bundle,
-    RuleBasedStateMachine,
-    invariant,
-    rule,
-)
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.state import CuckooHashTable
 

@@ -2,12 +2,7 @@
 
 import json
 
-from repro.telemetry.events import (
-    EV_MLFFR_PROBE,
-    EV_RING_DROP,
-    EV_SERVICE,
-    EventTracer,
-)
+from repro.telemetry.events import EV_MLFFR_PROBE, EV_RING_DROP, EV_SERVICE, EventTracer
 from repro.telemetry.exporters import (
     SYSTEM_TRACK,
     chrome_trace_dict,

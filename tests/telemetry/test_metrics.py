@@ -1,16 +1,15 @@
 """Metrics registry: instruments, percentile accuracy, exporters."""
 
 import json
-import math
 
 import pytest
 
 from repro.telemetry.metrics import (
+    NOOP_COUNTER,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
-    NOOP_COUNTER,
 )
 
 

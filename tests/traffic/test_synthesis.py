@@ -1,6 +1,5 @@
 """Trace synthesis: TCP framing invariants and interleaving."""
 
-import numpy as np
 import pytest
 
 from repro.packet import TCP_ACK, TCP_FIN, TCP_SYN

@@ -9,7 +9,6 @@ from repro.traffic import (
     burstify,
     sample_flows,
     synthesize_trace,
-    univ_dc_flow_sizes,
     validate_trace,
 )
 

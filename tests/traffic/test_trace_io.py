@@ -4,7 +4,7 @@ import struct
 
 import pytest
 
-from repro.packet import make_tcp_packet, make_udp_packet, TCP_SYN
+from repro.packet import TCP_SYN, make_tcp_packet, make_udp_packet
 from repro.traffic import Trace, read_pcap, write_pcap
 
 
