@@ -28,9 +28,12 @@ typecheck:
 	fi
 
 # Perf-regression suite: writes schema-versioned BENCH_*.json artifacts
-# (median + MAD over seeded reps) under results/bench.  See docs/BENCHMARKS.md.
+# (median + MAD over seeded reps) under results/bench.  Parallel workers
+# plus the content-addressed trace cache keep repeat runs fast without
+# changing a single number (see docs/BENCHMARKS.md).
 bench:
-	PYTHONPATH=src python -m repro.cli bench --out results/bench
+	PYTHONPATH=src python -m repro.cli bench --out results/bench \
+		--jobs 2 --cache-dir results/cache
 
 # Run the quick fig6 suite and gate it against the committed baseline
 # (nonzero exit on a noise-significant throughput regression).

@@ -40,9 +40,12 @@ _CLOCK_ORIGINS = frozenset({
 })
 
 def _is_engine_module(module: ModuleModel) -> bool:
-    """The rule applies to ``repro/parallel`` files and to any module that
-    defines an engine class (so fixtures exercise it from anywhere)."""
-    if "parallel" in PurePath(module.path).parts:
+    """The rule applies to ``repro/parallel`` and ``repro/scenario`` files
+    (the executor's parallel-equals-serial guarantee needs the same
+    hygiene) and to any module that defines an engine class (so fixtures
+    exercise it from anywhere)."""
+    parts = PurePath(module.path).parts
+    if "parallel" in parts or "scenario" in parts:
         return True
     return bool(module.engine_classes())
 

@@ -25,11 +25,14 @@ __all__ = [
     "format_json",
 ]
 
-#: What CI lints when no paths are given: the program zoo (SCR001/2/3/5)
-#: and the scaling engines (SCR004).
+#: What CI lints when no paths are given: the program zoo (SCR001/2/3/5),
+#: the scaling engines (SCR004), and the scenario layer (SCR004 — the
+#: multiprocess executor's serial-equivalence guarantee depends on the
+#: same no-clocks/no-process-RNG/no-module-state hygiene).
 DEFAULT_LINT_PATHS: Tuple[str, ...] = (
     "src/repro/programs",
     "src/repro/parallel",
+    "src/repro/scenario",
 )
 
 

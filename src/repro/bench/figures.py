@@ -3,7 +3,10 @@
 Each preset names a figure, its workload, and the (program, trace,
 techniques, cores) grid that regenerates it.  ``benchmarks/`` and the CLI's
 ``reproduce`` subcommand both consume these, so the experiment definitions
-live in exactly one place.
+live in exactly one place.  A preset expands to a list of frozen
+:class:`~repro.scenario.Scenario` specs (:func:`preset_scenarios`), so the
+same grid runs identically through a serial runner or a multiprocess
+:class:`~repro.scenario.ScenarioExecutor`.
 """
 
 from __future__ import annotations
@@ -12,9 +15,18 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from .runner import ExperimentRunner
+from ..scenario.build import run_scenario
+from ..scenario.executor import ScenarioExecutor
+from ..scenario.spec import Scenario
+from .runner import ExperimentRunner, ScalingPoint
 
-__all__ = ["FigurePreset", "FIGURE_PRESETS", "run_preset"]
+__all__ = [
+    "FigurePreset",
+    "FIGURE_PRESETS",
+    "preset_scenarios",
+    "run_preset",
+    "run_preset_points",
+]
 
 # SCR_FULL_SWEEP=1 sweeps every core count, as the paper's plots do.
 if os.environ.get("SCR_FULL_SWEEP"):
@@ -69,24 +81,66 @@ FIGURE_PRESETS: Dict[str, FigurePreset] = {
 }
 
 
+def preset_scenarios(
+    preset: FigurePreset, runner: Optional[ExperimentRunner] = None
+) -> List[Scenario]:
+    """The preset's (technique × cores) grid as frozen scenarios, in the
+    historical sweep order (techniques outer, cores inner).
+
+    Workload knobs (flows, packet cap, seed, line rate) come from
+    ``runner``'s config — or the stock defaults when omitted.
+    """
+    runner = runner if runner is not None else ExperimentRunner()
+    return [
+        runner.scenario_for(
+            preset.program,
+            preset.trace,
+            technique,
+            cores,
+            packet_size=preset.packet_size,
+            engine_kwargs=preset.scr_kwargs if technique == "scr" else None,
+        )
+        for technique in preset.techniques
+        for cores in preset.cores
+    ]
+
+
+def run_preset_points(
+    preset: FigurePreset,
+    runner: Optional[ExperimentRunner] = None,
+    executor: Optional[ScenarioExecutor] = None,
+) -> List[ScalingPoint]:
+    """Measure a preset as :class:`ScalingPoint` rows (with MLFFR probe
+    counts), optionally fanned out over ``executor``'s worker pool."""
+    runner = runner if runner is not None else ExperimentRunner()
+    grid = preset_scenarios(preset, runner)
+    if executor is not None:
+        results = executor.run(grid)
+    else:
+        results = [
+            run_scenario(s, builder=runner.builder, telemetry=runner.telemetry)
+            for s in grid
+        ]
+    return [
+        ScalingPoint(
+            technique=s.technique,
+            cores=s.cores,
+            mlffr_mpps=r.mlffr_mpps,
+            iterations=r.iterations,
+        )
+        for s, r in zip(grid, results)
+    ]
+
+
 def run_preset(
     preset: FigurePreset,
     runner: Optional[ExperimentRunner] = None,
+    executor: Optional[ScenarioExecutor] = None,
 ) -> Dict[str, List[Tuple[int, float]]]:
     """Measure a preset; returns technique → [(cores, Mpps), ...]."""
-    runner = runner or ExperimentRunner()
-    series: Dict[str, List[Tuple[int, float]]] = {}
-    for technique in preset.techniques:
-        kwargs = preset.scr_kwargs if technique == "scr" else None
-        series[technique] = [
-            (
-                k,
-                runner.mlffr_point(
-                    preset.program, preset.trace, technique, k,
-                    packet_size=preset.packet_size,
-                    engine_kwargs=kwargs,
-                ).mlffr_mpps,
-            )
-            for k in preset.cores
-        ]
+    series: Dict[str, List[Tuple[int, float]]] = {
+        technique: [] for technique in preset.techniques
+    }
+    for point in run_preset_points(preset, runner, executor):
+        series[point.technique].append((point.cores, point.mlffr_mpps))
     return series

@@ -1,27 +1,36 @@
-"""Experiment runner: the glue that turns (program, trace, technique, cores)
-tuples into MLFFR numbers, with trace/perf-trace caching so a figure's sweep
-doesn't resynthesize its workload per point.
+"""Experiment runner — now a thin compatibility shim over the scenario layer.
 
-The defaults mirror §4.1/§4.2: 192-byte packets for most programs, 256 bytes
-for the connection tracker (whose metadata is larger), loss-free SCR unless
-a run asks for recovery.
+Historically this module hand-wired trace synthesis → engine → MLFFR with
+its own caches; that wiring (and the packet-size/seed conventions) lives
+in :mod:`repro.scenario` now.  :class:`ExperimentRunner` keeps its full
+public API — figures, the perf suite, and tests built on it keep working
+unchanged — but every method delegates to :class:`~repro.scenario.build.
+StackBuilder` / :func:`~repro.scenario.build.run_scenario`, so runner
+results and scenario results are the same numbers by construction.
+
+The defaults mirror §4.1/§4.2: 192-byte packets for most programs, 256
+bytes for the connection tracker (whose metadata is larger).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..cpu.simulator import PerfTrace
-from ..parallel.registry import make_engine
 from ..programs.base import PacketProgram
-from ..programs.registry import make_program
+from ..scenario.build import StackBuilder, run_scenario
+from ..scenario.cache import TraceCache
+from ..scenario.spec import (
+    PACKET_SIZE_CONNTRACK,
+    PACKET_SIZE_DEFAULT,
+    Scenario,
+    TraceSpec,
+    packet_size_for,
+)
 from ..telemetry.artifact import Telemetry
-from ..telemetry.events import NULL_TRACER
-from ..traffic.distributions import TRACE_DISTRIBUTIONS
-from ..traffic.synthesis import single_flow_trace, synthesize_trace
 from ..traffic.trace import Trace
-from .mlffr import MlffrResult, find_mlffr
+from .mlffr import MlffrResult
 
 __all__ = [
     "PACKET_SIZE_DEFAULT",
@@ -29,10 +38,6 @@ __all__ = [
     "ScalingPoint",
     "ExperimentRunner",
 ]
-
-#: Fixed packet sizes used across baselines (§4.2).
-PACKET_SIZE_DEFAULT = 192
-PACKET_SIZE_CONNTRACK = 256
 
 
 @dataclass
@@ -46,7 +51,14 @@ class ScalingPoint:
 
 
 class ExperimentRunner:
-    """Caches synthesized traces and lowered perf-traces across sweeps."""
+    """Per-run facade over the scenario layer's composition root.
+
+    Workload construction is memoized by the underlying
+    :class:`StackBuilder` (and optionally persisted through a
+    :class:`TraceCache`), so a figure's sweep synthesizes each trace
+    once.  New code should use :class:`~repro.scenario.Scenario` and
+    :class:`~repro.scenario.ScenarioExecutor` directly.
+    """
 
     def __init__(
         self,
@@ -55,6 +67,7 @@ class ExperimentRunner:
         seed: int = 7,
         line_rate_gbps: float = 100.0,
         telemetry: Optional[Telemetry] = None,
+        cache: Optional[TraceCache] = None,
     ) -> None:
         self.num_flows = num_flows
         self.max_packets = max_packets
@@ -63,20 +76,38 @@ class ExperimentRunner:
         #: optional instrumentation: probe events, per-point gauges, and the
         #: counters/latency snapshot at each reported MLFFR.
         self.telemetry = telemetry
-        self._traces: Dict[tuple, Trace] = {}
-        self._perf: Dict[tuple, PerfTrace] = {}
+        self._builder = StackBuilder(cache)
         #: counters snapshot from the most recent mlffr_point (telemetry on).
         self.last_counters: Optional[dict] = None
         #: latency percentiles from the most recent mlffr_point.
         self.last_latency_ns: Optional[dict] = None
+
+    @property
+    def builder(self) -> StackBuilder:
+        """The underlying composition root (shared with new-style callers)."""
+        return self._builder
+
+    @property
+    def cache(self) -> Optional[TraceCache]:
+        return self._builder.cache
+
+    @property
+    def _traces(self) -> Dict[TraceSpec, Trace]:
+        """Builder-owned trace memo (kept for seed-isolation checks)."""
+        return self._builder._traces
+
+    @property
+    def _perf(self) -> Dict[Tuple[str, TraceSpec], PerfTrace]:
+        return self._builder._perf
 
     def clone_with_seed(self, seed: int) -> "ExperimentRunner":
         """A fresh runner with the same config but a different synthesis seed.
 
         The perf suite's median-of-k repetitions re-synthesize the workload
         per repetition (seed = base + rep index) so the reported MAD
-        captures workload-sampling noise; caches are per-runner, so clones
-        never mix traces across seeds.
+        captures workload-sampling noise; in-memory memos are per-runner,
+        so clones never mix traces across seeds (the disk cache keys on
+        the seed, so sharing it is safe).
         """
         return ExperimentRunner(
             num_flows=self.num_flows,
@@ -84,12 +115,30 @@ class ExperimentRunner:
             seed=seed,
             line_rate_gbps=self.line_rate_gbps,
             telemetry=self.telemetry,
+            cache=self._builder.cache,
         )
 
     # -- workload construction ----------------------------------------------------
 
     def packet_size_for(self, program_name: str) -> int:
-        return PACKET_SIZE_CONNTRACK if program_name == "conntrack" else PACKET_SIZE_DEFAULT
+        return packet_size_for(program_name)
+
+    def _trace_spec(
+        self,
+        trace_name: str,
+        bidirectional: bool,
+        packet_size: Optional[int],
+        num_flows: Optional[int] = None,
+        max_packets: Optional[int] = None,
+    ) -> TraceSpec:
+        return TraceSpec(
+            workload=trace_name,
+            num_flows=num_flows if num_flows is not None else self.num_flows,
+            max_packets=max_packets if max_packets is not None else self.max_packets,
+            seed=self.seed,
+            bidirectional=bidirectional,
+            packet_size=packet_size,
+        )
 
     def trace_for(
         self,
@@ -100,28 +149,11 @@ class ExperimentRunner:
         max_packets: Optional[int] = None,
     ) -> Trace:
         """A synthesized evaluation trace, truncated to ``packet_size``."""
-        flows = num_flows if num_flows is not None else self.num_flows
-        cap = max_packets if max_packets is not None else self.max_packets
-        key = (trace_name, bidirectional, packet_size, flows, cap)
-        if key not in self._traces:
-            if trace_name == "single-flow":
-                trace = single_flow_trace(cap // 2, bidirectional=bidirectional)
-            else:
-                dist = TRACE_DISTRIBUTIONS[trace_name]()
-                # A short flow interarrival keeps many flows concurrently
-                # active inside the packet cap, as in the real captures
-                # ("states created and destroyed throughout", §4.1).
-                trace = synthesize_trace(
-                    dist,
-                    flows,
-                    seed=self.seed,
-                    bidirectional=bidirectional,
-                    mean_flow_interarrival_ns=3_000,
-                    flow_duration_ns=200_000,
-                    max_packets=cap,
-                )
-            self._traces[key] = trace.truncated(packet_size)
-        return self._traces[key]
+        return self._builder.trace(
+            self._trace_spec(
+                trace_name, bidirectional, packet_size, num_flows, max_packets
+            )
+        )
 
     def perf_trace_for(
         self,
@@ -131,20 +163,40 @@ class ExperimentRunner:
         num_flows: Optional[int] = None,
         max_packets: Optional[int] = None,
     ) -> PerfTrace:
-        size = packet_size if packet_size is not None else self.packet_size_for(program.name)
-        key = (program.name, trace_name, size, num_flows, max_packets)
-        if key not in self._perf:
-            trace = self.trace_for(
-                trace_name,
-                bidirectional=program.bidirectional,
-                packet_size=size,
-                num_flows=num_flows,
-                max_packets=max_packets,
-            )
-            self._perf[key] = PerfTrace.from_trace(trace, program)
-        return self._perf[key]
+        size = packet_size if packet_size is not None else packet_size_for(program.name)
+        return self._builder.perf_trace(
+            program.name,
+            self._trace_spec(
+                trace_name, program.bidirectional, size, num_flows, max_packets
+            ),
+        )
 
     # -- sweeps ---------------------------------------------------------------------
+
+    def scenario_for(
+        self,
+        program_name: str,
+        trace_name: str,
+        technique: str,
+        cores: int,
+        packet_size: Optional[int] = None,
+        engine_kwargs: Optional[dict] = None,
+        burst_size: int = 1,
+    ) -> Scenario:
+        """This runner's config as a frozen :class:`Scenario`."""
+        return Scenario.create(
+            program_name,
+            trace_name,
+            technique,
+            cores,
+            num_flows=self.num_flows,
+            max_packets=self.max_packets,
+            seed=self.seed,
+            packet_size=packet_size,
+            line_rate_gbps=self.line_rate_gbps,
+            burst_size=burst_size,
+            engine_kwargs=engine_kwargs,
+        )
 
     def mlffr_point(
         self,
@@ -156,55 +208,24 @@ class ExperimentRunner:
         engine_kwargs: Optional[dict] = None,
         burst_size: int = 1,
     ) -> MlffrResult:
-        program = make_program(program_name)
-        perf_trace = self.perf_trace_for(program, trace_name, packet_size=packet_size)
-        kwargs = dict(engine_kwargs or {})
-        tele = self.telemetry
-        instrumented = tele is not None and tele.enabled
-        if instrumented:
-            kwargs.setdefault("tracer", tele.tracer)
-        engine = make_engine(technique, program, cores, **kwargs)
-        res = find_mlffr(
-            perf_trace,
-            engine,
-            line_rate_gbps=self.line_rate_gbps,
+        scenario = self.scenario_for(
+            program_name,
+            trace_name,
+            technique,
+            cores,
+            packet_size=packet_size,
+            engine_kwargs=engine_kwargs,
             burst_size=burst_size,
-            tracer=tele.tracer if instrumented else NULL_TRACER,
-            collect_latency=instrumented,
         )
-        if instrumented:
-            self._record_point(program_name, trace_name, technique, cores, res)
-        return res
-
-    def _record_point(
-        self,
-        program_name: str,
-        trace_name: str,
-        technique: str,
-        cores: int,
-        res: MlffrResult,
-    ) -> None:
-        """Fold one MLFFR point into the telemetry registry."""
-        reg = self.telemetry.registry
-        labels = (
-            f'program="{program_name}",workload="{trace_name}",'
-            f'technique="{technique}",cores="{cores}"'
+        result = run_scenario(
+            scenario, builder=self._builder, telemetry=self.telemetry
         )
-        reg.gauge(
-            "mlffr_mpps{%s}" % labels,
-            help="maximum loss-free forwarding rate in Mpps (RFC 2544, <4% loss)",
-        ).set(res.mlffr_mpps)
-        reg.counter("mlffr_search_iterations").inc(res.iterations)
-        best = res.result_at_mlffr
-        if best is None:
-            return
-        self.last_counters = best.counters.snapshot()
-        hist = best.latency_histogram
-        if hist is not None and hist.count:
-            self.last_latency_ns = hist.percentiles()
-            reg.histogram(
-                "latency_ns", help="per-packet latency at MLFFR"
-            ).merge(hist)
+        if result.counters is not None:
+            self.last_counters = result.counters
+        if result.latency_ns is not None:
+            self.last_latency_ns = result.latency_ns
+        assert result.mlffr is not None  # in-process runs keep the payload
+        return result.mlffr
 
     def scaling_sweep(
         self,

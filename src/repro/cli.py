@@ -65,6 +65,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--packets", type=int, default=2000)
     p.add_argument("--loss-rate", type=float, default=0.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="content-addressed trace cache (see docs/BENCHMARKS.md)")
     p.add_argument("--telemetry", metavar="DIR",
                    help="instrument the run and write a run artifact here")
 
@@ -76,6 +78,8 @@ def build_parser() -> argparse.ArgumentParser:
                    default="scr")
     p.add_argument("--cores", type=int, default=4)
     p.add_argument("--packets", type=int, default=4000)
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="content-addressed trace cache (see docs/BENCHMARKS.md)")
     p.add_argument("--telemetry", metavar="DIR",
                    help="instrument the run and write a run artifact here")
 
@@ -87,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default=["scr", "shared", "rss", "rss++"])
     p.add_argument("--cores", nargs="+", type=int, default=[1, 2, 4, 7])
     p.add_argument("--packets", type=int, default=4000)
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (results identical to --jobs 1)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="content-addressed trace cache (see docs/BENCHMARKS.md)")
     p.add_argument("--csv", help="write results to this CSV path")
     p.add_argument("--telemetry", metavar="DIR",
                    help="instrument the run and write a run artifact here")
@@ -97,6 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("reproduce", help="re-measure a paper figure")
     p.add_argument("figure", help='figure id, e.g. "1", "6e", "7", "10a", or "list"')
     p.add_argument("--packets", type=int, default=4000)
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (results identical to --jobs 1)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="content-addressed trace cache (see docs/BENCHMARKS.md)")
     p.add_argument("--csv", help="write the series to this CSV path")
 
     p = sub.add_parser("inspect", help="summarize a telemetry run artifact")
@@ -117,6 +129,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "comparability; recorded in the artifact)")
     p.add_argument("--full", action="store_true",
                    help="paper-scale grids instead of the quick suite")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (artifacts identical to --jobs 1)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="content-addressed trace cache (see docs/BENCHMARKS.md)")
     p.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
                    help="compare two artifacts/directories instead of running")
     p.add_argument("--markdown", metavar="PATH",
@@ -147,7 +163,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cache_for(args) -> "Optional[TraceCache]":
+    from .scenario import TraceCache
+
+    if getattr(args, "cache_dir", None):
+        return TraceCache(args.cache_dir)
+    return None
+
+
 def _load_or_synthesize(args) -> Trace:
+    from .scenario import TraceSpec, build_trace
+
     if getattr(args, "trace_file", None):
         path = args.trace_file
         if path.endswith(".pcap"):
@@ -155,13 +181,15 @@ def _load_or_synthesize(args) -> Trace:
         return Trace.load(path)
     program = make_program(args.program) if hasattr(args, "program") else None
     bidirectional = bool(program.bidirectional) if program else False
-    return synthesize_trace(
-        TRACE_DISTRIBUTIONS[args.workload](),
-        args.flows,
+    spec = TraceSpec(
+        workload=args.workload,
+        num_flows=args.flows,
+        max_packets=args.packets,
         seed=args.seed,
         bidirectional=bidirectional or getattr(args, "bidirectional", False),
-        max_packets=args.packets,
+        packet_size=None,
     )
+    return build_trace(spec, cache=_cache_for(args))
 
 
 def cmd_programs(args, out) -> int:
@@ -268,39 +296,64 @@ def cmd_run(args, out) -> int:
     return 0 if consistent else 1
 
 
-def _runner_metrics(runner: ExperimentRunner) -> Optional[dict]:
-    """Extra artifact metrics from the runner's last instrumented point."""
+def _result_metrics(results) -> Optional[dict]:
+    """Extra artifact metrics from the last instrumented scenario result."""
     extra = {}
-    if runner.last_counters is not None:
-        extra["counters"] = runner.last_counters
-    if runner.last_latency_ns is not None:
-        extra["latency_ns"] = runner.last_latency_ns
+    for result in results:
+        if result.counters is not None:
+            extra["counters"] = result.counters
+        if result.latency_ns is not None:
+            extra["latency_ns"] = result.latency_ns
     return extra or None
 
 
 def cmd_mlffr(args, out) -> int:
+    from .scenario import Scenario, ScenarioExecutor
+
     tele = _telemetry_for(args)
-    runner = ExperimentRunner(
-        max_packets=args.packets, telemetry=tele if tele.enabled else None
+    scenario = Scenario.create(
+        args.program, args.workload, args.technique, args.cores,
+        max_packets=args.packets,
     )
-    res = runner.mlffr_point(args.program, args.workload, args.technique, args.cores)
+    executor = ScenarioExecutor(
+        cache=_cache_for(args), telemetry=tele if tele.enabled else None
+    )
+    result = executor.run_one(scenario)
     print(f"{args.program} @ {args.workload}, {args.technique}, "
-          f"{args.cores} cores: {res.mlffr_mpps:.2f} Mpps "
-          f"({res.iterations} search iterations)", file=out)
+          f"{args.cores} cores: {result.mlffr_mpps:.2f} Mpps "
+          f"({result.iterations} search iterations)", file=out)
     if not _finish_telemetry(tele, args, out, num_cores=args.cores,
-                             extra_metrics=_runner_metrics(runner)):
+                             extra_metrics=_result_metrics([result])):
         return 2
     return 0
 
 
 def cmd_sweep(args, out) -> int:
+    from .bench.runner import ScalingPoint
+    from .scenario import ScenarioExecutor, scenario_grid
+
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=out)
+        return 2
     tele = _telemetry_for(args)
-    runner = ExperimentRunner(
-        max_packets=args.packets, telemetry=tele if tele.enabled else None
+    try:
+        grid = scenario_grid(
+            args.program, args.workload, args.techniques, args.cores,
+            max_packets=args.packets,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    executor = ScenarioExecutor(
+        jobs=args.jobs, cache=_cache_for(args),
+        telemetry=tele if tele.enabled else None,
     )
-    points = runner.scaling_sweep(
-        args.program, args.workload, args.techniques, args.cores
-    )
+    results = executor.run(grid)
+    points = [
+        ScalingPoint(technique=s.technique, cores=s.cores,
+                     mlffr_mpps=r.mlffr_mpps, iterations=r.iterations)
+        for s, r in zip(grid, results)
+    ]
     series = {}
     for p in points:
         series.setdefault(p.technique, []).append((p.cores, p.mlffr_mpps))
@@ -311,7 +364,7 @@ def cmd_sweep(args, out) -> int:
         path = scaling_points_to_csv(points, args.csv)
         print(f"wrote {path}", file=out)
     if not _finish_telemetry(tele, args, out, num_cores=max(args.cores),
-                             extra_metrics=_runner_metrics(runner)):
+                             extra_metrics=_result_metrics(results)):
         return 2
     return 0
 
@@ -349,8 +402,16 @@ def cmd_reproduce(args, out) -> int:
     except KeyError:
         print(f"unknown figure {args.figure!r}; try 'reproduce list'", file=out)
         return 2
-    runner = ExperimentRunner(max_packets=args.packets)
-    series = run_preset(preset, runner)
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=out)
+        return 2
+    runner = ExperimentRunner(max_packets=args.packets, cache=_cache_for(args))
+    executor = None
+    if args.jobs > 1:
+        from .scenario import ScenarioExecutor
+
+        executor = ScenarioExecutor(jobs=args.jobs, cache=_cache_for(args))
+    series = run_preset(preset, runner, executor)
     print(render_scaling_series(series, title=f"{preset.describe()} (Mpps)"),
           file=out)
     if args.csv:
@@ -433,10 +494,15 @@ def cmd_bench(args, out) -> int:
     if args.reps < 1:
         print("--reps must be >= 1", file=out)
         return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=out)
+        return 2
     params = SuiteParams(
         reps=args.reps,
         base_seed=args.seed if args.seed is not None else BASE_SEED,
         quick=not args.full,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     for name in names:
         artifact = run_suite(name, params)

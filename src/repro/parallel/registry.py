@@ -32,7 +32,9 @@ def make_engine(
         return ShardedRssEngine(program, num_cores, **kwargs)
     if technique == "rss++":
         return RssPlusPlusEngine(program, num_cores, **kwargs)
-    raise KeyError(f"unknown technique {technique!r}; known: {TECHNIQUES}")
+    raise ValueError(
+        f"unknown technique {technique!r}; known: {', '.join(technique_names())}"
+    )
 
 
 def technique_names() -> List[str]:

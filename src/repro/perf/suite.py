@@ -18,19 +18,26 @@ stay fixed), so the recorded MAD measures workload-sampling noise — the
 scale the compare gate's thresholds are calibrated against.  With the
 same seeds and code, a repeat run reproduces every value exactly: the
 simulator is deterministic.
+
+Each suite expands its grid into frozen :class:`~repro.scenario.Scenario`
+specs and runs them through one :class:`~repro.scenario.ScenarioExecutor`,
+so ``jobs > 1`` fans the repetitions out over worker processes — with
+artifacts bit-identical to the serial run (the executor's determinism
+guarantee), which the perf-regression compare gate relies on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..bench.mlffr import SEARCH_TOLERANCE_PPS, find_mlffr
+from ..bench.mlffr import SEARCH_TOLERANCE_PPS
 from ..bench.runner import ExperimentRunner
-from ..parallel.registry import make_engine
-from ..programs.registry import make_program
+from ..scenario.build import ScenarioResult
+from ..scenario.executor import ScenarioExecutor
+from ..scenario.spec import Scenario
 from .artifact import BenchArtifact, BenchPoint, BenchSeries
-from .profiler import attribute_result, model_residuals
+from .profiler import model_residuals
 
 __all__ = [
     "BASE_SEED",
@@ -57,11 +64,18 @@ ALL_TECHNIQUES = ("scr", "shared", "rss", "rss++")
 
 @dataclass(frozen=True)
 class SuiteParams:
-    """Knobs shared by every suite run."""
+    """Knobs shared by every suite run.
+
+    ``jobs``/``cache_dir`` control *how* a suite runs (worker processes,
+    on-disk workload cache) — never *what* it measures; artifacts are
+    identical for any setting.
+    """
 
     reps: int = 3
     base_seed: int = BASE_SEED
     quick: bool = True
+    jobs: int = 1
+    cache_dir: Optional[str] = None
 
     @property
     def max_packets(self) -> int:
@@ -90,7 +104,38 @@ class SuiteParams:
             ),
         }
 
+    def scenario(
+        self,
+        program: str,
+        trace: str,
+        technique: str,
+        cores: int,
+        *,
+        seed: int,
+        engine_kwargs: Optional[dict] = None,
+        collect_latency: bool = False,
+        profile: bool = False,
+    ) -> Scenario:
+        """One suite measurement as a frozen spec."""
+        return Scenario.create(
+            program,
+            trace,
+            technique,
+            cores,
+            num_flows=self.num_flows,
+            max_packets=self.max_packets,
+            seed=seed,
+            engine_kwargs=engine_kwargs,
+            collect_latency=collect_latency,
+            profile=profile,
+        )
+
+    def executor(self) -> ScenarioExecutor:
+        return ScenarioExecutor(jobs=self.jobs, cache_dir=self.cache_dir)
+
     def runners(self) -> List[ExperimentRunner]:
+        """Per-repetition serial runners (legacy path; the suites below
+        run scenario grids through :meth:`executor` instead)."""
         base = ExperimentRunner(
             num_flows=self.num_flows,
             max_packets=self.max_packets,
@@ -132,21 +177,29 @@ def run_fig6_scaling(params: SuiteParams) -> BenchArtifact:
         seed_policy=params.seed_policy(),
         programs=[program],
     )
-    runners = params.runners()
-    profile_result = None
+    top_cores = max(params.cores)
+    grid = [
+        params.scenario(
+            program, trace, technique, cores, seed=seed,
+            engine_kwargs=_engine_kwargs(technique),
+            # Cycle attribution at the top SCR point, first repetition.
+            profile=(technique == "scr" and cores == top_cores
+                     and seed == params.base_seed),
+        )
+        for technique in ALL_TECHNIQUES
+        for cores in params.cores
+        for seed in params.rep_seeds
+    ]
+    results: Iterator[ScenarioResult] = iter(params.executor().run(grid))
     for technique in ALL_TECHNIQUES:
         series = art.add_series(_mpps_series(technique))
         for cores in params.cores:
             reps = []
-            for runner in runners:
-                res = runner.mlffr_point(
-                    program, trace, technique, cores,
-                    engine_kwargs=_engine_kwargs(technique),
-                )
+            for _seed in params.rep_seeds:
+                res = next(results)
                 reps.append(res.mlffr_mpps)
-                if (technique == "scr" and cores == max(params.cores)
-                        and runner is runners[0]):
-                    profile_result = res.result_at_mlffr
+                if res.profile is not None:
+                    art.profile = res.profile
             series.points.append(BenchPoint.from_reps(cores, reps))
     scr = art.series["scr"]
     art.model_fit = {
@@ -156,8 +209,6 @@ def run_fig6_scaling(params: SuiteParams) -> BenchArtifact:
             program, [(p.x, p.median) for p in scr.points]
         ),
     }
-    if profile_result is not None:
-        art.profile = attribute_result(profile_result).to_dict()
     return art
 
 
@@ -172,17 +223,18 @@ def run_engine_mlffr(params: SuiteParams) -> BenchArtifact:
         seed_policy=params.seed_policy(),
         programs=programs,
     )
-    runners = params.runners()
+    grid = [
+        params.scenario(program, trace, technique, cores, seed=seed,
+                        engine_kwargs=_engine_kwargs(technique))
+        for technique in ALL_TECHNIQUES
+        for program in programs
+        for seed in params.rep_seeds
+    ]
+    results = iter(params.executor().run(grid))
     for technique in ALL_TECHNIQUES:
         series = art.add_series(_mpps_series(technique))
         for program in programs:
-            reps = [
-                runner.mlffr_point(
-                    program, trace, technique, cores,
-                    engine_kwargs=_engine_kwargs(technique),
-                ).mlffr_mpps
-                for runner in runners
-            ]
+            reps = [next(results).mlffr_mpps for _ in params.rep_seeds]
             series.points.append(BenchPoint.from_reps(program, reps))
     return art
 
@@ -196,26 +248,24 @@ def run_tail_latency(params: SuiteParams) -> BenchArtifact:
     """Sojourn-time percentiles at MLFFR: SCR vs shared state."""
     program, trace, cores = "ddos", "caida", 4
     percentiles = ("p50", "p90", "p99", "p99_9")
+    techniques = ("scr", "shared")
     art = BenchArtifact.create(
         "tail_latency",
         config=params.config(program=program, trace=trace, cores=cores,
-                             techniques=["scr", "shared"]),
+                             techniques=list(techniques)),
         seed_policy=params.seed_policy(),
         programs=[program],
     )
-    runners = params.runners()
-    for technique in ("scr", "shared"):
-        rep_pcts: List[dict] = []
-        for runner in runners:
-            prog = make_program(program)
-            perf_trace = runner.perf_trace_for(prog, trace)
-            engine = make_engine(technique, prog, cores,
-                                 **(_engine_kwargs(technique) or {}))
-            res = find_mlffr(perf_trace, engine,
-                             line_rate_gbps=runner.line_rate_gbps,
-                             collect_latency=True)
-            best = res.result_at_mlffr
-            rep_pcts.append(best.latency_percentiles_ns() if best else {})
+    grid = [
+        params.scenario(program, trace, technique, cores, seed=seed,
+                        engine_kwargs=_engine_kwargs(technique),
+                        collect_latency=True)
+        for technique in techniques
+        for seed in params.rep_seeds
+    ]
+    results = iter(params.executor().run(grid))
+    for technique in techniques:
+        rep_pcts = [next(results).latency_ns or {} for _ in params.rep_seeds]
         # p99 latency is noisy by nature; floor at one histogram bucket of
         # the largest observed median so bucket-edge flips stay neutral.
         top = max((pct.get("p99_9", 0.0) for pct in rep_pcts), default=0.0)
@@ -239,14 +289,16 @@ def run_fig11_model_fit(params: SuiteParams) -> BenchArtifact:
         seed_policy=params.seed_policy(),
         programs=[program],
     )
-    runners = params.runners()
+    grid = [
+        params.scenario(program, trace, "scr", cores, seed=seed,
+                        engine_kwargs=dict(_SCR_IN_FRAME))
+        for cores in params.cores
+        for seed in params.rep_seeds
+    ]
+    results = iter(params.executor().run(grid))
     measured = art.add_series(_mpps_series("scr"))
     for cores in params.cores:
-        reps = [
-            runner.mlffr_point(program, trace, "scr", cores,
-                               engine_kwargs=dict(_SCR_IN_FRAME)).mlffr_mpps
-            for runner in runners
-        ]
+        reps = [next(results).mlffr_mpps for _ in params.rep_seeds]
         measured.points.append(BenchPoint.from_reps(cores, reps))
     residuals = model_residuals(
         program, [(p.x, p.median) for p in measured.points]

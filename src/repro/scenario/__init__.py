@@ -1,0 +1,55 @@
+"""Declarative scenario layer: spec → cache → composition root → executor.
+
+The one vocabulary for "run this experiment": a frozen, content-hashed
+:class:`Scenario` spec; :func:`build_stack`/:class:`StackBuilder` as the
+single composition root; a content-addressed on-disk :class:`TraceCache`
+for synthesized and lowered workloads; and a :class:`ScenarioExecutor`
+that runs scenario grids serially or over a process pool with results
+bit-identical to serial execution.  See ``docs/API.md``.
+"""
+
+from .build import (
+    ScenarioResult,
+    Stack,
+    StackBuilder,
+    build_perf_trace,
+    build_stack,
+    build_trace,
+    run_scenario,
+)
+from .cache import CACHE_SCHEMA, DEFAULT_CACHE_DIR, TraceCache
+from .executor import ScenarioExecutor
+from .spec import (
+    PACKET_SIZE_CONNTRACK,
+    PACKET_SIZE_DEFAULT,
+    SINGLE_FLOW_WORKLOAD,
+    SPEC_SCHEMA,
+    Scenario,
+    TraceSpec,
+    freeze_engine_kwargs,
+    packet_size_for,
+    scenario_grid,
+)
+
+__all__ = [
+    "SPEC_SCHEMA",
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "PACKET_SIZE_DEFAULT",
+    "PACKET_SIZE_CONNTRACK",
+    "SINGLE_FLOW_WORKLOAD",
+    "Scenario",
+    "TraceSpec",
+    "freeze_engine_kwargs",
+    "packet_size_for",
+    "scenario_grid",
+    "TraceCache",
+    "Stack",
+    "StackBuilder",
+    "ScenarioResult",
+    "build_trace",
+    "build_perf_trace",
+    "build_stack",
+    "run_scenario",
+    "ScenarioExecutor",
+]

@@ -137,6 +137,25 @@ class Histogram:
             self.min = min(self.min, other.min)
             self.max = max(self.max, other.max)
 
+    def merge_snapshot(self, data: dict) -> None:
+        """Fold a :meth:`snapshot` dict (e.g. from a worker process).
+
+        Bucket indices are recovered from the stored upper bounds, so a
+        snapshot merged here is equivalent to merging the histogram that
+        produced it (same growth required).
+        """
+        if data.get("growth") != self.growth:
+            raise ValueError("cannot merge snapshots with different growth")
+        for upper, n in data.get("buckets", []):
+            i = 0 if upper <= 1.0 else round(math.log(upper) / self._log_growth)
+            self.buckets[i] = self.buckets.get(i, 0) + int(n)
+        count = int(data.get("count", 0))
+        self.count += count
+        self.sum += float(data.get("sum", 0.0))
+        if count:
+            self.min = min(self.min, float(data["min"]))
+            self.max = max(self.max, float(data["max"]))
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
@@ -271,6 +290,28 @@ class MetricsRegistry:
             name: self._instruments[name].snapshot()
             for name in sorted(self._instruments)
         }
+
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters accumulate, gauges take the snapshot's value, histograms
+        bucket-merge.  The scenario executor uses this to aggregate
+        per-worker telemetry deterministically (snapshots are applied in
+        submission order, and within one snapshot by sorted name).
+        """
+        if not self.enabled:
+            return
+        for name in sorted(snapshot):
+            data = snapshot[name]
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name).inc(float(data.get("value", 0.0)))
+            elif kind == "gauge":
+                self.gauge(name).set(float(data.get("value", 0.0)))
+            elif kind == "histogram":
+                self.histogram(
+                    name, growth=data.get("growth", DEFAULT_BUCKET_GROWTH)
+                ).merge_snapshot(data)
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.snapshot(), indent=indent)

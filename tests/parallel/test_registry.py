@@ -38,8 +38,11 @@ def test_shared_dispatches_on_program():
 
 
 def test_unknown_technique():
-    with pytest.raises(KeyError, match="unknown technique"):
+    # A clear ValueError (not a bare KeyError) that lists every valid name.
+    with pytest.raises(ValueError, match="unknown technique") as exc:
         make_engine("magic", make_program("ddos"), 2)
+    for name in technique_names():
+        assert name in str(exc.value)
 
 
 def test_kwargs_forwarded():

@@ -85,6 +85,21 @@ def test_fig6_profile_and_residuals():
     assert scr[4] > 2.0 * scr[1]
 
 
+def test_fig6_parallel_identical_to_serial(tmp_path):
+    """Acceptance: fig6_scaling with --jobs 4 matches --jobs 1 exactly."""
+    serial = run_suite("fig6_scaling", PARAMS)
+    par = run_suite(
+        "fig6_scaling",
+        SuiteParams(reps=1, quick=True, jobs=4,
+                    cache_dir=str(tmp_path / "cache")),
+    )
+    for name, series in serial.series.items():
+        assert [(p.x, p.median, p.reps) for p in par.series[name].points] == \
+            [(p.x, p.median, p.reps) for p in series.points], name
+    assert par.model_fit == serial.model_fit
+    assert par.profile == serial.profile
+
+
 def test_save_uses_bench_naming(tmp_path, fig11):
     path = fig11.save(tmp_path)
     assert path.name == "BENCH_fig11_model_fit.json"

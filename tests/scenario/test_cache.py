@@ -1,0 +1,131 @@
+"""TraceCache: content-addressed reuse, corruption healing, schema dirs."""
+
+import pickle
+
+import pytest
+
+from repro.scenario import (
+    CACHE_SCHEMA,
+    Scenario,
+    TraceCache,
+    TraceSpec,
+    build_perf_trace,
+    build_trace,
+)
+from repro.scenario.build import StackBuilder, _synthesize
+
+
+@pytest.fixture
+def spec():
+    return TraceSpec("caida", num_flows=10, max_packets=300)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return TraceCache(tmp_path / "cache")
+
+
+class TestTraceRoundTrip:
+    def test_miss_then_hit(self, cache, spec):
+        assert cache.load_trace(spec) is None
+        assert cache.stats() == {"hits": 0, "misses": 1}
+        trace = _synthesize(spec)
+        cache.store_trace(spec, trace)
+        again = cache.load_trace(spec)
+        assert again is not None
+        assert cache.hits == 1
+
+    def test_reload_is_byte_identical(self, cache, spec):
+        """A cache hit reproduces the synthesized trace exactly."""
+        fresh = _synthesize(spec)
+        cache.store_trace(spec, fresh)
+        reloaded = cache.load_trace(spec)
+        assert reloaded.name == fresh.name
+        assert len(reloaded) == len(fresh)
+        for a, b in zip(fresh, reloaded):
+            assert a.to_bytes() == b.to_bytes()
+            assert a.timestamp_ns == b.timestamp_ns
+            assert a.wire_len == b.wire_len
+
+    def test_schema_versioned_layout(self, cache, spec):
+        cache.store_trace(spec, _synthesize(spec))
+        path = cache.trace_path(spec)
+        assert path.exists()
+        assert f"v{CACHE_SCHEMA}" in path.parts
+        assert path.name == f"{spec.content_hash()}.scrt"
+
+    def test_schema_bump_invalidates(self, cache, spec, monkeypatch):
+        """Bumping CACHE_SCHEMA orphans every existing entry at once."""
+        cache.store_trace(spec, _synthesize(spec))
+        import repro.scenario.cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA", CACHE_SCHEMA + 1)
+        assert cache.load_trace(spec) is None
+
+    def test_corrupt_entry_discarded_and_healed(self, cache, spec):
+        cache.store_trace(spec, _synthesize(spec))
+        path = cache.trace_path(spec)
+        path.write_bytes(b"not a trace at all")
+        assert cache.load_trace(spec) is None  # treated as a miss
+        assert not path.exists()  # and deleted, so the next store heals it
+        cache.store_trace(spec, _synthesize(spec))
+        assert cache.load_trace(spec) is not None
+
+    def test_truncated_entry_discarded(self, cache, spec):
+        cache.store_trace(spec, _synthesize(spec))
+        path = cache.trace_path(spec)
+        path.write_bytes(path.read_bytes()[: 40])
+        assert cache.load_trace(spec) is None
+        assert not path.exists()
+
+
+class TestPerfTraceCache:
+    def test_round_trip_identical_costs(self, cache, spec):
+        pt = build_perf_trace(
+            Scenario.create("ddos", "caida", "scr", 1,
+                            num_flows=10, max_packets=300), cache=None
+        )
+        cache.store_perf_trace("ddos", spec, pt)
+        again = cache.load_perf_trace("ddos", spec)
+        assert again is not None
+        assert again.program_name == pt.program_name
+        assert len(again) == len(pt)
+        assert again.unique_keys == pt.unique_keys
+        assert again.records == pt.records
+
+    def test_program_mismatch_is_poisoning(self, cache, spec):
+        """An entry claiming the wrong program is rejected and deleted."""
+        pt = build_perf_trace(
+            Scenario.create("ddos", "caida", "scr", 1,
+                            num_flows=10, max_packets=300), cache=None
+        )
+        cache.store_perf_trace("ddos", spec, pt)
+        # poison: rename ddos's entry onto token_bucket's key
+        poisoned = cache.perf_path("token_bucket", spec)
+        poisoned.parent.mkdir(parents=True, exist_ok=True)
+        cache.perf_path("ddos", spec).rename(poisoned)
+        assert cache.load_perf_trace("token_bucket", spec) is None
+        assert not poisoned.exists()
+
+    def test_garbage_pickle_discarded(self, cache, spec):
+        path = cache.perf_path("ddos", spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"not": "a perf trace"}))
+        assert cache.load_perf_trace("ddos", spec) is None
+        assert not path.exists()
+
+
+class TestBuilderIntegration:
+    def test_builder_populates_and_reuses(self, tmp_path, spec):
+        root = tmp_path / "c"
+        a = StackBuilder(TraceCache(root))
+        t1 = a.trace(spec)
+        # a second builder (fresh memos) must hit the disk cache
+        cache2 = TraceCache(root)
+        b = StackBuilder(cache2)
+        t2 = b.trace(spec)
+        assert cache2.hits == 1 and cache2.misses == 0
+        assert [p.to_bytes() for p in t1] == [p.to_bytes() for p in t2]
+
+    def test_cacheless_builder_works(self, spec):
+        assert len(build_trace(spec)) > 0

@@ -1,0 +1,105 @@
+"""The CLI's --jobs/--cache-dir flags: determinism and cache wiring."""
+
+import io
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+_SWEEP = ["sweep", "--program", "ddos", "--workload", "caida",
+          "--techniques", "scr", "rss", "--cores", "1", "2",
+          "--packets", "400"]
+
+
+def test_sweep_jobs_parallel_output_identical():
+    code1, text1 = run_cli(_SWEEP + ["--jobs", "1"])
+    code2, text2 = run_cli(_SWEEP + ["--jobs", "2"])
+    assert code1 == code2 == 0
+    assert text1 == text2
+
+
+def test_sweep_jobs_validation():
+    code, text = run_cli(_SWEEP + ["--jobs", "0"])
+    assert code == 2
+    assert "--jobs" in text
+
+
+def test_sweep_unknown_technique_clean_error():
+    code, text = run_cli([
+        "sweep", "--program", "ddos", "--workload", "caida",
+        "--techniques", "magic", "--cores", "1", "--packets", "300",
+    ])
+    assert code == 2
+    assert "unknown technique" in text and "scr" in text
+
+
+def test_sweep_cache_dir_populated_and_reused(tmp_path):
+    cache = tmp_path / "cache"
+    code1, text1 = run_cli(_SWEEP + ["--cache-dir", str(cache)])
+    assert code1 == 0
+    stored = list(cache.rglob("*.scrt")) + list(cache.rglob("*.pkl"))
+    assert stored, "cache directory not populated"
+    mtimes = {p: p.stat().st_mtime_ns for p in stored}
+    code2, text2 = run_cli(_SWEEP + ["--cache-dir", str(cache)])
+    assert code2 == 0
+    assert text2 == text1  # cached workload reproduces the series exactly
+    for p, mtime in mtimes.items():
+        assert p.stat().st_mtime_ns == mtime, f"cache entry rewritten: {p}"
+
+
+def test_mlffr_cache_dir(tmp_path):
+    cache = tmp_path / "cache"
+    args = ["mlffr", "--program", "ddos", "--workload", "caida",
+            "--cores", "2", "--packets", "400", "--cache-dir", str(cache)]
+    code1, text1 = run_cli(args)
+    code2, text2 = run_cli(args)
+    assert code1 == code2 == 0
+    assert text1 == text2
+    assert list(cache.rglob("*.pkl"))
+
+
+def test_run_cache_dir(tmp_path):
+    cache = tmp_path / "cache"
+    args = ["run", "--program", "ddos", "--cores", "2",
+            "--workload", "univ_dc", "--flows", "8", "--packets", "300",
+            "--cache-dir", str(cache)]
+    code1, text1 = run_cli(args)
+    code2, text2 = run_cli(args)
+    assert code1 == code2 == 0
+    assert text1 == text2
+    assert "replicas consistent: True" in text1
+    assert list(cache.rglob("*.scrt"))
+
+
+def test_bench_jobs_artifact_identical(tmp_path):
+    import json
+
+    args = ["bench", "--suite", "engine_mlffr", "--reps", "1"]
+    code1, _ = run_cli(args + ["--out", str(tmp_path / "serial")])
+    code2, _ = run_cli(args + ["--jobs", "2", "--out", str(tmp_path / "par"),
+                               "--cache-dir", str(tmp_path / "cache")])
+    assert code1 == code2 == 0
+    serial = json.loads((tmp_path / "serial" / "BENCH_engine_mlffr.json").read_text())
+    par = json.loads((tmp_path / "par" / "BENCH_engine_mlffr.json").read_text())
+    assert serial["series"] == par["series"]
+
+
+def test_bench_jobs_validation(tmp_path):
+    code, text = run_cli(["bench", "--suite", "engine_mlffr",
+                          "--jobs", "0", "--out", str(tmp_path)])
+    assert code == 2
+    assert "--jobs" in text
+
+
+def test_reproduce_jobs_identical(tmp_path):
+    args = ["reproduce", "6g", "--packets", "400"]
+    code1, text1 = run_cli(args)
+    code2, text2 = run_cli(args + ["--jobs", "2",
+                                   "--cache-dir", str(tmp_path / "c")])
+    assert code1 == code2 == 0
+    assert text1 == text2

@@ -1,0 +1,91 @@
+"""ScenarioExecutor: parallel runs must be bit-identical to serial.
+
+The determinism acceptance test for the whole layer: the same scenario
+grid through ``jobs=1`` and ``jobs=4`` produces the same MLFFR series,
+probe sequences, and merged telemetry.  Grids are kept tiny — the point
+is equality, not throughput.
+"""
+
+import pytest
+
+from repro.scenario import (
+    Scenario,
+    ScenarioExecutor,
+    TraceCache,
+    scenario_grid,
+)
+from repro.telemetry import Telemetry
+
+_GRID_KW = dict(num_flows=10, max_packets=400)
+
+
+def _grid():
+    return scenario_grid("ddos", "caida", ["scr", "rss"], [1, 2], **_GRID_KW)
+
+
+def _series(results):
+    return [(r.scenario.technique, r.scenario.cores, r.mlffr_mpps, r.probes)
+            for r in results]
+
+
+class TestSerialPath:
+    def test_results_in_input_order(self):
+        grid = _grid()
+        results = ScenarioExecutor(jobs=1).run(grid)
+        assert [r.scenario for r in results] == grid
+
+    def test_run_one(self):
+        sc = Scenario.create("ddos", "caida", "scr", 1, **_GRID_KW)
+        res = ScenarioExecutor().run_one(sc)
+        assert res.mlffr_mpps > 0
+
+    def test_serial_shares_builder(self):
+        ex = ScenarioExecutor(jobs=1)
+        ex.run(_grid())
+        # one workload spec in the grid → exactly one memoized trace
+        assert len(ex.builder._traces) <= 1
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioExecutor(jobs=0)
+
+
+class TestParallelEqualsSerial:
+    def test_mlffr_series_identical(self):
+        grid = _grid()
+        serial = ScenarioExecutor(jobs=1).run(grid)
+        parallel = ScenarioExecutor(jobs=4).run(grid)
+        assert _series(serial) == _series(parallel)
+
+    def test_identical_with_shared_cache(self, tmp_path):
+        grid = _grid()
+        serial = ScenarioExecutor(jobs=1).run(grid)
+        cache = TraceCache(tmp_path / "cache")
+        cold = ScenarioExecutor(jobs=2, cache=cache).run(grid)
+        warm = ScenarioExecutor(jobs=2, cache=TraceCache(tmp_path / "cache")).run(grid)
+        assert _series(serial) == _series(cold) == _series(warm)
+
+    def test_telemetry_metrics_merge_identically(self):
+        grid = _grid()
+        tele_serial, tele_parallel = Telemetry(), Telemetry()
+        ScenarioExecutor(jobs=1, telemetry=tele_serial).run(grid)
+        ScenarioExecutor(jobs=2, telemetry=tele_parallel).run(grid)
+        snap_s = tele_serial.registry.snapshot()
+        snap_p = tele_parallel.registry.snapshot()
+        assert set(snap_s) == set(snap_p)
+        for name, data in snap_s.items():
+            if data["type"] == "histogram":
+                assert snap_p[name]["buckets"] == data["buckets"], name
+                assert snap_p[name]["count"] == data["count"], name
+            else:
+                assert snap_p[name]["value"] == data["value"], name
+
+    def test_parallel_results_are_compact(self):
+        results = ScenarioExecutor(jobs=2).run(_grid())
+        assert all(r.mlffr is None for r in results)
+
+    def test_cache_dir_accepted(self, tmp_path):
+        ex = ScenarioExecutor(jobs=2, cache_dir=tmp_path / "c")
+        results = ex.run(_grid())
+        assert len(results) == 4
+        assert (tmp_path / "c").exists()

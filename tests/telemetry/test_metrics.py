@@ -147,3 +147,57 @@ class TestRegistry:
         counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
         assert counts == sorted(counts)
         assert counts[-1] == 3
+
+
+class TestMergeSnapshot:
+    """Cross-process aggregation: merging a snapshot == merging the
+    registry that produced it (the scenario executor's telemetry path)."""
+
+    @staticmethod
+    def _worker_registry():
+        reg = MetricsRegistry()
+        reg.counter("iters").inc(5)
+        reg.gauge('mlffr_mpps{cores="2"}').set(16.25)
+        h = reg.histogram("lat")
+        for v in (10.0, 42.0, 42.0, 9000.0):
+            h.observe(v)
+        return reg
+
+    def test_merge_into_empty_equals_source(self):
+        src = self._worker_registry()
+        dst = MetricsRegistry()
+        dst.merge_snapshot(src.snapshot())
+        assert dst.snapshot() == src.snapshot()
+
+    def test_counters_accumulate_and_histograms_fold(self):
+        dst = MetricsRegistry()
+        dst.merge_snapshot(self._worker_registry().snapshot())
+        dst.merge_snapshot(self._worker_registry().snapshot())
+        snap = dst.snapshot()
+        assert snap["iters"]["value"] == 10
+        assert snap["lat"]["count"] == 8
+        assert snap["lat"]["min"] == 10.0 and snap["lat"]["max"] == 9000.0
+        # every bucket count exactly doubled
+        single = self._worker_registry().snapshot()["lat"]["buckets"]
+        assert snap["lat"]["buckets"] == [[ub, n * 2] for ub, n in single]
+
+    def test_gauge_takes_latest(self):
+        dst = MetricsRegistry()
+        dst.gauge("g").set(1.0)
+        src = MetricsRegistry()
+        src.gauge("g").set(7.0)
+        dst.merge_snapshot(src.snapshot())
+        assert dst.gauge("g").value == 7.0
+
+    def test_histogram_growth_mismatch_rejected(self):
+        src = MetricsRegistry()
+        src.histogram("lat", growth=4.0).observe(10.0)
+        dst = MetricsRegistry()
+        dst.histogram("lat")  # default growth
+        with pytest.raises(ValueError):
+            dst.merge_snapshot(src.snapshot())
+
+    def test_disabled_registry_ignores(self):
+        dst = MetricsRegistry(enabled=False)
+        dst.merge_snapshot(self._worker_registry().snapshot())
+        assert len(dst) == 0
