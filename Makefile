@@ -1,7 +1,7 @@
 # Convenience targets for the SCR reproduction.
 
 .PHONY: install test lint typecheck bench bench-compare bench-baseline \
-	bench-figures reproduce examples telemetry-demo clean
+	bench-figures chaos reproduce examples telemetry-demo clean
 
 install:
 	python setup.py develop
@@ -9,7 +9,7 @@ install:
 test:
 	pytest tests/
 
-# SCR-safety static analysis (scrlint, rules SCR001-SCR005) plus the
+# SCR-safety static analysis (scrlint, rules SCR001-SCR006) plus the
 # generic ruff gate.  ruff is optional locally (pip install -e '.[lint]');
 # CI always runs it.
 lint:
@@ -49,6 +49,12 @@ bench-compare:
 bench-baseline:
 	PYTHONPATH=src python -m repro.cli bench --suite fig6_scaling \
 		--out benchmarks/baselines
+
+# Fault-injection matrix (repro.faults): gap detection, checkpoint
+# recovery, and MLFFR-vs-drop-rate, written as BENCH_chaos_recovery.json.
+# Nonzero exit if any injected gap goes undetected (see docs/FAULTS.md).
+chaos:
+	PYTHONPATH=src python -m repro.cli chaos --out results/chaos --jobs 2
 
 # The paper-figure pytest benches (tables/figures with printed series).
 bench-figures:

@@ -98,3 +98,4 @@ from . import purity  # noqa: E402,F401
 from . import metadata  # noqa: E402,F401
 from . import engines  # noqa: E402,F401
 from . import floats  # noqa: E402,F401
+from . import faulthygiene  # noqa: E402,F401

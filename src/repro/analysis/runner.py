@@ -26,13 +26,15 @@ __all__ = [
 ]
 
 #: What CI lints when no paths are given: the program zoo (SCR001/2/3/5),
-#: the scaling engines (SCR004), and the scenario layer (SCR004 — the
+#: the scaling engines (SCR004), the scenario layer (SCR004 — the
 #: multiprocess executor's serial-equivalence guarantee depends on the
-#: same no-clocks/no-process-RNG/no-module-state hygiene).
+#: same no-clocks/no-process-RNG/no-module-state hygiene), and the
+#: fault/recovery subsystem (SCR006).
 DEFAULT_LINT_PATHS: Tuple[str, ...] = (
     "src/repro/programs",
     "src/repro/parallel",
     "src/repro/scenario",
+    "src/repro/faults",
 )
 
 

@@ -12,10 +12,13 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..cpu.simulator import PerfEngine, PerfTrace, SimResult, simulate
 from ..telemetry.events import EV_MLFFR_PROBE, NULL_TRACER, EventTracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.plan import FaultPlan
 
 __all__ = ["MlffrResult", "find_mlffr", "LOSS_THRESHOLD", "SEARCH_TOLERANCE_PPS"]
 
@@ -62,6 +65,7 @@ def find_mlffr(
     burst_size: int = 1,
     tracer: EventTracer = NULL_TRACER,
     collect_latency: bool = False,
+    faults: Optional["FaultPlan"] = None,
 ) -> MlffrResult:
     """Binary-search the highest offered rate with loss below threshold.
 
@@ -69,6 +73,11 @@ def find_mlffr(
     loss, verdict) and is forwarded to every probe's simulation.
     ``collect_latency`` makes each probe gather latency samples, so
     ``result_at_mlffr`` carries the percentile histogram.
+
+    ``faults`` applies the same index-keyed fault schedule to every
+    probe (a FaultPlan is rate-independent by construction), so the
+    search measures MLFFR *under* that fault regime — injected drops
+    count toward the loss threshold exactly like congestion drops.
     """
     if start_pps <= 0:
         raise ValueError("start rate must be positive")
@@ -88,6 +97,7 @@ def find_mlffr(
             burst_size=burst_size,
             tracer=tracer,
             collect_latency=collect_latency,
+            faults=faults,
         )
         probes.append((rate, res.loss_fraction))
         ok = res.loss_fraction <= loss_threshold

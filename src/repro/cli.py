@@ -14,8 +14,12 @@ Subcommands:
 * ``bench``      — run the perf-regression suite (``BENCH_*.json``
   artifacts) or, with ``--compare OLD NEW``, gate NEW against a baseline
   with noise-aware thresholds (nonzero exit on regression).
-* ``lint``       — scrlint: SCR-safety static analysis of the program zoo
-  and the scaling engines (rules SCR001–SCR005; exit 1 on findings).
+* ``chaos``      — run the curated fault-injection matrix (repro.faults):
+  gap detection, recovery, and MLFFR-vs-drop-rate, written as a
+  ``BENCH_chaos_recovery.json`` artifact (exit 1 if the gate fails).
+* ``lint``       — scrlint: SCR-safety static analysis of the program zoo,
+  the scaling engines, and the fault/recovery subsystem (rules
+  SCR001–SCR006; exit 1 on findings).
 
 ``run``, ``mlffr``, and ``sweep`` accept ``--telemetry DIR``: the run is
 instrumented (event trace, metrics, latency histograms) and a
@@ -143,11 +147,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="multiplier on summed MADs (default 3.0)")
 
     p = sub.add_parser(
-        "lint", help="SCR-safety static analysis (scrlint, SCR001–SCR005)"
+        "chaos", help="fault-injection matrix: detection, recovery, MLFFR"
+    )
+    p.add_argument("--seed", type=int, default=7,
+                   help="fault-plan and workload seed (default 7)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the MLFFR sweep "
+                        "(artifact byte-identical to --jobs 1)")
+    p.add_argument("--out", default="results/chaos", metavar="DIR",
+                   help="directory for the BENCH_chaos_recovery.json artifact")
+    p.add_argument("--full", action="store_true",
+                   help="longer traces (2000/3000 packets) instead of quick")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="content-addressed trace cache (see docs/BENCHMARKS.md)")
+
+    p = sub.add_parser(
+        "lint", help="SCR-safety static analysis (scrlint, SCR001–SCR006)"
     )
     p.add_argument("paths", nargs="*", metavar="PATH",
                    help="files/directories to lint "
-                        "(default: src/repro/programs src/repro/parallel)")
+                        "(default: programs, parallel, faults)")
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="report format (json is what CI archives)")
     p.add_argument("--list-rules", action="store_true",
@@ -518,6 +537,32 @@ def cmd_bench(args, out) -> int:
     return 0
 
 
+def cmd_chaos(args, out) -> int:
+    from .faults.matrix import ChaosMatrixParams, run_chaos_matrix
+
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=out)
+        return 2
+    report = run_chaos_matrix(ChaosMatrixParams(
+        seed=args.seed,
+        jobs=args.jobs,
+        quick=not args.full,
+        cache_dir=args.cache_dir,
+    ))
+    for line in report.summary_lines():
+        print(line, file=out)
+    artifact = report.artifact
+    assert artifact is not None
+    try:
+        path = artifact.save(args.out)
+    except OSError as exc:
+        print(f"error: cannot write chaos artifact to {args.out!r}: {exc}",
+              file=out)
+        return 2
+    print(f"wrote {path}", file=out)
+    return 0 if report.ok else 1
+
+
 def cmd_lint(args, out) -> int:
     from .analysis import all_rules, format_json, format_text, lint_paths
 
@@ -572,6 +617,7 @@ _COMMANDS = {
     "reproduce": cmd_reproduce,
     "inspect": cmd_inspect,
     "bench": cmd_bench,
+    "chaos": cmd_chaos,
     "lint": cmd_lint,
     "validate": cmd_validate,
 }

@@ -98,6 +98,10 @@ class ContentionParams:
     log_write_ns: float = 9.0
     #: Spin-probe cost of reading another core's log during recovery, ns.
     recovery_probe_ns: float = 70.0
+    #: Fetching an epoch checkpoint from the sequencer during a quarantine
+    #: resync: a DMA round trip for a snapshot region, amortized per
+    #: resync.  Dominated by the host-interconnect latency, not size.
+    checkpoint_fetch_ns: float = 1_800.0
 
     def lock_hold_ns(self, c1: float, contenders: int) -> float:
         """Time the lock is held per update under ``contenders``-way contention.

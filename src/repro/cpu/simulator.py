@@ -17,13 +17,19 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Protocol, Sequence, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from ..nic.nic import ETHERNET_OVERHEAD_BYTES, MIN_FRAME_BYTES
 from ..nic.queues import DEFAULT_DESCRIPTORS
 from ..nic.rss import SYMMETRIC_RSS_KEY, hash_input_l3, hash_input_l4, toeplitz_hash
 from ..programs.base import PacketProgram
 from ..telemetry.events import (
+    EV_FAULT_DROP,
+    EV_FAULT_DUPLICATE,
+    EV_FAULT_KILL,
+    EV_FAULT_POP_DROP,
+    EV_FAULT_REORDER,
+    EV_FAULT_STALL,
     EV_INJECTED_LOSS,
     EV_PCIE_DROP,
     EV_RING_DROP,
@@ -33,6 +39,9 @@ from ..telemetry.events import (
     NULL_TRACER,
     EventTracer,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..faults.plan import FaultPlan
 from ..telemetry.metrics import Histogram
 from ..traffic.trace import Trace
 from .counters import SystemCounters
@@ -151,6 +160,9 @@ class SimResult:
     #: log-bucketed sojourn-time distribution; populated alongside the raw
     #: samples, bounded memory, the source for the p50/p90/p99/p999 views.
     latency_histogram: Optional[Histogram] = None
+    #: injector summary (counts per fault kind) when the run had a fault
+    #: plan; None on fault-free runs so old artifacts stay byte-identical.
+    fault_stats: Optional[Dict[str, object]] = None
 
     def latency_percentile_ns(self, q: float) -> float:
         """The q-quantile (0..1) of per-packet sojourn time (exact samples)."""
@@ -230,6 +242,7 @@ def simulate(
     pcie_rate_gbps: float = 252.0,
     collect_latency: bool = False,
     tracer: EventTracer = NULL_TRACER,
+    faults: Optional["FaultPlan"] = None,
 ) -> SimResult:
     """Offer ``perf_trace`` at ``rate_pps`` to ``engine`` and measure.
 
@@ -255,6 +268,14 @@ def simulate(
     ``tracer`` receives typed events (per-packet service spans, every drop
     with its cause, a run summary); the default disabled tracer costs one
     branch per packet.
+
+    ``faults`` attaches a seeded :class:`repro.faults.plan.FaultPlan`:
+    wire→ring drops and ring-pop drops become loss the engine is told
+    about (``note_fault_drop``, so SCR charges gap recovery), duplicates
+    cost a dispatch without counting as forwarded, in-ring reordering
+    perturbs service order, and core stalls/kills model a slow or dead
+    replica.  Fault decisions key on the packet *index*, never on probe
+    rate or arrival order, so every MLFFR probe sees the same schedule.
     """
     if rate_pps <= 0:
         raise ValueError("rate must be positive")
@@ -264,8 +285,22 @@ def simulate(
     line_rate_bps = line_rate_gbps * 1e9
     pcie_rate_bps = pcie_rate_gbps * 1e9
     dma_len = getattr(engine, "dma_len", engine.wire_len)
+    sf = None
+    if faults is not None and faults.any_faults:
+        from ..faults.inject import SimFaults
 
-    rings: List[Deque[Tuple[float, PerfPacket]]] = [deque() for _ in range(k)]
+        sf = SimFaults(faults, k)
+    #: engines that model per-core gap recovery expose note_fault_drop.
+    note_fault_drop = getattr(engine, "note_fault_drop", None)
+    #: a duplicate costs one dispatch, not a full service (the replica
+    #: rejects it by sequence number right after dispatch); engines built
+    #: on CostParams expose .costs, bare Protocol engines fall back to a
+    #: full service charge.
+    engine_costs = getattr(engine, "costs", None)
+
+    #: ring entries: (arrival_ns, packet, is_injected_duplicate)
+    rings: List[Deque[Tuple[float, PerfPacket, bool]]] = [deque() for _ in range(k)]
+    dead = [False] * k
     busy = [0.0] * k
     per_core_packets = [0] * k
     processed = 0
@@ -288,13 +323,50 @@ def simulate(
 
     def drain(core: int, horizon: float) -> None:
         nonlocal processed, last_finish
+        if dead[core]:
+            return
         ring = rings[core]
         while ring and busy[core] <= horizon:
-            arrival, pp = ring[0]
+            arrival, pp, dup = ring[0]
             start = busy[core] if busy[core] > arrival else arrival
             if start > horizon:
                 break
             ring.popleft()
+            if sf is not None:
+                if sf.killed(core, pp.index):
+                    # Everything still queued on a dead core is lost.
+                    dead[core] = True
+                    if tracing:
+                        emit(EV_FAULT_KILL, ts_ns=start, core=core,
+                             index=pp.index)
+                    return
+                stall = sf.stall_ns(core, pp.index)
+                if stall > 0.0:
+                    if tracing:
+                        emit(EV_FAULT_STALL, ts_ns=start, core=core,
+                             dur_ns=stall, index=pp.index)
+                    start += stall
+                    busy[core] = start
+                    if start > horizon:
+                        ring.appendleft((arrival, pp, dup))
+                        break
+                if not dup and sf.pop_drop(pp.index):
+                    # Descriptor consumed, payload discarded: the replica
+                    # never sees this packet and must recover the gap.
+                    if note_fault_drop is not None:
+                        note_fault_drop(core, pp)
+                    if tracing:
+                        emit(EV_FAULT_POP_DROP, ts_ns=start, core=core,
+                             index=pp.index)
+                    continue
+            if dup:
+                # Stale sequence number: rejected right after dispatch.
+                service = (engine_costs.d if engine_costs is not None
+                           else engine.service_ns(core, pp, start))
+                busy[core] = start + service
+                if busy[core] > last_finish:
+                    last_finish = busy[core]
+                continue
             service = engine.service_ns(core, pp, start)
             busy[core] = start + service
             per_core_packets[core] += 1
@@ -337,6 +409,14 @@ def simulate(
             continue
         pcie_free = (pcie_free if pcie_free > now else now) + dt
         core = engine.steer(pp)
+        if sf is not None and sf.drop(pp.index):
+            # Admitted by the MAC (wire already charged) but lost on the
+            # way to the ring; the replica sees a history gap.
+            if note_fault_drop is not None:
+                note_fault_drop(core, pp)
+            if tracing:
+                emit(EV_FAULT_DROP, ts_ns=now, core=core, index=pp.index)
+            continue
         if not engine.pre_enqueue(pp, core):
             injected_lost += 1
             if tracing:
@@ -349,7 +429,27 @@ def simulate(
                 emit(EV_RING_DROP, ts_ns=now, core=core, index=pp.index,
                      depth=len(ring))
             continue
-        ring.append((now, pp))
+        if sf is not None:
+            offset = sf.reorder_offset(pp.index)
+            if offset > 0 and ring:
+                # Jump ahead of up to ``offset`` already-queued frames:
+                # the queued ones are delivered late relative to this one.
+                slot = len(ring) - offset
+                ring.insert(slot if slot > 0 else 0, (now, pp, False))
+                sf.note_reorder(pp.index)
+                if tracing:
+                    emit(EV_FAULT_REORDER, ts_ns=now, core=core,
+                         index=pp.index, offset=offset)
+            else:
+                ring.append((now, pp, False))
+            if sf.duplicate(pp.index):
+                if tracing:
+                    emit(EV_FAULT_DUPLICATE, ts_ns=now, core=core,
+                         index=pp.index)
+                if len(ring) < ring_capacity:
+                    ring.append((now, pp, True))
+        else:
+            ring.append((now, pp, False))
 
     stream_end = offered * interval
     horizon = stream_end + max(grace_min_ns, grace_fraction * stream_end)
@@ -359,10 +459,14 @@ def simulate(
         unfinished += len(rings[core])
 
     duration = max(last_finish, stream_end)
+    fault_stats: Optional[Dict[str, object]] = None
+    if sf is not None:
+        fault_stats = sf.summary()
+        recovery = getattr(engine, "fault_summary", None)
+        if recovery is not None:
+            fault_stats.update(recovery())
     if tracing:
-        emit(
-            EV_RUN_SUMMARY,
-            ts_ns=duration,
+        summary_fields = dict(
             engine=getattr(engine, "name", "?"),
             rate_pps=rate_pps,
             offered=offered,
@@ -373,6 +477,9 @@ def simulate(
             injected_lost=injected_lost,
             unfinished=unfinished,
         )
+        if fault_stats is not None:
+            summary_fields["fault_stats"] = fault_stats
+        emit(EV_RUN_SUMMARY, ts_ns=duration, **summary_fields)
     return SimResult(
         offered=offered,
         processed=processed,
@@ -387,4 +494,5 @@ def simulate(
         per_core_packets=per_core_packets,
         latency_samples_ns=latency_samples,
         latency_histogram=latency_hist,
+        fault_stats=fault_stats,
     )

@@ -1,0 +1,89 @@
+"""Stable digests over program state: the divergence-detection primitive.
+
+A replica digest must satisfy two properties the builtin ``hash`` (salted
+per process) and ``repr`` of a dict (insertion-ordered) do not:
+
+* **stability** — the same logical state yields the same digest across
+  processes, pickling round-trips, and dict insertion orders, or the
+  serial-vs-``--jobs`` parity guarantee dies at the monitor;
+* **structure awareness** — program state values are frozen dataclasses,
+  enums, tuples, ints (e.g. conntrack's TCP state records), so the
+  canonicalization must recurse and must not conflate ``1``/``True``/"1".
+
+Every value is lowered to a type-tagged JSON tree (sorted maps, hex
+bytes, ``repr`` floats) and SHA-256 hashed.  Anything unloweable raises
+``TypeError`` loudly — a silent fallback would turn "digests match" into
+a vacuous claim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any, List, Mapping, Sequence
+
+__all__ = ["canonicalize", "state_digest", "replica_digests"]
+
+
+def _sort_key(canon: object) -> str:
+    return json.dumps(canon, sort_keys=True, separators=(",", ":"))
+
+
+def canonicalize(value: Any) -> object:
+    """Lower ``value`` to a deterministic, type-tagged JSON-safe tree."""
+    if value is None:
+        return ["null"]
+    if isinstance(value, bool):
+        return ["b", value]
+    if isinstance(value, enum.Enum):
+        # Before int: IntEnum members are ints, but the class identity is
+        # part of the state's meaning (two enums sharing values differ).
+        return ["e", type(value).__name__, canonicalize(value.value)]
+    if isinstance(value, int):
+        return ["i", value]
+    if isinstance(value, float):
+        return ["f", repr(value)]
+    if isinstance(value, str):
+        return ["s", value]
+    if isinstance(value, (bytes, bytearray)):
+        return ["y", bytes(value).hex()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = [
+            [f.name, canonicalize(getattr(value, f.name))]
+            for f in dataclasses.fields(value)
+        ]
+        return ["d", type(value).__name__, fields]
+    if isinstance(value, (list, tuple)):
+        return ["l", [canonicalize(v) for v in value]]
+    if isinstance(value, (set, frozenset)):
+        members = sorted((canonicalize(v) for v in value), key=_sort_key)
+        return ["set", members]
+    if isinstance(value, Mapping):
+        items = [[canonicalize(k), canonicalize(v)] for k, v in value.items()]
+        items.sort(key=lambda kv: _sort_key(kv[0]))
+        return ["m", items]
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for a state digest; "
+        "program state must be built from scalars, tuples, enums, and "
+        "(frozen) dataclasses"
+    )
+
+
+def state_digest(snapshot: Mapping[Any, Any]) -> str:
+    """SHA-256 hex digest of one replica's state snapshot.
+
+    ``snapshot`` is what :meth:`repro.state.maps.StateMap.snapshot`
+    returns; equal logical contents give equal digests regardless of
+    insertion order or which process computed them.
+    """
+    canonical = json.dumps(
+        canonicalize(dict(snapshot)), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def replica_digests(snapshots: Sequence[Mapping[Any, Any]]) -> List[str]:
+    """Digest every replica snapshot (one call per monitor observation)."""
+    return [state_digest(s) for s in snapshots]

@@ -1,0 +1,142 @@
+"""Replica-divergence detection over periodic state digests.
+
+A forked replica is silent: it keeps forwarding packets, its verdicts
+just slowly drift from every other core's.  The monitor makes the fork
+observable — every ``interval`` packets it compares the per-replica
+digests (see :mod:`repro.faults.digest`), records the first packet index
+at which any replica left the majority, tracks the blast radius (how
+many replicas disagree at once), and emits typed ``fault.divergence``
+events through the ordinary tracer so ``scr-repro inspect`` can
+summarize runs after the fact.
+
+"Majority" is the most common digest among live replicas, with a
+deterministic lexicographic tie-break — never wall-clock or arrival
+order, so serial and parallel runs report identical divergence windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..telemetry.events import EV_DIVERGENCE, NULL_TRACER, EventTracer
+
+__all__ = ["DivergenceReport", "DivergenceMonitor"]
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """Summary of one monitored run."""
+
+    checks: int
+    divergent_checks: int
+    first_divergence_index: Optional[int]
+    max_blast_radius: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "checks": self.checks,
+            "divergent_checks": self.divergent_checks,
+            "first_divergence_index": self.first_divergence_index,
+            "max_blast_radius": self.max_blast_radius,
+        }
+
+
+def majority_digest(digests: Sequence[str]) -> str:
+    """The most common digest; ties break to the lexicographically
+    smallest so the answer never depends on replica ordering."""
+    if not digests:
+        raise ValueError("need at least one digest")
+    counts: Dict[str, int] = {}
+    for d in digests:
+        counts[d] = counts.get(d, 0) + 1
+    return min(counts, key=lambda d: (-counts[d], d))
+
+
+class DivergenceMonitor:
+    """Snapshots replica digests every N packets and flags disagreement."""
+
+    def __init__(self, interval: int = 64, tracer: EventTracer = NULL_TRACER) -> None:
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.interval = interval
+        self.tracer = tracer
+        self.checks = 0
+        self.divergent_checks = 0
+        self.first_divergence_index: Optional[int] = None
+        self.max_blast_radius = 0
+        self.last_divergent_cores: Tuple[int, ...] = ()
+        #: every core the monitor ever saw diverge (detection bookkeeping).
+        self.flagged_cores: Set[int] = set()
+
+    def due(self, packet_index: int) -> bool:
+        """Is a digest comparison due after packet ``packet_index``?"""
+        return (packet_index + 1) % self.interval == 0
+
+    def observe(
+        self,
+        packet_index: int,
+        digests: Sequence[str],
+        live: Optional[Sequence[bool]] = None,
+        expected: Optional[Sequence[str]] = None,
+    ) -> bool:
+        """Compare one round of replica digests; True when all agree.
+
+        ``live`` masks out replicas that are legitimately excluded from
+        the consistency claim (killed or flagged-unrecoverable cores);
+        a dead replica's stale digest is not a divergence.
+
+        Without ``expected``, replicas are compared against the majority
+        digest — only valid when all replicas sit at the same sequence
+        point (e.g. after a tail flush).  Mid-stream, replicas lag each
+        other legitimately, so the caller passes ``expected``: the
+        fault-free golden digest *at each replica's own sequence point*,
+        and a replica diverges iff it mismatches its own expectation.
+        """
+        alive = [
+            (core, digest)
+            for core, digest in enumerate(digests)
+            if live is None or live[core]
+        ]
+        self.checks += 1
+        if not alive:
+            return True
+        if expected is not None:
+            divergent = tuple(
+                core for core, d in alive if d != expected[core]
+            )
+        else:
+            majority = majority_digest([d for _, d in alive])
+            divergent = tuple(core for core, d in alive if d != majority)
+        self.last_divergent_cores = divergent
+        if not divergent:
+            return True
+        self.divergent_checks += 1
+        self.flagged_cores.update(divergent)
+        if self.first_divergence_index is None:
+            self.first_divergence_index = packet_index
+        if len(divergent) > self.max_blast_radius:
+            self.max_blast_radius = len(divergent)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EV_DIVERGENCE,
+                index=packet_index,
+                cores=list(divergent),
+                blast_radius=len(divergent),
+                first=self.first_divergence_index == packet_index,
+            )
+        return False
+
+    def report(self) -> DivergenceReport:
+        return DivergenceReport(
+            checks=self.checks,
+            divergent_checks=self.divergent_checks,
+            first_divergence_index=self.first_divergence_index,
+            max_blast_radius=self.max_blast_radius,
+        )
+
+
+def live_mask(num_cores: int, dead_cores: Sequence[int]) -> List[bool]:
+    """Convenience: the ``live`` argument from a list of dead core ids."""
+    dead = set(dead_cores)
+    return [core not in dead for core in range(num_cores)]

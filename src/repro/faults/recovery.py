@@ -1,0 +1,149 @@
+"""Epoch-checkpoint resynchronization: the sequencer-side recovery model.
+
+Algorithm 1 recovers *bounded* gaps from peer logs; a replica that lost
+history beyond the piggybacked window (a quarantined replica) needs a
+stronger mechanism.  The sequencer already sees every packet in order, so
+it can cheaply maintain:
+
+* a **shadow replica** — the program state fast-forwarded through every
+  sequenced packet (the sequencer never computes verdicts, only state);
+* **epoch checkpoints** — a snapshot of the shadow every ``epoch_len``
+  sequences;
+* a **replay log** — the packed metadata of recent sequences, optionally
+  bounded by ``log_capacity`` (real hardware has finite SRAM).
+
+``resync(state, to_seq)`` restores the newest checkpoint at or before
+``to_seq`` and replays the log up to ``to_seq``, leaving ``state`` exactly
+equal to a fault-free replica at that sequence.  When the bounded log has
+already evicted needed entries the gap is **unrecoverable** and reported
+as such — surfacing, rather than hiding, the limit of the protocol.
+
+Determinism: no clocks, no RNGs (scrlint SCR006) — recovery outcomes are
+a pure function of the sequenced stream and the spec's epoch/log bounds.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional
+
+from ..programs.base import PacketProgram
+from ..state.maps import StateMap
+
+__all__ = ["ResyncOutcome", "EpochCheckpointer"]
+
+
+@dataclass(frozen=True)
+class ResyncOutcome:
+    """Result of one resynchronization attempt."""
+
+    to_seq: int
+    #: the checkpoint sequence restored from (-1 when unrecoverable).
+    checkpoint_seq: int
+    #: log entries replayed on top of the checkpoint.
+    replayed: int
+    unrecoverable: bool = False
+
+
+class EpochCheckpointer:
+    """Sequencer-side shadow state, epoch checkpoints, and replay log."""
+
+    def __init__(
+        self,
+        program: PacketProgram,
+        epoch_len: int = 32,
+        log_capacity: Optional[int] = None,
+        state_capacity: int = 4096,
+    ) -> None:
+        if epoch_len < 1:
+            raise ValueError("epoch_len must be >= 1")
+        if log_capacity is not None and log_capacity < 1:
+            raise ValueError("log_capacity must be >= 1 (or None)")
+        self.program = program
+        self.epoch_len = epoch_len
+        self.log_capacity = log_capacity
+        self._shadow = StateMap(capacity=state_capacity)
+        #: seq → packed metadata, contiguous, oldest evicted first.
+        self._log: "OrderedDict[int, bytes]" = OrderedDict()
+        #: seq → full state snapshot; seq 0 is the empty initial state.
+        self._checkpoints: Dict[int, Dict[Hashable, Any]] = {0: {}}
+        self.last_seq = 0
+        self.checkpoints_taken = 0
+        self.resyncs = 0
+        self.replayed_total = 0
+        self.unrecoverable_requests = 0
+
+    def record(self, seq: int, meta_bytes: bytes) -> None:
+        """Fold one sequenced packet into the shadow replica and the log.
+
+        The sequencer numbers packets contiguously, so out-of-order or
+        gapped recording is a caller bug, not a modeled fault.
+        """
+        if seq != self.last_seq + 1:
+            raise ValueError(
+                f"checkpointer expects sequence {self.last_seq + 1}, got {seq}"
+            )
+        meta = self.program.metadata_cls.unpack(meta_bytes)
+        self.program.fast_forward(self._shadow, meta)
+        self.last_seq = seq
+        self._log[seq] = meta_bytes
+        if self.log_capacity is not None:
+            while len(self._log) > self.log_capacity:
+                self._log.popitem(last=False)
+        if seq % self.epoch_len == 0:
+            self._checkpoints[seq] = self._shadow.snapshot()
+            self.checkpoints_taken += 1
+
+    def _oldest_logged(self) -> Optional[int]:
+        return next(iter(self._log)) if self._log else None
+
+    def feasible_checkpoint(self, to_seq: int) -> Optional[int]:
+        """The newest checkpoint from which ``to_seq`` is reachable.
+
+        A checkpoint ``ck`` works when every sequence in ``ck+1..to_seq``
+        is still in the (contiguous) log — i.e. the log's oldest entry is
+        at most ``ck + 1`` — or when ``ck == to_seq`` (nothing to replay).
+        """
+        if to_seq > self.last_seq:
+            return None
+        oldest = self._oldest_logged()
+        best: Optional[int] = None
+        for ck in self._checkpoints:
+            if ck > to_seq:
+                continue
+            if ck != to_seq and (oldest is None or oldest > ck + 1):
+                continue
+            if best is None or ck > best:
+                best = ck
+        return best
+
+    def resync(self, state: StateMap, to_seq: int) -> ResyncOutcome:
+        """Rebuild ``state`` to exactly the fault-free state at ``to_seq``."""
+        ck = self.feasible_checkpoint(to_seq)
+        if ck is None:
+            self.unrecoverable_requests += 1
+            return ResyncOutcome(
+                to_seq=to_seq, checkpoint_seq=-1, replayed=0, unrecoverable=True
+            )
+        state.clear()
+        for key, value in self._checkpoints[ck].items():
+            state.update(key, value)
+        replayed = 0
+        for seq in range(ck + 1, to_seq + 1):
+            meta = self.program.metadata_cls.unpack(self._log[seq])
+            self.program.fast_forward(state, meta)
+            replayed += 1
+        self.resyncs += 1
+        self.replayed_total += replayed
+        return ResyncOutcome(
+            to_seq=to_seq, checkpoint_seq=ck, replayed=replayed
+        )
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "checkpoints_taken": self.checkpoints_taken,
+            "resyncs": self.resyncs,
+            "replayed_total": self.replayed_total,
+            "unrecoverable_requests": self.unrecoverable_requests,
+        }

@@ -1,0 +1,204 @@
+"""Declarative fault specifications: the single vocabulary for "what breaks".
+
+SCR's correctness story assumes every core sees an unbroken piggybacked
+history; this module describes the ways that assumption fails in deployment
+— RX-descriptor drops, NIC reordering pathologies (Flow Director style),
+duplicated frames, a sequencer whose history SRAM loses rows, stalled or
+dead cores — as one frozen, hashable :class:`FaultSpec`.
+
+Like :class:`~repro.scenario.spec.TraceSpec`, a FaultSpec is pure data:
+JSON-scalar leaves, frozen, picklable, content-hashed under a schema
+version.  It never *decides* anything; :class:`~repro.faults.plan.FaultPlan`
+turns a spec into deterministic per-packet decisions.  A Scenario embeds an
+optional FaultSpec and folds :meth:`canonical_dict` into its content hash,
+so cached grids can never confuse a faulty run with a clean one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = ["FAULT_SCHEMA", "FaultSpec"]
+
+#: Bump on any incompatible change to the canonical fault shape; part of
+#: the content hash, so old scenario hashes stop matching automatically.
+FAULT_SCHEMA = 1
+
+
+def _as_int_tuple(values: Iterable[int]) -> Tuple[int, ...]:
+    return tuple(int(v) for v in values)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Everything that determines an injected fault schedule.
+
+    Rates are per-packet probabilities decided by a seeded hash of
+    (seed, fault kind, packet index) — see :class:`~repro.faults.plan.
+    FaultPlan` — so the schedule is a pure function of this spec and is
+    identical whether packets are examined in order, out of order, or
+    across processes.  Explicit index schedules (``drop_indices`` etc.)
+    fire in addition to the rates, for pinpoint tests.
+
+    Packet indices are 0-based arrival order; sequencer sequence numbers
+    (``truncate`` schedules) are 1-based, matching the sequencer.
+    """
+
+    seed: int = 7
+    #: wire→ring loss: the packet is admitted by the MAC but never reaches
+    #: its RX descriptor (the Fig. 6/9/10a ring-drop pathology, injected).
+    drop_rate: float = 0.0
+    #: loss at the ring-pop: the descriptor is consumed but the payload is
+    #: bad (e.g. a DMA error), so the core discards it after dispatch.
+    pop_drop_rate: float = 0.0
+    #: probability a packet is held back and re-inserted behind up to
+    #: ``reorder_window`` younger packets (Flow Director-style reordering).
+    reorder_rate: float = 0.0
+    reorder_window: int = 4
+    #: probability a frame is delivered twice (e.g. a retransmitting ToR).
+    duplicate_rate: float = 0.0
+    #: probability the sequencer's history block loses its oldest
+    #: ``truncate_depth`` rows (zeroed, as a partial SRAM readout would).
+    truncate_rate: float = 0.0
+    truncate_depth: int = 1
+    #: explicit 0-based packet indices that always fire (additive to rates).
+    drop_indices: Tuple[int, ...] = ()
+    pop_drop_indices: Tuple[int, ...] = ()
+    duplicate_indices: Tuple[int, ...] = ()
+    reorder_indices: Tuple[int, ...] = ()
+    #: explicit 1-based sequence numbers whose history gets truncated.
+    truncate_seqs: Tuple[int, ...] = ()
+    #: (core, from_index, stall_ns): core pauses for stall_ns before
+    #: serving the first packet at or after from_index.
+    core_stalls: Tuple[Tuple[int, int, float], ...] = ()
+    #: (core, from_index): core dies at from_index and never drains again.
+    core_kills: Tuple[Tuple[int, int], ...] = ()
+    #: divergence digests are compared every this-many packets.
+    digest_interval: int = 64
+    #: sequencer checkpoint cadence for epoch resynchronization.
+    epoch_len: int = 32
+    #: bound on the sequencer's replay log (None = unbounded); a gap whose
+    #: replay needs evicted entries is unrecoverable.
+    history_log_capacity: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "pop_drop_rate", "reorder_rate",
+                     "duplicate_rate", "truncate_rate"):
+            rate = float(getattr(self, name))
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {rate}")
+        if self.reorder_window < 1:
+            raise ValueError("reorder_window must be >= 1")
+        if self.truncate_depth < 1:
+            raise ValueError("truncate_depth must be >= 1")
+        if self.digest_interval < 1:
+            raise ValueError("digest_interval must be >= 1")
+        if self.epoch_len < 1:
+            raise ValueError("epoch_len must be >= 1")
+        if self.history_log_capacity is not None and self.history_log_capacity < 1:
+            raise ValueError("history_log_capacity must be >= 1 (or None)")
+        for core, from_index, stall_ns in self.core_stalls:
+            if core < 0 or from_index < 0 or stall_ns <= 0:
+                raise ValueError(
+                    f"bad core stall ({core}, {from_index}, {stall_ns})"
+                )
+        for core, from_index in self.core_kills:
+            if core < 0 or from_index < 0:
+                raise ValueError(f"bad core kill ({core}, {from_index})")
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        seed: int = 7,
+        drop_rate: float = 0.0,
+        pop_drop_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        reorder_window: int = 4,
+        duplicate_rate: float = 0.0,
+        truncate_rate: float = 0.0,
+        truncate_depth: int = 1,
+        drop_indices: Iterable[int] = (),
+        pop_drop_indices: Iterable[int] = (),
+        duplicate_indices: Iterable[int] = (),
+        reorder_indices: Iterable[int] = (),
+        truncate_seqs: Iterable[int] = (),
+        core_stalls: Iterable[Tuple[int, int, float]] = (),
+        core_kills: Iterable[Tuple[int, int]] = (),
+        digest_interval: int = 64,
+        epoch_len: int = 32,
+        history_log_capacity: Optional[int] = None,
+    ) -> "FaultSpec":
+        """Validated spec with sequence arguments normalized to tuples."""
+        return cls(
+            seed=seed,
+            drop_rate=drop_rate,
+            pop_drop_rate=pop_drop_rate,
+            reorder_rate=reorder_rate,
+            reorder_window=reorder_window,
+            duplicate_rate=duplicate_rate,
+            truncate_rate=truncate_rate,
+            truncate_depth=truncate_depth,
+            drop_indices=_as_int_tuple(drop_indices),
+            pop_drop_indices=_as_int_tuple(pop_drop_indices),
+            duplicate_indices=_as_int_tuple(duplicate_indices),
+            reorder_indices=_as_int_tuple(reorder_indices),
+            truncate_seqs=_as_int_tuple(truncate_seqs),
+            core_stalls=tuple(
+                (int(c), int(i), float(ns)) for c, i, ns in core_stalls
+            ),
+            core_kills=tuple((int(c), int(i)) for c, i in core_kills),
+            digest_interval=digest_interval,
+            epoch_len=epoch_len,
+            history_log_capacity=history_log_capacity,
+        )
+
+    @property
+    def any_faults(self) -> bool:
+        """True when this spec can fire at all (a clean spec is a no-op)."""
+        return bool(
+            self.drop_rate or self.pop_drop_rate or self.reorder_rate
+            or self.duplicate_rate or self.truncate_rate
+            or self.drop_indices or self.pop_drop_indices
+            or self.duplicate_indices or self.reorder_indices
+            or self.truncate_seqs or self.core_stalls or self.core_kills
+        )
+
+    def canonical_dict(self) -> Dict[str, object]:
+        data = dataclasses.asdict(self)
+        data["core_stalls"] = [list(s) for s in self.core_stalls]
+        data["core_kills"] = [list(k) for k in self.core_kills]
+        for name in ("drop_indices", "pop_drop_indices", "duplicate_indices",
+                     "reorder_indices", "truncate_seqs"):
+            data[name] = list(getattr(self, name))
+        data["schema"] = FAULT_SCHEMA
+        return data
+
+    def content_hash(self) -> str:
+        """Hex digest identifying this fault schedule (schema-versioned)."""
+        canonical = json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        parts = []
+        if self.drop_rate or self.drop_indices:
+            parts.append(f"drop={self.drop_rate:g}+{len(self.drop_indices)}ix")
+        if self.pop_drop_rate or self.pop_drop_indices:
+            parts.append(f"pop={self.pop_drop_rate:g}")
+        if self.reorder_rate or self.reorder_indices:
+            parts.append(f"reorder={self.reorder_rate:g}w{self.reorder_window}")
+        if self.duplicate_rate or self.duplicate_indices:
+            parts.append(f"dup={self.duplicate_rate:g}")
+        if self.truncate_rate or self.truncate_seqs:
+            parts.append(f"trunc={self.truncate_rate:g}d{self.truncate_depth}")
+        if self.core_stalls:
+            parts.append(f"stalls={len(self.core_stalls)}")
+        if self.core_kills:
+            parts.append(f"kills={len(self.core_kills)}")
+        return ", ".join(parts) if parts else "clean"

@@ -17,11 +17,20 @@ three NIC behaviours the evaluation depends on:
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..packet import Packet
 from ..packet.flow import FiveTuple
-from ..telemetry.events import EV_RING_DROP, EV_WIRE_DROP, NULL_TRACER, EventTracer
+from ..telemetry.events import (
+    EV_FAULT_DROP,
+    EV_RING_DROP,
+    EV_WIRE_DROP,
+    NULL_TRACER,
+    EventTracer,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..faults.inject import SimFaults
 from .queues import DEFAULT_DESCRIPTORS, RxQueue
 from .rss import (
     SYMMETRIC_RSS_KEY,
@@ -62,6 +71,7 @@ class Nic:
         descriptors: int = DEFAULT_DESCRIPTORS,
         indirection_size: int = 128,
         tracer: EventTracer = NULL_TRACER,
+        faults: Optional["SimFaults"] = None,
     ) -> None:
         if num_queues < 1:
             raise ValueError("need at least one queue")
@@ -82,6 +92,11 @@ class Nic:
         self.delivered = 0
         #: telemetry event sink; the default disabled tracer is free.
         self.tracer = tracer
+        #: optional fault injector (repro.faults); None = fault-free.
+        self.faults = faults
+        self.fault_dropped = 0
+        #: arrival ordinal, the key the fault plan's decisions hash on.
+        self._arrival_index = 0
 
     # -- steering ------------------------------------------------------------
 
@@ -125,16 +140,36 @@ class Nic:
 
     # -- receive path ----------------------------------------------------------
 
+    @property
+    def wire_busy_until_ns(self) -> float:
+        """When the wire finishes clocking in every admitted frame so far.
+
+        Every *admitted* frame advances this — including frames later
+        dropped at a full RX ring or by an injected fault.  The wire
+        serialized their full (SCR-enlarged) byte count either way, which
+        is exactly why history bytes cap scaling in Figure 10a: a ring
+        drop refunds no wire time.
+        """
+        return self._wire_free_ns
+
     def receive(self, pkt: Packet) -> Optional[int]:
         """Accept ``pkt`` from the wire, steer it, enqueue on its RX ring.
 
         Returns the queue index on success, or None when the packet was
-        dropped (wire saturated or ring full).  The wire model serializes
-        frames: a packet arriving while the previous frame is still being
-        clocked in is delayed, and dropped once delay exceeds arrival time
-        (the NIC has no infinite buffer before the MAC).
+        dropped (wire saturated, injected fault, or ring full).  The wire
+        model serializes frames: a packet arriving while the previous
+        frame is still being clocked in is delayed, and dropped once
+        delay exceeds arrival time (the NIC has no infinite buffer before
+        the MAC).
+
+        Byte accounting is deliberately asymmetric: a MAC-FIFO (wire)
+        drop charges nothing — the frame never finished arriving — while
+        fault and ring drops happen *after* admission, so their full
+        wire bytes (piggybacked history included) stay charged.
         """
         arrival = pkt.timestamp_ns
+        index = self._arrival_index
+        self._arrival_index += 1
         if arrival < self._wire_free_ns - self.wire_time_ns(pkt.wire_len) * 64:
             # More than ~64 frames of backlog on the wire: the offered rate
             # exceeds line rate and the MAC FIFO overflows.
@@ -147,6 +182,13 @@ class Nic:
             pkt.wire_len
         )
         queue_index = self.steer(pkt)
+        if self.faults is not None and self.faults.drop(index):
+            # Lost between MAC and ring; the wire time above stays charged.
+            self.fault_dropped += 1
+            if self.tracer.enabled:
+                self.tracer.emit(EV_FAULT_DROP, ts_ns=float(arrival),
+                                 core=queue_index, index=index)
+            return None
         if self.queues[queue_index].enqueue(pkt):
             self.delivered += 1
             return queue_index
@@ -159,6 +201,8 @@ class Nic:
     def reset_counters(self) -> None:
         self.wire_dropped = 0
         self.delivered = 0
+        self.fault_dropped = 0
+        self._arrival_index = 0
         self._wire_free_ns = 0.0
         for q in self.queues:
             q.enqueued = 0

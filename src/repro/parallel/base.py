@@ -90,6 +90,14 @@ class BaseEngine(ABC):
     def pre_enqueue(self, pp: PerfPacket, core: int) -> bool:
         return True
 
+    def note_fault_drop(self, core: int, pp: PerfPacket) -> None:
+        """The simulator fault-dropped a packet already steered to ``core``.
+
+        Techniques with per-core replicas (SCR) override this to charge
+        gap recovery on the core's next service; for shared-state and
+        sharded techniques a lost packet is just a lost packet.
+        """
+
     @abstractmethod
     def steer(self, pp: PerfPacket) -> int:
         ...

@@ -22,8 +22,15 @@ import random
 from typing import Optional
 
 from ..core.packet_format import ScrPacketCodec
+from ..cpu.costmodel import CPU_FREQ_GHZ
 from ..cpu.simulator import PerfPacket
-from ..telemetry.events import EV_FAST_FORWARD, EV_HISTORY_DEPTH, EV_SPRAY
+from ..telemetry.events import (
+    EV_FAST_FORWARD,
+    EV_HISTORY_DEPTH,
+    EV_QUARANTINE,
+    EV_RESYNC,
+    EV_SPRAY,
+)
 from .base import BaseEngine
 
 __all__ = ["ScrEngine"]
@@ -44,6 +51,7 @@ class ScrEngine(BaseEngine):
         seed: int = 0,
         extra_compute_ns: float = 0.0,
         count_wire_overhead: bool = True,
+        fault_epoch_len: int = 32,
         **kwargs,
     ) -> None:
         """``extra_compute_ns`` inflates both ``c1`` and ``c2`` — the knob the
@@ -55,6 +63,10 @@ class ScrEngine(BaseEngine):
         packet size limits the number of items of history metadata", §4.2),
         so those sweeps pass False; Figure 10a feeds bare 64-byte packets
         and lets SCR alone inflate them, so it keeps the default True.
+
+        ``fault_epoch_len`` is the sequencer's checkpoint epoch for the
+        quarantine-resync cost model (see ``note_fault_drop``): a
+        resyncing core replays on average half an epoch past the gap.
         """
         super().__init__(*args, **kwargs)
         if loss_rate and not with_recovery:
@@ -74,6 +86,9 @@ class ScrEngine(BaseEngine):
         self.loss_rate = loss_rate
         self.seed = seed
         self.extra_compute_ns = extra_compute_ns
+        if fault_epoch_len < 1:
+            raise ValueError("fault_epoch_len must be >= 1")
+        self.fault_epoch_len = fault_epoch_len
         self._rng = random.Random(seed)
         self._rr = 0
         self._seq = 0
@@ -81,6 +96,15 @@ class ScrEngine(BaseEngine):
         #: their recovery cost lands on that next packet's service.
         self._pending_lost = [0] * self.num_cores
         self.injected = 0
+        #: per-core count of *fault-injected* drops (repro.faults) awaiting
+        #: gap handling on the core's next service.
+        self._fault_gap = [0] * self.num_cores
+        self.fault_gaps = 0
+        self.fault_gaps_covered = 0
+        self.quarantines = 0
+        self.resyncs = 0
+        self.resync_replayed = 0
+        self.resync_ns_total = 0.0
 
     def reset(self) -> None:
         super().reset()
@@ -89,6 +113,13 @@ class ScrEngine(BaseEngine):
         self._seq = 0
         self._pending_lost = [0] * self.num_cores
         self.injected = 0
+        self._fault_gap = [0] * self.num_cores
+        self.fault_gaps = 0
+        self.fault_gaps_covered = 0
+        self.quarantines = 0
+        self.resyncs = 0
+        self.resync_replayed = 0
+        self.resync_ns_total = 0.0
 
     # -- protocol -----------------------------------------------------------------
 
@@ -130,6 +161,28 @@ class ScrEngine(BaseEngine):
             return False
         return True
 
+    def note_fault_drop(self, core: int, pp: PerfPacket) -> None:
+        """A repro.faults drop stole a packet already sprayed to ``core``.
+
+        The replica will see a sequence hole on its next delivery; the
+        recovery work (window catch-up, or an epoch-checkpoint resync
+        when the hole exceeds the history window) is charged to that
+        next packet's service time.
+        """
+        self._fault_gap[core] += 1
+
+    def fault_summary(self) -> dict:
+        """Recovery-cost counters for SimResult.fault_stats."""
+        return {
+            "fault_gaps": self.fault_gaps,
+            "fault_gaps_covered": self.fault_gaps_covered,
+            "quarantines": self.quarantines,
+            "resyncs": self.resyncs,
+            "resync_replayed": self.resync_replayed,
+            "resync_ns_total": self.resync_ns_total,
+            "resync_cycles_total": self.resync_ns_total * CPU_FREQ_GHZ,
+        }
+
     def _history_items(self) -> int:
         """Fast-forward work per packet: k-1 in steady state, fewer early."""
         return min(max(self._seq - 1, 0), self.num_cores - 1)
@@ -170,6 +223,40 @@ class ScrEngine(BaseEngine):
                 history += catchup
                 recovery_misses = float(lost)
                 self._pending_lost[core] = 0
+        gap = self._fault_gap[core]
+        if gap:
+            self._fault_gap[core] = 0
+            self.fault_gaps += 1
+            # Round-robin spraying turns ``gap`` stolen packets into
+            # (gap+1)*k - 1 sequences the replica must account for.
+            missed = (gap + 1) * self.num_cores - 1
+            if missed <= self.num_slots:
+                # A widened history window (num_slots > k) still covers
+                # the hole: extra fast-forward items beyond the natural h.
+                self.fault_gaps_covered += 1
+                catchup = (missed - h) * (c.c2 + extra)
+                if self.tracer.enabled:
+                    self.tracer.emit(EV_FAST_FORWARD, ts_ns=start_ns,
+                                     core=core, length=missed - h)
+            else:
+                # Quarantine: fetch the sequencer's newest epoch
+                # checkpoint and replay, on average, half an epoch of
+                # logged metadata on top of the missed sequences.
+                self.quarantines += 1
+                self.resyncs += 1
+                replay = missed + self.fault_epoch_len // 2
+                catchup = replay * (c.c2 + extra)
+                recovery_transfer_ns += self.contention.checkpoint_fetch_ns
+                recovery_misses += 1.0  # the restored snapshot is cold
+                self.resync_replayed += replay
+                self.resync_ns_total += catchup + self.contention.checkpoint_fetch_ns
+                if self.tracer.enabled:
+                    self.tracer.emit(EV_QUARANTINE, ts_ns=start_ns,
+                                     core=core, gap=gap, missed=missed)
+                    self.tracer.emit(EV_RESYNC, ts_ns=start_ns, core=core,
+                                     replayed=replay)
+            compute += catchup
+            history += catchup
         total = c.d + compute + spill + log_ns + recovery_transfer_ns
         counters.charge_packet(
             dispatch_ns=c.d,

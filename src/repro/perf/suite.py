@@ -115,6 +115,7 @@ class SuiteParams:
         engine_kwargs: Optional[dict] = None,
         collect_latency: bool = False,
         profile: bool = False,
+        faults: Optional[object] = None,
     ) -> Scenario:
         """One suite measurement as a frozen spec."""
         return Scenario.create(
@@ -128,6 +129,7 @@ class SuiteParams:
             engine_kwargs=engine_kwargs,
             collect_latency=collect_latency,
             profile=profile,
+            faults=faults,  # type: ignore[arg-type]
         )
 
     def executor(self) -> ScenarioExecutor:
@@ -319,11 +321,63 @@ def run_fig11_model_fit(params: SuiteParams) -> BenchArtifact:
     return art
 
 
+#: Injected wire→ring drop rates for the fault-tolerance suite.  The top
+#: rate matches Figure 10b's harshest injected-loss point.
+_FAULT_DROP_RATES = (0.0, 0.005, 0.01, 0.02)
+
+
+def run_faults_recovery(params: SuiteParams) -> BenchArtifact:
+    """SCR MLFFR and recovery cost as the injected drop rate rises.
+
+    One program (ddos @ univ_dc, 4 cores) swept over drop rates; the
+    ``mpps`` series gates throughput under faults, ``resyncs_at_mlffr``
+    gates how much recovery work the reported rate absorbed (a change
+    means the gap-recovery cost model moved).
+    """
+    from ..faults.spec import FaultSpec
+
+    program, trace, cores = "ddos", "univ_dc", 4
+    art = BenchArtifact.create(
+        "faults_recovery",
+        config=params.config(program=program, trace=trace, cores=cores,
+                             drop_rates=list(_FAULT_DROP_RATES)),
+        seed_policy=params.seed_policy(),
+        programs=[program],
+    )
+    grid = [
+        params.scenario(
+            program, trace, "scr", cores, seed=seed,
+            engine_kwargs=_engine_kwargs("scr"),
+            faults=(None if rate == 0.0
+                    else FaultSpec.create(seed=params.base_seed, drop_rate=rate)),
+        )
+        for rate in _FAULT_DROP_RATES
+        for seed in params.rep_seeds
+    ]
+    results = iter(params.executor().run(grid))
+    mpps = art.add_series(_mpps_series("mpps"))
+    resyncs = art.add_series(BenchSeries(
+        name="resyncs_at_mlffr", unit="count", direction="lower_better",
+    ))
+    for rate in _FAULT_DROP_RATES:
+        rate_key = f"{rate:g}"
+        mpps_reps, resync_reps = [], []
+        for _seed in params.rep_seeds:
+            res = next(results)
+            mpps_reps.append(res.mlffr_mpps)
+            stats = res.fault_stats or {}
+            resync_reps.append(float(stats.get("resyncs", 0)))
+        mpps.points.append(BenchPoint.from_reps(rate_key, mpps_reps))
+        resyncs.points.append(BenchPoint.from_reps(rate_key, resync_reps))
+    return art
+
+
 SUITES: Dict[str, Callable[[SuiteParams], BenchArtifact]] = {
     "fig6_scaling": run_fig6_scaling,
     "engine_mlffr": run_engine_mlffr,
     "tail_latency": run_tail_latency,
     "fig11_model_fit": run_fig11_model_fit,
+    "faults_recovery": run_faults_recovery,
 }
 
 

@@ -81,6 +81,8 @@ class ScenarioResult:
     profile: Optional[dict] = None
     #: worker registry snapshot, merged by the executor (parallel runs).
     metrics: Optional[Dict[str, dict]] = None
+    #: injector + recovery counters at the reported rate (faulted runs).
+    fault_stats: Optional[Dict[str, object]] = None
     mlffr: Optional["MlffrResult"] = None
 
     def compact(self) -> "ScenarioResult":
@@ -138,6 +140,9 @@ class StackBuilder:
         kwargs = scenario.engine_kwargs_dict()
         if tracer.enabled:
             kwargs.setdefault("tracer", tracer)
+        if scenario.faults is not None and scenario.technique == "scr":
+            # The recovery cost model reads the fault regime's epoch.
+            kwargs.setdefault("fault_epoch_len", scenario.faults.epoch_len)
         return make_engine(
             scenario.technique,
             make_program(scenario.program),
@@ -221,6 +226,12 @@ def run_scenario(
     stack = builder.stack(
         scenario, tracer=tele.tracer if instrumented else NULL_TRACER
     )
+    plan = None
+    if scenario.faults is not None and scenario.faults.any_faults:
+        # Lazy: repro.faults.harness imports this module.
+        from ..faults.plan import FaultPlan
+
+        plan = FaultPlan(scenario.faults)
     res = find_mlffr(
         stack.perf_trace,
         stack.engine,
@@ -228,6 +239,7 @@ def run_scenario(
         burst_size=scenario.burst_size,
         tracer=tele.tracer if instrumented else NULL_TRACER,
         collect_latency=scenario.collect_latency or instrumented,
+        faults=plan,
     )
     result = ScenarioResult(
         scenario=scenario,
@@ -238,6 +250,7 @@ def run_scenario(
     )
     best = res.result_at_mlffr
     if best is not None:
+        result.fault_stats = best.fault_stats
         if instrumented or scenario.collect_latency:
             result.counters = best.counters.snapshot()
             hist = best.latency_histogram

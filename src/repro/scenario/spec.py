@@ -28,10 +28,13 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..parallel.registry import technique_names
 from ..programs.registry import make_program, program_names
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..faults.spec import FaultSpec
 
 __all__ = [
     "SPEC_SCHEMA",
@@ -48,7 +51,8 @@ __all__ = [
 
 #: Bump on any incompatible change to the canonical spec shape; part of
 #: every content hash, so old cache entries stop matching automatically.
-SPEC_SCHEMA = 1
+#: 2: scenarios carry an optional FaultSpec (repro.faults).
+SPEC_SCHEMA = 2
 
 #: Fixed packet sizes used across baselines (§4.2).
 PACKET_SIZE_DEFAULT = 192
@@ -155,6 +159,10 @@ class Scenario:
     engine_kwargs: EngineKwargs = ()
     collect_latency: bool = False
     profile: bool = False
+    #: optional fault regime (repro.faults.FaultSpec); None = fault-free.
+    #: Participates in the content hash, so a faulted scenario can never
+    #: share a cached result with its fault-free twin.
+    faults: Optional["FaultSpec"] = None
 
     @classmethod
     def create(
@@ -173,6 +181,7 @@ class Scenario:
         engine_kwargs: Optional[Mapping[str, object]] = None,
         collect_latency: bool = False,
         profile: bool = False,
+        faults: Optional["FaultSpec"] = None,
     ) -> "Scenario":
         """Validated scenario with the evaluation's defaults filled in.
 
@@ -211,6 +220,7 @@ class Scenario:
             engine_kwargs=freeze_engine_kwargs(engine_kwargs),
             collect_latency=collect_latency,
             profile=profile,
+            faults=faults,
         )
 
     @property
@@ -232,6 +242,7 @@ class Scenario:
             "engine_kwargs": [list(pair) for pair in self.engine_kwargs],
             "collect_latency": self.collect_latency,
             "profile": self.profile,
+            "faults": None if self.faults is None else self.faults.canonical_dict(),
         }
 
     def content_hash(self) -> str:
@@ -243,11 +254,18 @@ class Scenario:
         (the perf suite's repetition policy)."""
         return dataclasses.replace(self, trace=self.trace.with_seed(seed))
 
+    def with_faults(self, faults: Optional["FaultSpec"]) -> "Scenario":
+        """The same measurement under a different fault regime."""
+        return dataclasses.replace(self, faults=faults)
+
     def describe(self) -> str:
-        return (
+        base = (
             f"{self.program} @ {self.workload}, {self.technique}, "
             f"{self.cores} cores (seed {self.trace.seed})"
         )
+        if self.faults is not None:
+            base += f" [faults: {self.faults.describe()}]"
+        return base
 
 
 def scenario_grid(

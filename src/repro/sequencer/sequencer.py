@@ -13,12 +13,15 @@ The sequencer is the *only* writer of the history; cores never write it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..core.history import HistoryRing
 from ..core.packet_format import ScrPacketCodec
 from ..packet import Packet
 from ..programs.base import PacketProgram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import weight
+    from ..faults.inject import SequencerFaults
 
 __all__ = ["PacketHistorySequencer", "SequencedPacket"]
 
@@ -30,6 +33,9 @@ class SequencedPacket:
     core: int
     data: bytes
     seq: int
+    #: history sequences whose rows an injected truncation zeroed in this
+    #: emission (empty in every fault-free run).
+    truncated_seqs: Tuple[int, ...] = ()
 
 
 class PacketHistorySequencer:
@@ -41,6 +47,7 @@ class PacketHistorySequencer:
         num_cores: int,
         num_slots: Optional[int] = None,
         dummy_eth: bool = True,
+        faults: Optional["SequencerFaults"] = None,
     ) -> None:
         """``num_slots`` defaults to ``num_cores``: with round-robin spraying
         a core misses exactly ``num_cores - 1`` packets between its own, and
@@ -61,6 +68,8 @@ class PacketHistorySequencer:
             dummy_eth=dummy_eth,
         )
         self.ring = HistoryRing(self.num_slots, program.metadata_size)
+        #: optional truncation injector (repro.faults); None = fault-free.
+        self.faults = faults
         self._seq = 0
         self._rr = 0
 
@@ -84,6 +93,12 @@ class PacketHistorySequencer:
         self._seq += 1
         meta = self.program.extract_metadata(pkt)
         rows, index_ptr = self.ring.dump_and_push(meta.pack())
+        truncated: Tuple[int, ...] = ()
+        if self.faults is not None:
+            # Corrupts this emission's copy only; the ring stays intact.
+            rows, truncated = self.faults.truncate(
+                self._seq, rows, index_ptr, self.num_slots
+            )
         data = self.codec.encode(
             seq=self._seq,
             timestamp_ns=pkt.timestamp_ns,
@@ -93,7 +108,9 @@ class PacketHistorySequencer:
         )
         core = self._rr
         self._rr = (self._rr + 1) % self.num_cores
-        return SequencedPacket(core=core, data=data, seq=self._seq)
+        return SequencedPacket(
+            core=core, data=data, seq=self._seq, truncated_seqs=truncated
+        )
 
     def reset(self) -> None:
         self.ring.reset()

@@ -36,6 +36,17 @@ __all__ = [
     "EV_LOCK_WAIT",
     "EV_MLFFR_PROBE",
     "EV_RUN_SUMMARY",
+    "EV_FAULT_DROP",
+    "EV_FAULT_POP_DROP",
+    "EV_FAULT_DUPLICATE",
+    "EV_FAULT_REORDER",
+    "EV_FAULT_TRUNCATE",
+    "EV_FAULT_STALL",
+    "EV_FAULT_KILL",
+    "EV_DIVERGENCE",
+    "EV_QUARANTINE",
+    "EV_RESYNC",
+    "EV_UNRECOVERABLE",
 ]
 
 # -- the event catalog (documented in docs/TELEMETRY.md) -----------------------
@@ -68,6 +79,28 @@ EV_LOCK_WAIT = "lock.wait"
 EV_MLFFR_PROBE = "mlffr.probe"
 #: End-of-run summary from the event simulator (totals, drops, duration).
 EV_RUN_SUMMARY = "sim.run"
+#: Injected wire→ring loss: admitted by the MAC, never reached its ring.
+EV_FAULT_DROP = "fault.drop"
+#: Injected ring-pop loss: descriptor consumed, payload discarded.
+EV_FAULT_POP_DROP = "fault.pop_drop"
+#: Injected duplicate delivery of one frame.
+EV_FAULT_DUPLICATE = "fault.duplicate"
+#: Injected reordering: a frame displaced behind younger arrivals.
+EV_FAULT_REORDER = "fault.reorder"
+#: Injected history truncation: the sequencer emitted zeroed history rows.
+EV_FAULT_TRUNCATE = "fault.truncate"
+#: Injected core stall: a core paused before serving a packet.
+EV_FAULT_STALL = "fault.stall"
+#: Injected core kill: a core stopped draining its ring permanently.
+EV_FAULT_KILL = "fault.kill"
+#: The DivergenceMonitor observed replicas disagreeing with the majority.
+EV_DIVERGENCE = "fault.divergence"
+#: A core detected an uncoverable history gap and quarantined its replica.
+EV_QUARANTINE = "recovery.quarantine"
+#: A quarantined replica resynchronized from an epoch checkpoint.
+EV_RESYNC = "recovery.resync"
+#: A gap exceeded the sequencer's bounded replay log; the replica is dead.
+EV_UNRECOVERABLE = "recovery.unrecoverable"
 
 
 class Event:

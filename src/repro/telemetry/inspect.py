@@ -4,18 +4,29 @@ Reads a run-artifact directory (manifest + event log) and answers the three
 questions a wrong MLFFR point or a recovery stall raises first:
 
 1. **where did packets go** — drop/loss event counts by cause;
-2. **how long did packets take** — latency percentiles from the histogram
+2. **what faults fired** — injected-fault counts by kind, the first
+   divergence the monitor flagged, and quarantine/resync outcomes
+   (instrumented ``repro.faults`` runs only; older artifacts simply
+   have no such events and skip the section);
+3. **how long did packets take** — latency percentiles from the histogram
    metrics snapshot;
-3. **where did core time go** — per-core dispatch/compute/wait/transfer
+4. **where did core time go** — per-core dispatch/compute/wait/transfer
    attribution (the Fig. 8 split) from the counters snapshot.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
-from .artifact import RunArtifact
+from .artifact import EVENTS_NAME, RunArtifact
+from .events import (
+    EV_DIVERGENCE,
+    EV_QUARANTINE,
+    EV_RESYNC,
+    EV_UNRECOVERABLE,
+)
 
 __all__ = ["summarize_artifact"]
 
@@ -25,6 +36,21 @@ _DROP_KINDS = {
     "nic.ring_drop": "RX ring full (core lagged)",
     "nic.pcie_drop": "host interconnect saturated (PCIe)",
     "sim.injected_loss": "injected loss (sequencer->core)",
+}
+
+#: Injected-fault and recovery event kinds (repro.faults), display order.
+_FAULT_KINDS = {
+    "fault.drop": "injected wire→ring drop",
+    "fault.pop_drop": "injected ring-pop drop",
+    "fault.duplicate": "injected duplicate delivery",
+    "fault.reorder": "injected in-ring reorder",
+    "fault.truncate": "injected history truncation",
+    "fault.stall": "injected core stall",
+    "fault.kill": "injected core kill",
+    EV_DIVERGENCE: "replica divergence flagged",
+    EV_QUARANTINE: "replica quarantined (history gap)",
+    EV_RESYNC: "replica resynchronized from checkpoint",
+    EV_UNRECOVERABLE: "resync impossible (log gap)",
 }
 
 
@@ -47,6 +73,83 @@ def _fmt_ns(value: float) -> str:
     if value >= 1e3:
         return f"{value / 1e3:.2f} us"
     return f"{value:.0f} ns"
+
+
+def _fault_event_details(path: Path) -> List[str]:
+    """Divergence/recovery detail mined from the retained event log.
+
+    Best-effort: a missing, truncated, or malformed log (older artifacts,
+    interrupted runs) yields no lines rather than an error.
+    """
+    first_divergence: Optional[dict] = None
+    resyncs_by_core: Dict[int, int] = {}
+    replayed_by_core: Dict[int, int] = {}
+    unrecoverable: List[int] = []
+    try:
+        with path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                kind = event.get("kind")
+                if kind == EV_DIVERGENCE and first_divergence is None:
+                    first_divergence = event
+                elif kind == EV_RESYNC:
+                    core = int(event.get("core", -1))
+                    resyncs_by_core[core] = resyncs_by_core.get(core, 0) + 1
+                    replayed_by_core[core] = (
+                        replayed_by_core.get(core, 0)
+                        + int(event.get("replayed", 0))
+                    )
+                elif kind == EV_UNRECOVERABLE:
+                    unrecoverable.append(int(event.get("core", -1)))
+    except OSError:
+        return []
+    lines: List[str] = []
+    if first_divergence is not None:
+        cores = first_divergence.get("cores", [])
+        lines.append(
+            f"first divergence: packet index "
+            f"{first_divergence.get('index', '?')}, "
+            f"core(s) {', '.join(str(c) for c in cores) or '?'} "
+            f"(blast radius {first_divergence.get('blast_radius', len(cores))})"
+        )
+    if resyncs_by_core:
+        per_core = ", ".join(
+            f"core {core}: {rounds} round(s), "
+            f"{replayed_by_core.get(core, 0)} pkts replayed"
+            for core, rounds in sorted(resyncs_by_core.items())
+        )
+        lines.append(f"recovery rounds: {per_core}")
+    if unrecoverable:
+        lines.append(
+            "unrecoverable cores: "
+            + ", ".join(str(c) for c in sorted(set(unrecoverable)))
+        )
+    return lines
+
+
+def _fault_section(artifact: RunArtifact, directory: Path) -> List[str]:
+    """The fault/divergence/recovery summary; [] when the run had none."""
+    counts = [
+        (kind, artifact.event_type_counts.get(kind, 0), meaning)
+        for kind, meaning in _FAULT_KINDS.items()
+        if artifact.event_type_counts.get(kind, 0) > 0
+    ]
+    if not counts:
+        return []
+    lines = ["", "fault injection & recovery:"]
+    lines.extend(_table(
+        ["event", "count", "meaning"],
+        [[k, c, meaning] for k, c, meaning in counts],
+    ))
+    events_file = artifact.files.get("events", EVENTS_NAME)
+    lines.extend(_fault_event_details(directory / events_file))
+    return lines
 
 
 def summarize_artifact(directory: Union[str, Path]) -> str:
@@ -84,7 +187,10 @@ def summarize_artifact(directory: Union[str, Path]) -> str:
     else:
         lines.append("top drop causes: none recorded (loss-free run)")
 
-    # 2. latency percentiles --------------------------------------------------
+    # 2. fault injection & recovery ------------------------------------------
+    lines.extend(_fault_section(artifact, Path(directory)))
+
+    # 3. latency percentiles --------------------------------------------------
     latency = artifact.metrics.get("latency_ns")
     if latency is None:
         hist = artifact.metrics.get("registry", {}).get("latency_ns")
@@ -98,7 +204,7 @@ def summarize_artifact(directory: Union[str, Path]) -> str:
             [[key, _fmt_ns(value)] for key, value in sorted(latency.items())],
         ))
 
-    # 3. per-core time attribution -------------------------------------------
+    # 4. per-core time attribution -------------------------------------------
     counters = artifact.metrics.get("counters")
     if counters and counters.get("cores"):
         lines.append("")
@@ -131,7 +237,7 @@ def summarize_artifact(directory: Union[str, Path]) -> str:
                 f"{_fmt_ns(totals.get('mean_compute_latency_ns', 0.0))}"
             )
 
-    # 4. the rest of the registry --------------------------------------------
+    # 5. the rest of the registry --------------------------------------------
     registry = artifact.metrics.get("registry", {})
     scalars = [
         (name, inst["value"])

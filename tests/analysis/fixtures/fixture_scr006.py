@@ -1,0 +1,46 @@
+"""SCR006 fixture: fault/recovery machinery with clocks and process RNGs.
+
+Deliberately broken — parsed by scrlint, never imported.  The classes
+live outside a ``faults`` package, so the rule's class-name scope
+(``Fault*``/``*Recovery*``/``*Checkpoint*``...) is what picks them up.
+"""
+
+import random
+import time
+
+
+class WallClockRecovery:
+    """Resync decisions keyed on host time — unreplayable from the seed."""
+
+    def should_resync(self, core):
+        return time.monotonic() > 1.0  # VIOLATION: wall clock
+
+    def stamp(self):
+        return time.time_ns()  # VIOLATION: wall clock
+
+
+class ShuffledCheckpointer:
+    """Stateful RNGs: draws depend on call order, serial != --jobs."""
+
+    def __init__(self, seed):
+        self._rng = random.Random(seed)  # VIOLATION: even seeded is stateful
+
+    def pick_epoch(self, epochs):
+        return random.choice(epochs)  # VIOLATION: process-wide RNG
+
+
+class CleanPlanRecovery:
+    """The sanctioned pattern: a pure per-index hash, no RNG objects."""
+
+    def __init__(self, seed):
+        self.seed = seed
+
+    def _unit(self, tag, index):
+        # splitmix64-style mix: pure function of (seed, tag, index).
+        x = (self.seed * 0x9E3779B97F4A7C15 + hash(tag) + index) & (2**64 - 1)
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & (2**64 - 1)
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & (2**64 - 1)
+        return (x ^ (x >> 31)) / 2**64
+
+    def should_resync(self, index):
+        return self._unit("resync", index) < 0.5

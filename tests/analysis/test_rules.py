@@ -167,6 +167,42 @@ def test_scr005_silent_on_integer_twin():
     assert not [f for f in findings if f.symbol.startswith("CleanIntegerProgram")]
 
 
+# -- SCR006 fault-handler hygiene --------------------------------------------
+
+def test_scr006_fires_on_wall_clock_in_recovery_class():
+    _, findings = findings_for("fixture_scr006.py")
+    hits = [f for f in findings
+            if f.rule == "SCR006" and f.symbol == "WallClockRecovery"]
+    origins = {f.detail.get("origin") for f in hits}
+    assert "time.monotonic" in origins
+    assert "time.time_ns" in origins
+
+
+def test_scr006_fires_on_rngs_even_seeded():
+    _, findings = findings_for("fixture_scr006.py")
+    hits = [f for f in findings
+            if f.rule == "SCR006" and f.symbol == "ShuffledCheckpointer"]
+    origins = {f.detail.get("origin") for f in hits}
+    assert "random.Random" in origins  # seeded is still order-dependent
+    assert "random.choice" in origins
+
+
+def test_scr006_silent_on_pure_hash_twin():
+    _, findings = findings_for("fixture_scr006.py")
+    assert not [f for f in findings if f.symbol == "CleanPlanRecovery"]
+
+
+def test_scr006_covers_faults_package_modules():
+    # Path-scope: any module under a faults/ directory is in scope whole.
+    from repro.analysis import lint_source
+
+    report = lint_source(
+        "import time\n\ndef when():\n    return time.time()\n",
+        path="src/repro/faults/example.py",
+    )
+    assert any(f.rule == "SCR006" for f in report.findings)
+
+
 # -- the shipped tree is the ultimate non-firing fixture ---------------------
 
 def test_default_paths_are_clean():

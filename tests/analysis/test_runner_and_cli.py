@@ -30,7 +30,8 @@ def run_cli(argv):
 # -- registry ----------------------------------------------------------------
 
 def test_core_rules_registered():
-    assert rule_ids() == ["SCR001", "SCR002", "SCR003", "SCR004", "SCR005"]
+    assert rule_ids() == ["SCR001", "SCR002", "SCR003", "SCR004", "SCR005",
+                          "SCR006"]
     for rule in all_rules():
         assert rule.title
         assert rule.paper_ref

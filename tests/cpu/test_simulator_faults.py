@@ -1,0 +1,80 @@
+"""FaultPlan injection through the discrete-event simulator."""
+
+import pytest
+
+from repro.cpu import simulate
+from repro.faults import FaultPlan, FaultSpec
+
+from .test_simulator import FixedServiceEngine, make_perf_trace
+
+
+@pytest.fixture(scope="module")
+def perf_trace():
+    return make_perf_trace(n=2000)
+
+
+def _run(perf_trace, spec, num_cores=2, rate=2e6, **kwargs):
+    engine = FixedServiceEngine(num_cores, service_ns=100)
+    return simulate(perf_trace, rate, engine,
+                    faults=FaultPlan(spec), **kwargs)
+
+
+class TestInjection:
+    def test_clean_plan_reports_no_fault_stats(self, perf_trace):
+        res = _run(perf_trace, FaultSpec.create())
+        assert res.fault_stats is None
+
+    def test_drops_become_loss(self, perf_trace):
+        res = _run(perf_trace, FaultSpec.create(seed=7, drop_rate=0.05))
+        clean = simulate(perf_trace, 2e6, FixedServiceEngine(2, 100))
+        assert res.fault_stats["fault_dropped"] > 0
+        assert res.processed < clean.processed
+        assert res.loss_fraction > clean.loss_fraction
+
+    def test_pop_drops_and_duplicates_fire(self, perf_trace):
+        res = _run(perf_trace, FaultSpec.create(
+            seed=7, pop_drop_rate=0.03, duplicate_rate=0.03))
+        assert res.fault_stats["fault_pop_dropped"] > 0
+        assert res.fault_stats["fault_duplicated"] > 0
+        # A duplicate is dispatched but never counted as forwarded.
+        assert res.processed <= res.offered
+
+    def test_reorder_fires(self, perf_trace):
+        # Reordering needs ring backlog to swap against, so offer the
+        # stream above capacity.
+        res = _run(perf_trace, FaultSpec.create(
+            seed=7, reorder_rate=0.1, reorder_window=3), rate=30e6)
+        assert res.fault_stats["fault_reordered"] > 0
+
+    def test_stalls_add_latency_not_loss_at_low_rate(self, perf_trace):
+        spec = FaultSpec.create(core_stalls=[(0, 100, 50_000.0)])
+        res = _run(perf_trace, spec, rate=1e6)
+        assert res.fault_stats["stalls_fired"] == 1
+        assert res.fault_stats["stall_ns_total"] == 50_000.0
+
+    def test_killed_core_abandons_its_ring(self, perf_trace):
+        spec = FaultSpec.create(core_kills=[(1, 100)])
+        res = _run(perf_trace, spec, num_cores=2, rate=2e6)
+        assert res.fault_stats["killed_cores"] == [1]
+        # Half the round-robin stream lands on the dead core and is lost.
+        assert res.loss_fraction > 0.3
+        clean = simulate(perf_trace, 2e6, FixedServiceEngine(2, 100))
+        assert res.processed < clean.processed
+
+
+class TestProbeRateIndependence:
+    def test_fault_schedule_keyed_on_index_not_rate(self, perf_trace):
+        """The MLFFR invariant: the same packets are dropped at every
+        probe rate, so binary search never sees a moving target."""
+        spec = FaultSpec.create(seed=7, drop_rate=0.04)
+        slow = _run(perf_trace, spec, rate=1e6)
+        fast = _run(perf_trace, spec, rate=3e6)
+        assert (slow.fault_stats["fault_dropped"]
+                == fast.fault_stats["fault_dropped"])
+
+    def test_identical_runs_identical_results(self, perf_trace):
+        spec = FaultSpec.create(seed=7, drop_rate=0.03, duplicate_rate=0.02)
+        a = _run(perf_trace, spec)
+        b = _run(perf_trace, spec)
+        assert a.processed == b.processed
+        assert a.fault_stats == b.fault_stats

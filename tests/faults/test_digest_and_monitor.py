@@ -1,0 +1,97 @@
+"""State digests (stability) and the divergence monitor (detection)."""
+
+import enum
+import pickle
+from dataclasses import dataclass
+
+import pytest
+
+from repro.faults import DivergenceMonitor, canonicalize, state_digest
+from repro.telemetry.events import EV_DIVERGENCE, EventTracer
+
+
+class Proto(enum.IntEnum):
+    TCP = 6
+    UDP = 17
+
+
+class OtherProto(enum.IntEnum):
+    TCP = 6
+
+
+@dataclass(frozen=True)
+class ConnRecord:
+    state: Proto
+    count: int
+
+
+class TestStateDigest:
+    def test_insertion_order_irrelevant(self):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert state_digest(a) == state_digest(b)
+
+    def test_type_distinctions_preserved(self):
+        assert state_digest({"k": 1}) != state_digest({"k": True})
+        assert state_digest({"k": 1}) != state_digest({"k": "1"})
+        assert state_digest({"k": 1}) != state_digest({"k": 1.0})
+
+    def test_enum_class_identity_matters(self):
+        assert (state_digest({"k": Proto.TCP})
+                != state_digest({"k": OtherProto.TCP}))
+
+    def test_dataclass_and_tuple_states(self):
+        rec = ConnRecord(state=Proto.TCP, count=3)
+        d = state_digest({(1, 2): rec, (3, 4): (5, 6)})
+        assert d == state_digest({(3, 4): (5, 6), (1, 2): rec})
+
+    def test_digest_stable_across_pickling(self):
+        snap = {(10, 20): ConnRecord(Proto.UDP, 9), "flows": (1, 2, 3)}
+        clone = pickle.loads(pickle.dumps(snap))
+        assert state_digest(clone) == state_digest(snap)
+
+    def test_uncanonicalizable_raises_loudly(self):
+        with pytest.raises(TypeError):
+            canonicalize(object())
+
+
+class TestDivergenceMonitor:
+    def test_due_every_interval(self):
+        mon = DivergenceMonitor(interval=4)
+        assert [i for i in range(12) if mon.due(i)] == [3, 7, 11]
+
+    def test_agreement_passes(self):
+        mon = DivergenceMonitor(interval=1)
+        assert mon.observe(0, ["d1", "d1", "d1"])
+        assert mon.first_divergence_index is None
+        assert not mon.flagged_cores
+
+    def test_majority_mode_flags_minority(self):
+        mon = DivergenceMonitor(interval=1)
+        assert not mon.observe(10, ["d1", "d2", "d1"])
+        assert mon.first_divergence_index == 10
+        assert mon.flagged_cores == {1}
+        assert mon.max_blast_radius == 1
+
+    def test_expected_mode_compares_per_replica(self):
+        # Mid-stream, replicas lag each other: each is judged against the
+        # golden digest at its *own* sequence point.
+        mon = DivergenceMonitor(interval=1)
+        assert mon.observe(5, ["a", "b"], expected=["a", "b"])
+        assert not mon.observe(9, ["a", "WRONG"], expected=["a", "b"])
+        assert mon.flagged_cores == {1}
+
+    def test_live_mask_excludes_dead_cores(self):
+        mon = DivergenceMonitor(interval=1)
+        assert mon.observe(3, ["stale", "d", "d"], live=[False, True, True])
+        assert not mon.flagged_cores
+
+    def test_divergence_event_emitted(self):
+        tracer = EventTracer(capacity=16)
+        mon = DivergenceMonitor(interval=1, tracer=tracer)
+        mon.observe(7, ["d1", "d2", "d1"])
+        events = [e for e in tracer.events() if e.kind == EV_DIVERGENCE]
+        assert len(events) == 1
+        assert events[0].fields["index"] == 7
+        assert events[0].fields["cores"] == [1]
+        assert events[0].fields["first"] is True

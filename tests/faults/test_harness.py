@@ -1,0 +1,77 @@
+"""End-to-end quarantine -> resync round-trips through run_chaos."""
+
+import pytest
+
+from repro.faults import FaultSpec, run_chaos
+
+
+class TestRecoveryRoundTrip:
+    @pytest.mark.parametrize("program", ["ddos", "token_bucket", "conntrack"])
+    def test_drops_detected_and_state_resynchronized(self, program):
+        spec = FaultSpec.create(seed=7, drop_rate=0.02)
+        outcome = run_chaos(program, spec, num_cores=4, max_packets=400,
+                            trace_seed=7)
+        assert outcome.injected["drops"] > 0
+        assert outcome.gap_events > 0
+        assert outcome.gap_events_detected == outcome.gap_events
+        assert outcome.resyncs > 0
+        assert outcome.digest_equal
+        assert outcome.undetected_divergences == 0
+
+    def test_clean_spec_is_a_noop(self):
+        outcome = run_chaos("ddos", FaultSpec.create(), num_cores=4,
+                            max_packets=400, trace_seed=7)
+        assert outcome.gap_events == 0
+        assert outcome.quarantines == 0
+        assert outcome.resyncs == 0
+        assert outcome.digest_equal
+        assert sum(outcome.injected.values()) == 0
+
+    def test_without_recovery_replicas_fork_but_are_flagged(self):
+        spec = FaultSpec.create(seed=7, drop_rate=0.02)
+        outcome = run_chaos("ddos", spec, num_cores=4, max_packets=400,
+                            trace_seed=7, recovery=False)
+        assert not outcome.digest_equal
+        assert outcome.suspect_cores
+        assert outcome.resyncs == 0
+        # Forked, yes -- but the monitor saw every divergence.
+        assert outcome.undetected_divergences == 0
+
+    def test_wide_history_absorbs_gaps_without_resync(self):
+        spec = FaultSpec.create(seed=7, drop_rate=0.02)
+        outcome = run_chaos("heavy_hitter", spec, num_cores=4,
+                            max_packets=400, trace_seed=7, num_slots=12)
+        assert outcome.gap_events > 0
+        assert outcome.gaps_covered == outcome.gap_events
+        assert outcome.resyncs == 0
+        assert outcome.digest_equal
+
+
+class TestTruncation:
+    def test_depth_one_with_minimal_slots_is_harmless(self):
+        # With n == k the oldest slot's row is never needed by the core the
+        # packet lands on, so zeroing just it cannot create a gap.
+        spec = FaultSpec.create(seed=7, truncate_rate=0.05, truncate_depth=1)
+        outcome = run_chaos("conntrack", spec, num_cores=4, max_packets=400,
+                            trace_seed=7)
+        assert outcome.injected["rows_zeroed"] > 0
+        assert outcome.gap_events == 0
+        assert outcome.digest_equal
+
+    def test_depth_two_detected_and_recovered(self):
+        spec = FaultSpec.create(seed=7, truncate_rate=0.05, truncate_depth=2)
+        outcome = run_chaos("conntrack", spec, num_cores=4, max_packets=400,
+                            trace_seed=7)
+        assert outcome.gap_events > 0
+        assert outcome.gap_events_detected == outcome.gap_events
+        assert outcome.digest_equal
+
+
+class TestDeterminism:
+    def test_same_arguments_same_outcome(self):
+        spec = FaultSpec.create(seed=11, drop_rate=0.02, duplicate_rate=0.02)
+        a = run_chaos("token_bucket", spec, num_cores=4, max_packets=300,
+                      trace_seed=11)
+        b = run_chaos("token_bucket", spec, num_cores=4, max_packets=300,
+                      trace_seed=11)
+        assert a.to_dict() == b.to_dict()

@@ -1,0 +1,126 @@
+"""The per-run injector adapters and the epoch-checkpoint recovery model."""
+
+import pytest
+
+from repro.faults import EpochCheckpointer, FaultPlan, FaultSpec, SequencerFaults, SimFaults
+from repro.programs import make_program
+from repro.sequencer import PacketHistorySequencer
+from repro.state.maps import StateMap
+from tests.conftest import trace_for_program
+
+
+class TestSimFaults:
+    def test_counts_fire_once_per_decision(self):
+        plan = FaultPlan(FaultSpec.create(drop_indices=[1, 5],
+                                          pop_drop_indices=[2],
+                                          duplicate_indices=[3]))
+        sf = SimFaults(plan, num_cores=2)
+        fired = [sf.drop(i) for i in range(8)]
+        assert fired == [False, True, False, False, False, True, False, False]
+        assert sf.dropped == 2
+        assert sf.pop_drop(2) and sf.pop_dropped == 1
+        assert sf.duplicate(3) and sf.duplicated == 1
+
+    def test_kill_latches(self):
+        plan = FaultPlan(FaultSpec.create(core_kills=[(1, 10)]))
+        sf = SimFaults(plan, num_cores=2)
+        assert not sf.killed(1, 9)
+        assert sf.killed(1, 10)
+        assert sf.killed(1, 3)  # latched: dead is dead, whatever the index
+        assert not sf.killed(0, 1000)
+        assert sf.killed_cores() == [1]
+        assert sf.kills == 1
+
+    def test_stalls_fire_once_in_order(self):
+        plan = FaultPlan(FaultSpec.create(
+            core_stalls=[(0, 10, 500.0), (0, 20, 300.0)]))
+        sf = SimFaults(plan, num_cores=1)
+        assert sf.stall_ns(0, 5) == 0.0
+        assert sf.stall_ns(0, 15) == 500.0
+        assert sf.stall_ns(0, 25) == 300.0
+        assert sf.stall_ns(0, 30) == 0.0  # consumed
+        assert sf.stalls_fired == 2 and sf.stall_ns_total == 800.0
+
+    def test_summary_shape(self):
+        sf = SimFaults(FaultPlan(FaultSpec.create()), num_cores=2)
+        summary = sf.summary()
+        assert summary["fault_dropped"] == 0
+        assert summary["killed_cores"] == []
+
+
+class TestSequencerFaults:
+    def test_truncate_zeroes_oldest_rows(self):
+        program = make_program("ddos")
+        plan = FaultPlan(FaultSpec.create(truncate_seqs=[6], truncate_depth=2))
+        faults = SequencerFaults(plan, meta_size=program.metadata_size)
+        seq = PacketHistorySequencer(program, num_cores=4, faults=faults)
+        trace = trace_for_program(program, max_packets=12)
+        zero = b"\x00" * program.metadata_size
+        for i, pkt in enumerate(trace, start=1):
+            sp = seq.process(pkt)
+            rows = seq.codec.decode(sp.data)[1]
+            if i == 6:
+                # Oldest two real history rows (seqs 2 and 3) are zeroed.
+                assert sp.truncated_seqs == (2, 3)
+                assert rows[0] == zero and rows[1] == zero
+                assert rows[2] != zero
+            else:
+                assert sp.truncated_seqs == ()
+                if i > 4:  # earlier packets pad unfilled slots with zeros
+                    assert zero not in rows
+        assert faults.truncations == 1
+        assert faults.rows_zeroed == 2
+        assert faults.truncated[6] == (2, 3)
+
+
+class TestEpochCheckpointer:
+    def _checkpointer(self, program, **kwargs):
+        return EpochCheckpointer(program, **kwargs)
+
+    def _feed(self, ck, program, packets):
+        for i, pkt in enumerate(packets, start=1):
+            ck.record(i, program.extract_metadata(pkt).pack())
+
+    def test_resync_reproduces_fault_free_state(self):
+        program = make_program("ddos")
+        packets = list(trace_for_program(program, max_packets=100))
+        ck = self._checkpointer(program, epoch_len=16)
+        self._feed(ck, program, packets)
+
+        # A reference replica that saw every packet up to seq 70.
+        ref = StateMap(capacity=4096)
+        for pkt in packets[:70]:
+            program.fast_forward(ref, program.extract_metadata(pkt))
+
+        broken = StateMap(capacity=4096)
+        broken.update("garbage", 123)
+        outcome = ck.resync(broken, to_seq=70)
+        assert not outcome.unrecoverable
+        assert outcome.checkpoint_seq == 64
+        assert outcome.replayed == 6
+        assert broken.snapshot() == ref.snapshot()
+
+    def test_record_enforces_contiguity(self):
+        program = make_program("ddos")
+        packets = list(trace_for_program(program, max_packets=5))
+        ck = self._checkpointer(program)
+        ck.record(1, program.extract_metadata(packets[0]).pack())
+        with pytest.raises(ValueError):
+            ck.record(3, program.extract_metadata(packets[1]).pack())
+
+    def test_bounded_log_reports_unrecoverable(self):
+        program = make_program("ddos")
+        packets = list(trace_for_program(program, max_packets=100))
+        ck = self._checkpointer(program, epoch_len=64, log_capacity=4)
+        self._feed(ck, program, packets)
+        # Sequence 70 needs replay from checkpoint 64, but the 4-entry log
+        # only holds 97..100: the gap is beyond the protocol's reach.
+        state = StateMap(capacity=4096)
+        outcome = ck.resync(state, to_seq=70)
+        assert outcome.unrecoverable
+        assert ck.unrecoverable_requests == 1
+
+    def test_resync_to_future_seq_is_unrecoverable(self):
+        program = make_program("ddos")
+        ck = self._checkpointer(program)
+        assert ck.resync(StateMap(capacity=16), to_seq=5).unrecoverable

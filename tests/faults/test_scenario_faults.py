@@ -1,0 +1,79 @@
+"""FaultSpec integration with the Scenario layer, executor, and cache."""
+
+import pytest
+
+from repro.faults import FaultSpec
+from repro.scenario import Scenario, ScenarioExecutor
+from repro.scenario.spec import SPEC_SCHEMA
+
+
+def _scenario(faults=None, **overrides):
+    kwargs = dict(num_flows=20, max_packets=600, seed=7)
+    kwargs.update(overrides)
+    return Scenario.create("ddos", "univ_dc", "scr", 4, faults=faults, **kwargs)
+
+
+class TestContentHash:
+    def test_schema_carries_faults(self):
+        assert SPEC_SCHEMA == 2
+
+    def test_fault_spec_changes_scenario_hash(self):
+        clean = _scenario()
+        faulted = _scenario(faults=FaultSpec.create(seed=7, drop_rate=0.01))
+        assert clean.content_hash() != faulted.content_hash()
+        assert "faults" in faulted.canonical_dict()
+
+    def test_with_faults_round_trip(self):
+        spec = FaultSpec.create(seed=7, drop_rate=0.01)
+        faulted = _scenario().with_faults(spec)
+        assert faulted.faults == spec
+        stripped = faulted.with_faults(None)
+        assert stripped.content_hash() == _scenario().content_hash()
+
+
+class TestExecutorParity:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        rates = (0.0, 0.01, 0.02)
+        return [
+            _scenario(faults=None if rate == 0.0
+                      else FaultSpec.create(seed=7, drop_rate=rate))
+            for rate in rates
+        ]
+
+    def test_serial_and_parallel_agree_bitwise(self, grid):
+        serial = ScenarioExecutor(jobs=1).run(grid)
+        parallel = ScenarioExecutor(jobs=2).run(grid)
+        for s, p in zip(serial, parallel):
+            assert s.mlffr_mpps == p.mlffr_mpps
+            assert s.fault_stats == p.fault_stats
+
+    def test_faults_degrade_mlffr_monotonically(self, grid):
+        results = ScenarioExecutor(jobs=1).run(grid)
+        mpps = [r.mlffr_mpps for r in results]
+        assert mpps[0] >= mpps[1] >= mpps[2]
+        assert mpps[0] > mpps[2]
+
+    def test_faulted_runs_report_fault_stats(self, grid):
+        results = ScenarioExecutor(jobs=1).run(grid)
+        assert results[0].fault_stats is None or not results[0].fault_stats
+        stats = results[2].fault_stats
+        assert stats is not None
+        assert stats.get("fault_dropped", 0) > 0
+
+
+class TestCacheSeparation:
+    def test_shared_cache_never_cross_contaminates(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        clean = _scenario()
+        faulted = _scenario(faults=FaultSpec.create(seed=7, drop_rate=0.02))
+
+        first = ScenarioExecutor(jobs=1, cache_dir=cache_dir).run(
+            [clean, faulted])
+        # Second executor re-reads the now-warm cache; results must match
+        # the cold run pairwise, not leak across the fault boundary.
+        second = ScenarioExecutor(jobs=1, cache_dir=cache_dir).run(
+            [clean, faulted])
+        assert first[0].mlffr_mpps == second[0].mlffr_mpps
+        assert first[1].mlffr_mpps == second[1].mlffr_mpps
+        assert first[0].mlffr_mpps > first[1].mlffr_mpps

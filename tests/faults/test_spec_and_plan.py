@@ -1,0 +1,117 @@
+"""FaultSpec (pure data) and FaultPlan (pure decisions): determinism."""
+
+import pickle
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_clean_spec_has_no_faults(self):
+        spec = FaultSpec.create()
+        assert not spec.any_faults
+        assert spec.describe() == "clean"
+
+    def test_any_faults_for_each_knob(self):
+        assert FaultSpec.create(drop_rate=0.1).any_faults
+        assert FaultSpec.create(pop_drop_rate=0.1).any_faults
+        assert FaultSpec.create(reorder_rate=0.1).any_faults
+        assert FaultSpec.create(duplicate_rate=0.1).any_faults
+        assert FaultSpec.create(truncate_rate=0.1).any_faults
+        assert FaultSpec.create(drop_indices=[3]).any_faults
+        assert FaultSpec.create(core_stalls=[(0, 10, 500.0)]).any_faults
+        assert FaultSpec.create(core_kills=[(1, 20)]).any_faults
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultSpec.create(drop_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultSpec.create(drop_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultSpec.create(truncate_depth=0)
+        with pytest.raises(ValueError):
+            FaultSpec.create(history_log_capacity=0)
+        with pytest.raises(ValueError):
+            FaultSpec.create(core_stalls=[(0, 5, 0.0)])
+
+    def test_content_hash_distinguishes_every_field(self):
+        base = FaultSpec.create(drop_rate=0.01)
+        assert base.content_hash() == FaultSpec.create(drop_rate=0.01).content_hash()
+        for other in (
+            FaultSpec.create(drop_rate=0.02),
+            FaultSpec.create(drop_rate=0.01, seed=8),
+            FaultSpec.create(drop_rate=0.01, epoch_len=64),
+            FaultSpec.create(drop_rate=0.01, digest_interval=32),
+            FaultSpec.create(drop_rate=0.01, history_log_capacity=8),
+        ):
+            assert other.content_hash() != base.content_hash()
+
+    def test_spec_is_hashable_and_picklable(self):
+        spec = FaultSpec.create(drop_rate=0.01, core_kills=[(2, 100)])
+        assert hash(spec) == hash(FaultSpec.create(drop_rate=0.01,
+                                                   core_kills=[(2, 100)]))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.content_hash() == spec.content_hash()
+
+
+class TestFaultPlan:
+    def test_same_spec_same_schedule(self):
+        a = FaultPlan(FaultSpec.create(seed=7, drop_rate=0.05,
+                                       duplicate_rate=0.02, reorder_rate=0.02))
+        b = FaultPlan(FaultSpec.create(seed=7, drop_rate=0.05,
+                                       duplicate_rate=0.02, reorder_rate=0.02))
+        assert a.schedule(2000) == b.schedule(2000)
+
+    def test_different_seed_different_schedule(self):
+        a = FaultPlan(FaultSpec.create(seed=7, drop_rate=0.05))
+        b = FaultPlan(FaultSpec.create(seed=8, drop_rate=0.05))
+        assert a.schedule(2000) != b.schedule(2000)
+
+    def test_order_independent_decisions(self):
+        """The MLFFR-probe invariant: query order never changes answers."""
+        plan = FaultPlan(FaultSpec.create(seed=3, drop_rate=0.1))
+        forward = [plan.drops(i) for i in range(500)]
+        backward = [plan.drops(i) for i in reversed(range(500))]
+        assert forward == list(reversed(backward))
+
+    def test_schedule_survives_pickling(self):
+        plan = FaultPlan(FaultSpec.create(seed=7, drop_rate=0.05,
+                                          truncate_rate=0.05))
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.schedule(1000) == plan.schedule(1000)
+
+    def test_rate_zero_never_fires_rate_scales(self):
+        clean = FaultPlan(FaultSpec.create())
+        assert not any(clean.drops(i) for i in range(1000))
+        low = FaultPlan(FaultSpec.create(seed=7, drop_rate=0.01))
+        high = FaultPlan(FaultSpec.create(seed=7, drop_rate=0.2))
+        n_low = sum(low.drops(i) for i in range(5000))
+        n_high = sum(high.drops(i) for i in range(5000))
+        assert 0 < n_low < n_high
+        # The hash thresholding makes schedules nested: every index that
+        # fires at a low rate also fires at any higher rate.
+        assert all(high.drops(i) for i in range(5000) if low.drops(i))
+
+    def test_explicit_indices_always_fire(self):
+        plan = FaultPlan(FaultSpec.create(drop_indices=[5, 17],
+                                          truncate_seqs=[9]))
+        assert plan.drops(5) and plan.drops(17) and not plan.drops(6)
+        assert plan.truncate_depth(9) == 1 and plan.truncate_depth(8) == 0
+
+    def test_reorder_offset_within_window(self):
+        spec = FaultSpec.create(seed=7, reorder_rate=0.5, reorder_window=3)
+        plan = FaultPlan(spec)
+        offsets = {plan.reorder_offset(i) for i in range(2000)}
+        assert offsets - {0} and offsets <= {0, 1, 2, 3}
+
+    def test_kill_and_stall_schedules(self):
+        plan = FaultPlan(FaultSpec.create(
+            core_kills=[(2, 100), (2, 50)],
+            core_stalls=[(1, 30, 500.0), (1, 10, 200.0)],
+        ))
+        assert plan.kill_index(2) == 50  # earliest kill wins
+        assert plan.kill_index(0) is None
+        assert plan.stalls_for(1) == ((10, 200.0), (30, 500.0))
+        assert plan.stalls_for(3) == ()

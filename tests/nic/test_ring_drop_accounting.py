@@ -1,0 +1,80 @@
+"""Pin the asymmetric wire-byte accounting for dropped packets.
+
+SCR's piggybacked history enlarges every frame, so which drops charge
+wire time decides where the Figure 10a wire ceiling lands:
+
+* MAC-FIFO (wire) drops charge nothing — the frame never finished
+  arriving.
+* Ring-full and injected-fault drops happen *after* admission — their
+  full (history-enlarged) byte count stays charged.
+"""
+
+from repro.faults import FaultPlan, FaultSpec, SimFaults
+from repro.nic import Nic, SteeringMode
+from repro.packet import make_udp_packet
+
+
+def _packet(ts_ns=0, size=200):
+    return make_udp_packet(1, 2, 3, 4, timestamp_ns=ts_ns, wire_len=size)
+
+
+def _nic(**kwargs):
+    kwargs.setdefault("mode", SteeringMode.ROUND_ROBIN)
+    return Nic(1, **kwargs)
+
+
+class TestRingDropCharging:
+    def test_ring_full_drop_still_charges_wire_time(self):
+        nic = _nic(descriptors=2)
+        for _ in range(2):
+            assert nic.receive(_packet()) == 0
+        busy_before = nic.wire_busy_until_ns
+        assert nic.receive(_packet()) is None  # ring full
+        assert nic.ring_dropped == 1
+        # The frame was admitted: its bytes advanced the wire clock.
+        assert nic.wire_busy_until_ns > busy_before
+
+    def test_fault_drop_still_charges_wire_time(self):
+        plan = FaultPlan(FaultSpec.create(drop_indices=[1]))
+        nic = _nic(faults=SimFaults(plan, num_cores=1))
+        assert nic.receive(_packet()) == 0
+        busy_before = nic.wire_busy_until_ns
+        assert nic.receive(_packet()) is None
+        assert nic.fault_dropped == 1
+        assert nic.wire_busy_until_ns > busy_before
+
+    def test_wire_drop_charges_nothing(self):
+        nic = _nic()
+        one_frame_ns = nic.wire_time_ns(_packet().wire_len)
+        # Slam in back-to-back frames at t=0 until the MAC FIFO overflows.
+        while nic.wire_dropped == 0:
+            nic.receive(_packet())
+        busy_before = nic.wire_busy_until_ns
+        nic.receive(_packet())  # also wire-dropped
+        assert nic.wire_dropped == 2
+        # The overflowing frame never finished arriving: no wire time.
+        assert nic.wire_busy_until_ns == busy_before
+        assert busy_before > one_frame_ns
+
+    def test_history_bytes_of_dropped_packets_count(self):
+        """The SCR-specific consequence: a dropped big frame costs more
+        wire time than a dropped small one, even though neither was
+        processed."""
+        small, big = _nic(descriptors=1), _nic(descriptors=1)
+        assert small.receive(_packet(size=100)) == 0
+        assert big.receive(_packet(size=100)) == 0
+        assert small.receive(_packet(size=100)) is None   # ring drop
+        assert big.receive(_packet(size=1200)) is None    # ring drop
+        assert big.wire_busy_until_ns > small.wire_busy_until_ns
+
+    def test_counters_reset(self):
+        plan = FaultPlan(FaultSpec.create(drop_indices=[0]))
+        nic = _nic(faults=SimFaults(plan, num_cores=1))
+        assert nic.receive(_packet()) is None
+        assert nic.fault_dropped == 1
+        nic.reset_counters()
+        assert nic.fault_dropped == 0
+        assert nic.wire_busy_until_ns == 0.0
+        # Arrival indices restart, so the same fault schedule replays.
+        assert nic.receive(_packet()) is None
+        assert nic.fault_dropped == 1
