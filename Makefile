@@ -1,7 +1,7 @@
 # Convenience targets for the SCR reproduction.
 
 .PHONY: install test lint typecheck bench bench-compare bench-baseline \
-	bench-figures chaos reproduce examples telemetry-demo clean
+	bench-figures chaos report reproduce examples telemetry-demo clean
 
 install:
 	python setup.py develop
@@ -35,11 +35,12 @@ bench:
 	PYTHONPATH=src python -m repro.cli bench --out results/bench \
 		--jobs 2 --cache-dir results/cache
 
-# Run the quick fig6 suite and gate it against the committed baseline
-# (nonzero exit on a noise-significant throughput regression).
+# Run the quick fig6 + obs_overhead suites and gate them against the
+# committed baseline (nonzero exit on a noise-significant throughput
+# regression, or on any nonzero tracing overhead).
 bench-compare:
 	PYTHONPATH=src python -m repro.cli bench --suite fig6_scaling \
-		--out results/bench
+		--suite obs_overhead --out results/bench
 	PYTHONPATH=src python -m repro.cli bench \
 		--compare benchmarks/baselines results/bench \
 		--markdown results/bench/compare.md
@@ -48,13 +49,20 @@ bench-compare:
 # after a justified perf change — see docs/BENCHMARKS.md).
 bench-baseline:
 	PYTHONPATH=src python -m repro.cli bench --suite fig6_scaling \
-		--out benchmarks/baselines
+		--suite obs_overhead --out benchmarks/baselines
 
 # Fault-injection matrix (repro.faults): gap detection, checkpoint
 # recovery, and MLFFR-vs-drop-rate, written as BENCH_chaos_recovery.json.
 # Nonzero exit if any injected gap goes undetected (see docs/FAULTS.md).
 chaos:
 	PYTHONPATH=src python -m repro.cli chaos --out results/chaos --jobs 2
+
+# Unified HTML dashboard over whatever telemetry/bench artifacts exist
+# under results/ (drop-cause Pareto, span waterfalls, MLFFR curves, SLO
+# table).  Byte-deterministic for the same inputs (see docs/OBSERVABILITY.md).
+report:
+	PYTHONPATH=src python -m repro.cli report results/telemetry-demo \
+		results/bench/BENCH_fig6_scaling.json --out results/report.html
 
 # The paper-figure pytest benches (tables/figures with printed series).
 bench-figures:

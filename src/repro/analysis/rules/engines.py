@@ -40,12 +40,12 @@ _CLOCK_ORIGINS = frozenset({
 })
 
 def _is_engine_module(module: ModuleModel) -> bool:
-    """The rule applies to ``repro/parallel`` and ``repro/scenario`` files
-    (the executor's parallel-equals-serial guarantee needs the same
-    hygiene) and to any module that defines an engine class (so fixtures
+    """The rule applies to ``repro/parallel``, ``repro/scenario``, and
+    ``repro/obs`` files (the executor's parallel-equals-serial guarantee
+    — and span sampling's process-independence — need the same hygiene) and to any module that defines an engine class (so fixtures
     exercise it from anywhere)."""
     parts = PurePath(module.path).parts
-    if "parallel" in parts or "scenario" in parts:
+    if "parallel" in parts or "scenario" in parts or "obs" in parts:
         return True
     return bool(module.engine_classes())
 

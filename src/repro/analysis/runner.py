@@ -28,13 +28,16 @@ __all__ = [
 #: What CI lints when no paths are given: the program zoo (SCR001/2/3/5),
 #: the scaling engines (SCR004), the scenario layer (SCR004 — the
 #: multiprocess executor's serial-equivalence guarantee depends on the
-#: same no-clocks/no-process-RNG/no-module-state hygiene), and the
-#: fault/recovery subsystem (SCR006).
+#: same no-clocks/no-process-RNG/no-module-state hygiene), the
+#: fault/recovery subsystem (SCR006), and the span/SLO observability
+#: layer (SCR004 + SCR006 — span sampling must stay pure-hash and the
+#: SLO reducer side-effect free).
 DEFAULT_LINT_PATHS: Tuple[str, ...] = (
     "src/repro/programs",
     "src/repro/parallel",
     "src/repro/scenario",
     "src/repro/faults",
+    "src/repro/obs",
 )
 
 

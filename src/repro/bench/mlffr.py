@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..cpu.simulator import PerfEngine, PerfTrace, SimResult, simulate
+from ..obs.spans import NULL_SPANS, SpanEmitter
 from ..telemetry.events import EV_MLFFR_PROBE, NULL_TRACER, EventTracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -66,6 +67,7 @@ def find_mlffr(
     tracer: EventTracer = NULL_TRACER,
     collect_latency: bool = False,
     faults: Optional["FaultPlan"] = None,
+    spans: SpanEmitter = NULL_SPANS,
 ) -> MlffrResult:
     """Binary-search the highest offered rate with loss below threshold.
 
@@ -78,6 +80,9 @@ def find_mlffr(
     probe (a FaultPlan is rate-independent by construction), so the
     search measures MLFFR *under* that fault regime — injected drops
     count toward the loss threshold exactly like congestion drops.
+
+    ``spans`` forwards to every probe's simulation; which packets are
+    sampled is index-keyed, so all probes trace the same packets.
     """
     if start_pps <= 0:
         raise ValueError("start rate must be positive")
@@ -98,6 +103,7 @@ def find_mlffr(
             tracer=tracer,
             collect_latency=collect_latency,
             faults=faults,
+            spans=spans,
         )
         probes.append((rate, res.loss_fraction))
         ok = res.loss_fraction <= loss_threshold

@@ -17,13 +17,20 @@ Subcommands:
 * ``chaos``      — run the curated fault-injection matrix (repro.faults):
   gap detection, recovery, and MLFFR-vs-drop-rate, written as a
   ``BENCH_chaos_recovery.json`` artifact (exit 1 if the gate fails).
+* ``report``     — render one self-contained HTML dashboard from any mix
+  of telemetry artifact directories and ``BENCH_*.json`` files
+  (drop-cause Pareto, SLO table, span waterfalls, MLFFR curves);
+  byte-deterministic for identical inputs.
 * ``lint``       — scrlint: SCR-safety static analysis of the program zoo,
-  the scaling engines, and the fault/recovery subsystem (rules
-  SCR001–SCR006; exit 1 on findings).
+  the scaling engines, the fault/recovery subsystem, and the
+  observability layer (rules SCR001–SCR006; exit 1 on findings).
 
 ``run``, ``mlffr``, and ``sweep`` accept ``--telemetry DIR``: the run is
 instrumented (event trace, metrics, latency histograms) and a
 :class:`~repro.telemetry.artifact.RunArtifact` is written under ``DIR``.
+``mlffr`` and ``sweep`` (the simulator paths) additionally accept
+``--trace-sample RATE``: causal ``span.*`` events are recorded for a
+deterministic sample of packet indices (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -86,6 +93,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="content-addressed trace cache (see docs/BENCHMARKS.md)")
     p.add_argument("--telemetry", metavar="DIR",
                    help="instrument the run and write a run artifact here")
+    p.add_argument("--trace-sample", type=float, default=0.0, metavar="RATE",
+                   help="with --telemetry: span-trace this fraction of "
+                        "packet indices (deterministic; default 0)")
 
     p = sub.add_parser("sweep", help="throughput-vs-cores sweep")
     p.add_argument("--program", choices=program_names(), default="ddos")
@@ -102,6 +112,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", help="write results to this CSV path")
     p.add_argument("--telemetry", metavar="DIR",
                    help="instrument the run and write a run artifact here")
+    p.add_argument("--trace-sample", type=float, default=0.0, metavar="RATE",
+                   help="with --telemetry: span-trace this fraction of "
+                        "packet indices (deterministic; default 0)")
 
     p = sub.add_parser("hardware", help="sequencer capacity and resources")
     p.add_argument("--rows", type=int, default=16, help="NetFPGA history rows")
@@ -117,6 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("inspect", help="summarize a telemetry run artifact")
     p.add_argument("dir", help="artifact directory (or manifest.json path)")
+
+    p = sub.add_parser(
+        "report", help="render an HTML dashboard from artifacts"
+    )
+    p.add_argument("inputs", nargs="+", metavar="INPUT",
+                   help="telemetry artifact directories and/or "
+                        "BENCH_*.json files")
+    p.add_argument("--out", default="report.html", metavar="PATH",
+                   help="output HTML path (default report.html)")
 
     p = sub.add_parser(
         "bench", help="perf-regression bench suite and compare gate"
@@ -243,10 +265,21 @@ def cmd_synthesize(args, out) -> int:
 
 
 def _telemetry_for(args) -> Telemetry:
-    """An enabled Telemetry when ``--telemetry DIR`` was given, else no-op."""
-    if getattr(args, "telemetry", None):
-        return Telemetry()
-    return NULL_TELEMETRY
+    """An enabled Telemetry when ``--telemetry DIR`` was given, else no-op.
+
+    ``--trace-sample RATE`` attaches a span emitter keyed on the run's
+    seed, so which packets carry a trace is the same in every process.
+    """
+    if not getattr(args, "telemetry", None):
+        return NULL_TELEMETRY
+    tele = Telemetry()
+    rate = getattr(args, "trace_sample", 0.0) or 0.0
+    if rate > 0.0:
+        from .obs import SpanEmitter, SpanSampler
+
+        seed = getattr(args, "seed", 0) or 0
+        tele.spans = SpanEmitter(tele.tracer, SpanSampler(seed, rate))
+    return tele
 
 
 def _config_from(args, *names) -> dict:
@@ -264,6 +297,7 @@ def _finish_telemetry(tele, args, out, num_cores, extra_metrics=None) -> bool:
             config=_config_from(
                 args, "program", "workload", "technique", "techniques",
                 "cores", "packets", "flows", "loss_rate", "seed",
+                "trace_sample",
             ),
             extra_metrics=extra_metrics,
             num_cores=num_cores,
@@ -464,6 +498,21 @@ def cmd_inspect(args, out) -> int:
     return 0
 
 
+def cmd_report(args, out) -> int:
+    from .obs.report import write_report
+
+    try:
+        path = write_report(args.inputs, args.out)
+    except ValueError as exc:
+        print(f"report error: {exc}", file=out)
+        return 2
+    except OSError as exc:
+        print(f"report error: cannot read/write: {exc}", file=out)
+        return 2
+    print(f"wrote {path}", file=out)
+    return 0
+
+
 def _cmd_bench_compare(args, out) -> int:
     from .perf import CompareError, compare_paths, markdown_report
     from .perf.compare import DEFAULT_NOISE_MULT, DEFAULT_REL_TOL
@@ -616,6 +665,7 @@ _COMMANDS = {
     "hardware": cmd_hardware,
     "reproduce": cmd_reproduce,
     "inspect": cmd_inspect,
+    "report": cmd_report,
     "bench": cmd_bench,
     "chaos": cmd_chaos,
     "lint": cmd_lint,

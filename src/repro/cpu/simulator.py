@@ -42,6 +42,7 @@ from ..telemetry.events import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..faults.plan import FaultPlan
+from ..obs.spans import NULL_SPANS, SpanEmitter
 from ..telemetry.metrics import Histogram
 from ..traffic.trace import Trace
 from .counters import SystemCounters
@@ -243,6 +244,7 @@ def simulate(
     collect_latency: bool = False,
     tracer: EventTracer = NULL_TRACER,
     faults: Optional["FaultPlan"] = None,
+    spans: SpanEmitter = NULL_SPANS,
 ) -> SimResult:
     """Offer ``perf_trace`` at ``rate_pps`` to ``engine`` and measure.
 
@@ -276,6 +278,11 @@ def simulate(
     perturbs service order, and core stalls/kills model a slow or dead
     replica.  Fault decisions key on the packet *index*, never on probe
     rate or arrival order, so every MLFFR probe sees the same schedule.
+
+    ``spans`` emits causal ``span.*`` events for deterministically sampled
+    packet indices (NIC arrival → ring enqueue → core pop, plus the fault
+    path); the default disabled emitter costs one attribute read, and
+    emission never moves simulated time.
     """
     if rate_pps <= 0:
         raise ValueError("rate must be positive")
@@ -320,6 +327,7 @@ def simulate(
     #: the per-packet guard below avoids even the call overhead.
     tracing = tracer.enabled
     emit = tracer.emit
+    spans_on = spans.enabled
 
     def drain(core: int, horizon: float) -> None:
         nonlocal processed, last_finish
@@ -367,6 +375,8 @@ def simulate(
                 if busy[core] > last_finish:
                     last_finish = busy[core]
                 continue
+            if spans_on and spans.sampled(pp.index):
+                spans.emit("core_pop", pp.index, ts_ns=start, core=core)
             service = engine.service_ns(core, pp, start)
             busy[core] = start + service
             per_core_packets[core] += 1
@@ -386,6 +396,10 @@ def simulate(
         now = (i // burst_size) * burst_size * interval
         for core in range(k):
             drain(core, now)
+        pp_sampled = spans_on and spans.sampled(pp.index)
+        if pp_sampled:
+            spans.emit("nic_arrival", pp.index, ts_ns=now,
+                       wire_len=pp.wire_len)
         wl = engine.wire_len(pp)
         wt = _wire_time_ns(wl, line_rate_bps)
         if i == 0:
@@ -416,6 +430,8 @@ def simulate(
                 note_fault_drop(core, pp)
             if tracing:
                 emit(EV_FAULT_DROP, ts_ns=now, core=core, index=pp.index)
+            if pp_sampled:
+                spans.emit("fault_drop", pp.index, ts_ns=now, core=core)
             continue
         if not engine.pre_enqueue(pp, core):
             injected_lost += 1
@@ -450,6 +466,9 @@ def simulate(
                     ring.append((now, pp, True))
         else:
             ring.append((now, pp, False))
+        if pp_sampled:
+            spans.emit("ring_enqueue", pp.index, ts_ns=now, core=core,
+                       depth=len(ring))
 
     stream_end = offered * interval
     horizon = stream_end + max(grace_min_ns, grace_fraction * stream_end)

@@ -32,12 +32,14 @@ from ..scenario.spec import TraceSpec
 from ..sequencer.sequencer import PacketHistorySequencer
 from ..state.maps import StateMap
 from ..telemetry.events import (
+    EV_FAST_FORWARD,
     EV_FAULT_DROP,
     EV_FAULT_DUPLICATE,
     EV_FAULT_KILL,
     EV_FAULT_POP_DROP,
     EV_FAULT_REORDER,
     EV_FAULT_TRUNCATE,
+    EV_GAP_DETECTED,
     EV_QUARANTINE,
     EV_RESYNC,
     EV_UNRECOVERABLE,
@@ -231,6 +233,10 @@ class _ChaosCore:
                 self.suspect = True
                 self._apply(apply_rows)
                 kind = "forked"
+                if self.tracer.enabled:
+                    self.tracer.emit(EV_GAP_DETECTED, core=self.core_id,
+                                     seq=j, missing=missing,
+                                     invalid_rows=invalid)
         else:
             self._apply(apply_rows)
             if anomaly:
@@ -239,6 +245,9 @@ class _ChaosCore:
                 self.gaps_detected += 1
                 self.gaps_covered += 1
                 kind = "covered"
+                if self.tracer.enabled:
+                    self.tracer.emit(EV_FAST_FORWARD, core=self.core_id,
+                                     seq=j, length=needed)
         verdict = self.program.process(self.state, pkt)
         self.last_seq = j
         self.processed += 1

@@ -1,0 +1,35 @@
+"""Causal observability: span tracing, SLO analytics, and the report.
+
+``repro.obs`` answers the questions the flat event ring cannot: *why was
+this one packet slow* (parent-linked spans across NIC → ring → core →
+recovery) and *how long did a replica stay degraded* (time-to-detect /
+time-to-resync distributions over the fault events).  Three pieces:
+
+* :mod:`repro.obs.sampling` — the deterministic splitmix64 sampling
+  decision on ``(seed, packet index)``; probe-rate-, order-, and
+  process-independent, exactly like the FaultPlan hash it mirrors;
+* :mod:`repro.obs.spans` — :class:`SpanEmitter`, which turns sampled
+  packets into parent-linked ``span.*`` events in the existing tracer;
+* :mod:`repro.obs.slo` / :mod:`repro.obs.report` — pure reducers over
+  the event log (imported lazily by artifact writing and the CLI; they
+  pull in artifact machinery and must stay out of the hot-path import
+  graph, which is why this package root does not import them).
+
+Everything here is observational: emitting spans never changes a single
+simulated timestamp, which ``BENCH_obs_overhead.json`` gates.  See
+``docs/OBSERVABILITY.md``.
+"""
+
+from .sampling import SpanSampler, sample_unit, splitmix64
+from .spans import NULL_SPANS, SPAN_PARENT, SPAN_STAGES, SpanEmitter, span_kind
+
+__all__ = [
+    "SpanSampler",
+    "sample_unit",
+    "splitmix64",
+    "SpanEmitter",
+    "NULL_SPANS",
+    "SPAN_STAGES",
+    "SPAN_PARENT",
+    "span_kind",
+]

@@ -1,0 +1,451 @@
+"""``scr-repro report``: one self-contained HTML dashboard per repo state.
+
+Renders any mix of telemetry artifact directories (``manifest.json`` +
+``events.jsonl``) and ``BENCH_*.json`` suite artifacts into a single HTML
+file with no external assets: inline CSS, inline SVG, no scripts.  The
+sections mirror what the text tools answer one at a time — drop-cause
+Pareto (``inspect`` question 1), recovery SLO table (question 2), per-core
+span waterfalls for sampled packets, and the suite's MLFFR curves.
+
+Byte determinism is a contract, not an accident: rendering is a pure
+function of the input bytes (sorted iteration everywhere, fixed-precision
+formatting, no wall clock), so the same artifacts produce the same HTML in
+any process — CI ``cmp``-checks the serial vs ``--jobs 2`` renders.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..telemetry.artifact import EVENTS_NAME, MANIFEST_NAME, RunArtifact
+from .spans import SPAN_PREFIX
+
+__all__ = ["classify_inputs", "render_report", "write_report"]
+
+#: Waterfalls rendered per artifact (the rest are counted, not drawn).
+MAX_WATERFALLS = 8
+
+_BENCH_SCHEMA_PREFIX = "scr-repro/bench-artifact/"
+
+#: Drop/loss kinds in Pareto candidacy order (label per kind).
+_DROP_LABELS: Mapping[str, str] = MappingProxyType({
+    "nic.wire_drop": "wire saturated",
+    "nic.ring_drop": "RX ring full",
+    "nic.pcie_drop": "PCIe saturated",
+    "sim.injected_loss": "injected loss",
+    "fault.drop": "fault: wire→ring drop",
+    "fault.pop_drop": "fault: ring-pop drop",
+})
+
+#: Fixed series palette (cycled); chosen for white backgrounds.
+_PALETTE = ("#2563eb", "#dc2626", "#16a34a", "#9333ea", "#ea580c", "#0891b2")
+
+_CSS = """\
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto;
+       max-width: 960px; color: #1f2430; padding: 0 1em; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #2563eb; padding-bottom: .2em; }
+h2 { font-size: 1.2em; margin-top: 2em; }
+h3 { font-size: 1em; margin-bottom: .3em; }
+table { border-collapse: collapse; margin: .5em 0; }
+th, td { border: 1px solid #cbd5e1; padding: .25em .6em; text-align: left; }
+th { background: #eef2ff; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.note { color: #6b7280; font-style: italic; }
+.bar { fill: #2563eb; }
+svg text { font: 11px system-ui, sans-serif; fill: #374151; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: float) -> str:
+    """Fixed-precision number rendering (deterministic across platforms)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _fmt_ns(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.2f} ms"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f} us"
+    return f"{value:.0f} ns"
+
+
+def classify_inputs(
+    inputs: Sequence[Union[str, Path]],
+) -> Tuple[List[Path], List[Path]]:
+    """Split inputs into (artifact directories, bench JSON files).
+
+    A directory must hold a ``manifest.json``; a file must be a
+    ``BENCH_*.json``-schema document.  Anything else raises ValueError —
+    a misspelled path should fail loudly, not render an empty report.
+    """
+    artifact_dirs: List[Path] = []
+    bench_files: List[Path] = []
+    for raw in inputs:
+        path = Path(raw)
+        if path.is_dir():
+            if not (path / MANIFEST_NAME).is_file():
+                raise ValueError(
+                    f"{path}: directory has no {MANIFEST_NAME} "
+                    "(not a telemetry artifact)"
+                )
+            artifact_dirs.append(path)
+        elif path.is_file():
+            with path.open() as fh:
+                try:
+                    data = json.load(fh)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+            schema = str(data.get("schema", ""))
+            if schema.startswith(_BENCH_SCHEMA_PREFIX):
+                bench_files.append(path)
+            else:
+                raise ValueError(
+                    f"{path}: unrecognized schema {schema!r} "
+                    "(expected a BENCH_*.json suite artifact)"
+                )
+        else:
+            raise ValueError(f"{path}: no such file or directory")
+    return artifact_dirs, bench_files
+
+
+# -- run-artifact sections ----------------------------------------------------
+
+
+def _read_events(directory: Path, artifact: RunArtifact) -> List[dict]:
+    path = directory / str(artifact.files.get("events", EVENTS_NAME))
+    rows: List[dict] = []
+    try:
+        with path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rows.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+    except OSError:
+        return []
+    return rows
+
+
+def _pareto_section(artifact: RunArtifact) -> List[str]:
+    drops = [
+        (kind, int(artifact.event_type_counts.get(kind, 0)))
+        for kind in _DROP_LABELS
+        if int(artifact.event_type_counts.get(kind, 0)) > 0
+    ]
+    if not drops:
+        return ["<p class=\"note\">no drops recorded (loss-free run)</p>"]
+    drops.sort(key=lambda kv: (-kv[1], kv[0]))
+    total = sum(count for _, count in drops)
+    peak = drops[0][1]
+    out = ["<h3>drop-cause Pareto</h3>", "<table>",
+           "<tr><th>cause</th><th>count</th><th>share</th><th></th></tr>"]
+    cumulative = 0
+    for kind, count in drops:
+        cumulative += count
+        width = max(1, round(240 * count / peak))
+        out.append(
+            "<tr>"
+            f"<td>{_esc(_DROP_LABELS[kind])} <code>{_esc(kind)}</code></td>"
+            f"<td class=\"num\">{count}</td>"
+            f"<td class=\"num\">{100.0 * cumulative / total:.1f}%</td>"
+            f"<td><svg width=\"240\" height=\"12\">"
+            f"<rect class=\"bar\" width=\"{width}\" height=\"12\"/></svg></td>"
+            "</tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def _slo_section(artifact: RunArtifact) -> List[str]:
+    slo = artifact.slo
+    if slo is None:
+        if any(k.startswith(("fault.", "recovery."))
+               for k in artifact.event_type_counts):
+            return [
+                "<p class=\"note\">recovery SLOs: not recorded "
+                "(artifact predates the slo section)</p>"
+            ]
+        return []
+    out = [f"<h3>recovery SLOs <code>{_esc(slo.get('schema', '?'))}</code></h3>"]
+    gaps = slo.get("gaps", {})
+    shown = ", ".join(f"{key}={gaps[key]}" for key in sorted(gaps) if gaps[key])
+    out.append(f"<p>gaps: {_esc(shown) or 'none'}</p>")
+    out.append("<table><tr><th>measure</th><th>count</th><th>p50</th>"
+               "<th>p99</th><th>max</th><th>mean</th></tr>")
+    measures = [
+        ("time to detect", slo.get("ttd_ns", {}), _fmt_ns),
+        ("time to resync", slo.get("ttr_ns", {}), _fmt_ns),
+        ("packets degraded", slo.get("packets_degraded", {}), _fmt),
+        ("blast radius", slo.get("blast_radius", {}), _fmt),
+    ]
+    for label, dist, fmt in measures:
+        if dist.get("count", 0):
+            cells = "".join(
+                f"<td class=\"num\">{fmt(float(dist[key]))}</td>"
+                for key in ("p50", "p99", "max", "mean")
+            )
+            out.append(f"<tr><td>{label}</td>"
+                       f"<td class=\"num\">{dist['count']}</td>{cells}</tr>")
+        else:
+            out.append(f"<tr><td>{label}</td><td class=\"num\">0</td>"
+                       "<td>-</td><td>-</td><td>-</td><td>-</td></tr>")
+    out.append("</table>")
+    if slo.get("unrecoverable_cores"):
+        cores = ", ".join(str(c) for c in slo["unrecoverable_cores"])
+        out.append(f"<p>unrecoverable cores: {_esc(cores)}</p>")
+    return out
+
+
+def _group_traces(events: List[dict]) -> List[Tuple[int, List[dict]]]:
+    """Span events grouped by trace id, ordered by first timestamp."""
+    traces: Dict[int, List[dict]] = {}
+    for ev in events:
+        kind = str(ev.get("kind", ""))
+        if not kind.startswith(SPAN_PREFIX):
+            continue
+        trace = ev.get("trace")
+        if isinstance(trace, int):
+            traces.setdefault(trace, []).append(ev)
+    for spans in traces.values():
+        spans.sort(key=lambda e: (float(e.get("ts_ns", 0.0)),
+                                  str(e.get("kind", ""))))
+    return sorted(
+        traces.items(),
+        key=lambda kv: (float(kv[1][0].get("ts_ns", 0.0)), kv[0]),
+    )
+
+
+def _waterfall_svg(spans: List[dict]) -> str:
+    """One trace as an SVG waterfall: a row per span, time left to right."""
+    t0 = min(float(e.get("ts_ns", 0.0)) for e in spans)
+    t1 = max(float(e.get("ts_ns", 0.0)) + float(e.get("dur_ns", 0.0) or 0.0)
+             for e in spans)
+    window = max(t1 - t0, 1.0)
+    row_h, label_w, chart_w = 18, 180, 520
+    height = row_h * len(spans) + 4
+    parts = [
+        f"<svg width=\"{label_w + chart_w + 60}\" height=\"{height}\" "
+        "role=\"img\">"
+    ]
+    for row, ev in enumerate(spans):
+        stage = str(ev.get("kind", ""))[len(SPAN_PREFIX):]
+        core = ev.get("core")
+        label = stage if core is None else f"{stage} (core {core})"
+        ts = float(ev.get("ts_ns", 0.0))
+        dur = float(ev.get("dur_ns", 0.0) or 0.0)
+        x = label_w + chart_w * (ts - t0) / window
+        w = max(2.0, chart_w * dur / window)
+        y = row * row_h + 2
+        color = _PALETTE[row % len(_PALETTE)]
+        parts.append(
+            f"<text x=\"2\" y=\"{y + 11}\">{_esc(label)}</text>"
+            f"<rect x=\"{x:.2f}\" y=\"{y}\" width=\"{w:.2f}\" "
+            f"height=\"{row_h - 5}\" fill=\"{color}\"/>"
+        )
+        if dur > 0.0:
+            parts.append(
+                f"<text x=\"{x + w + 4:.2f}\" y=\"{y + 11}\">"
+                f"{_esc(_fmt_ns(dur))}</text>"
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _waterfall_section(events: List[dict]) -> List[str]:
+    traces = _group_traces(events)
+    if not traces:
+        return [
+            "<p class=\"note\">no span events retained "
+            "(run with --trace-sample to record causal traces)</p>"
+        ]
+    out = ["<h3>sampled packet waterfalls</h3>"]
+    for trace_id, spans in traces[:MAX_WATERFALLS]:
+        index = spans[0].get("index", "?")
+        out.append(f"<h4>packet index {_esc(index)} "
+                   f"<code>trace {trace_id:016x}</code></h4>")
+        out.append(_waterfall_svg(spans))
+    if len(traces) > MAX_WATERFALLS:
+        out.append(
+            f"<p class=\"note\">showing first {MAX_WATERFALLS} of "
+            f"{len(traces)} traces</p>"
+        )
+    return out
+
+
+def _artifact_section(directory: Path) -> List[str]:
+    artifact = RunArtifact.load(directory)
+    out = [f"<h2>run artifact: <code>{_esc(directory.name)}</code></h2>"]
+    out.append("<table>")
+    out.append(f"<tr><th>command</th><td>{_esc(artifact.command)}</td></tr>")
+    out.append(f"<tr><th>git sha</th><td>{_esc(artifact.git_sha)}</td></tr>")
+    if artifact.created_utc:
+        out.append(
+            f"<tr><th>created</th><td>{_esc(artifact.created_utc)}</td></tr>"
+        )
+    if artifact.config:
+        cfg = ", ".join(f"{k}={v}"
+                        for k, v in sorted(artifact.config.items()))
+        out.append(f"<tr><th>config</th><td>{_esc(cfg)}</td></tr>")
+    out.append(
+        f"<tr><th>events</th><td>{artifact.events_emitted} emitted, "
+        f"{artifact.events_retained} retained</td></tr>"
+    )
+    out.append("</table>")
+    out.extend(_pareto_section(artifact))
+    out.extend(_slo_section(artifact))
+    out.extend(_waterfall_section(_read_events(directory, artifact)))
+    return out
+
+
+# -- bench-artifact sections --------------------------------------------------
+
+
+def _line_chart(points: List[Tuple[float, float]], unit: str,
+                color: str) -> str:
+    width, height, pad = 560, 220, 36
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(0.0, min(ys)), max(ys)
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+
+    def sx(x: float) -> float:
+        return pad + (width - 2 * pad) * (x - x_lo) / x_span
+
+    def sy(y: float) -> float:
+        return height - pad - (height - 2 * pad) * (y - y_lo) / y_span
+
+    path = " ".join(f"{sx(x):.2f},{sy(y):.2f}" for x, y in points)
+    parts = [
+        f"<svg width=\"{width}\" height=\"{height}\" role=\"img\">",
+        f"<line x1=\"{pad}\" y1=\"{height - pad}\" x2=\"{width - pad}\" "
+        f"y2=\"{height - pad}\" stroke=\"#9ca3af\"/>",
+        f"<line x1=\"{pad}\" y1=\"{pad}\" x2=\"{pad}\" "
+        f"y2=\"{height - pad}\" stroke=\"#9ca3af\"/>",
+        f"<polyline points=\"{path}\" fill=\"none\" stroke=\"{color}\" "
+        "stroke-width=\"2\"/>",
+    ]
+    for x, y in points:
+        parts.append(f"<circle cx=\"{sx(x):.2f}\" cy=\"{sy(y):.2f}\" "
+                     f"r=\"3\" fill=\"{color}\"/>")
+    parts.append(f"<text x=\"{pad}\" y=\"{height - pad + 14}\">"
+                 f"{_fmt(x_lo)}</text>")
+    parts.append(f"<text x=\"{width - pad}\" y=\"{height - pad + 14}\" "
+                 f"text-anchor=\"end\">{_fmt(x_hi)}</text>")
+    parts.append(f"<text x=\"{pad - 4}\" y=\"{pad}\" text-anchor=\"end\">"
+                 f"{_fmt(y_hi)}</text>")
+    parts.append(f"<text x=\"{pad - 4}\" y=\"{height - pad}\" "
+                 f"text-anchor=\"end\">{_fmt(y_lo)}</text>")
+    parts.append(f"<text x=\"{width - pad}\" y=\"{pad}\" "
+                 f"text-anchor=\"end\">{_esc(unit)}</text>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _as_number(x: object) -> Optional[float]:
+    """Chartable x coordinate, if any (BENCH x values may be stringly)."""
+    if isinstance(x, bool):
+        return None
+    if isinstance(x, (int, float)):
+        return float(x)
+    if isinstance(x, str):
+        try:
+            return float(x)
+        except ValueError:
+            return None
+    return None
+
+
+def _series_block(name: str, series: dict, color: str) -> List[str]:
+    unit = str(series.get("unit", ""))
+    points = series.get("points", [])
+    out = [f"<h3><code>{_esc(name)}</code> "
+           f"<span class=\"note\">({_esc(unit) or 'unitless'}, "
+           f"{_esc(series.get('direction', '?'))})</span></h3>"]
+    numeric = [
+        (x, float(p["median"]))
+        for p in points
+        for x in [_as_number(p.get("x"))]
+        if x is not None
+    ]
+    if len(numeric) >= 2 and len(numeric) == len(points):
+        out.append(_line_chart(sorted(numeric), unit, color))
+    out.append("<table><tr><th>x</th><th>median</th><th>mad</th></tr>")
+    for p in points:
+        out.append(
+            f"<tr><td>{_esc(p.get('x'))}</td>"
+            f"<td class=\"num\">{_fmt(float(p.get('median', 0.0)))}</td>"
+            f"<td class=\"num\">{_fmt(float(p.get('mad', 0.0)))}</td></tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def _bench_section(path: Path) -> List[str]:
+    with path.open() as fh:
+        data = json.load(fh)
+    name = str(data.get("name", path.name))
+    out = [f"<h2>bench artifact: <code>{_esc(path.name)}</code> "
+           f"({_esc(name)})</h2>"]
+    if data.get("git_sha") and data["git_sha"] != "unknown":
+        out.append(f"<p>git sha: <code>{_esc(data['git_sha'])}</code></p>")
+    series = data.get("series", {})
+    if not series:
+        out.append("<p class=\"note\">artifact has no series</p>")
+    for i, sname in enumerate(sorted(series)):
+        out.extend(_series_block(sname, series[sname],
+                                 _PALETTE[i % len(_PALETTE)]))
+    return out
+
+
+# -- assembly -----------------------------------------------------------------
+
+
+def render_report(inputs: Sequence[Union[str, Path]]) -> str:
+    """The full dashboard HTML for ``inputs`` (dirs and/or BENCH files).
+
+    Pure function of the input file bytes — no wall clock, no randomness,
+    no environment reads — so identical inputs render identical bytes.
+    """
+    artifact_dirs, bench_files = classify_inputs(inputs)
+    body: List[str] = []
+    for directory in artifact_dirs:
+        body.extend(_artifact_section(directory))
+    for path in bench_files:
+        body.extend(_bench_section(path))
+    if not body:
+        body.append("<p class=\"note\">no inputs</p>")
+    sections = "\n".join(body)
+    return (
+        "<!DOCTYPE html>\n"
+        "<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+        "<title>scr-repro report</title>\n"
+        f"<style>\n{_CSS}</style>\n</head>\n<body>\n"
+        "<h1>scr-repro report</h1>\n"
+        f"{sections}\n"
+        "</body>\n</html>\n"
+    )
+
+
+def write_report(
+    inputs: Sequence[Union[str, Path]], out: Union[str, Path]
+) -> Path:
+    """Render and write the dashboard; returns the output path."""
+    out_path = Path(out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(render_report(inputs), encoding="utf-8")
+    return out_path

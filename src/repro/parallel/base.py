@@ -21,6 +21,7 @@ from ..cpu.costmodel import (
 )
 from ..cpu.counters import CoreCounters, SystemCounters
 from ..cpu.simulator import PerfPacket
+from ..obs.spans import NULL_SPANS, SpanEmitter
 from ..programs.base import PacketProgram
 from ..telemetry.events import NULL_TRACER, EventTracer
 
@@ -53,6 +54,7 @@ class BaseEngine(ABC):
         costs: Optional[CostParams] = None,
         contention: ContentionParams = DEFAULT_CONTENTION,
         tracer: EventTracer = NULL_TRACER,
+        spans: SpanEmitter = NULL_SPANS,
     ) -> None:
         if num_cores < 1:
             raise ValueError("need at least one core")
@@ -60,6 +62,8 @@ class BaseEngine(ABC):
         self.num_cores = num_cores
         #: telemetry event sink; the default disabled tracer is free.
         self.tracer = tracer
+        #: causal span emitter for sampled packets (disabled by default).
+        self.spans = spans
         if costs is None:
             try:
                 costs = TABLE4_PARAMS[program.name]

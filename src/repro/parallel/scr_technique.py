@@ -199,6 +199,16 @@ class ScrEngine(BaseEngine):
             self.tracer.emit(EV_HISTORY_DEPTH, ts_ns=start_ns, core=core, depth=h)
         history = h * (c.c2 + extra)
         compute = (c.c1 + extra) + history
+        spans = self.spans
+        pp_sampled = spans.enabled and spans.sampled(pp.index)
+        if pp_sampled:
+            # Observational only: span timestamps re-derive the cost model's
+            # own intervals, they never feed back into service time.
+            spans.emit("history_ff", pp.index, ts_ns=start_ns + c.d,
+                       dur_ns=history, core=core, depth=h)
+            spans.emit("transition", pp.index,
+                       ts_ns=start_ns + c.d + history,
+                       dur_ns=c.c1 + extra, core=core)
         # Every core holds every flow, so spill is judged against the full
         # (replicated) working set.
         miss_frac, spill = self.l2.access(core, pp.key)
@@ -249,12 +259,22 @@ class ScrEngine(BaseEngine):
                 recovery_transfer_ns += self.contention.checkpoint_fetch_ns
                 recovery_misses += 1.0  # the restored snapshot is cold
                 self.resync_replayed += replay
-                self.resync_ns_total += catchup + self.contention.checkpoint_fetch_ns
+                fetch = self.contention.checkpoint_fetch_ns
+                self.resync_ns_total += catchup + fetch
                 if self.tracer.enabled:
                     self.tracer.emit(EV_QUARANTINE, ts_ns=start_ns,
                                      core=core, gap=gap, missed=missed)
                     self.tracer.emit(EV_RESYNC, ts_ns=start_ns, core=core,
-                                     replayed=replay)
+                                     dur_ns=catchup + fetch, replayed=replay)
+                if pp_sampled:
+                    spans.emit("quarantine", pp.index, ts_ns=start_ns,
+                               core=core, gap=gap, missed=missed)
+                    spans.emit("checkpoint_fetch", pp.index, ts_ns=start_ns,
+                               dur_ns=fetch, core=core)
+                    spans.emit("replay", pp.index, ts_ns=start_ns + fetch,
+                               dur_ns=catchup, core=core, replayed=replay)
+                    spans.emit("resync", pp.index,
+                               ts_ns=start_ns + fetch + catchup, core=core)
             compute += catchup
             history += catchup
         total = c.d + compute + spill + log_ns + recovery_transfer_ns

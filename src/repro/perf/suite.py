@@ -1,6 +1,6 @@
 """The curated perf suite: the runs whose numbers must not silently move.
 
-Four suites, each writing one ``BENCH_<name>.json`` artifact:
+Six suites, each writing one ``BENCH_<name>.json`` artifact:
 
 * ``fig6_scaling``   — the Figure 6 main-result panel (ddos @ caida, all
   four techniques vs cores), plus the SCR series' Appendix A residuals
@@ -10,7 +10,12 @@ Four suites, each writing one ``BENCH_<name>.json`` artifact:
 * ``tail_latency``   — per-packet sojourn percentiles at MLFFR for SCR
   vs shared state;
 * ``fig11_model_fit``— measured SCR throughput vs the analytic model,
-  with the absolute residual as a gateable series.
+  with the absolute residual as a gateable series;
+* ``faults_recovery``— MLFFR under the chaos fault regime (injected
+  drops + recovery) vs the drop-rate sweep;
+* ``obs_overhead``   — span tracing's throughput cost: a zero-tolerance
+  gate that the traced MLFFR equals the untraced MLFFR exactly, plus the
+  deterministic sampled-span volume.
 
 Every point is the **median of k repetitions**; repetition ``i``
 re-synthesizes the workload with ``seed = base_seed + i`` (engine seeds
@@ -372,12 +377,85 @@ def run_faults_recovery(params: SuiteParams) -> BenchArtifact:
     return art
 
 
+#: Sampling rate the traced obs_overhead twin runs at (~1 in 20 packets).
+_TRACE_SAMPLE_RATE = 0.05
+
+
+def run_obs_overhead(params: SuiteParams) -> BenchArtifact:
+    """Span tracing must be observational: the traced MLFFR equals the
+    untraced MLFFR *exactly* (the simulator's clock never moves for a
+    span), so ``traced_delta_mpps`` gates at zero tolerance — any nonzero
+    delta means instrumentation leaked into the cost model.  The
+    ``untraced_mpps`` series doubles as a plain perf gate on the same
+    grid, and ``span_events`` pins the deterministic sample volume.
+    """
+    from ..obs import SpanEmitter, SpanSampler
+    from ..scenario.build import StackBuilder, run_scenario
+    from ..telemetry.artifact import Telemetry
+
+    program, trace, technique = "ddos", "univ_dc", "scr"
+    art = BenchArtifact.create(
+        "obs_overhead",
+        config=params.config(program=program, trace=trace,
+                             technique=technique, cores=list(params.cores),
+                             trace_sample=_TRACE_SAMPLE_RATE),
+        seed_policy=params.seed_policy(),
+        programs=[program],
+    )
+    grid = [
+        params.scenario(program, trace, technique, cores, seed=seed,
+                        engine_kwargs=_engine_kwargs(technique))
+        for cores in params.cores
+        for seed in params.rep_seeds
+    ]
+    results = iter(params.executor().run(grid))
+    untraced = art.add_series(_mpps_series("untraced_mpps"))
+    base_mpps: Dict[int, float] = {}
+    for cores in params.cores:
+        reps = []
+        for seed in params.rep_seeds:
+            res = next(results)
+            reps.append(res.mlffr_mpps)
+            if seed == params.base_seed:
+                base_mpps[cores] = res.mlffr_mpps
+        untraced.points.append(BenchPoint.from_reps(cores, reps))
+
+    # Traced twins: the identical base-seed scenarios, spans enabled,
+    # run in-process (span rings never cross workers by design).
+    delta = art.add_series(BenchSeries(
+        name="traced_delta_mpps", unit="mpps", direction="lower_better",
+        noise_floor=0.0,
+    ))
+    span_counts = art.add_series(BenchSeries(
+        name="span_events", unit="count", direction="higher_better",
+        noise_floor=0.0,
+    ))
+    builder = StackBuilder()
+    for cores in params.cores:
+        tele = Telemetry()
+        tele.spans = SpanEmitter(
+            tele.tracer, SpanSampler(params.base_seed, _TRACE_SAMPLE_RATE)
+        )
+        scenario = params.scenario(program, trace, technique, cores,
+                                   seed=params.base_seed,
+                                   engine_kwargs=_engine_kwargs(technique))
+        res = run_scenario(scenario, builder=builder, telemetry=tele)
+        delta.points.append(BenchPoint.from_reps(
+            cores, [res.mlffr_mpps - base_mpps[cores]]
+        ))
+        emitted = sum(count for kind, count in tele.tracer.type_counts.items()
+                      if kind.startswith("span."))
+        span_counts.points.append(BenchPoint.from_reps(cores, [float(emitted)]))
+    return art
+
+
 SUITES: Dict[str, Callable[[SuiteParams], BenchArtifact]] = {
     "fig6_scaling": run_fig6_scaling,
     "engine_mlffr": run_engine_mlffr,
     "tail_latency": run_tail_latency,
     "fig11_model_fit": run_fig11_model_fit,
     "faults_recovery": run_faults_recovery,
+    "obs_overhead": run_obs_overhead,
 }
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..cpu.simulator import PerfTrace, SimResult
+from ..obs.spans import NULL_SPANS, SpanEmitter
 from ..parallel.base import BaseEngine
 from ..parallel.registry import make_engine
 from ..programs.base import PacketProgram
@@ -135,11 +136,16 @@ class StackBuilder:
         return pt
 
     def engine(
-        self, scenario: Scenario, tracer: EventTracer = NULL_TRACER
+        self,
+        scenario: Scenario,
+        tracer: EventTracer = NULL_TRACER,
+        spans: SpanEmitter = NULL_SPANS,
     ) -> BaseEngine:
         kwargs = scenario.engine_kwargs_dict()
         if tracer.enabled:
             kwargs.setdefault("tracer", tracer)
+        if spans.enabled:
+            kwargs.setdefault("spans", spans)
         if scenario.faults is not None and scenario.technique == "scr":
             # The recovery cost model reads the fault regime's epoch.
             kwargs.setdefault("fault_epoch_len", scenario.faults.epoch_len)
@@ -151,13 +157,16 @@ class StackBuilder:
         )
 
     def stack(
-        self, scenario: Scenario, tracer: EventTracer = NULL_TRACER
+        self,
+        scenario: Scenario,
+        tracer: EventTracer = NULL_TRACER,
+        spans: SpanEmitter = NULL_SPANS,
     ) -> Stack:
         return Stack(
             scenario=scenario,
             program=make_program(scenario.program),
             perf_trace=self.perf_trace(scenario.program, scenario.trace),
-            engine=self.engine(scenario, tracer=tracer),
+            engine=self.engine(scenario, tracer=tracer, spans=spans),
         )
 
 
@@ -223,8 +232,11 @@ def run_scenario(
     builder = builder if builder is not None else StackBuilder()
     tele = telemetry if telemetry is not None else NULL_TELEMETRY
     instrumented = tele.enabled
+    spans = getattr(tele, "spans", None) or NULL_SPANS
     stack = builder.stack(
-        scenario, tracer=tele.tracer if instrumented else NULL_TRACER
+        scenario,
+        tracer=tele.tracer if instrumented else NULL_TRACER,
+        spans=spans if instrumented else NULL_SPANS,
     )
     plan = None
     if scenario.faults is not None and scenario.faults.any_faults:
@@ -240,6 +252,7 @@ def run_scenario(
         tracer=tele.tracer if instrumented else NULL_TRACER,
         collect_latency=scenario.collect_latency or instrumented,
         faults=plan,
+        spans=spans if instrumented else NULL_SPANS,
     )
     result = ScenarioResult(
         scenario=scenario,

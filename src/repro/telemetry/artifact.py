@@ -75,9 +75,12 @@ class RunArtifact:
     events_emitted: int = 0
     num_cores: Optional[int] = None
     files: dict = field(default_factory=dict)
+    #: SLO section (repro.obs.slo schema); None for fault-free runs and
+    #: for artifacts written before the section existed.
+    slo: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "schema": "scr-repro/run-artifact/v1",
             "command": self.command,
             "config": self.config,
@@ -90,6 +93,9 @@ class RunArtifact:
             "num_cores": self.num_cores,
             "files": self.files,
         }
+        if self.slo is not None:
+            d["slo"] = self.slo
+        return d
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunArtifact":
@@ -104,6 +110,7 @@ class RunArtifact:
             events_emitted=data.get("events_emitted", 0),
             num_cores=data.get("num_cores"),
             files=data.get("files", {}),
+            slo=data.get("slo"),
         )
 
     @classmethod
@@ -129,6 +136,9 @@ class Telemetry:
         self.registry = MetricsRegistry(enabled=enabled)
         self.tracer = EventTracer(capacity=ring_capacity if enabled else 0,
                                   enabled=enabled)
+        #: Optional :class:`repro.obs.spans.SpanEmitter` attached by the
+        #: CLI's ``--trace-sample``; None keeps telemetry obs-free.
+        self.spans = None
 
     def clear(self) -> None:
         self.registry = MetricsRegistry(enabled=self.enabled)
@@ -158,6 +168,13 @@ class Telemetry:
         metrics = {"registry": self.registry.snapshot()}
         if extra_metrics:
             metrics.update(extra_metrics)
+        slo = None
+        if any(k.startswith(("fault.", "recovery.")) or k == "sim.injected_loss"
+               for k in self.tracer.type_counts):
+            # Lazy import: telemetry must not depend on repro.obs at module
+            # load (obs.spans imports telemetry.events).
+            from ..obs.slo import compute_slo
+            slo = compute_slo(e.to_dict() for e in events)
         artifact = RunArtifact(
             command=command,
             config=config or {},
@@ -173,6 +190,7 @@ class Telemetry:
                 "trace": TRACE_NAME,
                 "prometheus": PROM_NAME,
             },
+            slo=slo,
         )
         with (directory / MANIFEST_NAME).open("w") as fh:
             json.dump(artifact.to_dict(), fh, indent=2, sort_keys=True)

@@ -44,6 +44,7 @@ __all__ = [
     "EV_FAULT_STALL",
     "EV_FAULT_KILL",
     "EV_DIVERGENCE",
+    "EV_GAP_DETECTED",
     "EV_QUARANTINE",
     "EV_RESYNC",
     "EV_UNRECOVERABLE",
@@ -95,6 +96,9 @@ EV_FAULT_STALL = "fault.stall"
 EV_FAULT_KILL = "fault.kill"
 #: The DivergenceMonitor observed replicas disagreeing with the majority.
 EV_DIVERGENCE = "fault.divergence"
+#: A replica detected a history gap it has no protocol to repair
+#: (no-recovery mode): the fork is visible but uncorrected.
+EV_GAP_DETECTED = "recovery.gap_detected"
 #: A core detected an uncoverable history gap and quarantined its replica.
 EV_QUARANTINE = "recovery.quarantine"
 #: A quarantined replica resynchronized from an epoch checkpoint.

@@ -6,7 +6,11 @@
   one track (thread) per simulated core, so a Figure 6 run opens as a
   per-core timeline: service spans as complete ("X") events, drops and
   decisions as instants ("i").  Events not tied to a core (MLFFR probes,
-  run summaries) land on a dedicated "system" track.
+  run summaries) land on a dedicated "system" track.  When the run has
+  SCR spray decisions, those move to their own "sequencer" track and
+  each dispatched packet gets a flow arrow (``ph: "s"``/``"f"``) from
+  the spray to the receiving core's service — cross-core causality
+  renders in Perfetto instead of being two unrelated slices.
 """
 
 from __future__ import annotations
@@ -26,6 +30,13 @@ __all__ = [
 
 #: tid used for events with no core attribution.
 SYSTEM_TRACK = "system"
+
+#: tid used for SCR spray decisions (only present when sprays exist).
+SEQUENCER_TRACK = "sequencer"
+
+#: kinds linked by dispatch flow arrows: spray (source) -> service (sink).
+_FLOW_SOURCE_KIND = "scr.spray"
+_FLOW_SINK_KIND = "core.service"
 
 
 def events_to_jsonl(events: Iterable[Event], path: Union[str, Path]) -> Path:
@@ -62,10 +73,20 @@ def chrome_trace_dict(
     trace_events: List[dict] = []
     tids = set(range(num_cores)) if num_cores else set()
     body: List[dict] = []
+    #: packet index -> spray (ts, record) / first service (ts, tid).
+    sprays: dict = {}
+    sinks: dict = {}
+    has_sequencer = False
     for e in sorted(events, key=lambda ev: ev.ts_ns):
         tid = e.core if e.core is not None else SYSTEM_TRACK
         if isinstance(tid, int):
             tids.add(tid)
+        if e.kind == _FLOW_SOURCE_KIND:
+            # Spray decisions happen at the sequencer, not on the core
+            # they target; give them their own track so the flow arrow
+            # visibly crosses tracks.
+            tid = SEQUENCER_TRACK
+            has_sequencer = True
         record = {
             "name": e.kind,
             "cat": e.kind.split(".", 1)[0],
@@ -82,10 +103,19 @@ def chrome_trace_dict(
             record["ph"] = "i"
             record["s"] = "t"  # thread-scoped instant
         body.append(record)
+        index = e.fields.get("index")
+        if index is not None:
+            if e.kind == _FLOW_SOURCE_KIND and index not in sprays:
+                sprays[index] = e.ts_ns / 1e3
+            elif e.kind == _FLOW_SINK_KIND and index not in sinks:
+                sinks[index] = (e.ts_ns / 1e3, tid)
     trace_events.append(_thread_name(SYSTEM_TRACK, SYSTEM_TRACK))
+    if has_sequencer:
+        trace_events.append(_thread_name(SEQUENCER_TRACK, SEQUENCER_TRACK))
     for tid in sorted(tids):
         trace_events.append(_thread_name(tid, f"core {tid}"))
     trace_events.extend(body)
+    trace_events.extend(_dispatch_flows(sprays, sinks))
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ns",
@@ -114,3 +144,21 @@ def _thread_name(tid, name: str) -> dict:
         "tid": tid,
         "args": {"name": name},
     }
+
+
+def _dispatch_flows(sprays: dict, sinks: dict) -> List[dict]:
+    """Flow start/finish pairs: sequencer spray -> receiving core's service.
+
+    Perfetto draws these as arrows across tracks; the ``id`` is the packet
+    index, shared by both halves.  Only packets with both halves retained
+    in the ring produce an arrow.
+    """
+    flows: List[dict] = []
+    for index in sorted(sprays.keys() & sinks.keys(), key=repr):
+        spray_ts = sprays[index]
+        sink_ts, sink_tid = sinks[index]
+        common = {"name": "scr.dispatch", "cat": "flow", "pid": 0, "id": index}
+        flows.append(dict(common, ph="s", ts=spray_ts, tid=SEQUENCER_TRACK))
+        # bp="e": bind the arrowhead to the enclosing slice (the service).
+        flows.append(dict(common, ph="f", bp="e", ts=sink_ts, tid=sink_tid))
+    return flows

@@ -7,7 +7,9 @@ questions a wrong MLFFR point or a recovery stall raises first:
 2. **what faults fired** — injected-fault counts by kind, the first
    divergence the monitor flagged, and quarantine/resync outcomes
    (instrumented ``repro.faults`` runs only; older artifacts simply
-   have no such events and skip the section);
+   have no such events and skip the section), plus the recovery SLO
+   distributions (time-to-detect, time-to-resync, packets degraded,
+   blast radius) when the manifest carries an ``slo`` section;
 3. **how long did packets take** — latency percentiles from the histogram
    metrics snapshot;
 4. **where did core time go** — per-core dispatch/compute/wait/transfer
@@ -152,6 +154,56 @@ def _fault_section(artifact: RunArtifact, directory: Path) -> List[str]:
     return lines
 
 
+def _slo_section(artifact: RunArtifact) -> List[str]:
+    """Recovery SLO distributions from the manifest's ``slo`` section.
+
+    Artifacts written before the section existed get a one-line note (and
+    a zero exit) instead of an error — inspect must stay usable on every
+    artifact the repo has ever produced.
+    """
+    slo = artifact.slo
+    if slo is None:
+        if any(k.startswith(("fault.", "recovery."))
+               for k in artifact.event_type_counts):
+            return [
+                "",
+                "recovery SLOs: not recorded "
+                "(artifact predates the slo section; re-run to compute)",
+            ]
+        return []
+    lines = ["", f"recovery SLOs ({slo.get('schema', '?')}):"]
+    gaps = slo.get("gaps", {})
+    lines.append(
+        "  gaps: "
+        + ", ".join(f"{k}={gaps[k]}" for k in sorted(gaps) if gaps[k])
+    )
+    dists = [
+        ("time to detect", slo.get("ttd_ns", {}), _fmt_ns),
+        ("time to resync", slo.get("ttr_ns", {}), _fmt_ns),
+        ("packets degraded", slo.get("packets_degraded", {}),
+         lambda v: f"{v:g}"),
+        ("blast radius", slo.get("blast_radius", {}), lambda v: f"{v:g}"),
+    ]
+    rows = []
+    for label, dist, fmt in dists:
+        if dist.get("count", 0):
+            rows.append([
+                label, dist["count"], fmt(dist["p50"]), fmt(dist["p99"]),
+                fmt(dist["max"]), fmt(dist["mean"]),
+            ])
+        else:
+            rows.append([label, 0, "-", "-", "-", "-"])
+    lines.extend(_table(
+        ["measure", "count", "p50", "p99", "max", "mean"], rows,
+    ))
+    if slo.get("unrecoverable_cores"):
+        lines.append(
+            "  unrecoverable cores: "
+            + ", ".join(str(c) for c in slo["unrecoverable_cores"])
+        )
+    return lines
+
+
 def summarize_artifact(directory: Union[str, Path]) -> str:
     """Render a human-readable summary of an artifact directory."""
     artifact = RunArtifact.load(directory)
@@ -189,6 +241,9 @@ def summarize_artifact(directory: Union[str, Path]) -> str:
 
     # 2. fault injection & recovery ------------------------------------------
     lines.extend(_fault_section(artifact, Path(directory)))
+
+    # 2b. recovery SLO distributions -----------------------------------------
+    lines.extend(_slo_section(artifact))
 
     # 3. latency percentiles --------------------------------------------------
     latency = artifact.metrics.get("latency_ns")

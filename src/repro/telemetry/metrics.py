@@ -317,26 +317,42 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent)
 
     def to_prometheus(self) -> str:
-        """The Prometheus text exposition format (one line per sample)."""
-        lines: List[str] = []
+        """The Prometheus text exposition format.
+
+        Per the exposition spec: ``# HELP`` and ``# TYPE`` appear exactly
+        once per base metric name, immediately before that metric's first
+        sample (not once per labelled child), and label values escape
+        backslash, double-quote, and newline.  HELP text escapes backslash
+        and newline.
+        """
+        groups: Dict[str, List[Tuple[str, Instrument]]] = {}
         for name in sorted(self._instruments):
-            inst = self._instruments[name]
             base, labels = _split_labels(name)
-            if inst.help:
-                lines.append(f"# HELP {base} {inst.help}")
-            lines.append(f"# TYPE {base} {inst.kind}")
-            if isinstance(inst, Histogram):
-                cumulative = 0
-                for i in sorted(inst.buckets):
-                    cumulative += inst.buckets[i]
-                    le = _merge_labels(labels, f'le="{inst.bucket_upper_bound(i):g}"')
-                    lines.append(f"{base}_bucket{le} {cumulative}")
-                inf = _merge_labels(labels, 'le="+Inf"')
-                lines.append(f"{base}_bucket{inf} {inst.count}")
-                lines.append(f"{base}_sum{labels} {_fmt(inst.sum)}")
-                lines.append(f"{base}_count{labels} {inst.count}")
-            else:
-                lines.append(f"{base}{labels} {_fmt(inst.value)}")
+            groups.setdefault(base, []).append((labels, self._instruments[name]))
+        lines: List[str] = []
+        for base in sorted(groups):
+            members = groups[base]
+            help_text = next((m.help for _, m in members if m.help), "")
+            if help_text:
+                lines.append(f"# HELP {base} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {base} {members[0][1].kind}")
+            for raw_labels, inst in members:
+                pairs = _parse_labels(raw_labels)
+                labels = _render_labels(pairs)
+                if isinstance(inst, Histogram):
+                    cumulative = 0
+                    for i in sorted(inst.buckets):
+                        cumulative += inst.buckets[i]
+                        le = _render_labels(
+                            pairs + [("le", f"{inst.bucket_upper_bound(i):g}")]
+                        )
+                        lines.append(f"{base}_bucket{le} {cumulative}")
+                    inf = _render_labels(pairs + [("le", "+Inf")])
+                    lines.append(f"{base}_bucket{inf} {inst.count}")
+                    lines.append(f"{base}_sum{labels} {_fmt(inst.sum)}")
+                    lines.append(f"{base}_count{labels} {inst.count}")
+                else:
+                    lines.append(f"{base}{labels} {_fmt(inst.value)}")
         return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -347,10 +363,70 @@ def _split_labels(name: str) -> Tuple[str, str]:
     return name, ""
 
 
-def _merge_labels(labels: str, extra: str) -> str:
+_VALUE_UNESCAPES = {"n": "\n", "\\": "\\", '"': '"'}
+
+
+def _parse_labels(labels: str) -> List[Tuple[str, str]]:
+    """Parse an inline ``{k="v",...}`` string into raw (key, value) pairs.
+
+    Values may be quoted (commas and ``=`` allowed inside; a backslash
+    escapes the next character) or bare.  Raw values come back unescaped;
+    :func:`_render_labels` re-escapes them for the wire.
+    """
     if not labels:
-        return "{" + extra + "}"
-    return labels[:-1] + "," + extra + "}"
+        return []
+    body = labels[1:-1]
+    pairs: List[Tuple[str, str]] = []
+    i, n = 0, len(body)
+    while i < n:
+        eq = body.find("=", i)
+        if eq < 0:
+            break
+        key = body[i:eq].strip()
+        i = eq + 1
+        if i < n and body[i] == '"':
+            i += 1
+            buf: List[str] = []
+            while i < n:
+                ch = body[i]
+                if ch == "\\" and i + 1 < n:
+                    buf.append(_VALUE_UNESCAPES.get(body[i + 1], body[i + 1]))
+                    i += 2
+                    continue
+                if ch == '"':
+                    i += 1
+                    break
+                buf.append(ch)
+                i += 1
+            value = "".join(buf)
+        else:
+            end = body.find(",", i)
+            if end < 0:
+                end = n
+            value = body[i:end].strip()
+            i = end
+        pairs.append((key, value))
+        if i < n and body[i] == ",":
+            i += 1
+    return pairs
+
+
+_VALUE_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label_value(value: str) -> str:
+    return "".join(_VALUE_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_labels(pairs: List[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
 
 
 def _fmt(value: float) -> str:

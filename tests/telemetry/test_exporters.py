@@ -4,6 +4,7 @@ import json
 
 from repro.telemetry.events import EV_MLFFR_PROBE, EV_RING_DROP, EV_SERVICE, EventTracer
 from repro.telemetry.exporters import (
+    SEQUENCER_TRACK,
     SYSTEM_TRACK,
     chrome_trace_dict,
     events_to_chrome_trace,
@@ -91,3 +92,50 @@ class TestChromeTrace:
         cats = {r["name"]: r["cat"] for r in doc["traceEvents"] if "cat" in r}
         assert cats[EV_RING_DROP] == "nic"
         assert cats[EV_SERVICE] == "core"
+
+
+def flow_tracer():
+    tr = EventTracer()
+    tr.emit("scr.spray", ts_ns=100.0, index=1, core=2)
+    tr.emit(EV_SERVICE, ts_ns=150.0, core=2, dur_ns=40.0, index=1)
+    tr.emit("scr.spray", ts_ns=200.0, index=2, core=0)  # dropped: no service
+    tr.emit(EV_SERVICE, ts_ns=250.0, core=1, dur_ns=40.0, index=7)  # no spray
+    return tr
+
+
+class TestDispatchFlows:
+    def test_spray_renders_on_the_sequencer_track(self):
+        doc = chrome_trace_dict(flow_tracer().events())
+        sprays = [r for r in doc["traceEvents"] if r["name"] == "scr.spray"]
+        assert sprays and all(r["tid"] == SEQUENCER_TRACK for r in sprays)
+        names = {
+            r["tid"]: r["args"]["name"]
+            for r in doc["traceEvents"]
+            if r["ph"] == "M" and r["name"] == "thread_name"
+        }
+        assert names[SEQUENCER_TRACK] == "sequencer"
+
+    def test_flow_pair_links_spray_to_service(self):
+        doc = chrome_trace_dict(flow_tracer().events())
+        flows = [r for r in doc["traceEvents"] if r.get("cat") == "flow"]
+        assert len(flows) == 2  # one start + one finish, for index 1 only
+        start = next(r for r in flows if r["ph"] == "s")
+        finish = next(r for r in flows if r["ph"] == "f")
+        assert start["id"] == finish["id"] == 1
+        assert start["name"] == finish["name"] == "scr.dispatch"
+        assert start["tid"] == SEQUENCER_TRACK
+        # The arrowhead binds to the enclosing service slice on core 2.
+        assert finish["tid"] == 2 and finish["bp"] == "e"
+        assert start["ts"] == 0.1 and finish["ts"] == 0.15
+
+    def test_unmatched_halves_produce_no_arrow(self):
+        tr = EventTracer()
+        tr.emit("scr.spray", ts_ns=100.0, index=5, core=0)
+        tr.emit(EV_SERVICE, ts_ns=150.0, core=0, dur_ns=10.0, index=6)
+        doc = chrome_trace_dict(tr.events())
+        assert not [r for r in doc["traceEvents"] if r.get("cat") == "flow"]
+
+    def test_no_sequencer_track_without_sprays(self):
+        doc = chrome_trace_dict(sample_tracer().events())
+        tids = {r["tid"] for r in doc["traceEvents"]}
+        assert SEQUENCER_TRACK not in tids

@@ -149,6 +149,63 @@ class TestRegistry:
         assert counts[-1] == 3
 
 
+class TestPrometheusExposition:
+    """Exposition-spec conformance: one HELP/TYPE block per base metric
+    regardless of labelled children, and label-value escaping."""
+
+    def test_type_and_help_once_per_base_with_labelled_children(self):
+        reg = MetricsRegistry()
+        reg.gauge('mlffr_mpps{technique="scr",cores="2"}', help="rate").set(16.0)
+        reg.gauge('mlffr_mpps{technique="scr",cores="4"}').set(26.5)
+        reg.gauge('mlffr_mpps{technique="so",cores="4"}').set(9.0)
+        text = reg.to_prometheus()
+        assert text.count("# TYPE mlffr_mpps gauge") == 1
+        assert text.count("# HELP mlffr_mpps rate") == 1
+        # All three children sample under the single block.
+        assert text.count("mlffr_mpps{") == 3
+
+    def test_help_precedes_type_precedes_first_sample(self):
+        reg = MetricsRegistry()
+        reg.counter('drops{cause="ring"}', help="drop count").inc(2)
+        reg.counter('drops{cause="wire"}').inc(1)
+        lines = reg.to_prometheus().splitlines()
+        assert lines[0] == "# HELP drops drop count"
+        assert lines[1] == "# TYPE drops counter"
+        assert all(l.startswith("drops{") for l in lines[2:4])
+
+    def test_help_taken_from_any_child_that_has_one(self):
+        reg = MetricsRegistry()
+        reg.counter('drops{cause="ring"}').inc(1)
+        reg.counter('drops{cause="wire"}', help="drop count").inc(1)
+        assert "# HELP drops drop count" in reg.to_prometheus()
+
+    def test_label_value_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter('hits{path="C:\\\\dir",note="say \\"hi\\"\\nbye"}').inc(1)
+        text = reg.to_prometheus()
+        # Backslash, quote, and newline survive as their escaped forms --
+        # the sample line itself must stay a single physical line.
+        line = next(l for l in text.splitlines() if l.startswith("hits{"))
+        assert '\\\\' in line and '\\"' in line and "\\n" in line
+        assert "\n" not in line
+
+    def test_help_text_escapes_newline_and_backslash(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", help="line one\nline \\ two").set(1.0)
+        text = reg.to_prometheus()
+        assert "# HELP g line one\\nline \\\\ two" in text
+
+    def test_histogram_children_share_one_block_with_le_labels(self):
+        reg = MetricsRegistry()
+        reg.histogram('lat{core="0"}').observe(10.0)
+        reg.histogram('lat{core="1"}').observe(20.0)
+        text = reg.to_prometheus()
+        assert text.count("# TYPE lat histogram") == 1
+        assert 'lat_bucket{core="0",le="+Inf"} 1' in text
+        assert 'lat_bucket{core="1",le="+Inf"} 1' in text
+        assert 'lat_count{core="0"} 1' in text
+
+
 class TestMergeSnapshot:
     """Cross-process aggregation: merging a snapshot == merging the
     registry that produced it (the scenario executor's telemetry path)."""

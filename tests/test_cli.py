@@ -261,6 +261,32 @@ def test_inspect_corrupt_manifest(tmp_path):
     assert "malformed" in text
 
 
+def test_report_renders_artifact_dashboard(tmp_path):
+    tdir = tmp_path / "tele"
+    run_cli([
+        "mlffr", "--program", "ddos", "--workload", "caida",
+        "--cores", "2", "--packets", "600", "--telemetry", str(tdir),
+        "--trace-sample", "0.2",
+    ])
+    out = tmp_path / "dash.html"
+    code, text = run_cli(["report", str(tdir), "--out", str(out)])
+    assert code == 0
+    assert str(out) in text
+    html = out.read_text()
+    assert "drop-cause Pareto" in html or "no drops recorded" in html
+    assert "sampled packet waterfalls" in html
+
+
+def test_report_rejects_bad_input(tmp_path):
+    code, text = run_cli([
+        "report", str(tmp_path / "nope"),
+        "--out", str(tmp_path / "dash.html"),
+    ])
+    assert code == 2
+    assert "report error" in text
+    assert not (tmp_path / "dash.html").exists()
+
+
 # -- bench (perf-regression suite and compare gate) ------------------------------
 
 
