@@ -1,7 +1,8 @@
 # Convenience targets for the SCR reproduction.
 
 .PHONY: install test lint typecheck bench bench-compare bench-baseline \
-	bench-figures chaos report reproduce examples telemetry-demo clean
+	bench-figures chaos profile report reproduce examples telemetry-demo \
+	clean
 
 install:
 	python setup.py develop
@@ -56,6 +57,13 @@ bench-baseline:
 # Nonzero exit if any injected gap goes undetected (see docs/FAULTS.md).
 chaos:
 	PYTHONPATH=src python -m repro.cli chaos --out results/chaos --jobs 2
+
+# Host wall-clock profile of the harness itself (repro.hostprof): phase
+# Pareto on stdout, hostprof.json + profile.folded +
+# profile.speedscope.json under results/hostprof.  Add --deep for
+# cProfile/tracemalloc capture (see docs/PROFILING.md).
+profile:
+	PYTHONPATH=src python -m repro.cli profile --out results/hostprof
 
 # Unified HTML dashboard over whatever telemetry/bench artifacts exist
 # under results/ (drop-cause Pareto, span waterfalls, MLFFR curves, SLO

@@ -40,12 +40,14 @@ _CLOCK_ORIGINS = frozenset({
 })
 
 def _is_engine_module(module: ModuleModel) -> bool:
-    """The rule applies to ``repro/parallel``, ``repro/scenario``, and
-    ``repro/obs`` files (the executor's parallel-equals-serial guarantee
-    — and span sampling's process-independence — need the same hygiene) and to any module that defines an engine class (so fixtures
-    exercise it from anywhere)."""
+    """The rule applies to ``repro/parallel``, ``repro/scenario``,
+    ``repro/obs``, and ``repro/hostprof`` files (the executor's
+    parallel-equals-serial guarantee — and span sampling's
+    process-independence — need the same hygiene; hostprof's sanctioned
+    clock reads carry explicit suppressions) and to any module that
+    defines an engine class (so fixtures exercise it from anywhere)."""
     parts = PurePath(module.path).parts
-    if "parallel" in parts or "scenario" in parts or "obs" in parts:
+    if {"parallel", "scenario", "obs", "hostprof"} & set(parts):
         return True
     return bool(module.engine_classes())
 

@@ -53,7 +53,7 @@ class FaultHygieneRule(Rule):
 
     def _scopes(self, module: ModuleModel) -> List[Tuple[str, ast.AST]]:
         """(symbol prefix, AST root) pairs the rule applies to."""
-        if {"faults", "obs"} & set(PurePath(module.path).parts):
+        if {"faults", "obs", "hostprof"} & set(PurePath(module.path).parts):
             return [("", module.tree)]
         return [
             (cls.name, cls.node)

@@ -38,6 +38,7 @@ DEFAULT_LINT_PATHS: Tuple[str, ...] = (
     "src/repro/scenario",
     "src/repro/faults",
     "src/repro/obs",
+    "src/repro/hostprof",
 )
 
 

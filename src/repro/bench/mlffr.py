@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..cpu.simulator import PerfEngine, PerfTrace, SimResult, simulate
+from ..hostprof.clock import NULL_HOSTPROF, PhaseClock
 from ..obs.spans import NULL_SPANS, SpanEmitter
 from ..telemetry.events import EV_MLFFR_PROBE, NULL_TRACER, EventTracer
 
@@ -68,6 +69,7 @@ def find_mlffr(
     collect_latency: bool = False,
     faults: Optional["FaultPlan"] = None,
     spans: SpanEmitter = NULL_SPANS,
+    hostprof: PhaseClock = NULL_HOSTPROF,
 ) -> MlffrResult:
     """Binary-search the highest offered rate with loss below threshold.
 
@@ -83,6 +85,10 @@ def find_mlffr(
 
     ``spans`` forwards to every probe's simulation; which packets are
     sampled is index-keyed, so all probes trace the same packets.
+
+    ``hostprof`` wraps every probe in a ``sim.run`` wall-clock phase and
+    forwards into the simulator's inner loop; wall readings never feed
+    simulated time, so results are bit-identical either way.
     """
     if start_pps <= 0:
         raise ValueError("start rate must be positive")
@@ -94,17 +100,19 @@ def find_mlffr(
     def lossfree(rate: float) -> bool:
         nonlocal best_result, iterations
         iterations += 1
-        res = simulate(
-            perf_trace,
-            rate,
-            engine,
-            line_rate_gbps=line_rate_gbps,
-            burst_size=burst_size,
-            tracer=tracer,
-            collect_latency=collect_latency,
-            faults=faults,
-            spans=spans,
-        )
+        with hostprof.phase("sim.run"):
+            res = simulate(
+                perf_trace,
+                rate,
+                engine,
+                line_rate_gbps=line_rate_gbps,
+                burst_size=burst_size,
+                tracer=tracer,
+                collect_latency=collect_latency,
+                faults=faults,
+                spans=spans,
+                hostprof=hostprof,
+            )
         probes.append((rate, res.loss_fraction))
         ok = res.loss_fraction <= loss_threshold
         if tracer.enabled:

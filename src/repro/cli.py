@@ -80,6 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="content-addressed trace cache (see docs/BENCHMARKS.md)")
     p.add_argument("--telemetry", metavar="DIR",
                    help="instrument the run and write a run artifact here")
+    p.add_argument("--hostprof", metavar="DIR",
+                   help="profile host wall time and write a hostprof "
+                        "artifact here (see docs/PROFILING.md)")
 
     p = sub.add_parser("mlffr", help="measure MLFFR throughput")
     p.add_argument("--program", choices=program_names(), default="ddos")
@@ -96,6 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-sample", type=float, default=0.0, metavar="RATE",
                    help="with --telemetry: span-trace this fraction of "
                         "packet indices (deterministic; default 0)")
+    p.add_argument("--hostprof", metavar="DIR",
+                   help="profile host wall time and write a hostprof "
+                        "artifact here (see docs/PROFILING.md)")
 
     p = sub.add_parser("sweep", help="throughput-vs-cores sweep")
     p.add_argument("--program", choices=program_names(), default="ddos")
@@ -115,6 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-sample", type=float, default=0.0, metavar="RATE",
                    help="with --telemetry: span-trace this fraction of "
                         "packet indices (deterministic; default 0)")
+    p.add_argument("--hostprof", metavar="DIR",
+                   help="profile host wall time and write a hostprof "
+                        "artifact here (see docs/PROFILING.md)")
 
     p = sub.add_parser("hardware", help="sequencer capacity and resources")
     p.add_argument("--rows", type=int, default=16, help="NetFPGA history rows")
@@ -167,6 +176,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="relative significance band (default 0.05)")
     p.add_argument("--noise-mult", type=float, default=None,
                    help="multiplier on summed MADs (default 3.0)")
+    p.add_argument("--hostprof", metavar="DIR",
+                   help="profile host wall time of the suite runs and "
+                        "write a hostprof artifact here")
+
+    p = sub.add_parser(
+        "profile",
+        help="host wall-clock profile of one scenario (repro.hostprof)",
+    )
+    p.add_argument("--program", choices=program_names(), default="ddos")
+    p.add_argument("--workload",
+                   choices=sorted(TRACE_DISTRIBUTIONS) + ["single-flow"],
+                   default="univ_dc")
+    p.add_argument("--technique", choices=["scr", "shared", "rss", "rss++"],
+                   default="scr")
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--packets", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--deep", action="store_true",
+                   help="also capture cProfile function stats and "
+                        "tracemalloc per-phase allocation peaks (slow)")
+    p.add_argument("--top", type=int, default=12,
+                   help="phase-Pareto rows to print (default 12)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="content-addressed trace cache (see docs/BENCHMARKS.md)")
+    p.add_argument("--out", default="results/hostprof", metavar="DIR",
+                   help="artifact directory (hostprof.json, profile.folded, "
+                        "profile.speedscope.json)")
 
     p = sub.add_parser(
         "chaos", help="fault-injection matrix: detection, recovery, MLFFR"
@@ -212,8 +248,9 @@ def _cache_for(args) -> "Optional[TraceCache]":
     return None
 
 
-def _load_or_synthesize(args) -> Trace:
-    from .scenario import TraceSpec, build_trace
+def _load_or_synthesize(args, cache=None, hostprof=None) -> Trace:
+    from .hostprof import NULL_HOSTPROF
+    from .scenario import StackBuilder, TraceSpec
 
     if getattr(args, "trace_file", None):
         path = args.trace_file
@@ -230,7 +267,11 @@ def _load_or_synthesize(args) -> Trace:
         bidirectional=bidirectional or getattr(args, "bidirectional", False),
         packet_size=None,
     )
-    return build_trace(spec, cache=_cache_for(args))
+    cache = cache if cache is not None else _cache_for(args)
+    builder = StackBuilder(
+        cache, hostprof=hostprof if hostprof is not None else NULL_HOSTPROF
+    )
+    return builder.trace(spec)
 
 
 def cmd_programs(args, out) -> int:
@@ -286,6 +327,64 @@ def _config_from(args, *names) -> dict:
     return {name: getattr(args, name) for name in names if hasattr(args, name)}
 
 
+def _hostprof_for(args):
+    """An enabled PhaseClock when ``--hostprof DIR`` was given, else the
+    shared disabled singleton (one dormant branch per guard)."""
+    from .hostprof import NULL_HOSTPROF, PhaseClock
+
+    if getattr(args, "hostprof", None):
+        return PhaseClock(enabled=True)
+    return NULL_HOSTPROF
+
+
+def _finish_hostprof(hp, args, out) -> bool:
+    """Write the hostprof artifact; returns False (with a message) on I/O
+    failure.  No-op for the disabled singleton."""
+    if not hp.enabled:
+        return True
+    from .hostprof import HostProfile
+
+    profile = HostProfile.create(
+        command=args.command,
+        config=_config_from(
+            args, "program", "workload", "technique", "techniques",
+            "cores", "packets", "flows", "seed", "jobs", "suite",
+        ),
+        clock=hp,
+    )
+    try:
+        path = profile.save(args.hostprof)
+    except OSError as exc:
+        print(f"error: cannot write host profile to "
+              f"{args.hostprof!r}: {exc}", file=out)
+        return False
+    print(f"host profile: {path} ({len(profile.phases)} phases, "
+          f"{profile.total_wall_ns() / 1e6:.1f} ms wall)", file=out)
+    return True
+
+
+def _record_cache_metrics(tele, cache) -> None:
+    """Fold the serial-path TraceCache counters into the run's registry so
+    `scr-repro inspect` can report hit/miss/corrupt-evict rates.  Parallel
+    workers hold their own cache objects; their counters stay worker-local
+    (the artifact then simply predates the counters, which inspect notes
+    gracefully)."""
+    if cache is None or not tele.enabled:
+        return
+    stats = cache.stats()
+    reg = tele.registry
+    reg.counter(
+        "trace_cache_hits", help="TraceCache hits (trace + perf-trace loads)"
+    ).inc(stats["hits"])
+    reg.counter(
+        "trace_cache_misses", help="TraceCache misses (absent entries)"
+    ).inc(stats["misses"])
+    reg.counter(
+        "trace_cache_corrupt_evictions",
+        help="TraceCache entries deleted as corrupt/poisoned (self-heal)",
+    ).inc(stats["corrupt_evictions"])
+
+
 def _finish_telemetry(tele, args, out, num_cores, extra_metrics=None) -> bool:
     """Write the run artifact; returns False (with a message) on I/O failure."""
     if not tele.enabled:
@@ -313,7 +412,9 @@ def _finish_telemetry(tele, args, out, num_cores, extra_metrics=None) -> bool:
 
 
 def cmd_run(args, out) -> int:
-    trace = _load_or_synthesize(args)
+    cache = _cache_for(args)
+    hp = _hostprof_for(args)
+    trace = _load_or_synthesize(args, cache=cache, hostprof=hp)
     tele = _telemetry_for(args)
     engine = ScrFunctionalEngine(
         make_program(args.program),
@@ -323,8 +424,10 @@ def cmd_run(args, out) -> int:
         seed=args.seed,
         tracer=tele.tracer,
     )
-    result = engine.run(trace)
-    ref_verdicts, ref_state = reference_run(make_program(args.program), trace)
+    with hp.phase("func.run"):
+        result = engine.run(trace)
+    with hp.phase("func.reference"):
+        ref_verdicts, ref_state = reference_run(make_program(args.program), trace)
     consistent = result.replicas_consistent
     matches = (
         not result.lost_seqs
@@ -344,8 +447,11 @@ def cmd_run(args, out) -> int:
         reg.counter("packets_recovered").inc(result.recovered)
         reg.counter("packets_skipped").inc(result.skipped)
         reg.gauge("replicas_consistent").set(1.0 if consistent else 0.0)
+        _record_cache_metrics(tele, cache)
         if not _finish_telemetry(tele, args, out, num_cores=args.cores):
             return 2
+    if not _finish_hostprof(hp, args, out):
+        return 2
     return 0 if consistent else 1
 
 
@@ -364,19 +470,24 @@ def cmd_mlffr(args, out) -> int:
     from .scenario import Scenario, ScenarioExecutor
 
     tele = _telemetry_for(args)
+    hp = _hostprof_for(args)
+    cache = _cache_for(args)
     scenario = Scenario.create(
         args.program, args.workload, args.technique, args.cores,
         max_packets=args.packets,
     )
     executor = ScenarioExecutor(
-        cache=_cache_for(args), telemetry=tele if tele.enabled else None
+        cache=cache, telemetry=tele if tele.enabled else None, hostprof=hp
     )
     result = executor.run_one(scenario)
     print(f"{args.program} @ {args.workload}, {args.technique}, "
           f"{args.cores} cores: {result.mlffr_mpps:.2f} Mpps "
           f"({result.iterations} search iterations)", file=out)
+    _record_cache_metrics(tele, cache)
     if not _finish_telemetry(tele, args, out, num_cores=args.cores,
                              extra_metrics=_result_metrics([result])):
+        return 2
+    if not _finish_hostprof(hp, args, out):
         return 2
     return 0
 
@@ -397,9 +508,12 @@ def cmd_sweep(args, out) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=out)
         return 2
+    hp = _hostprof_for(args)
+    cache = _cache_for(args)
     executor = ScenarioExecutor(
-        jobs=args.jobs, cache=_cache_for(args),
+        jobs=args.jobs, cache=cache,
         telemetry=tele if tele.enabled else None,
+        hostprof=hp,
     )
     results = executor.run(grid)
     points = [
@@ -416,8 +530,11 @@ def cmd_sweep(args, out) -> int:
     if args.csv:
         path = scaling_points_to_csv(points, args.csv)
         print(f"wrote {path}", file=out)
+    _record_cache_metrics(tele, cache)
     if not _finish_telemetry(tele, args, out, num_cores=max(args.cores),
                              extra_metrics=_result_metrics(results)):
+        return 2
+    if not _finish_hostprof(hp, args, out):
         return 2
     return 0
 
@@ -565,15 +682,18 @@ def cmd_bench(args, out) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=out)
         return 2
+    hp = _hostprof_for(args)
     params = SuiteParams(
         reps=args.reps,
         base_seed=args.seed if args.seed is not None else BASE_SEED,
         quick=not args.full,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        hostprof=hp,
     )
     for name in names:
-        artifact = run_suite(name, params)
+        with hp.phase(f"suite.{name}"):
+            artifact = run_suite(name, params)
         try:
             path = artifact.save(args.out)
         except OSError as exc:
@@ -583,6 +703,61 @@ def cmd_bench(args, out) -> int:
         npoints = sum(len(s.points) for s in artifact.series.values())
         print(f"{path}: {len(artifact.series)} series, {npoints} points, "
               f"{params.reps} reps (seeds {params.rep_seeds})", file=out)
+    if not _finish_hostprof(hp, args, out):
+        return 2
+    return 0
+
+
+def cmd_profile(args, out) -> int:
+    """One scenario, MLFFR-measured with host wall-clock phases on.
+
+    Simulated results are bit-identical to an unprofiled run (the clock
+    never feeds simulated time); the artifact answers "where does the
+    harness's real time go" — see docs/PROFILING.md.
+    """
+    from .hostprof import DeepCapture, HostProfile, PhaseClock
+    from .scenario import Scenario, ScenarioExecutor
+
+    clock = PhaseClock(enabled=True)
+    deep = None
+    if args.deep:
+        deep = DeepCapture()
+        deep.attach(clock)
+        deep.start()
+    try:
+        scenario = Scenario.create(
+            args.program, args.workload, args.technique, args.cores,
+            max_packets=args.packets, seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    executor = ScenarioExecutor(cache=_cache_for(args), hostprof=clock)
+    result = executor.run_one(scenario)
+    if deep is not None:
+        deep.stop()
+    profile = HostProfile.create(
+        command="profile",
+        config=_config_from(args, "program", "workload", "technique",
+                            "cores", "packets", "seed", "deep"),
+        clock=clock,
+        deep=deep.snapshot() if deep is not None else None,
+    )
+    try:
+        path = profile.save(args.out)
+    except OSError as exc:
+        print(f"error: cannot write host profile to {args.out!r}: {exc}",
+              file=out)
+        return 2
+    print(f"{args.program} @ {args.workload}, {args.technique}, "
+          f"{args.cores} cores: {result.mlffr_mpps:.2f} Mpps "
+          f"({result.iterations} search iterations)", file=out)
+    print(f"host wall: {profile.total_wall_ns() / 1e6:.1f} ms across "
+          f"{len(profile.phases)} phases", file=out)
+    for line in profile.pareto_lines(top=args.top):
+        print(f"  {line}", file=out)
+    print(f"wrote {path} (+ profile.folded, profile.speedscope.json)",
+          file=out)
     return 0
 
 
@@ -667,6 +842,7 @@ _COMMANDS = {
     "inspect": cmd_inspect,
     "report": cmd_report,
     "bench": cmd_bench,
+    "profile": cmd_profile,
     "chaos": cmd_chaos,
     "lint": cmd_lint,
     "validate": cmd_validate,

@@ -42,6 +42,7 @@ from ..telemetry.events import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..faults.plan import FaultPlan
+from ..hostprof.clock import NULL_HOSTPROF, PhaseClock
 from ..obs.spans import NULL_SPANS, SpanEmitter
 from ..telemetry.metrics import Histogram
 from ..traffic.trace import Trace
@@ -245,6 +246,7 @@ def simulate(
     tracer: EventTracer = NULL_TRACER,
     faults: Optional["FaultPlan"] = None,
     spans: SpanEmitter = NULL_SPANS,
+    hostprof: PhaseClock = NULL_HOSTPROF,
 ) -> SimResult:
     """Offer ``perf_trace`` at ``rate_pps`` to ``engine`` and measure.
 
@@ -328,6 +330,9 @@ def simulate(
     tracing = tracer.enabled
     emit = tracer.emit
     spans_on = spans.enabled
+    #: host wall profiling, hoisted like the tracer/span guards; wall
+    #: readings never touch simulated timestamps (`busy`, `now`, ...).
+    hp_on = hostprof.enabled
 
     def drain(core: int, horizon: float) -> None:
         nonlocal processed, last_finish
@@ -377,7 +382,11 @@ def simulate(
                 continue
             if spans_on and spans.sampled(pp.index):
                 spans.emit("core_pop", pp.index, ts_ns=start, core=core)
+            if hp_on:
+                hostprof.push("engine.service")
             service = engine.service_ns(core, pp, start)
+            if hp_on:
+                hostprof.pop()
             busy[core] = start + service
             per_core_packets[core] += 1
             processed += 1
@@ -394,8 +403,12 @@ def simulate(
     offered = len(records)
     for i, pp in enumerate(records):
         now = (i // burst_size) * burst_size * interval
+        if hp_on:
+            hostprof.push("sim.drain")
         for core in range(k):
             drain(core, now)
+        if hp_on:
+            hostprof.pop()
         pp_sampled = spans_on and spans.sampled(pp.index)
         if pp_sampled:
             spans.emit("nic_arrival", pp.index, ts_ns=now,
@@ -473,9 +486,13 @@ def simulate(
     stream_end = offered * interval
     horizon = stream_end + max(grace_min_ns, grace_fraction * stream_end)
     unfinished = 0
+    if hp_on:
+        hostprof.push("sim.drain")
     for core in range(k):
         drain(core, horizon)
         unfinished += len(rings[core])
+    if hp_on:
+        hostprof.pop()
 
     duration = max(last_finish, stream_end)
     fault_stats: Optional[Dict[str, object]] = None

@@ -1,0 +1,42 @@
+"""Host wall-clock observability: phase profiling, flamegraphs, artifacts.
+
+The simulated-time planes (telemetry, spans, SLOs) say where *modeled*
+cycles go; ``repro.hostprof`` says where the harness's *real* Python wall
+time goes, so the ROADMAP's hot-path optimization work is measurable and
+un-regressable.  Layered beside — never inside — simulated time: a wall
+reading can never move a simulated clock (see docs/PROFILING.md).
+"""
+
+from .artifact import (
+    FOLDED_NAME,
+    HOSTPROF_JSON,
+    HOSTPROF_SCHEMA,
+    SPEEDSCOPE_NAME,
+    HostProfile,
+)
+from .clock import NULL_HOSTPROF, PATH_SEP, PhaseClock
+from .deep import DeepCapture
+from .export import (
+    SPEEDSCOPE_SCHEMA,
+    parse_folded,
+    parse_speedscope,
+    to_folded,
+    to_speedscope,
+)
+
+__all__ = [
+    "HOSTPROF_SCHEMA",
+    "HOSTPROF_JSON",
+    "FOLDED_NAME",
+    "SPEEDSCOPE_NAME",
+    "SPEEDSCOPE_SCHEMA",
+    "PATH_SEP",
+    "PhaseClock",
+    "NULL_HOSTPROF",
+    "DeepCapture",
+    "HostProfile",
+    "to_folded",
+    "parse_folded",
+    "to_speedscope",
+    "parse_speedscope",
+]

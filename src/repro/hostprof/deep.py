@@ -1,0 +1,117 @@
+"""Optional deep capture: cProfile function stats + tracemalloc phase peaks.
+
+``cProfile`` is process-global and cannot be nested per phase, so it runs
+for the whole capture window and exports top functions by self time; the
+phase-resolved view comes from :class:`~repro.hostprof.clock.PhaseClock`.
+``tracemalloc`` peaks *are* phase-resolved: the capture hooks into the
+clock's push/pop stream, resets the allocator peak at each boundary and
+propagates each child's peak to its parent, so a phase's recorded peak is
+the true maximum over its whole subtree.
+
+Both captures are stdlib-only and add real overhead — deep capture is for
+interactive ``scr-repro profile --deep`` runs, never for gated benches.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import tracemalloc
+from typing import Any, Dict, List, Optional
+
+from .clock import PhaseClock
+
+
+class DeepCapture:
+    """Attachable deep-capture backend for a :class:`PhaseClock`."""
+
+    def __init__(
+        self, functions: bool = True, memory: bool = True, top: int = 40
+    ) -> None:
+        self.functions = functions
+        self.memory = memory
+        self.top = top
+        self._profile: Optional[cProfile.Profile] = None
+        self._function_rows: List[Dict[str, Any]] = []
+        self._seg_peaks: List[int] = []
+        self._phase_peaks: Dict[str, int] = {}
+        self._active = False
+
+    def attach(self, clock: PhaseClock) -> None:
+        """Register this capture as the clock's push/pop hook."""
+        clock.deep = self
+
+    def start(self) -> None:
+        if self._active:
+            return
+        self._active = True
+        if self.memory:
+            tracemalloc.start()
+            tracemalloc.reset_peak()
+        if self.functions:
+            self._profile = cProfile.Profile()
+            self._profile.enable()
+
+    def stop(self) -> None:
+        if not self._active:
+            return
+        self._active = False
+        if self._profile is not None:
+            self._profile.disable()
+            self._function_rows = _top_functions(self._profile, self.top)
+            self._profile = None
+        if self.memory and tracemalloc.is_tracing():
+            tracemalloc.stop()
+
+    # -- PhaseClock hook protocol -------------------------------------------
+
+    def on_push(self) -> None:
+        if not (self._active and self.memory):
+            return
+        peak = tracemalloc.get_traced_memory()[1]
+        if self._seg_peaks:
+            # The segment just ended belongs to the parent phase.
+            if peak > self._seg_peaks[-1]:
+                self._seg_peaks[-1] = peak
+        self._seg_peaks.append(0)
+        tracemalloc.reset_peak()
+
+    def on_pop(self, path: str) -> None:
+        if not (self._active and self.memory):
+            return
+        peak = tracemalloc.get_traced_memory()[1]
+        frame_peak = max(self._seg_peaks.pop(), peak)
+        if self._phase_peaks.get(path, -1) < frame_peak:
+            self._phase_peaks[path] = frame_peak
+        if self._seg_peaks and frame_peak > self._seg_peaks[-1]:
+            # A child's peak is also a peak of every enclosing phase.
+            self._seg_peaks[-1] = frame_peak
+        tracemalloc.reset_peak()
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready deep section for the hostprof artifact."""
+        return {
+            "functions": list(self._function_rows),
+            "memory_peak_bytes": dict(sorted(self._phase_peaks.items())),
+        }
+
+
+def _top_functions(profile: cProfile.Profile, top: int) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for entry in profile.getstats():  # type: ignore[attr-defined]
+        code = entry.code
+        if isinstance(code, str):
+            name = code
+        else:
+            name = f"{code.co_filename}:{code.co_firstlineno}:{code.co_name}"
+        rows.append(
+            {
+                "function": name,
+                "ncalls": int(entry.callcount),
+                "tottime_ns": int(entry.inlinetime * 1e9),
+                "cumtime_ns": int(entry.totaltime * 1e9),
+            }
+        )
+    rows.sort(key=lambda r: (-int(r["tottime_ns"]), str(r["function"])))
+    return rows[:top]

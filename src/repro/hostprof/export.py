@@ -1,0 +1,110 @@
+"""Flamegraph exporters: folded-stack text and speedscope JSON.
+
+Both formats weight stacks by **self** wall ns, so weights sum to total
+wall and re-stacking tools (Brendan Gregg's ``flamegraph.pl``, the
+speedscope web app) reconstruct the cumulative tree exactly.  Parsers are
+provided so tests can assert lossless round-trips without external tools.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from .clock import PATH_SEP
+
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+
+def to_folded(phases: Mapping[str, Mapping[str, int]]) -> str:
+    """Folded-stack text: one ``a;b;c <self_ns>`` line per phase path.
+
+    Zero-self interior phases are omitted (their time lives in children),
+    matching the collapsed-stack convention.
+    """
+    lines = []
+    for path in sorted(phases):
+        weight = int(phases[path]["self_ns"])
+        if weight > 0:
+            lines.append(f"{path} {weight}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_folded(text: str) -> Dict[str, int]:
+    """Inverse of :func:`to_folded`: path -> self_ns."""
+    out: Dict[str, int] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        path, _, weight = line.rpartition(" ")
+        if not path:
+            raise ValueError(f"malformed folded line: {line!r}")
+        out[path] = out.get(path, 0) + int(weight)
+    return out
+
+
+def to_speedscope(
+    phases: Mapping[str, Mapping[str, int]], name: str = "scr-repro hostprof"
+) -> Dict[str, Any]:
+    """Speedscope ``sampled`` profile: one sample per phase path, weighted by
+    self wall ns (unit ``nanoseconds``).  Deterministic: frames appear in
+    first-use order over sorted paths."""
+    frame_index: Dict[str, int] = {}
+    frames: List[Dict[str, str]] = []
+    samples: List[List[int]] = []
+    weights: List[int] = []
+    for path in sorted(phases):
+        weight = int(phases[path]["self_ns"])
+        if weight <= 0:
+            continue
+        stack = []
+        for segment in path.split(PATH_SEP):
+            idx = frame_index.get(segment)
+            if idx is None:
+                idx = len(frames)
+                frame_index[segment] = idx
+                frames.append({"name": segment})
+            stack.append(idx)
+        samples.append(stack)
+        weights.append(weight)
+    total = sum(weights)
+    return {
+        "$schema": SPEEDSCOPE_SCHEMA,
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "nanoseconds",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+        "name": name,
+        "activeProfileIndex": 0,
+        "exporter": "scr-repro hostprof",
+    }
+
+
+def parse_speedscope(doc: Mapping[str, Any]) -> Dict[str, int]:
+    """Inverse of :func:`to_speedscope`: path -> self_ns (first profile)."""
+    if doc.get("$schema") != SPEEDSCOPE_SCHEMA:
+        raise ValueError(f"not a speedscope document: {doc.get('$schema')!r}")
+    profiles = doc.get("profiles") or []
+    if not profiles:
+        raise ValueError("speedscope document has no profiles")
+    profile = profiles[0]
+    if profile.get("type") != "sampled":
+        raise ValueError(f"expected a sampled profile, got {profile.get('type')!r}")
+    frames = doc["shared"]["frames"]
+    samples = profile["samples"]
+    weights = profile["weights"]
+    if len(samples) != len(weights):
+        raise ValueError("samples/weights length mismatch")
+    out: Dict[str, int] = {}
+    for stack, weight in zip(samples, weights):
+        path = PATH_SEP.join(frames[idx]["name"] for idx in stack)
+        out[path] = out.get(path, 0) + int(weight)
+    return out

@@ -1,11 +1,14 @@
 """``scr-repro report``: one self-contained HTML dashboard per repo state.
 
 Renders any mix of telemetry artifact directories (``manifest.json`` +
-``events.jsonl``) and ``BENCH_*.json`` suite artifacts into a single HTML
-file with no external assets: inline CSS, inline SVG, no scripts.  The
-sections mirror what the text tools answer one at a time — drop-cause
-Pareto (``inspect`` question 1), recovery SLO table (question 2), per-core
-span waterfalls for sampled packets, and the suite's MLFFR curves.
+``events.jsonl``), ``BENCH_*.json`` suite artifacts, and host-profile
+artifacts (``hostprof.json`` from ``scr-repro profile``/``--hostprof``)
+into a single HTML file with no external assets: inline CSS, inline SVG,
+no scripts.  The sections mirror what the text tools answer one at a
+time — drop-cause Pareto (``inspect`` question 1), recovery SLO table
+(question 2), per-core span waterfalls for sampled packets, the suite's
+MLFFR curves, and the host wall-clock panel (phase Pareto + an icicle
+flamegraph of the PhaseClock tree).
 
 Byte determinism is a contract, not an accident: rendering is a pure
 function of the input bytes (sorted iteration everywhere, fixed-precision
@@ -21,6 +24,8 @@ from pathlib import Path
 from types import MappingProxyType
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..hostprof.artifact import HOSTPROF_JSON, HostProfile
+from ..hostprof.clock import PATH_SEP
 from ..telemetry.artifact import EVENTS_NAME, MANIFEST_NAME, RunArtifact
 from .spans import SPAN_PREFIX
 
@@ -30,6 +35,7 @@ __all__ = ["classify_inputs", "render_report", "write_report"]
 MAX_WATERFALLS = 8
 
 _BENCH_SCHEMA_PREFIX = "scr-repro/bench-artifact/"
+_HOSTPROF_SCHEMA_PREFIX = "scr-repro/hostprof/"
 
 #: Drop/loss kinds in Pareto candidacy order (label per kind).
 _DROP_LABELS: Mapping[str, str] = MappingProxyType({
@@ -81,24 +87,31 @@ def _fmt_ns(value: float) -> str:
 
 def classify_inputs(
     inputs: Sequence[Union[str, Path]],
-) -> Tuple[List[Path], List[Path]]:
-    """Split inputs into (artifact directories, bench JSON files).
+) -> Tuple[List[Path], List[Path], List[Path]]:
+    """Split inputs into (artifact dirs, bench files, hostprof files).
 
-    A directory must hold a ``manifest.json``; a file must be a
-    ``BENCH_*.json``-schema document.  Anything else raises ValueError —
-    a misspelled path should fail loudly, not render an empty report.
+    A directory must hold a ``manifest.json`` (telemetry artifact) or a
+    ``hostprof.json`` (host-profile artifact — resolved to that file); a
+    file must carry a bench or hostprof schema.  Anything else raises
+    ValueError — a misspelled path should fail loudly, not render an
+    empty report.
     """
     artifact_dirs: List[Path] = []
     bench_files: List[Path] = []
+    hostprof_files: List[Path] = []
     for raw in inputs:
         path = Path(raw)
         if path.is_dir():
-            if not (path / MANIFEST_NAME).is_file():
+            if (path / MANIFEST_NAME).is_file():
+                artifact_dirs.append(path)
+            elif (path / HOSTPROF_JSON).is_file():
+                hostprof_files.append(path / HOSTPROF_JSON)
+            else:
                 raise ValueError(
-                    f"{path}: directory has no {MANIFEST_NAME} "
-                    "(not a telemetry artifact)"
+                    f"{path}: directory has no {MANIFEST_NAME} or "
+                    f"{HOSTPROF_JSON} (not a telemetry or host-profile "
+                    "artifact)"
                 )
-            artifact_dirs.append(path)
         elif path.is_file():
             with path.open() as fh:
                 try:
@@ -108,14 +121,16 @@ def classify_inputs(
             schema = str(data.get("schema", ""))
             if schema.startswith(_BENCH_SCHEMA_PREFIX):
                 bench_files.append(path)
+            elif schema.startswith(_HOSTPROF_SCHEMA_PREFIX):
+                hostprof_files.append(path)
             else:
                 raise ValueError(
                     f"{path}: unrecognized schema {schema!r} "
-                    "(expected a BENCH_*.json suite artifact)"
+                    "(expected a BENCH_*.json or hostprof.json artifact)"
                 )
         else:
             raise ValueError(f"{path}: no such file or directory")
-    return artifact_dirs, bench_files
+    return artifact_dirs, bench_files, hostprof_files
 
 
 # -- run-artifact sections ----------------------------------------------------
@@ -412,6 +427,191 @@ def _bench_section(path: Path) -> List[str]:
     return out
 
 
+# -- host-profile sections ----------------------------------------------------
+
+
+def _phase_tree(
+    phases: Mapping[str, Mapping[str, int]],
+) -> Tuple[Dict[str, Dict[str, int]], List[str], Dict[str, List[str]]]:
+    """(nodes, roots, children) for the phase forest.
+
+    Worker-prefixed folds may lack explicit ancestor entries (the
+    ``worker`` prefix root is synthetic); missing ancestors are created
+    with cumulative time equal to the sum of their children so the
+    icicle layout always has a complete tree.
+    """
+    nodes: Dict[str, Dict[str, int]] = {
+        path: {k: int(v) for k, v in entry.items()}
+        for path, entry in phases.items()
+    }
+    created: List[str] = []
+    # Deepest first: a created parent may itself need a created parent.
+    for path in sorted(nodes, key=lambda p: (-p.count(PATH_SEP), p)):
+        if PATH_SEP not in path:
+            continue
+        parent = path.rsplit(PATH_SEP, 1)[0]
+        if parent not in nodes:
+            nodes[parent] = {"calls": 0, "total_ns": 0, "self_ns": 0}
+            created.append(parent)
+    for path in sorted(created, key=lambda p: (-p.count(PATH_SEP), p)):
+        for child, entry in nodes.items():
+            if child.rsplit(PATH_SEP, 1)[0] == path and child != path:
+                nodes[path]["total_ns"] += entry["total_ns"]
+    roots: List[str] = []
+    children: Dict[str, List[str]] = {}
+    for path in sorted(nodes):
+        if PATH_SEP in path:
+            children.setdefault(path.rsplit(PATH_SEP, 1)[0], []).append(path)
+        else:
+            roots.append(path)
+    return nodes, roots, children
+
+
+def _flamegraph_svg(phases: Mapping[str, Mapping[str, int]]) -> str:
+    """Deterministic SVG icicle chart of the phase tree (roots on top).
+
+    Rows are nesting depth; widths are proportional to cumulative wall
+    ns; children sit inside their parent's extent in sorted-path order.
+    Uncovered parent area is the phase's self time.  Hover titles carry
+    the full path and timings (no scripts).
+    """
+    nodes, roots, children = _phase_tree(phases)
+    if not roots:
+        return "<p class=\"note\">no phases recorded</p>"
+    width, row_h = 880.0, 18
+    grand = float(sum(nodes[r]["total_ns"] for r in roots)) or 1.0
+    rects: List[str] = []
+    max_depth = 0
+
+    def place(path: str, x: float, w: float, depth: int, sibling: int) -> None:
+        nonlocal max_depth
+        max_depth = max(max_depth, depth)
+        entry = nodes[path]
+        name = path.rsplit(PATH_SEP, 1)[-1]
+        color = _PALETTE[sibling % len(_PALETTE)]
+        y = depth * row_h
+        title = (f"{path} — {_fmt_ns(float(entry['total_ns']))} total, "
+                 f"{_fmt_ns(float(entry['self_ns']))} self, "
+                 f"{entry['calls']} calls")
+        rects.append(
+            f"<g><title>{_esc(title)}</title>"
+            f"<rect x=\"{x:.2f}\" y=\"{y}\" width=\"{max(w, 1.0):.2f}\" "
+            f"height=\"{row_h - 2}\" fill=\"{color}\" fill-opacity=\"0.85\" "
+            "stroke=\"#ffffff\"/>"
+        )
+        if w >= 58:
+            label = name if len(name) * 6.5 <= w - 8 else (
+                name[: max(int((w - 8) / 6.5) - 1, 1)] + "…"
+            )
+            rects.append(
+                f"<text x=\"{x + 4:.2f}\" y=\"{y + 12}\">{_esc(label)}</text>"
+            )
+        rects.append("</g>")
+        total = float(entry["total_ns"]) or 1.0
+        cx = x
+        for i, child in enumerate(children.get(path, [])):
+            cw = w * float(nodes[child]["total_ns"]) / total
+            place(child, cx, cw, depth + 1, i)
+            cx += cw
+
+    x = 0.0
+    for i, root in enumerate(roots):
+        w = width * float(nodes[root]["total_ns"]) / grand
+        place(root, x, w, 0, i)
+        x += w
+    height = (max_depth + 1) * row_h
+    return (
+        f"<svg width=\"{width:.0f}\" height=\"{height}\" role=\"img\" "
+        "class=\"flamegraph\">" + "".join(rects) + "</svg>"
+    )
+
+
+def _hostprof_pareto(profile: HostProfile) -> List[str]:
+    rows = profile.pareto()[:12]
+    if not rows:
+        return ["<p class=\"note\">no phases recorded</p>"]
+    peak = max(r["self_ns"] for r in rows) or 1
+    out = ["<h3>host wall-clock Pareto (self time)</h3>", "<table>",
+           "<tr><th>phase</th><th>calls</th><th>total</th><th>self</th>"
+           "<th>self %</th><th></th></tr>"]
+    for r in rows:
+        bar = max(1, round(240 * r["self_ns"] / peak))
+        out.append(
+            "<tr>"
+            f"<td><code>{_esc(r['path'])}</code></td>"
+            f"<td class=\"num\">{r['calls']}</td>"
+            f"<td class=\"num\">{_fmt_ns(float(r['total_ns']))}</td>"
+            f"<td class=\"num\">{_fmt_ns(float(r['self_ns']))}</td>"
+            f"<td class=\"num\">{100.0 * r['self_share']:.1f}%</td>"
+            f"<td><svg width=\"240\" height=\"12\">"
+            f"<rect class=\"bar\" width=\"{bar}\" height=\"12\"/></svg></td>"
+            "</tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def _hostprof_deep(profile: HostProfile) -> List[str]:
+    deep = profile.deep or {}
+    out: List[str] = []
+    functions = deep.get("functions") or []
+    if functions:
+        out.append("<h3>deep capture: hottest functions (cProfile)</h3>")
+        out.append("<table><tr><th>function</th><th>calls</th>"
+                   "<th>self</th><th>cumulative</th></tr>")
+        for row in functions[:12]:
+            out.append(
+                f"<tr><td><code>{_esc(row.get('function', '?'))}</code></td>"
+                f"<td class=\"num\">{int(row.get('ncalls', 0))}</td>"
+                f"<td class=\"num\">"
+                f"{_fmt_ns(float(row.get('tottime_ns', 0)))}</td>"
+                f"<td class=\"num\">"
+                f"{_fmt_ns(float(row.get('cumtime_ns', 0)))}</td></tr>"
+            )
+        out.append("</table>")
+    peaks = deep.get("memory_peak_bytes") or {}
+    if peaks:
+        top = sorted(peaks.items(), key=lambda kv: (-int(kv[1]), kv[0]))[:8]
+        out.append("<h3>deep capture: allocation peaks (tracemalloc)</h3>")
+        out.append("<table><tr><th>phase</th><th>peak bytes</th></tr>")
+        for path, peak in top:
+            out.append(f"<tr><td><code>{_esc(path)}</code></td>"
+                       f"<td class=\"num\">{int(peak)}</td></tr>")
+        out.append("</table>")
+    return out
+
+
+def _hostprof_section(path: Path) -> List[str]:
+    profile = HostProfile.load(path)
+    out = [f"<h2>host profile: <code>{_esc(path.parent.name)}</code> "
+           f"<span class=\"note\">({_esc(profile.command)})</span></h2>"]
+    out.append("<table>")
+    out.append(f"<tr><th>schema</th><td><code>{_esc(profile.schema)}</code>"
+               "</td></tr>")
+    out.append(f"<tr><th>git sha</th><td>{_esc(profile.git_sha)}</td></tr>")
+    if profile.created_utc:
+        out.append(
+            f"<tr><th>created</th><td>{_esc(profile.created_utc)}</td></tr>"
+        )
+    if profile.python or profile.platform:
+        out.append(f"<tr><th>host</th><td>python {_esc(profile.python)} · "
+                   f"{_esc(profile.platform)}</td></tr>")
+    if profile.config:
+        cfg = ", ".join(f"{k}={v}" for k, v in sorted(profile.config.items()))
+        out.append(f"<tr><th>config</th><td>{_esc(cfg)}</td></tr>")
+    out.append(
+        "<tr><th>wall accounted</th>"
+        f"<td>{_fmt_ns(float(profile.total_wall_ns()))} across "
+        f"{len(profile.phases)} phases</td></tr>"
+    )
+    out.append("</table>")
+    out.extend(_hostprof_pareto(profile))
+    out.append("<h3>phase flamegraph (wall time, icicle)</h3>")
+    out.append(_flamegraph_svg(profile.phases))
+    out.extend(_hostprof_deep(profile))
+    return out
+
+
 # -- assembly -----------------------------------------------------------------
 
 
@@ -421,12 +621,14 @@ def render_report(inputs: Sequence[Union[str, Path]]) -> str:
     Pure function of the input file bytes — no wall clock, no randomness,
     no environment reads — so identical inputs render identical bytes.
     """
-    artifact_dirs, bench_files = classify_inputs(inputs)
+    artifact_dirs, bench_files, hostprof_files = classify_inputs(inputs)
     body: List[str] = []
     for directory in artifact_dirs:
         body.extend(_artifact_section(directory))
     for path in bench_files:
         body.extend(_bench_section(path))
+    for path in hostprof_files:
+        body.extend(_hostprof_section(path))
     if not body:
         body.append("<p class=\"note\">no inputs</p>")
     sections = "\n".join(body)

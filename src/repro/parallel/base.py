@@ -21,6 +21,7 @@ from ..cpu.costmodel import (
 )
 from ..cpu.counters import CoreCounters, SystemCounters
 from ..cpu.simulator import PerfPacket
+from ..hostprof.clock import NULL_HOSTPROF, PhaseClock
 from ..obs.spans import NULL_SPANS, SpanEmitter
 from ..programs.base import PacketProgram
 from ..telemetry.events import NULL_TRACER, EventTracer
@@ -55,6 +56,7 @@ class BaseEngine(ABC):
         contention: ContentionParams = DEFAULT_CONTENTION,
         tracer: EventTracer = NULL_TRACER,
         spans: SpanEmitter = NULL_SPANS,
+        hostprof: PhaseClock = NULL_HOSTPROF,
     ) -> None:
         if num_cores < 1:
             raise ValueError("need at least one core")
@@ -64,6 +66,9 @@ class BaseEngine(ABC):
         self.tracer = tracer
         #: causal span emitter for sampled packets (disabled by default).
         self.spans = spans
+        #: host wall-clock phase sink (disabled by default; never feeds
+        #: simulated time — see docs/PROFILING.md).
+        self.hostprof = hostprof
         if costs is None:
             try:
                 costs = TABLE4_PARAMS[program.name]

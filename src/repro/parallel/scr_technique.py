@@ -235,6 +235,8 @@ class ScrEngine(BaseEngine):
                 self._pending_lost[core] = 0
         gap = self._fault_gap[core]
         if gap:
+            hp = self.hostprof
+            hp_t0 = hp.now() if hp.enabled else 0
             self._fault_gap[core] = 0
             self.fault_gaps += 1
             # Round-robin spraying turns ``gap`` stolen packets into
@@ -277,6 +279,10 @@ class ScrEngine(BaseEngine):
                                ts_ns=start_ns + fetch + catchup, core=core)
             compute += catchup
             history += catchup
+            if hp.enabled:
+                # Wall cost of gap-recovery fast-forward/resync modeling
+                # (steady-state history replay is pure arithmetic above).
+                hp.charge("scr.history_ff", hp_t0)
         total = c.d + compute + spill + log_ns + recovery_transfer_ns
         counters.charge_packet(
             dispatch_ns=c.d,

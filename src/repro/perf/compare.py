@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from .artifact import BENCH_SCHEMA, BenchArtifact
 
@@ -87,6 +87,11 @@ class CompareResult:
     points: List[PointVerdict] = field(default_factory=list)
     #: series present in NEW but not OLD (reported, never a failure).
     new_series: List[str] = field(default_factory=list)
+    #: run metadata for triage (git SHA, python, platform, created_utc) —
+    #: the report shows both sides so a regression can be attributed
+    #: without reopening either artifact.
+    old_meta: Dict[str, str] = field(default_factory=dict)
+    new_meta: Dict[str, str] = field(default_factory=dict)
 
     @property
     def regressions(self) -> List[PointVerdict]:
@@ -129,7 +134,8 @@ def compare_artifacts(
             f"artifact names differ: OLD is {old.name!r}, NEW is {new.name!r}"
         )
     result = CompareResult(name=old.name, old_sha=old.git_sha,
-                           new_sha=new.git_sha)
+                           new_sha=new.git_sha,
+                           old_meta=_run_meta(old), new_meta=_run_meta(new))
     for sname, oseries in sorted(old.series.items()):
         nseries = new.series.get(sname)
         if nseries is None:
@@ -165,6 +171,28 @@ def compare_artifacts(
             ))
     result.new_series = sorted(set(new.series) - set(old.series))
     return result
+
+
+def _run_meta(art: BenchArtifact) -> Dict[str, str]:
+    """The provenance stamp a triager needs next to each verdict."""
+    return {
+        "git_sha": art.git_sha,
+        "python": art.python,
+        "platform": art.platform,
+        "created_utc": art.created_utc,
+    }
+
+
+def _meta_line(label: str, sha: str, meta: Dict[str, str]) -> str:
+    sha = (meta.get("git_sha") or sha or "unknown")[:12]
+    parts = [f"**{label}**: `{sha}`"]
+    if meta.get("python"):
+        parts.append(f"python {meta['python']}")
+    if meta.get("platform"):
+        parts.append(meta["platform"])
+    if meta.get("created_utc"):
+        parts.append(meta["created_utc"])
+    return " · ".join(parts)
 
 
 def _artifact_files(path: Path) -> List[Path]:
@@ -247,8 +275,9 @@ def markdown_report(
     for res in results:
         lines.append("")
         lines.append(f"## {res.name} — {res.verdict}")
-        if res.old_sha != res.new_sha:
-            lines.append(f"`{res.old_sha[:12]}` → `{res.new_sha[:12]}`")
+        lines.append("")
+        lines.append(_meta_line("OLD", res.old_sha, res.old_meta))
+        lines.append(_meta_line("NEW", res.new_sha, res.new_meta))
         lines.append("")
         lines.append("| series | x | old | new | Δ% | tol | verdict |")
         lines.append("|---|---|---|---|---|---|---|")

@@ -1,6 +1,6 @@
 """The curated perf suite: the runs whose numbers must not silently move.
 
-Six suites, each writing one ``BENCH_<name>.json`` artifact:
+Seven suites, each writing one ``BENCH_<name>.json`` artifact:
 
 * ``fig6_scaling``   — the Figure 6 main-result panel (ddos @ caida, all
   four techniques vs cores), plus the SCR series' Appendix A residuals
@@ -15,7 +15,12 @@ Six suites, each writing one ``BENCH_<name>.json`` artifact:
   drops + recovery) vs the drop-rate sweep;
 * ``obs_overhead``   — span tracing's throughput cost: a zero-tolerance
   gate that the traced MLFFR equals the untraced MLFFR exactly, plus the
-  deterministic sampled-span volume.
+  deterministic sampled-span volume;
+* ``hostwall``       — packets per host wall-second per stack stage
+  (synthesis, lowering, simulation, the full MLFFR search) via
+  ``repro.hostprof``.  The only suite measuring *host* time: values are
+  machine-dependent, so its baseline lives apart and is gated with the
+  loose wall-noise policy in docs/PROFILING.md.
 
 Every point is the **median of k repetitions**; repetition ``i``
 re-synthesizes the workload with ``seed = base_seed + i`` (engine seeds
@@ -38,6 +43,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..bench.mlffr import SEARCH_TOLERANCE_PPS
 from ..bench.runner import ExperimentRunner
+from ..hostprof.clock import NULL_HOSTPROF, PhaseClock
 from ..scenario.build import ScenarioResult
 from ..scenario.executor import ScenarioExecutor
 from ..scenario.spec import Scenario
@@ -81,6 +87,9 @@ class SuiteParams:
     quick: bool = True
     jobs: int = 1
     cache_dir: Optional[str] = None
+    #: host wall-clock sink threaded through the executor (disabled
+    #: singleton by default; never affects measured values).
+    hostprof: PhaseClock = NULL_HOSTPROF
 
     @property
     def max_packets(self) -> int:
@@ -138,7 +147,8 @@ class SuiteParams:
         )
 
     def executor(self) -> ScenarioExecutor:
-        return ScenarioExecutor(jobs=self.jobs, cache_dir=self.cache_dir)
+        return ScenarioExecutor(jobs=self.jobs, cache_dir=self.cache_dir,
+                                hostprof=self.hostprof)
 
     def runners(self) -> List[ExperimentRunner]:
         """Per-repetition serial runners (legacy path; the suites below
@@ -449,6 +459,72 @@ def run_obs_overhead(params: SuiteParams) -> BenchArtifact:
     return art
 
 
+def run_hostwall(params: SuiteParams) -> BenchArtifact:
+    """Packets per host wall-second for each stack stage (repro.hostprof).
+
+    Each repetition runs one full MLFFR point with an enabled PhaseClock
+    and derives stage walls from the phase tree: ``synthesize`` and
+    ``lower`` process the trace once, ``simulate``/``mlffr`` process
+    ``iterations x max_packets`` offered packets across the search's
+    probes.  ``wall_kpps`` is absolute host throughput (machine-
+    dependent: gate only with the loose policy in docs/PROFILING.md);
+    ``wall_share`` is each stage's fraction of the scenario's total wall
+    — roughly machine-portable, with a wide 0.15 noise floor.
+
+    Simulated results are untouched by profiling (the determinism tests
+    pin this), so this suite never perturbs the other six.
+    """
+    from ..hostprof.clock import PATH_SEP
+    from ..scenario.build import StackBuilder, run_scenario
+
+    program, trace, technique, cores = "ddos", "univ_dc", "scr", 4
+    stage_paths = {
+        "synthesize": PATH_SEP.join(("scenario.run", "trace.synthesize")),
+        "lower": PATH_SEP.join(("scenario.run", "perf.lower")),
+        "simulate": PATH_SEP.join(("scenario.run", "mlffr.search", "sim.run")),
+        "mlffr": PATH_SEP.join(("scenario.run", "mlffr.search")),
+    }
+    stages = list(stage_paths)
+    art = BenchArtifact.create(
+        "hostwall",
+        config=params.config(program=program, trace=trace,
+                             technique=technique, cores=cores,
+                             stages=stages,
+                             note="host wall time; values are "
+                                  "machine-dependent by design"),
+        seed_policy=params.seed_policy(),
+        programs=[program],
+    )
+    kpps_reps: Dict[str, List[float]] = {s: [] for s in stages}
+    share_reps: Dict[str, List[float]] = {s: [] for s in stages}
+    for seed in params.rep_seeds:
+        clock = PhaseClock(enabled=True)
+        # No disk cache: every repetition measures real synthesis/lowering.
+        builder = StackBuilder(hostprof=clock)
+        scenario = params.scenario(program, trace, technique, cores,
+                                   seed=seed,
+                                   engine_kwargs=_engine_kwargs(technique))
+        res = run_scenario(scenario, builder=builder)
+        snap = clock.snapshot()
+        total_ns = max(snap["scenario.run"]["total_ns"], 1)
+        probe_packets = res.iterations * params.max_packets
+        for stage, path in stage_paths.items():
+            wall_ns = max(snap.get(path, {}).get("total_ns", 0), 1)
+            packets = (probe_packets if stage in ("simulate", "mlffr")
+                       else params.max_packets)
+            kpps_reps[stage].append(packets / (wall_ns / 1e9) / 1e3)
+            share_reps[stage].append(wall_ns / total_ns)
+    kpps = art.add_series(BenchSeries(
+        name="wall_kpps", unit="kpps", direction="higher_better"))
+    share = art.add_series(BenchSeries(
+        name="wall_share", unit="fraction", direction="lower_better",
+        noise_floor=0.15))
+    for stage in stages:
+        kpps.points.append(BenchPoint.from_reps(stage, kpps_reps[stage]))
+        share.points.append(BenchPoint.from_reps(stage, share_reps[stage]))
+    return art
+
+
 SUITES: Dict[str, Callable[[SuiteParams], BenchArtifact]] = {
     "fig6_scaling": run_fig6_scaling,
     "engine_mlffr": run_engine_mlffr,
@@ -456,6 +532,7 @@ SUITES: Dict[str, Callable[[SuiteParams], BenchArtifact]] = {
     "fig11_model_fit": run_fig11_model_fit,
     "faults_recovery": run_faults_recovery,
     "obs_overhead": run_obs_overhead,
+    "hostwall": run_hostwall,
 }
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..cpu.simulator import PerfTrace, SimResult
+from ..hostprof.clock import NULL_HOSTPROF, PhaseClock
 from ..obs.spans import NULL_SPANS, SpanEmitter
 from ..parallel.base import BaseEngine
 from ..parallel.registry import make_engine
@@ -84,6 +85,8 @@ class ScenarioResult:
     metrics: Optional[Dict[str, dict]] = None
     #: injector + recovery counters at the reported rate (faulted runs).
     fault_stats: Optional[Dict[str, object]] = None
+    #: worker PhaseClock snapshot, folded by the executor (profiled runs).
+    host_phases: Optional[Dict[str, Dict[str, int]]] = None
     mlffr: Optional["MlffrResult"] = None
 
     def compact(self) -> "ScenarioResult":
@@ -99,8 +102,13 @@ class StackBuilder:
     Engines are never cached — each scenario gets a fresh one.
     """
 
-    def __init__(self, cache: Optional[TraceCache] = None) -> None:
+    def __init__(
+        self,
+        cache: Optional[TraceCache] = None,
+        hostprof: PhaseClock = NULL_HOSTPROF,
+    ) -> None:
         self.cache = cache
+        self.hostprof = hostprof
         self._traces: Dict[TraceSpec, Trace] = {}
         self._perf: Dict[Tuple[str, TraceSpec], PerfTrace] = {}
 
@@ -109,13 +117,17 @@ class StackBuilder:
         memo = self._traces.get(spec)
         if memo is not None:
             return memo
+        hp = self.hostprof
         trace: Optional[Trace] = None
         if self.cache is not None:
-            trace = self.cache.load_trace(spec)
+            with hp.phase("trace.cache_load"):
+                trace = self.cache.load_trace(spec)
         if trace is None:
-            trace = _synthesize(spec)
+            with hp.phase("trace.synthesize"):
+                trace = _synthesize(spec)
             if self.cache is not None:
-                self.cache.store_trace(spec, trace)
+                with hp.phase("trace.cache_store"):
+                    self.cache.store_trace(spec, trace)
         self._traces[spec] = trace
         return trace
 
@@ -125,13 +137,18 @@ class StackBuilder:
         memo = self._perf.get(key)
         if memo is not None:
             return memo
+        hp = self.hostprof
         pt: Optional[PerfTrace] = None
         if self.cache is not None:
-            pt = self.cache.load_perf_trace(program_name, spec)
+            with hp.phase("perf.cache_load"):
+                pt = self.cache.load_perf_trace(program_name, spec)
         if pt is None:
-            pt = PerfTrace.from_trace(self.trace(spec), make_program(program_name))
+            trace = self.trace(spec)
+            with hp.phase("perf.lower"):
+                pt = PerfTrace.from_trace(trace, make_program(program_name))
             if self.cache is not None:
-                self.cache.store_perf_trace(program_name, spec, pt)
+                with hp.phase("perf.cache_store"):
+                    self.cache.store_perf_trace(program_name, spec, pt)
         self._perf[key] = pt
         return pt
 
@@ -146,15 +163,18 @@ class StackBuilder:
             kwargs.setdefault("tracer", tracer)
         if spans.enabled:
             kwargs.setdefault("spans", spans)
+        if self.hostprof.enabled:
+            kwargs.setdefault("hostprof", self.hostprof)
         if scenario.faults is not None and scenario.technique == "scr":
             # The recovery cost model reads the fault regime's epoch.
             kwargs.setdefault("fault_epoch_len", scenario.faults.epoch_len)
-        return make_engine(
-            scenario.technique,
-            make_program(scenario.program),
-            scenario.cores,
-            **kwargs,
-        )
+        with self.hostprof.phase("engine.build"):
+            return make_engine(
+                scenario.technique,
+                make_program(scenario.program),
+                scenario.cores,
+                **kwargs,
+            )
 
     def stack(
         self,
@@ -233,27 +253,37 @@ def run_scenario(
     tele = telemetry if telemetry is not None else NULL_TELEMETRY
     instrumented = tele.enabled
     spans = getattr(tele, "spans", None) or NULL_SPANS
-    stack = builder.stack(
-        scenario,
-        tracer=tele.tracer if instrumented else NULL_TRACER,
-        spans=spans if instrumented else NULL_SPANS,
-    )
-    plan = None
-    if scenario.faults is not None and scenario.faults.any_faults:
-        # Lazy: repro.faults.harness imports this module.
-        from ..faults.plan import FaultPlan
+    hp = builder.hostprof
+    hp.push("scenario.run")
+    try:
+        stack = builder.stack(
+            scenario,
+            tracer=tele.tracer if instrumented else NULL_TRACER,
+            spans=spans if instrumented else NULL_SPANS,
+        )
+        plan = None
+        if scenario.faults is not None and scenario.faults.any_faults:
+            # Lazy: repro.faults.harness imports this module.
+            from ..faults.plan import FaultPlan
 
-        plan = FaultPlan(scenario.faults)
-    res = find_mlffr(
-        stack.perf_trace,
-        stack.engine,
-        line_rate_gbps=scenario.line_rate_gbps,
-        burst_size=scenario.burst_size,
-        tracer=tele.tracer if instrumented else NULL_TRACER,
-        collect_latency=scenario.collect_latency or instrumented,
-        faults=plan,
-        spans=spans if instrumented else NULL_SPANS,
-    )
+            plan = FaultPlan(scenario.faults)
+        hp.push("mlffr.search")
+        try:
+            res = find_mlffr(
+                stack.perf_trace,
+                stack.engine,
+                line_rate_gbps=scenario.line_rate_gbps,
+                burst_size=scenario.burst_size,
+                tracer=tele.tracer if instrumented else NULL_TRACER,
+                collect_latency=scenario.collect_latency or instrumented,
+                faults=plan,
+                spans=spans if instrumented else NULL_SPANS,
+                hostprof=hp,
+            )
+        finally:
+            hp.pop()
+    finally:
+        hp.pop()
     result = ScenarioResult(
         scenario=scenario,
         mlffr_mpps=res.mlffr_mpps,

@@ -51,6 +51,7 @@ class TraceCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.corrupt_evictions = 0
 
     @property
     def schema_dir(self) -> Path:
@@ -79,6 +80,7 @@ class TraceCache:
             trace = Trace.load(path)
         except (ValueError, OSError, struct_error):
             self._discard(path)
+            self.corrupt_evictions += 1
             self.misses += 1
             return None
         # SCRT files are named by hash; restore the human-readable name a
@@ -107,12 +109,14 @@ class TraceCache:
                 obj = pickle.load(fh)
         except Exception:  # noqa: BLE001 — any unpickling failure is a miss
             self._discard(path)
+            self.corrupt_evictions += 1
             self.misses += 1
             return None
         # Poisoning guard: only accept the exact shape we wrote, for the
         # program we were asked about.
         if not isinstance(obj, PerfTrace) or obj.program_name != program:
             self._discard(path)
+            self.corrupt_evictions += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -129,7 +133,11 @@ class TraceCache:
     # -- bookkeeping ----------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt_evictions": self.corrupt_evictions,
+        }
 
     def _tmp_sibling(self, path: Path) -> Path:
         """A same-directory temp path unique per writer process, so

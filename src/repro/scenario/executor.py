@@ -27,6 +27,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence, Union
 
+from ..hostprof.clock import NULL_HOSTPROF, PhaseClock
 from ..telemetry.artifact import Telemetry
 from .build import ScenarioResult, StackBuilder, run_scenario
 from .cache import TraceCache
@@ -36,19 +37,28 @@ __all__ = ["ScenarioExecutor"]
 
 
 def _run_worker(
-    scenario: Scenario, cache_root: Optional[str], instrumented: bool
+    scenario: Scenario,
+    cache_root: Optional[str],
+    instrumented: bool,
+    profiled: bool = False,
 ) -> ScenarioResult:
     """Measure one scenario in a worker process (module-level: picklable).
 
     Each call builds a fresh :class:`StackBuilder` — per-run state never
     leaks between scenarios — and returns a compacted, picklable result
-    carrying the worker's metrics snapshot for deterministic merging.
+    carrying the worker's metrics snapshot (and, when ``profiled``, its
+    PhaseClock snapshot) for deterministic merging.
     """
     cache = TraceCache(cache_root) if cache_root is not None else None
     tele = Telemetry() if instrumented else None
-    result = run_scenario(scenario, builder=StackBuilder(cache), telemetry=tele)
+    clock = PhaseClock(enabled=True) if profiled else NULL_HOSTPROF
+    result = run_scenario(
+        scenario, builder=StackBuilder(cache, hostprof=clock), telemetry=tele
+    )
     if tele is not None:
         result.metrics = tele.registry.snapshot()
+    if profiled:
+        result.host_phases = clock.snapshot()
     return result.compact()
 
 
@@ -68,6 +78,7 @@ class ScenarioExecutor:
         cache: Optional[TraceCache] = None,
         cache_dir: Optional[Union[str, object]] = None,
         telemetry: Optional[Telemetry] = None,
+        hostprof: PhaseClock = NULL_HOSTPROF,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -76,7 +87,8 @@ class ScenarioExecutor:
         self.jobs = jobs
         self.cache = cache
         self.telemetry = telemetry
-        self._builder = StackBuilder(cache)
+        self.hostprof = hostprof
+        self._builder = StackBuilder(cache, hostprof=hostprof)
 
     @property
     def builder(self) -> StackBuilder:
@@ -100,17 +112,33 @@ class ScenarioExecutor:
     ) -> List[ScenarioResult]:
         cache_root = str(self.cache.root) if self.cache is not None else None
         instrumented = self.telemetry is not None and self.telemetry.enabled
+        profiled = self.hostprof.enabled
         workers = min(self.jobs, len(scenarios))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_worker, s, cache_root, instrumented)
-                for s in scenarios
-            ]
-            # Collect strictly in submission order: the merge (and any
-            # telemetry fold-in) is independent of completion order.
-            results = [f.result() for f in futures]
+        self.hostprof.push("executor.fanout")
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_run_worker, s, cache_root, instrumented,
+                                profiled)
+                    for s in scenarios
+                ]
+                # Collect strictly in submission order: the merge (and any
+                # telemetry fold-in) is independent of completion order.
+                results = [f.result() for f in futures]
+        finally:
+            self.hostprof.pop()
         if instrumented and self.telemetry is not None:
             for result in results:
                 if result.metrics is not None:
                     self.telemetry.registry.merge_snapshot(result.metrics)
+        if profiled:
+            # Worker CPU time folds under a distinct `worker` root (never
+            # under executor.fanout): N workers' summed wall exceeds the
+            # parent's fan-out wall by design — that surplus *is* the
+            # parallelism. Submission order keeps the fold deterministic.
+            for result in results:
+                if result.host_phases is not None:
+                    self.hostprof.merge_snapshot(
+                        result.host_phases, prefix="worker"
+                    )
         return results

@@ -204,6 +204,37 @@ def _slo_section(artifact: RunArtifact) -> List[str]:
     return lines
 
 
+def _cache_section(artifact: RunArtifact) -> List[str]:
+    """TraceCache hit/miss/corrupt-evict counters, when recorded.
+
+    Runs that predate the counters — or ran without ``--cache-dir`` —
+    get a one-line note (and a zero exit), like the slo section.
+    """
+    registry = artifact.metrics.get("registry", {})
+    names = ("trace_cache_hits", "trace_cache_misses",
+             "trace_cache_corrupt_evictions")
+    values = {}
+    for name in names:
+        inst = registry.get(name)
+        if not isinstance(inst, dict) or inst.get("type") != "counter":
+            return [
+                "",
+                "trace cache: counters not recorded (run without "
+                "--cache-dir, or artifact predates them)",
+            ]
+        values[name] = int(inst.get("value", 0))
+    hits = values["trace_cache_hits"]
+    misses = values["trace_cache_misses"]
+    evictions = values["trace_cache_corrupt_evictions"]
+    total = hits + misses
+    rate = f"{hits / total:.0%} hit rate" if total else "no lookups"
+    return [
+        "",
+        f"trace cache: {hits} hits, {misses} misses ({rate}), "
+        f"{evictions} corrupt evictions",
+    ]
+
+
 def summarize_artifact(directory: Union[str, Path]) -> str:
     """Render a human-readable summary of an artifact directory."""
     artifact = RunArtifact.load(directory)
@@ -244,6 +275,9 @@ def summarize_artifact(directory: Union[str, Path]) -> str:
 
     # 2b. recovery SLO distributions -----------------------------------------
     lines.extend(_slo_section(artifact))
+
+    # 2c. trace-cache effectiveness ------------------------------------------
+    lines.extend(_cache_section(artifact))
 
     # 3. latency percentiles --------------------------------------------------
     latency = artifact.metrics.get("latency_ns")

@@ -1,0 +1,91 @@
+"""``scr-repro profile`` and the ``--hostprof`` flag, end to end."""
+
+import io
+import json
+
+from repro.cli import main
+from repro.hostprof.artifact import (
+    FOLDED_NAME,
+    HOSTPROF_JSON,
+    SPEEDSCOPE_NAME,
+    HostProfile,
+)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestProfileCommand:
+    def test_writes_artifact_and_reports_pareto(self, tmp_path):
+        out_dir = tmp_path / "hp"
+        code, text = run_cli([
+            "profile", "--packets", "400", "--cores", "2",
+            "--out", str(out_dir),
+        ])
+        assert code == 0
+        for name in (HOSTPROF_JSON, FOLDED_NAME, SPEEDSCOPE_NAME):
+            assert (out_dir / name).is_file()
+        assert "host wall:" in text
+        assert "phase" in text  # the Pareto header
+        data = json.loads((out_dir / HOSTPROF_JSON).read_text())
+        assert data["schema"].startswith("scr-repro/hostprof/")
+        assert data["command"] == "profile"
+        assert "scenario.run" in data["phases"]
+
+    def test_deep_capture_adds_functions_and_memory(self, tmp_path):
+        out_dir = tmp_path / "hp"
+        code, _ = run_cli([
+            "profile", "--packets", "300", "--cores", "2", "--deep",
+            "--out", str(out_dir),
+        ])
+        assert code == 0
+        profile = HostProfile.load(out_dir)
+        assert profile.deep is not None
+        assert profile.deep["functions"]
+        assert profile.deep["memory_peak_bytes"]
+
+    def test_unwritable_out_exits_2(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        code, text = run_cli([
+            "profile", "--packets", "300", "--cores", "2",
+            "--out", str(blocker / "nested"),
+        ])
+        assert code == 2
+
+
+class TestHostprofFlag:
+    def test_mlffr_writes_profile(self, tmp_path):
+        out_dir = tmp_path / "hp"
+        code, text = run_cli([
+            "mlffr", "--packets", "400", "--cores", "2",
+            "--hostprof", str(out_dir),
+        ])
+        assert code == 0
+        assert "host profile:" in text
+        profile = HostProfile.load(out_dir)
+        assert profile.command == "mlffr"
+        assert any("sim.run" in p for p in profile.phases)
+
+    def test_run_writes_profile(self, tmp_path):
+        out_dir = tmp_path / "hp"
+        code, _ = run_cli([
+            "run", "--program", "ddos", "--cores", "2",
+            "--packets", "300", "--hostprof", str(out_dir),
+        ])
+        assert code == 0
+        profile = HostProfile.load(out_dir)
+        assert profile.command == "run"
+        assert "func.run" in profile.phases
+
+    def test_without_flag_no_artifact(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code, text = run_cli([
+            "mlffr", "--packets", "400", "--cores", "2",
+        ])
+        assert code == 0
+        assert "host profile:" not in text
+        assert not (tmp_path / "results").exists()

@@ -1,0 +1,108 @@
+"""The hostprof determinism contract: wall readings never feed results.
+
+Profiling observes the harness, not the model — an enabled PhaseClock
+must leave every simulated number and every telemetry event bit-identical
+to a disabled run, and the dormant NULL_HOSTPROF guards must be invisible
+by construction.
+"""
+
+import pytest
+
+from repro.hostprof.clock import PATH_SEP, PhaseClock
+from repro.scenario import Scenario
+from repro.scenario.build import StackBuilder, run_scenario
+from repro.scenario.executor import ScenarioExecutor
+from repro.telemetry import Telemetry
+
+
+def _scenario(cores=2, seed=7):
+    return Scenario.create(
+        "ddos", "univ_dc", "scr", cores, num_flows=20, max_packets=300,
+        seed=seed,
+    )
+
+
+def _events(tele):
+    return [(e.ts_ns, e.kind, e.core, e.dur_ns, e.fields)
+            for e in tele.tracer.events()]
+
+
+class TestEnabledVsDisabled:
+    def test_simulated_results_identical(self):
+        plain = run_scenario(_scenario())
+        clock = PhaseClock(enabled=True)
+        profiled = run_scenario(
+            _scenario(), builder=StackBuilder(hostprof=clock)
+        )
+        assert profiled.mlffr_mpps == plain.mlffr_mpps
+        assert profiled.probes == plain.probes
+        # ... while the clock actually observed the run.
+        snap = clock.snapshot()
+        assert "scenario.run" in snap
+        assert any("sim.run" in path for path in snap)
+
+    def test_telemetry_event_streams_identical(self):
+        tele_a, tele_b = Telemetry(), Telemetry()
+        run_scenario(_scenario(), telemetry=tele_a)
+        run_scenario(
+            _scenario(),
+            builder=StackBuilder(hostprof=PhaseClock(enabled=True)),
+            telemetry=tele_b,
+        )
+        assert _events(tele_a) == _events(tele_b)
+        assert tele_a.registry.snapshot() == tele_b.registry.snapshot()
+
+    def test_phase_tree_is_well_formed(self):
+        clock = PhaseClock(enabled=True)
+        run_scenario(_scenario(), builder=StackBuilder(hostprof=clock))
+        assert clock.depth() == 0  # every push was popped
+        snap = clock.snapshot()
+        for path, entry in snap.items():
+            children = sum(
+                e["total_ns"] for p, e in snap.items()
+                if p.startswith(path + PATH_SEP)
+                and p.count(PATH_SEP) == path.count(PATH_SEP) + 1
+            )
+            assert entry["self_ns"] + children == entry["total_ns"], path
+
+
+class TestExecutorParity:
+    def test_parallel_profiled_matches_serial_unprofiled(self, tmp_path):
+        scenarios = [_scenario(seed=7), _scenario(seed=8)]
+        serial = ScenarioExecutor(jobs=1).run(scenarios)
+        clock = PhaseClock(enabled=True)
+        parallel = ScenarioExecutor(
+            jobs=2, cache_dir=tmp_path / "cache", hostprof=clock
+        ).run(scenarios)
+        assert [r.mlffr_mpps for r in parallel] == \
+            [r.mlffr_mpps for r in serial]
+        assert [r.probes for r in parallel] == [r.probes for r in serial]
+
+    def test_worker_snapshots_fold_under_worker_prefix(self, tmp_path):
+        clock = PhaseClock(enabled=True)
+        ScenarioExecutor(
+            jobs=2, cache_dir=tmp_path / "cache", hostprof=clock
+        ).run([_scenario(seed=7), _scenario(seed=8)])
+        snap = clock.snapshot()
+        assert "executor.fanout" in snap
+        worker = [p for p in snap if p.startswith("worker" + PATH_SEP)]
+        assert any(p.endswith("scenario.run") for p in worker)
+        # two workers' scenario.run calls folded together
+        assert snap["worker;scenario.run"]["calls"] == 2
+        # worker CPU lives under its own root, never under executor.fanout
+        assert not any(
+            p.startswith("executor.fanout" + PATH_SEP) for p in snap
+        )
+
+
+class TestMlffrConvergence:
+    def test_profiled_probe_count_matches(self):
+        """The binary search takes the same path (same probe rates) with
+        and without an attached clock."""
+        plain = run_scenario(_scenario(cores=4))
+        profiled = run_scenario(
+            _scenario(cores=4),
+            builder=StackBuilder(hostprof=PhaseClock(enabled=True)),
+        )
+        assert [r for r, _ in plain.probes] == [r for r, _ in profiled.probes]
+        assert plain.mlffr_mpps == pytest.approx(profiled.mlffr_mpps, abs=0.0)

@@ -1,0 +1,98 @@
+"""Flamegraph exporters: folded/speedscope schemas and lossless round-trips."""
+
+import pytest
+
+from repro.hostprof.export import (
+    SPEEDSCOPE_SCHEMA,
+    parse_folded,
+    parse_speedscope,
+    to_folded,
+    to_speedscope,
+)
+
+PHASES = {
+    "scenario.run": {"calls": 1, "total_ns": 1000, "self_ns": 100},
+    "scenario.run;trace.synthesize": {
+        "calls": 1, "total_ns": 600, "self_ns": 600,
+    },
+    "scenario.run;mlffr.search": {"calls": 1, "total_ns": 300, "self_ns": 0},
+    "scenario.run;mlffr.search;sim.run": {
+        "calls": 9, "total_ns": 300, "self_ns": 300,
+    },
+}
+
+#: What both exporters should preserve: self-weights of non-zero phases.
+SELF = {
+    "scenario.run": 100,
+    "scenario.run;trace.synthesize": 600,
+    "scenario.run;mlffr.search;sim.run": 300,
+}
+
+
+class TestFolded:
+    def test_round_trip(self):
+        assert parse_folded(to_folded(PHASES)) == SELF
+
+    def test_zero_self_interior_phases_omitted(self):
+        text = to_folded(PHASES)
+        assert "mlffr.search 0" not in text
+        assert text.endswith("\n")
+
+    def test_line_shape(self):
+        lines = to_folded(PHASES).splitlines()
+        assert "scenario.run;trace.synthesize 600" in lines
+
+    def test_empty_phases_empty_text(self):
+        assert to_folded({}) == ""
+        assert parse_folded("") == {}
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_folded("justoneword\n")
+
+    def test_duplicate_paths_sum(self):
+        assert parse_folded("a 5\na 7\n") == {"a": 12}
+
+
+class TestSpeedscope:
+    def test_round_trip(self):
+        assert parse_speedscope(to_speedscope(PHASES)) == SELF
+
+    def test_document_schema(self):
+        doc = to_speedscope(PHASES, name="unit test")
+        assert doc["$schema"] == SPEEDSCOPE_SCHEMA
+        assert doc["activeProfileIndex"] == 0
+        profile = doc["profiles"][0]
+        assert profile["type"] == "sampled"
+        assert profile["unit"] == "nanoseconds"
+        assert profile["name"] == "unit test"
+        assert profile["startValue"] == 0
+        assert profile["endValue"] == sum(profile["weights"])
+        assert len(profile["samples"]) == len(profile["weights"])
+
+    def test_frames_deduplicated(self):
+        doc = to_speedscope(PHASES)
+        names = [f["name"] for f in doc["shared"]["frames"]]
+        assert len(names) == len(set(names))
+        assert "scenario.run" in names and "sim.run" in names
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="not a speedscope"):
+            parse_speedscope({"$schema": "nope"})
+
+    def test_non_sampled_profile_rejected(self):
+        doc = to_speedscope(PHASES)
+        doc["profiles"][0]["type"] = "evented"
+        with pytest.raises(ValueError, match="sampled"):
+            parse_speedscope(doc)
+
+    def test_length_mismatch_rejected(self):
+        doc = to_speedscope(PHASES)
+        doc["profiles"][0]["weights"] = doc["profiles"][0]["weights"][:-1]
+        with pytest.raises(ValueError, match="mismatch"):
+            parse_speedscope(doc)
+
+    def test_deterministic_output(self):
+        assert to_speedscope(PHASES) == to_speedscope(dict(
+            reversed(list(PHASES.items()))
+        ))

@@ -1,0 +1,43 @@
+"""The hostwall bench suite: stage decomposition of host wall time."""
+
+import pytest
+
+from repro.perf import BENCH_SCHEMA, SuiteParams, run_suite
+
+STAGES = ["lower", "mlffr", "simulate", "synthesize"]
+
+
+@pytest.fixture(scope="module")
+def art():
+    return run_suite("hostwall", SuiteParams(reps=1, quick=True))
+
+
+def test_artifact_shape(art):
+    assert art.schema == BENCH_SCHEMA
+    assert set(art.series) == {"wall_kpps", "wall_share"}
+
+
+def test_wall_kpps_series(art):
+    s = art.series["wall_kpps"]
+    assert s.unit == "kpps"
+    assert s.direction == "higher_better"
+    assert sorted(p.x for p in s.points) == STAGES
+    assert all(p.median > 0 for p in s.points)
+
+
+def test_wall_share_series(art):
+    s = art.series["wall_share"]
+    assert s.unit == "fraction"
+    assert s.direction == "lower_better"
+    assert s.noise_floor == pytest.approx(0.15)
+    assert sorted(p.x for p in s.points) == STAGES
+    for p in s.points:
+        assert 0.0 < p.median <= 1.0
+    # every stage is a slice of scenario.run, so shares cannot sum past
+    # 1 + (mlffr ⊃ simulate overlap, bounded by 1) + rounding
+    shares = {p.x: p.median for p in s.points}
+    assert shares["simulate"] <= shares["mlffr"] + 1e-9
+
+
+def test_save_uses_bench_naming(tmp_path, art):
+    assert art.save(tmp_path).name == "BENCH_hostwall.json"

@@ -6,6 +6,8 @@ import shutil
 
 import pytest
 
+from repro.hostprof.artifact import HostProfile
+from repro.hostprof.clock import PhaseClock
 from repro.obs.report import classify_inputs, render_report, write_report
 from repro.obs.sampling import SpanSampler
 from repro.obs.spans import SpanEmitter
@@ -67,12 +69,34 @@ def _bench_file(tmp_path, name="BENCH_demo.json"):
     return path
 
 
+def _hostprof_dir(tmp_path, name="hp1"):
+    clock = PhaseClock(enabled=True)
+    clock.push("scenario.run")
+    clock.push("trace.synthesize")
+    clock.pop()
+    clock.push("mlffr.search")
+    clock.push("sim.run")
+    clock.pop()
+    clock.pop()
+    clock.pop()
+    profile = HostProfile.create("profile", {"cores": 2}, clock)
+    profile.save(tmp_path / name)
+    return tmp_path / name
+
+
 class TestClassifyInputs:
-    def test_splits_dirs_and_bench_files(self, tmp_path):
+    def test_splits_dirs_bench_and_hostprof(self, tmp_path):
         art = _artifact_dir(tmp_path)
         bench = _bench_file(tmp_path)
-        dirs, files = classify_inputs([art, bench])
+        hp = _hostprof_dir(tmp_path)
+        dirs, files, profs = classify_inputs([art, bench, hp])
         assert dirs == [art] and files == [bench]
+        assert profs == [hp / "hostprof.json"]
+
+    def test_hostprof_file_classified_by_schema(self, tmp_path):
+        hp = _hostprof_dir(tmp_path)
+        _, _, profs = classify_inputs([hp / "hostprof.json"])
+        assert profs == [hp / "hostprof.json"]
 
     def test_missing_path_rejected(self, tmp_path):
         with pytest.raises(ValueError):
@@ -112,6 +136,18 @@ class TestSections:
         html = render_report([_artifact_dir(tmp_path)])
         assert "run1" in html
         assert str(tmp_path) not in html
+
+    def test_hostprof_panel_renders(self, tmp_path):
+        html = render_report([_hostprof_dir(tmp_path)])
+        assert "host profile" in html
+        assert "host wall-clock Pareto" in html
+        assert "phase flamegraph" in html
+        assert "class=\"flamegraph\"" in html
+        assert "trace.synthesize" in html and "sim.run" in html
+
+    def test_hostprof_render_deterministic(self, tmp_path):
+        hp = _hostprof_dir(tmp_path)
+        assert render_report([hp]) == render_report([hp])
 
 
 class TestByteDeterminism:

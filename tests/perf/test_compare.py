@@ -170,3 +170,32 @@ class TestMarkdownReport:
         report = markdown_report([res], extra_artifacts=["BENCH_x.json"])
         assert "Overall: NEUTRAL" in report
         assert "BENCH_x.json" in report
+
+
+class TestRunMetadata:
+    def test_compare_captures_both_sides(self):
+        old, new = artifact(BASE), artifact(BASE)
+        old.git_sha, new.git_sha = "a" * 40, "b" * 40
+        old.python, new.python = "3.9.1", "3.11.2"
+        res = compare_artifacts(old, new)
+        assert res.old_meta["git_sha"] == "a" * 40
+        assert res.new_meta["git_sha"] == "b" * 40
+        assert res.old_meta["python"] == "3.9.1"
+        assert res.new_meta["platform"] == new.platform
+
+    def test_markdown_shows_old_and_new_provenance(self):
+        old, new = artifact(BASE), artifact(BASE)
+        old.git_sha, new.git_sha = "a" * 40, "b" * 40
+        old.python, new.python = "3.9.1", "3.11.2"
+        report = markdown_report([compare_artifacts(old, new)])
+        assert f"**OLD**: `{'a' * 12}`" in report
+        assert f"**NEW**: `{'b' * 12}`" in report
+        assert "python 3.9.1" in report and "python 3.11.2" in report
+
+    def test_markdown_graceful_without_meta_fields(self):
+        # Artifacts predating the python/platform stamp still render.
+        old, new = artifact(BASE), artifact(BASE)
+        for art in (old, new):
+            art.python = art.platform = art.created_utc = ""
+        report = markdown_report([compare_artifacts(old, new)])
+        assert "**OLD**:" in report and "**NEW**:" in report

@@ -18,7 +18,7 @@ PARAMS = SuiteParams(reps=1, quick=True)
 def test_suite_names_stable():
     assert suite_names() == [
         "engine_mlffr", "faults_recovery", "fig11_model_fit", "fig6_scaling",
-        "obs_overhead", "tail_latency",
+        "hostwall", "obs_overhead", "tail_latency",
     ]
 
 

@@ -28,7 +28,9 @@ def cache(tmp_path):
 class TestTraceRoundTrip:
     def test_miss_then_hit(self, cache, spec):
         assert cache.load_trace(spec) is None
-        assert cache.stats() == {"hits": 0, "misses": 1}
+        assert cache.stats() == {
+            "hits": 0, "misses": 1, "corrupt_evictions": 0,
+        }
         trace = _synthesize(spec)
         cache.store_trace(spec, trace)
         again = cache.load_trace(spec)
@@ -68,6 +70,7 @@ class TestTraceRoundTrip:
         path.write_bytes(b"not a trace at all")
         assert cache.load_trace(spec) is None  # treated as a miss
         assert not path.exists()  # and deleted, so the next store heals it
+        assert cache.corrupt_evictions == 1
         cache.store_trace(spec, _synthesize(spec))
         assert cache.load_trace(spec) is not None
 
@@ -106,6 +109,7 @@ class TestPerfTraceCache:
         cache.perf_path("ddos", spec).rename(poisoned)
         assert cache.load_perf_trace("token_bucket", spec) is None
         assert not poisoned.exists()
+        assert cache.corrupt_evictions == 1
 
     def test_garbage_pickle_discarded(self, cache, spec):
         path = cache.perf_path("ddos", spec)
@@ -113,6 +117,7 @@ class TestPerfTraceCache:
         path.write_bytes(pickle.dumps({"not": "a perf trace"}))
         assert cache.load_perf_trace("ddos", spec) is None
         assert not path.exists()
+        assert cache.corrupt_evictions == 1
 
 
 class TestBuilderIntegration:

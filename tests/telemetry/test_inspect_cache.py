@@ -1,0 +1,60 @@
+"""``scr-repro inspect`` section 2c: trace-cache effectiveness counters."""
+
+import io
+
+from repro.cli import main
+from repro.telemetry import Telemetry
+from repro.telemetry.inspect import summarize_artifact
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def _artifact(tmp_path, with_counters):
+    tele = Telemetry()
+    if with_counters:
+        reg = tele.registry
+        reg.counter("trace_cache_hits", help="").inc(3)
+        reg.counter("trace_cache_misses", help="").inc(1)
+        reg.counter("trace_cache_corrupt_evictions", help="").inc(0)
+    out = tmp_path / "art"
+    tele.write_artifact(out, command="test", config={}, num_cores=2)
+    return out
+
+
+class TestInspectCacheSection:
+    def test_counters_shown(self, tmp_path):
+        text = summarize_artifact(_artifact(tmp_path, with_counters=True))
+        assert "trace cache: 3 hits, 1 misses (75% hit rate), " \
+            "0 corrupt evictions" in text
+
+    def test_graceful_note_when_absent(self, tmp_path):
+        art = _artifact(tmp_path, with_counters=False)
+        code, text = run_cli(["inspect", str(art)])
+        assert code == 0  # graceful, never fatal
+        assert "trace cache: counters not recorded" in text
+
+    def test_mlffr_with_cache_dir_records_counters(self, tmp_path):
+        code, _ = run_cli([
+            "mlffr", "--packets", "400", "--cores", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--telemetry", str(tmp_path / "tele"),
+        ])
+        assert code == 0
+        text = summarize_artifact(tmp_path / "tele")
+        assert "trace cache:" in text
+        assert "counters not recorded" not in text
+        # first run on an empty cache: misses, no hits
+        assert "misses" in text
+
+    def test_without_cache_dir_notes_absence(self, tmp_path):
+        code, _ = run_cli([
+            "mlffr", "--packets", "400", "--cores", "2",
+            "--telemetry", str(tmp_path / "tele"),
+        ])
+        assert code == 0
+        text = summarize_artifact(tmp_path / "tele")
+        assert "trace cache: counters not recorded" in text
