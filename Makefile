@@ -1,8 +1,8 @@
 # Convenience targets for the SCR reproduction.
 
-.PHONY: install test lint typecheck bench bench-compare bench-baseline \
-	bench-figures chaos profile report reproduce examples telemetry-demo \
-	clean
+.PHONY: install test lint typecheck advise bench bench-compare \
+	bench-baseline bench-figures chaos profile report reproduce examples \
+	telemetry-demo clean
 
 install:
 	python setup.py develop
@@ -28,6 +28,11 @@ typecheck:
 		echo "mypy not installed; skipping (pip install -e '.[lint]')"; \
 	fi
 
+# Parallelization-technique advisor: static state-access facts + the
+# Appendix A cost model, scored per program (see docs/ADVISOR.md).
+advise:
+	PYTHONPATH=src python -m repro.cli advise
+
 # Perf-regression suite: writes schema-versioned BENCH_*.json artifacts
 # (median + MAD over seeded reps) under results/bench.  Parallel workers
 # plus the content-addressed trace cache keep repeat runs fast without
@@ -36,12 +41,13 @@ bench:
 	PYTHONPATH=src python -m repro.cli bench --out results/bench \
 		--jobs 2 --cache-dir results/cache
 
-# Run the quick fig6 + obs_overhead suites and gate them against the
-# committed baseline (nonzero exit on a noise-significant throughput
-# regression, or on any nonzero tracing overhead).
+# Run the quick fig6 + obs_overhead + advisor_validation suites and gate
+# them against the committed baseline (nonzero exit on a noise-significant
+# throughput regression, any nonzero tracing overhead, or a lost
+# advisor-vs-measurement agreement).
 bench-compare:
 	PYTHONPATH=src python -m repro.cli bench --suite fig6_scaling \
-		--suite obs_overhead --out results/bench
+		--suite obs_overhead --suite advisor_validation --out results/bench
 	PYTHONPATH=src python -m repro.cli bench \
 		--compare benchmarks/baselines results/bench \
 		--markdown results/bench/compare.md
@@ -50,7 +56,8 @@ bench-compare:
 # after a justified perf change — see docs/BENCHMARKS.md).
 bench-baseline:
 	PYTHONPATH=src python -m repro.cli bench --suite fig6_scaling \
-		--suite obs_overhead --out benchmarks/baselines
+		--suite obs_overhead --suite advisor_validation \
+		--out benchmarks/baselines
 
 # Fault-injection matrix (repro.faults): gap detection, checkpoint
 # recovery, and MLFFR-vs-drop-rate, written as BENCH_chaos_recovery.json.

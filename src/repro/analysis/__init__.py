@@ -12,12 +12,42 @@ This package is that admission gate for the growing program zoo:
 * ``SCR003`` metadata completeness + FORMAT/FIELDS layout — App. C
 * ``SCR004`` hidden clock/state in the scaling engines — §3.4
 * ``SCR005`` float hazard in transitions — §3.4
+* ``SCR007`` advisor integrity: declared commutativity must be provable
+
+Beyond the lint rules, the package derives per-program **state-access
+dataflow facts** (:mod:`repro.analysis.dataflow`: field-level write
+kinds, commutativity, key locality — all pure AST, never importing the
+target) and turns them into **parallelization advice**
+(:mod:`repro.analysis.advisor`: scr vs relaxed_scr vs rss vs shared,
+scored against the paper's Appendix A cost model).  ``scr-repro advise``
+and the ``advisor_validation`` perf suite are built on these; see
+``docs/ADVISOR.md``.
 
 Use it from pytest (``lint_paths()``/``lint_source()``), from the CLI
-(``scr-repro lint [--format json] [paths]``), or register custom rules via
-:mod:`repro.analysis.rules` — see ``docs/ANALYSIS.md``.
+(``scr-repro lint [--format json|sarif] [--select/--ignore RULES]``), or
+register custom rules via :mod:`repro.analysis.rules` — see
+``docs/ANALYSIS.md``.
 """
 
+from .advisor import (
+    ADVICE_SCHEMA,
+    ADVISOR_TECHNIQUES,
+    Advice,
+    TechniqueScore,
+    WorkloadProfile,
+    advise_program,
+    eligible_techniques,
+)
+from .dataflow import (
+    COMMUTATIVE_KINDS,
+    FACTS_SCHEMA,
+    FieldFacts,
+    ProgramFacts,
+    analyze_module,
+    analyze_path,
+    analyze_source,
+    facts_report,
+)
 from .findings import Finding, findings_to_json, render_finding
 from .model import ClassModel, MethodModel, ModuleModel
 from .rules import Rule, all_rules, get_rule, register, rule_ids
@@ -29,9 +59,27 @@ from .runner import (
     lint_paths,
     lint_source,
 )
+from .sarif import format_sarif, report_to_sarif
 from .suppressions import SuppressionIndex
 
 __all__ = [
+    "ADVICE_SCHEMA",
+    "ADVISOR_TECHNIQUES",
+    "Advice",
+    "TechniqueScore",
+    "WorkloadProfile",
+    "advise_program",
+    "eligible_techniques",
+    "COMMUTATIVE_KINDS",
+    "FACTS_SCHEMA",
+    "FieldFacts",
+    "ProgramFacts",
+    "analyze_module",
+    "analyze_path",
+    "analyze_source",
+    "facts_report",
+    "format_sarif",
+    "report_to_sarif",
     "Finding",
     "findings_to_json",
     "render_finding",

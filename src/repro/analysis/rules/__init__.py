@@ -83,13 +83,30 @@ def rule_ids() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def _suggest(key: str) -> List[str]:
+    """Near-miss candidates for an unknown rule id (``scr7`` → SCR007)."""
+    import difflib
+    import re
+
+    match = re.fullmatch(r"(?:SCR)?0*([0-9]+)", key)
+    if match:
+        padded = f"SCR{int(match.group(1)):03d}"
+        if padded in _REGISTRY:
+            return [padded]
+    return difflib.get_close_matches(key, sorted(_REGISTRY), n=3, cutoff=0.6)
+
+
 def get_rule(rule_id: str) -> Rule:
-    try:
-        return _REGISTRY[rule_id.upper()]
-    except KeyError:
-        raise KeyError(
-            f"unknown rule {rule_id!r}; registered: {', '.join(sorted(_REGISTRY))}"
-        ) from None
+    key = rule_id.strip().upper()
+    hit = _REGISTRY.get(key)
+    if hit is not None:
+        return hit
+    suggestions = _suggest(key)
+    hint = f" (did you mean {', '.join(suggestions)}?)" if suggestions else ""
+    raise KeyError(
+        f"unknown rule {rule_id!r}{hint}; "
+        f"registered: {', '.join(sorted(_REGISTRY))}"
+    )
 
 
 # Importing the rule modules is what populates the registry.
@@ -99,3 +116,4 @@ from . import metadata  # noqa: E402,F401
 from . import engines  # noqa: E402,F401
 from . import floats  # noqa: E402,F401
 from . import faulthygiene  # noqa: E402,F401
+from . import advisor_integrity  # noqa: E402,F401

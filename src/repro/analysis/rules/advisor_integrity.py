@@ -1,0 +1,85 @@
+"""SCR007 — advisor integrity: declared commutativity must be provable.
+
+Relaxed SCR (:class:`repro.parallel.RelaxedScrEngine`) prunes the wire
+history to one merged delta whenever a program declares
+``SCR_COMMUTATIVE_FIELDS``.  That pruning is only sound if every declared
+field really is updated commutatively — replicas converge under any
+interleaving — so the declaration is a *load-bearing* safety claim, not
+documentation.  This rule cross-checks it against the pure-AST dataflow
+classification (:mod:`repro.analysis.dataflow`), which is sound for
+commutativity: anything it cannot prove order-independent it reports as
+``rmw``.
+
+Flagged per declared field:
+
+* the dataflow classifier finds the field **non-commutative** (overwrite,
+  read-modify-write, delete) — the relaxed engine would merge histories
+  it must not merge;
+* the field is **never written** by the transition closure — a stale or
+  misspelled name that silently weakens the declaration's meaning;
+* the declaration itself is not a literal tuple/list of string field
+  names — the engine reads it at construction time, so it must be a
+  static literal the analyzer (and reviewers) can see.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..dataflow import analyze_program
+from ..findings import Finding
+from ..model import ModuleModel
+from . import Rule, register
+
+__all__ = ["AdvisorIntegrityRule"]
+
+_DECL = "SCR_COMMUTATIVE_FIELDS"
+
+
+@register
+class AdvisorIntegrityRule(Rule):
+    id = "SCR007"
+    title = (f"{_DECL} must match the derived dataflow classification — "
+             "an unsound declaration makes relaxed SCR merge histories "
+             "it must not merge")
+    paper_ref = "§3.2 (state-compute replication contract); docs/ADVISOR.md"
+
+    def check(self, module: ModuleModel) -> Iterator[Finding]:
+        for program in module.program_classes():
+            if program.name == "PacketProgram":
+                continue
+            declared_node = program.assigns.get(_DECL)
+            if declared_node is None:
+                continue  # no claim, nothing to cross-check
+            symbol = f"{program.name}.{_DECL}"
+            facts = analyze_program(module, program)
+            if facts.declared_commutative is None:
+                yield self.finding(
+                    module, declared_node, symbol,
+                    f"{_DECL} must be a literal tuple/list of field-name "
+                    "strings — the relaxed engine and this cross-check "
+                    "both read it statically",
+                )
+                continue
+            for name in facts.declared_commutative:
+                field = facts.field(name)
+                if field is None:
+                    yield self.finding(
+                        module, declared_node, symbol,
+                        f"field {name!r} is declared commutative but the "
+                        "transition closure never writes it — remove the "
+                        "stale (or misspelled) name",
+                        field=name,
+                    )
+                elif not field.commutative:
+                    kinds = ", ".join(field.kinds)
+                    yield self.finding(
+                        module, declared_node, symbol,
+                        f"field {name!r} is declared commutative but "
+                        f"classifies as [{kinds}] — relaxed SCR's merged-"
+                        "delta history would be unsound; drop the "
+                        "declaration or make the update an order-"
+                        "independent accumulate",
+                        field=name,
+                        kinds=kinds,
+                    )

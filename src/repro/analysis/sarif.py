@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 rendering of scrlint reports.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua franca
+of code-scanning UIs: GitHub's security tab, VS Code's SARIF viewer, and
+most CI annotators ingest it directly.  Emitting it makes scrlint
+findings show up as inline review annotations instead of a log to read —
+``scr-repro lint --format sarif`` in CI, uploaded via ``upload-sarif``.
+
+The mapping is deliberately small and lossless:
+
+* each registered rule becomes a ``reportingDescriptor`` (id, title as
+  ``shortDescription``, the paper reference in ``help``);
+* each :class:`~repro.analysis.findings.Finding` becomes a ``result``
+  with ``ruleId``, the message, one physical location (SARIF columns are
+  1-based; scrlint's are 0-based), and the finding's ``symbol``/``detail``
+  in ``properties``;
+* run-level totals (files checked, suppressed count) ride in the run's
+  ``properties`` so nothing the JSON report carries is dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .findings import Finding
+from .rules import Rule, all_rules
+from .runner import LintReport
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "report_to_sarif", "format_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: scrlint findings are admission-gate violations, not style nits.
+_LEVEL = "error"
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, object]:
+    return {
+        "id": rule.id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.title},
+        "help": {"text": f"Paper reference: {rule.paper_ref}"},
+        "defaultConfiguration": {"level": _LEVEL},
+    }
+
+
+def _result(finding: Finding) -> Dict[str, object]:
+    properties: Dict[str, object] = {}
+    if finding.symbol:
+        properties["symbol"] = finding.symbol
+    if finding.detail:
+        properties["detail"] = dict(finding.detail)
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": _LEVEL,
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {
+                    "startLine": max(finding.line, 1),
+                    # SARIF columns are 1-based; scrlint's are 0-based.
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+    }
+    if properties:
+        result["properties"] = properties
+    return result
+
+
+def report_to_sarif(
+    report: LintReport, rules: Optional[Sequence[Rule]] = None
+) -> Dict[str, object]:
+    """One SARIF log (a single scrlint run) as a JSON-safe dict."""
+    descriptors: List[Dict[str, object]] = [
+        _rule_descriptor(rule) for rule in (rules if rules is not None
+                                            else all_rules())
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "scrlint",
+                    "informationUri": "docs/ANALYSIS.md",
+                    "rules": descriptors,
+                },
+            },
+            "results": [_result(f) for f in sorted(report.findings)],
+            "properties": {
+                "filesChecked": report.files_checked,
+                "suppressed": report.suppressed,
+            },
+        }],
+    }
+
+
+def format_sarif(
+    report: LintReport, rules: Optional[Sequence[Rule]] = None
+) -> str:
+    return json.dumps(report_to_sarif(report, rules), indent=2, sort_keys=True)

@@ -42,6 +42,7 @@ from typing import List, Optional
 from .bench import ExperimentRunner, render_scaling_series, render_table
 from .bench.export import scaling_points_to_csv
 from .core import ScrFunctionalEngine, reference_run
+from .parallel import TECHNIQUES
 from .programs import make_program, program_names, table1_rows
 from .sequencer import NetFpgaSequencerModel, TofinoSequencerModel
 from .telemetry import NULL_TELEMETRY, Telemetry, summarize_artifact
@@ -88,7 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--program", choices=program_names(), default="ddos")
     p.add_argument("--workload", choices=sorted(TRACE_DISTRIBUTIONS) + ["single-flow"],
                    default="univ_dc")
-    p.add_argument("--technique", choices=["scr", "shared", "rss", "rss++"],
+    p.add_argument("--technique", choices=list(TECHNIQUES),
                    default="scr")
     p.add_argument("--cores", type=int, default=4)
     p.add_argument("--packets", type=int, default=4000)
@@ -107,6 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--program", choices=program_names(), default="ddos")
     p.add_argument("--workload", choices=sorted(TRACE_DISTRIBUTIONS) + ["single-flow"],
                    default="univ_dc")
+    # No argparse choices here: Scenario.create validates names and its
+    # "unknown technique" error (listing every valid name) is the contract.
     p.add_argument("--techniques", nargs="+",
                    default=["scr", "shared", "rss", "rss++"])
     p.add_argument("--cores", nargs="+", type=int, default=[1, 2, 4, 7])
@@ -188,7 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload",
                    choices=sorted(TRACE_DISTRIBUTIONS) + ["single-flow"],
                    default="univ_dc")
-    p.add_argument("--technique", choices=["scr", "shared", "rss", "rss++"],
+    p.add_argument("--technique", choices=list(TECHNIQUES),
                    default="scr")
     p.add_argument("--cores", type=int, default=4)
     p.add_argument("--packets", type=int, default=2000)
@@ -220,15 +223,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="content-addressed trace cache (see docs/BENCHMARKS.md)")
 
     p = sub.add_parser(
-        "lint", help="SCR-safety static analysis (scrlint, SCR001–SCR006)"
+        "lint", help="SCR-safety static analysis (scrlint, SCR001–SCR007)"
     )
     p.add_argument("paths", nargs="*", metavar="PATH",
                    help="files/directories to lint "
                         "(default: programs, parallel, faults)")
-    p.add_argument("--format", choices=["text", "json"], default="text",
-                   help="report format (json is what CI archives)")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text",
+                   help="report format (json is what CI archives; sarif "
+                        "feeds code-scanning UIs)")
+    p.add_argument("--select", metavar="RULE[,RULE]",
+                   help="run only these rules (e.g. SCR007 or scr1,scr5)")
+    p.add_argument("--ignore", metavar="RULE[,RULE]",
+                   help="skip these rules")
     p.add_argument("--list-rules", action="store_true",
                    help="list the registered rules and exit")
+
+    p = sub.add_parser(
+        "advise",
+        help="predict the best parallelization technique per program "
+             "(static dataflow facts + Appendix A cost model)",
+    )
+    p.add_argument("--program", action="append", dest="programs",
+                   choices=program_names(), metavar="NAME",
+                   help="advise only this program (repeatable; "
+                        "default: all registered programs)")
+    p.add_argument("--facts-only", action="store_true",
+                   help="emit the static state-facts document and skip "
+                        "the cost-model scoring")
+    p.add_argument("--bench", metavar="BENCH.json",
+                   help="take d/c1/c2/t from this artifact's embedded "
+                        "table4_params instead of the built-in Table 4")
+    p.add_argument("--workload", choices=sorted(TRACE_DISTRIBUTIONS) + ["single-flow"],
+                   default="univ_dc")
+    p.add_argument("--flows", type=int, default=40)
+    p.add_argument("--packets", type=int, default=1500)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--cores", nargs="+", type=int,
+                   default=[1, 2, 3, 4, 5, 6, 7, 8],
+                   help="core counts to predict; the winner is decided "
+                        "at the largest")
+    p.add_argument("--format", choices=["text", "json"], default="text")
 
     p = sub.add_parser("validate", help="check a program's SCR safety")
     p.add_argument("--program", choices=program_names(), required=True)
@@ -787,15 +822,46 @@ def cmd_chaos(args, out) -> int:
     return 0 if report.ok else 1
 
 
+def _split_rule_ids(raw) -> "List[str]":
+    """``SCR001,scr5`` / repeated flags → a flat list of tokens."""
+    out: List[str] = []
+    for chunk in raw.split(","):
+        chunk = chunk.strip()
+        if chunk:
+            out.append(chunk)
+    return out
+
+
 def cmd_lint(args, out) -> int:
-    from .analysis import all_rules, format_json, format_text, lint_paths
+    from .analysis import (
+        all_rules,
+        format_json,
+        format_sarif,
+        format_text,
+        get_rule,
+        lint_paths,
+    )
 
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.id}  {rule.title}  [{rule.paper_ref}]", file=out)
         return 0
+    rules = all_rules()
     try:
-        report = lint_paths(args.paths or None)
+        if args.select:
+            rules = [get_rule(r) for r in _split_rule_ids(args.select)]
+        if args.ignore:
+            dropped = {get_rule(r).id for r in _split_rule_ids(args.ignore)}
+            rules = [r for r in rules if r.id not in dropped]
+    except KeyError as exc:
+        # get_rule's message includes near-miss suggestions (scr7 → SCR007).
+        print(f"lint error: {exc.args[0]}", file=out)
+        return 2
+    if not rules:
+        print("lint error: --select/--ignore left no rules to run", file=out)
+        return 2
+    try:
+        report = lint_paths(args.paths or None, rules=rules)
     except FileNotFoundError as exc:
         print(f"lint error: {exc}", file=out)
         return 2
@@ -804,9 +870,82 @@ def cmd_lint(args, out) -> int:
         return 2
     if args.format == "json":
         print(format_json(report), file=out)
+    elif args.format == "sarif":
+        print(format_sarif(report, rules), file=out)
     else:
         print(format_text(report), file=out)
     return 0 if report.ok else 1
+
+
+def cmd_advise(args, out) -> int:
+    import json as _json
+
+    from .perf.advise import (
+        advice_report,
+        advise_programs,
+        facts_report,
+        load_bench_costs,
+    )
+
+    programs = args.programs or None
+    if args.facts_only:
+        payload = facts_report(programs)
+        if args.format == "json":
+            print(_json.dumps(payload, indent=2, sort_keys=True), file=out)
+        else:
+            for row in payload["programs"]:
+                fields = ", ".join(
+                    f"{f['field']}[{'+'.join(f['kinds'])}]"
+                    for f in row["fields"]
+                ) or "-"
+                print(f"{row['program']:15s} {row['key_locality']:10s} "
+                      f"commutative={str(row['all_commutative']):5s} "
+                      f"fields: {fields}", file=out)
+        return 0
+    table4 = None
+    if args.bench:
+        try:
+            table4 = load_bench_costs(args.bench)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"advise error: {exc}", file=out)
+            return 2
+    try:
+        advices = advise_programs(
+            programs,
+            workload=args.workload,
+            num_flows=args.flows,
+            max_packets=args.packets,
+            seed=args.seed,
+            cores=args.cores,
+            table4=table4,
+        )
+    except ValueError as exc:
+        print(f"advise error: {exc}", file=out)
+        return 2
+    if args.format == "json":
+        config = {
+            "workload": args.workload, "num_flows": args.flows,
+            "max_packets": args.packets, "seed": args.seed,
+            "cores": sorted(set(args.cores)),
+            "costs": args.bench or "table4",
+        }
+        print(_json.dumps(advice_report(advices, config), indent=2,
+                          sort_keys=True), file=out)
+        return 0
+    for advice in advices:
+        k = advice.decision_cores
+        print(f"{advice.program}: use {advice.recommended} "
+              f"(decided at k={k})", file=out)
+        for score in advice.scores:
+            if not score.eligible:
+                print(f"    {score.technique:12s} ineligible — {score.reason}",
+                      file=out)
+                continue
+            marker = " <-- recommended" if (
+                score.technique == advice.recommended) else ""
+            print(f"    {score.technique:12s} {score.at(k):7.1f} Mpps @ k={k}"
+                  f"{marker}", file=out)
+    return 0
 
 
 def cmd_validate(args, out) -> int:
@@ -845,6 +984,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "chaos": cmd_chaos,
     "lint": cmd_lint,
+    "advise": cmd_advise,
     "validate": cmd_validate,
 }
 

@@ -75,6 +75,13 @@ TABLE4_PARAMS: Dict[str, CostParams] = {
     "nat": CostParams(t=168.0, c2=26.0, d=104.0, c1=64.0),
     "sampler": CostParams(t=150.0, c2=18.0, d=110.0, c1=40.0),
     "load_balancer": CostParams(t=160.0, c2=24.0, d=104.0, c1=56.0),
+    # Commutative-family extensions: the victim monitor mirrors the ddos
+    # counter exactly; the peak meter is a lone compare-and-swap max (a
+    # shade under heavy_hitter's two adds); the spreader is a shift+OR on
+    # a 9-byte metadata record.
+    "victim_monitor": CostParams(t=114.0, c2=15.0, d=104.0, c1=10.0),
+    "peak_meter": CostParams(t=138.0, c2=14.0, d=110.0, c1=28.0),
+    "spreader": CostParams(t=118.0, c2=12.0, d=104.0, c1=14.0),
 }
 
 

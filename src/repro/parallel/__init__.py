@@ -7,6 +7,7 @@ from .functional import (
     SharedFunctionalEngine,
 )
 from .registry import TECHNIQUES, make_engine, technique_names
+from .relaxed_scr import RelaxedScrEngine
 from .scr_technique import ScrEngine
 from .sharded import RssPlusPlusEngine, ShardedRssEngine
 from .shared import SharedAtomicEngine, SharedLockEngine, make_shared_engine
@@ -21,6 +22,7 @@ __all__ = [
     "make_engine",
     "technique_names",
     "ScrEngine",
+    "RelaxedScrEngine",
     "RssPlusPlusEngine",
     "ShardedRssEngine",
     "SharedAtomicEngine",

@@ -6,14 +6,17 @@ from typing import List
 
 from ..programs.base import PacketProgram
 from .base import BaseEngine
+from .relaxed_scr import RelaxedScrEngine
 from .scr_technique import ScrEngine
 from .sharded import RssPlusPlusEngine, ShardedRssEngine
 from .shared import make_shared_engine
 
 __all__ = ["TECHNIQUES", "make_engine", "technique_names"]
 
-#: The four techniques compared throughout §4.2.
-TECHNIQUES = ("scr", "shared", "rss", "rss++")
+#: The four techniques compared throughout §4.2, plus relaxed SCR — the
+#: pruned-history variant for commutative state the advisor recommends
+#: (docs/ADVISOR.md).
+TECHNIQUES = ("scr", "relaxed_scr", "shared", "rss", "rss++")
 
 
 def make_engine(
@@ -26,6 +29,8 @@ def make_engine(
     """
     if technique == "scr":
         return ScrEngine(program, num_cores, **kwargs)
+    if technique == "relaxed_scr":
+        return RelaxedScrEngine(program, num_cores, **kwargs)
     if technique == "shared":
         return make_shared_engine(program, num_cores, **kwargs)
     if technique == "rss":

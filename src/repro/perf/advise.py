@@ -1,0 +1,268 @@
+"""Measurement-side advisor glue: static facts + profiled workloads.
+
+:mod:`repro.analysis.advisor` is pure — it scores techniques from a
+:class:`~repro.analysis.dataflow.ProgramFacts`, a Table 4 cost row, and a
+:class:`~repro.analysis.advisor.WorkloadProfile`.  This module supplies
+those inputs from the running repository:
+
+* **facts** come from analyzing each registered program's own source file
+  (located via ``inspect``; the analyzer never imports the target, so this
+  is the same pure-AST pass ``scr-repro lint`` runs);
+* **workload profiles** come from the *same* synthesized trace the perf
+  suite measures: the hot-key share and global-update fraction over the
+  lowered :class:`~repro.cpu.simulator.PerfTrace`, and the busiest-core
+  share at each k when the trace is steered through a real
+  :class:`~repro.nic.rss.RssIndirection` with the program's RSS hash —
+  exactly what :class:`~repro.parallel.sharded.ShardedRssEngine` does;
+* **cost rows** come from :data:`~repro.cpu.costmodel.TABLE4_PARAMS`, or
+  from the ``table4_params`` block a ``BENCH_*.json`` artifact embeds
+  (``scr-repro advise --bench``), so advice can track a fresh profile.
+
+The ``advisor_validation`` suite (:mod:`repro.perf.suite`) closes the
+loop: it measures the MLFFR of every eligible technique for every
+registered program and gates that the advisor's predicted winner agrees
+with the measurement.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.advisor import (
+    Advice,
+    WorkloadProfile,
+    advise_program,
+    eligible_techniques,
+)
+from ..analysis.dataflow import FACTS_SCHEMA, ProgramFacts, analyze_path
+from ..cpu.costmodel import TABLE4_PARAMS, CostParams
+from ..cpu.simulator import PerfTrace
+from ..nic.rss import RssIndirection
+from ..parallel.base import hash_for_program
+from ..programs.base import PacketProgram
+from ..programs.registry import make_program, program_names
+from ..scenario.build import StackBuilder
+from ..scenario.spec import TraceSpec, packet_size_for
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "DEFAULT_CORES",
+    "program_source",
+    "program_facts",
+    "all_program_facts",
+    "facts_report",
+    "workload_profile",
+    "costs_for",
+    "load_bench_costs",
+    "advise_programs",
+    "advice_report",
+    "measured_techniques",
+]
+
+REPORT_SCHEMA = "scr-repro/advice-report/v1"
+
+#: Default prediction grid: the paper's 1..8 cores (Figure 6's x-axis).
+DEFAULT_CORES: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
+
+#: Mirrors ``ShardedRssEngine``'s default ``indirection_size`` so predicted
+#: shard placement matches what the measured engine actually does.
+_INDIRECTION_SIZE = 128
+
+
+# -- static facts for registered programs --------------------------------------
+
+
+def program_source(name: str) -> str:
+    """The source file defining registered program ``name``."""
+    import inspect
+
+    cls = type(make_program(name))
+    path = inspect.getsourcefile(cls)
+    if path is None:  # pragma: no cover - only for exotic import setups
+        raise LookupError(f"cannot locate source for program {name!r}")
+    return path
+
+
+def program_facts(name: str) -> ProgramFacts:
+    """Static state-access facts for one registered program, derived from
+    its own source file (pure AST; the module is never imported)."""
+    path = program_source(name)
+    for facts in analyze_path(path):
+        if facts.program_name == name:
+            return facts
+    raise LookupError(
+        f"no class with name = {name!r} found by dataflow analysis of {path}"
+    )
+
+
+def all_program_facts(
+    programs: Optional[Sequence[str]] = None,
+) -> Dict[str, ProgramFacts]:
+    """Facts for every (or the named) registered programs, by name."""
+    names = list(programs) if programs else program_names()
+    return {name: program_facts(name) for name in names}
+
+
+def facts_report(programs: Optional[Sequence[str]] = None) -> Dict[str, object]:
+    """The ``scr-repro/state-facts/v1`` document for registered programs
+    (the ``advise --facts-only`` payload)."""
+    facts = all_program_facts(programs)
+    return {
+        "schema": FACTS_SCHEMA,
+        "programs": [facts[name].to_dict() for name in facts],
+    }
+
+
+# -- workload profiling --------------------------------------------------------
+
+
+def workload_profile(
+    program: PacketProgram,
+    perf_trace: PerfTrace,
+    cores: Sequence[int] = DEFAULT_CORES,
+) -> WorkloadProfile:
+    """Profile a lowered trace the way the advisor's cost model needs.
+
+    Hot-key share and global fraction are measured over the state-touching
+    records; RSS core shares steer *every* record (steering happens before
+    the program looks at a packet) through the same indirection table the
+    sharded engine uses.
+    """
+    records = perf_trace.records
+    valid = [r for r in records if r.valid]
+    if valid:
+        counts = Counter(r.key for r in valid)
+        hot = max(counts.values()) / len(valid)
+        global_fraction = sum(1 for r in valid if r.touches_global) / len(valid)
+    else:
+        hot, global_fraction = 0.0, 0.0
+    shares: Dict[int, float] = {}
+    if records:
+        hashes = [hash_for_program(program, r) for r in records]
+        for k in sorted(set(int(c) for c in cores)):
+            if k <= 1:
+                continue
+            table = RssIndirection(k, table_size=_INDIRECTION_SIZE)
+            load = [0] * k
+            for h in hashes:
+                load[table.queue_of(h)] += 1
+            shares[k] = max(load) / len(records)
+    return WorkloadProfile(
+        hot_key_share=hot,
+        global_fraction=global_fraction,
+        rss_core_shares=shares,
+    )
+
+
+# -- cost rows -----------------------------------------------------------------
+
+
+def costs_for(
+    name: str, table4: Optional[Mapping[str, Mapping[str, float]]] = None
+) -> CostParams:
+    """``name``'s cost row from ``table4`` (a BENCH artifact's embedded
+    ``table4_params``) when present there, else the built-in Table 4."""
+    if table4 is not None:
+        row = table4.get(name)
+        if row is not None:
+            return CostParams(
+                t=float(row["t"]), c2=float(row["c2"]),
+                d=float(row["d"]), c1=float(row["c1"]),
+            )
+    try:
+        return TABLE4_PARAMS[name]
+    except KeyError:
+        raise KeyError(
+            f"no Table 4 cost parameters for program {name!r}"
+        ) from None
+
+
+def load_bench_costs(path: str) -> Dict[str, Dict[str, float]]:
+    """The ``table4_params`` block of a ``BENCH_*.json`` artifact."""
+    from .artifact import BenchArtifact
+
+    table4 = BenchArtifact.load(path).table4_params
+    if not table4:
+        raise ValueError(
+            f"{path} embeds no table4_params block; re-run the suite with "
+            "a current repro.perf to get cost provenance"
+        )
+    return table4
+
+
+# -- the advise entry point ----------------------------------------------------
+
+
+def advise_programs(
+    programs: Optional[Sequence[str]] = None,
+    *,
+    workload: str = "univ_dc",
+    num_flows: int = 40,
+    max_packets: int = 1500,
+    seed: int = 7,
+    cores: Sequence[int] = DEFAULT_CORES,
+    table4: Optional[Mapping[str, Mapping[str, float]]] = None,
+    builder: Optional[StackBuilder] = None,
+) -> List[Advice]:
+    """Advice for every (or the named) registered programs.
+
+    Each program is profiled against its *own* lowering of the shared
+    workload spec (same synthesis conventions as the perf suite: per-
+    program packet size and direction), so the advice is exactly what the
+    ``advisor_validation`` suite checks against measurement.
+    """
+    names = list(programs) if programs else program_names()
+    known = set(program_names())
+    for name in names:
+        if name not in known:
+            raise ValueError(
+                f"unknown program {name!r}; known: {', '.join(sorted(known))}"
+            )
+    builder = builder if builder is not None else StackBuilder()
+    advices: List[Advice] = []
+    for name in names:
+        prog = make_program(name)
+        spec = TraceSpec(
+            workload=workload,
+            num_flows=num_flows,
+            max_packets=max_packets,
+            seed=seed,
+            bidirectional=bool(prog.bidirectional),
+            packet_size=packet_size_for(name),
+        )
+        perf_trace = builder.perf_trace(name, spec)
+        advices.append(
+            advise_program(
+                program_facts(name),
+                costs_for(name, table4),
+                workload_profile(prog, perf_trace, cores),
+                cores=cores,
+            )
+        )
+    return advices
+
+
+def advice_report(
+    advices: Sequence[Advice], config: Optional[Mapping[str, object]] = None
+) -> Dict[str, object]:
+    """The ``scr-repro/advice-report/v1`` document (the CLI's JSON output)."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "config": dict(config or {}),
+        "programs": [a.to_dict() for a in advices],
+        "recommendations": {a.program: a.recommended for a in advices},
+    }
+
+
+def measured_techniques(facts: ProgramFacts) -> Tuple[str, ...]:
+    """The engine techniques the validation suite measures for a program:
+    the advisor's eligible set, mapped onto the engine registry (the
+    relaxed engine degenerates to strict SCR for non-commutative state, so
+    measuring it twice would be the same number)."""
+    out: List[str] = []
+    for technique in eligible_techniques(facts):
+        if technique == "relaxed_scr" and not facts.all_commutative:
+            continue
+        out.append(technique)
+    return tuple(out)

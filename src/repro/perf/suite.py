@@ -1,6 +1,6 @@
 """The curated perf suite: the runs whose numbers must not silently move.
 
-Seven suites, each writing one ``BENCH_<name>.json`` artifact:
+Eight suites, each writing one ``BENCH_<name>.json`` artifact:
 
 * ``fig6_scaling``   — the Figure 6 main-result panel (ddos @ caida, all
   four techniques vs cores), plus the SCR series' Appendix A residuals
@@ -20,7 +20,11 @@ Seven suites, each writing one ``BENCH_<name>.json`` artifact:
   (synthesis, lowering, simulation, the full MLFFR search) via
   ``repro.hostprof``.  The only suite measuring *host* time: values are
   machine-dependent, so its baseline lives apart and is gated with the
-  loose wall-noise policy in docs/PROFILING.md.
+  loose wall-noise policy in docs/PROFILING.md;
+* ``advisor_validation`` — the scradvisor loop closed: for every
+  registered program, measure each eligible technique's MLFFR and gate
+  that the advisor's statically predicted winner (``scr-repro advise``)
+  is measurement-optimal (docs/ADVISOR.md).
 
 Every point is the **median of k repetitions**; repetition ``i``
 re-synthesizes the workload with ``seed = base_seed + i`` (engine seeds
@@ -177,7 +181,9 @@ def _mpps_series(name: str) -> BenchSeries:
 
 
 def _engine_kwargs(technique: str) -> Optional[dict]:
-    return dict(_SCR_IN_FRAME) if technique == "scr" else None
+    if technique in ("scr", "relaxed_scr"):
+        return dict(_SCR_IN_FRAME)
+    return None
 
 
 # -- suites ---------------------------------------------------------------------
@@ -525,6 +531,92 @@ def run_hostwall(params: SuiteParams) -> BenchArtifact:
     return art
 
 
+#: Measured-vs-predicted winners may differ by quantization and model
+#: slack; within 5 % of the best technique the advisor is "right enough"
+#: (the MLFFR search itself stops within ~5 % of analytic capacity).
+_AGREEMENT_REL_TOL = 0.05
+
+
+def run_advisor_validation(params: SuiteParams) -> BenchArtifact:
+    """The advisor's predicted winner vs the measured one, every program.
+
+    For each registered program, measure the MLFFR of every technique the
+    advisor considers eligible (relaxed SCR only where its merged-delta
+    history is sound — elsewhere it degenerates to strict SCR and would
+    measure the same number twice) at the top core count, then gate that
+    the technique the advisor recommends is measurement-optimal within
+    :data:`_AGREEMENT_REL_TOL`.  The ``agreement`` series is the gate: a
+    point dropping from 1 to 0 means a code change broke either the
+    static classification, the analytic cost model, or an engine.
+    """
+    from ..programs.registry import program_names
+    from .advise import advise_programs, measured_techniques
+
+    trace = "univ_dc"
+    programs = tuple(program_names())
+    cores = max(params.cores)
+    advices = {
+        a.program: a
+        for a in advise_programs(
+            programs,
+            workload=trace,
+            num_flows=params.num_flows,
+            max_packets=params.max_packets,
+            seed=params.base_seed,
+            cores=params.cores,
+        )
+    }
+    techniques = {p: measured_techniques(advices[p].facts) for p in programs}
+    art = BenchArtifact.create(
+        "advisor_validation",
+        config=params.config(
+            trace=trace,
+            cores=cores,
+            agreement_rel_tol=_AGREEMENT_REL_TOL,
+            predicted={p: advices[p].recommended for p in programs},
+            measured_techniques={p: list(techniques[p]) for p in programs},
+        ),
+        seed_policy=params.seed_policy(),
+        programs=programs,
+    )
+    grid = [
+        params.scenario(program, trace, technique, cores, seed=seed,
+                        engine_kwargs=_engine_kwargs(technique))
+        for program in programs
+        for technique in techniques[program]
+        for seed in params.rep_seeds
+    ]
+    results = iter(params.executor().run(grid))
+    # Per-technique Mpps series (points keyed by program), in a stable
+    # presentation order; filled in grid order below.
+    order = ("scr", "relaxed_scr", "rss", "shared")
+    mpps = {t: _mpps_series(t) for t in order}
+    measured: Dict[str, Dict[str, float]] = {}
+    for program in programs:
+        measured[program] = {}
+        for technique in techniques[program]:
+            reps = [next(results).mlffr_mpps for _ in params.rep_seeds]
+            point = BenchPoint.from_reps(program, reps)
+            mpps[technique].points.append(point)
+            measured[program][technique] = point.median
+    for t in order:
+        if mpps[t].points:
+            art.add_series(mpps[t])
+    agreement = art.add_series(BenchSeries(
+        name="agreement", unit="bool", direction="higher_better",
+        noise_floor=0.0,
+    ))
+    for program in programs:
+        meds = measured[program]
+        best = max(meds.values())
+        recommended = advices[program].recommended
+        agrees = meds[recommended] >= (
+            best * (1 - _AGREEMENT_REL_TOL) - _MPPS_NOISE_FLOOR
+        )
+        agreement.points.append(BenchPoint.from_reps(program, [float(agrees)]))
+    return art
+
+
 SUITES: Dict[str, Callable[[SuiteParams], BenchArtifact]] = {
     "fig6_scaling": run_fig6_scaling,
     "engine_mlffr": run_engine_mlffr,
@@ -533,6 +625,7 @@ SUITES: Dict[str, Callable[[SuiteParams], BenchArtifact]] = {
     "faults_recovery": run_faults_recovery,
     "obs_overhead": run_obs_overhead,
     "hostwall": run_hostwall,
+    "advisor_validation": run_advisor_validation,
 }
 
 

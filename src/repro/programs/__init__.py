@@ -8,6 +8,7 @@ from .forwarder import ForwarderMetadata, StatelessForwarder
 from .heavy_hitter import FlowStats, HeavyHitterMetadata, HeavyHitterMonitor
 from .load_balancer import LoadBalancerMetadata, MaglevLoadBalancer, MaglevTable
 from .nat import NAT_POOL_KEY, NatGateway, NatMetadata
+from .peak_meter import PeakMeter, PeakMeterMetadata
 from .port_knocking import KnockState, PortKnockingFirewall, PortKnockingMetadata
 from .registry import (
     PAPER_PROGRAMS,
@@ -17,6 +18,7 @@ from .registry import (
     table1_rows,
 )
 from .sampler import SamplerMetadata, SampleStats, TelemetrySampler
+from .spreader import SpreaderMetadata, SuperSpreaderDetector
 from .token_bucket import BucketState, TokenBucketMetadata, TokenBucketPolicer
 
 __all__ = [
@@ -47,6 +49,10 @@ __all__ = [
     "NAT_POOL_KEY",
     "NatGateway",
     "NatMetadata",
+    "PeakMeter",
+    "PeakMeterMetadata",
+    "SpreaderMetadata",
+    "SuperSpreaderDetector",
     "PAPER_PROGRAMS",
     "PROGRAM_FACTORIES",
     "make_program",

@@ -36,7 +36,15 @@ __all__ = [
     "SCR_DETERMINISTIC_METHODS",
     "SCR_PURE_METHODS",
     "SCR_META_READER_METHODS",
+    "SCR_COMMUTATIVE_FIELDS_ATTR",
 ]
+
+#: Name of the per-program commutativity marker (see PacketProgram).  The
+#: dataflow layer (``repro.analysis.dataflow``) classifies every written
+#: state field; rule SCR007 cross-checks the declaration against that
+#: classification in both directions, so the marker can never drift from
+#: the code.
+SCR_COMMUTATIVE_FIELDS_ATTR = "SCR_COMMUTATIVE_FIELDS"
 
 # -- machine-readable SCR contract ------------------------------------------
 #
@@ -146,6 +154,15 @@ class PacketProgram(ABC):
     #: True when some packets update state shared by ALL packets (e.g. a
     #: NAT's free-port pool, §2.2) — state that sharding cannot place.
     has_global_state: bool = False
+    #: State-value fields whose updates are *commutative* (pure
+    #: accumulate-add / OR / max with no read-modify-write branching), so
+    #: replicas converge under any interleaving.  Relaxed SCR prunes the
+    #: piggybacked history to one merged delta for such programs
+    #: ("Relaxing constraints in stateful network data plane design"); the
+    #: declaration is machine-checked against the dataflow classification
+    #: by scrlint rule SCR007.  Scalar-valued programs use the single
+    #: field name ``"value"``.
+    SCR_COMMUTATIVE_FIELDS: Tuple[str, ...] = ()
 
     def touches_global(self, meta: "PacketMetadata") -> bool:
         """Does this packet update the program's global state (if any)?

@@ -32,6 +32,8 @@ class DDoSMitigator(PacketProgram):
     metadata_cls = DDoSMetadata
     rss_fields = "src & dst IP"
     needs_locks = False  # count increment fits a hardware atomic
+    #: the counter is pure accumulate-add: replicas may merge deltas.
+    SCR_COMMUTATIVE_FIELDS = ("value",)
 
     def __init__(self, threshold: int = 10_000) -> None:
         if threshold < 1:
@@ -78,6 +80,8 @@ class VictimMonitor(PacketProgram):
     metadata_cls = VictimMetadata
     rss_fields = "src & dst IP"
     needs_locks = False
+    #: same accumulate-add counter as the mitigator, keyed on dst.
+    SCR_COMMUTATIVE_FIELDS = ("value",)
 
     def __init__(self, threshold: int = 10_000) -> None:
         if threshold < 1:

@@ -56,6 +56,9 @@ class HeavyHitterMonitor(PacketProgram):
     metadata_cls = HeavyHitterMetadata
     rss_fields = "5-tuple"
     needs_locks = False  # size accumulation fits a hardware atomic
+    #: packet/byte counts accumulate-add; is_heavy is a monotone threshold
+    #: over the byte accumulator, so it commutes with it.
+    SCR_COMMUTATIVE_FIELDS = ("packets", "nbytes", "is_heavy")
 
     def __init__(self, threshold_bytes: int = 1_000_000) -> None:
         if threshold_bytes < 1:

@@ -6,13 +6,15 @@ from typing import Callable, Dict, List
 
 from .base import PacketProgram
 from .conntrack import ConnectionTracker
-from .ddos import DDoSMitigator
+from .ddos import DDoSMitigator, VictimMonitor
 from .forwarder import StatelessForwarder
 from .heavy_hitter import HeavyHitterMonitor
 from .load_balancer import MaglevLoadBalancer
 from .nat import NatGateway
+from .peak_meter import PeakMeter
 from .port_knocking import PortKnockingFirewall
 from .sampler import TelemetrySampler
+from .spreader import SuperSpreaderDetector
 from .token_bucket import TokenBucketPolicer
 
 __all__ = [
@@ -33,6 +35,12 @@ PROGRAM_FACTORIES: Dict[str, Callable[[], PacketProgram]] = {
     "nat": NatGateway,  # extension: global state (§2.2), not in Table 1
     "sampler": TelemetrySampler,  # extension: deterministic randomness (§3.4)
     "load_balancer": MaglevLoadBalancer,  # extension: the §1 motivating app
+    # Extensions covering the commutative-update families the technique
+    # advisor distinguishes (see docs/ADVISOR.md): a dst-keyed counter, a
+    # monotone max-accumulator, and an OR-accumulated bitmap.
+    "victim_monitor": VictimMonitor,
+    "peak_meter": PeakMeter,
+    "spreader": SuperSpreaderDetector,
 }
 
 #: The five stateful programs the paper evaluates (Table 1).

@@ -87,6 +87,8 @@ class TelemetrySampler(PacketProgram):
     metadata_cls = SamplerMetadata
     rss_fields = "5-tuple"
     needs_locks = False  # counter updates fit atomics
+    #: both counters accumulate-add (the coin flip reads only metadata).
+    SCR_COMMUTATIVE_FIELDS = ("packets", "sampled")
 
     def __init__(self, rate: int = 64, seed: int = 0x5EED) -> None:
         if rate < 1:

@@ -1,0 +1,91 @@
+"""Dataflow-classifier fixtures: one program per access category.
+
+Parsed by the analyzer, never imported — each class isolates one shape
+the classifier must recognize: a commutative counter, a non-commutative
+read-modify-write, a cross-flow (per-source) key, and a monotonic max.
+"""
+
+from repro.programs.base import PacketMetadata, PacketProgram, Verdict
+
+
+class FlowMetadata(PacketMetadata):
+    FORMAT = "!IIHHBI"
+    FIELDS = ("src_ip", "dst_ip", "src_port", "dst_port", "proto", "pkt_len")
+    __slots__ = FIELDS
+
+
+class CommutativeCounter(PacketProgram):
+    """Pure accumulate-add on the full 5-tuple key: flow-local, commutative."""
+
+    name = "fx_counter"
+    metadata_cls = FlowMetadata
+    SCR_COMMUTATIVE_FIELDS = ("value",)
+
+    def extract_metadata(self, pkt):
+        return FlowMetadata(src_ip=0, dst_ip=0, src_port=0, dst_port=0,
+                            proto=0, pkt_len=0)
+
+    def key(self, meta):
+        return (meta.src_ip, meta.dst_ip, meta.src_port, meta.dst_port,
+                meta.proto)
+
+    def transition(self, value, meta):
+        count = (value or 0) + meta.pkt_len
+        return count, Verdict.TX
+
+
+class NonCommutativeRmw(PacketProgram):
+    """State depends on old state *and* packet in an order-sensitive way."""
+
+    name = "fx_rmw"
+    metadata_cls = FlowMetadata
+
+    def extract_metadata(self, pkt):
+        return FlowMetadata(src_ip=0, dst_ip=0, src_port=0, dst_port=0,
+                            proto=0, pkt_len=0)
+
+    def key(self, meta):
+        return (meta.src_ip, meta.dst_ip, meta.src_port, meta.dst_port,
+                meta.proto)
+
+    def transition(self, value, meta):
+        old = value or 0
+        # Order-sensitive: doubling then adding is not add-commutative.
+        return old * 2 + meta.pkt_len, Verdict.TX
+
+
+class CrossFlowKey(PacketProgram):
+    """Keyed by source IP only: one entry aggregates many flows."""
+
+    name = "fx_cross_flow"
+    metadata_cls = FlowMetadata
+    SCR_COMMUTATIVE_FIELDS = ("value",)
+
+    def extract_metadata(self, pkt):
+        return FlowMetadata(src_ip=0, dst_ip=0, src_port=0, dst_port=0,
+                            proto=0, pkt_len=0)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        return (value or 0) + 1, Verdict.TX
+
+
+class MonotonicMax(PacketProgram):
+    """max-accumulate: commutative and monotonic, never decreases."""
+
+    name = "fx_max"
+    metadata_cls = FlowMetadata
+    SCR_COMMUTATIVE_FIELDS = ("value",)
+
+    def extract_metadata(self, pkt):
+        return FlowMetadata(src_ip=0, dst_ip=0, src_port=0, dst_port=0,
+                            proto=0, pkt_len=0)
+
+    def key(self, meta):
+        return (meta.src_ip, meta.dst_ip, meta.src_port, meta.dst_port,
+                meta.proto)
+
+    def transition(self, value, meta):
+        return max(value or 0, meta.pkt_len), Verdict.TX

@@ -1,0 +1,63 @@
+"""SCR007 fixture: unsound / stale SCR_COMMUTATIVE_FIELDS declarations.
+
+Deliberately broken — parsed by scrlint, never imported.
+"""
+
+from repro.programs.base import PacketMetadata, PacketProgram, Verdict
+
+
+class CounterMetadata(PacketMetadata):
+    FORMAT = "!II"
+    FIELDS = ("src_ip", "pkt_len")
+    __slots__ = FIELDS
+
+
+class UnsoundDeclaration(PacketProgram):
+    """Declares an overwrite commutative: relaxed SCR would merge wrongly."""
+
+    name = "bad_unsound_decl"
+    metadata_cls = CounterMetadata
+    SCR_COMMUTATIVE_FIELDS = ("value",)  # VIOLATION: overwrite, not add
+
+    def extract_metadata(self, pkt):
+        return CounterMetadata(src_ip=0, pkt_len=0)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        return meta.pkt_len, Verdict.TX  # last-writer-wins overwrite
+
+
+class StaleDeclaration(PacketProgram):
+    """Declares a field the transition never writes (misspelled/stale)."""
+
+    name = "bad_stale_decl"
+    metadata_cls = CounterMetadata
+    SCR_COMMUTATIVE_FIELDS = ("value", "packtes")  # VIOLATION: typo field
+
+    def extract_metadata(self, pkt):
+        return CounterMetadata(src_ip=0, pkt_len=0)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        return (value or 0) + 1, Verdict.TX
+
+
+class SoundDeclaration(PacketProgram):
+    """A correct declaration: add-accumulate, declared, no findings."""
+
+    name = "good_decl"
+    metadata_cls = CounterMetadata
+    SCR_COMMUTATIVE_FIELDS = ("value",)
+
+    def extract_metadata(self, pkt):
+        return CounterMetadata(src_ip=0, pkt_len=0)
+
+    def key(self, meta):
+        return meta.src_ip
+
+    def transition(self, value, meta):
+        return (value or 0) + meta.pkt_len, Verdict.TX

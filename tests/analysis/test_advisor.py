@@ -1,0 +1,116 @@
+"""The pure technique advisor (repro.analysis.advisor)."""
+
+import pytest
+
+from repro.analysis.advisor import (
+    ADVICE_SCHEMA,
+    ADVISOR_TECHNIQUES,
+    WorkloadProfile,
+    advise_program,
+    eligible_techniques,
+)
+from repro.analysis.dataflow import FieldFacts, ProgramFacts
+from repro.cpu import TABLE4_PARAMS
+
+
+def make_facts(**overrides):
+    base = dict(
+        class_name="X", program_name="x", path="x.py", line=1,
+        key_locality="flow_local",
+        key_fields=("src_ip", "dst_ip", "src_port", "dst_port", "proto"),
+        metadata_bytes=8, bidirectional=False, has_global_state=False,
+        needs_locks=False, multi_key=False,
+        fields=(FieldFacts(field="value", kinds=("add",), reads_old=True),),
+        declared_commutative=("value",),
+    )
+    base.update(overrides)
+    return ProgramFacts(**base)
+
+
+COSTS = TABLE4_PARAMS["ddos"]
+
+
+def test_eligibility_drops_rss_for_global_and_multikey_state():
+    assert eligible_techniques(make_facts()) == ADVISOR_TECHNIQUES
+    for kwargs in ({"has_global_state": True}, {"multi_key": True}):
+        eligible = eligible_techniques(make_facts(**kwargs))
+        assert "rss" not in eligible
+        assert set(eligible) == {"scr", "relaxed_scr", "shared"}
+
+
+def test_scr_curve_matches_appendix_a():
+    advice = advise_program(make_facts(), COSTS, cores=(1, 2, 4, 8))
+    scr = advice.score("scr")
+    for k, mpps in zip(scr.cores, scr.mlffr_mpps):
+        assert mpps == pytest.approx(k * 1e3 / (COSTS.t + (k - 1) * COSTS.c2))
+
+
+def test_relaxed_curve_prunes_history_when_commutative():
+    advice = advise_program(make_facts(), COSTS, cores=(1, 2, 8))
+    relaxed = advice.score("relaxed_scr")
+    for k, mpps in zip(relaxed.cores, relaxed.mlffr_mpps):
+        expected = k * 1e3 / (COSTS.t + min(k - 1, 1) * COSTS.c2)
+        assert mpps == pytest.approx(expected)
+    assert relaxed.at(8) > advice.score("scr").at(8)
+
+
+def test_relaxed_degenerates_for_non_commutative_state():
+    facts = make_facts(
+        fields=(FieldFacts(field="value", kinds=("rmw",), reads_old=True),),
+        declared_commutative=None,
+    )
+    advice = advise_program(facts, COSTS, cores=(1, 4, 8))
+    assert advice.score("relaxed_scr").mlffr_mpps == \
+        advice.score("scr").mlffr_mpps
+    assert "degenerates" in advice.score("relaxed_scr").reason
+
+
+def test_rss_gated_by_busiest_core_share():
+    balanced = WorkloadProfile(rss_core_shares={4: 0.25})
+    elephant = WorkloadProfile(rss_core_shares={4: 1.0})
+    a_bal = advise_program(make_facts(), COSTS, balanced, cores=(1, 4))
+    a_ele = advise_program(make_facts(), COSTS, elephant, cores=(1, 4))
+    per_pkt = COSTS.d + COSTS.c1
+    assert a_bal.score("rss").at(4) == pytest.approx(1e3 / (0.25 * per_pkt))
+    assert a_ele.score("rss").at(4) == pytest.approx(1e3 / per_pkt)
+
+
+def test_rss_share_floors_at_perfect_balance():
+    w = WorkloadProfile(rss_core_shares={8: 0.01})
+    assert w.rss_share(8) == pytest.approx(1.0 / 8)
+    assert w.rss_share(1) == 1.0
+    # Missing entries fall back to the elephant worst case.
+    assert WorkloadProfile(hot_key_share=0.9).rss_share(4) == 0.9
+
+
+def test_winner_decided_at_largest_core_count():
+    advice = advise_program(make_facts(), COSTS, cores=(4, 1, 2))
+    assert advice.decision_cores == 4
+    assert advice.recommended == max(
+        (s for s in advice.scores if s.eligible), key=lambda s: s.at(4)
+    ).technique
+
+
+def test_shared_curve_zero_hot_share_has_no_serialization_bound():
+    # A stateless-ish profile must not divide by zero.
+    facts = make_facts(needs_locks=False)
+    advice = advise_program(
+        facts, COSTS, WorkloadProfile(hot_key_share=0.0), cores=(1, 4)
+    )
+    assert advice.score("shared").at(4) > 0
+
+
+def test_invalid_cores_rejected():
+    with pytest.raises(ValueError):
+        advise_program(make_facts(), COSTS, cores=())
+    with pytest.raises(ValueError):
+        advise_program(make_facts(), COSTS, cores=(0, 2))
+
+
+def test_to_dict_shape():
+    advice = advise_program(make_facts(), COSTS, cores=(1, 2))
+    payload = advice.to_dict()
+    assert payload["schema"] == ADVICE_SCHEMA
+    assert payload["recommended"] == advice.recommended
+    assert {s["technique"] for s in payload["scores"]} == set(ADVISOR_TECHNIQUES)
+    assert payload["facts"]["program"] == "x"

@@ -1,0 +1,53 @@
+"""SCR007 — SCR_COMMUTATIVE_FIELDS cross-checked against dataflow facts."""
+
+from repro.analysis import get_rule, lint_paths
+
+from .conftest import fixture_path
+
+RULE = [get_rule("SCR007")]
+
+
+def lint_fixture(name):
+    return lint_paths([fixture_path(name)], rules=RULE)
+
+
+def test_unsound_declaration_flagged():
+    report = lint_fixture("fixture_scr007.py")
+    unsound = [f for f in report.findings
+               if f.symbol == "UnsoundDeclaration.SCR_COMMUTATIVE_FIELDS"]
+    assert len(unsound) == 1
+    assert "overwrite" in unsound[0].message
+    assert unsound[0].detail["field"] == "value"
+
+
+def test_stale_declaration_flagged():
+    report = lint_fixture("fixture_scr007.py")
+    stale = [f for f in report.findings
+             if f.symbol == "StaleDeclaration.SCR_COMMUTATIVE_FIELDS"]
+    assert len(stale) == 1
+    assert "never writes" in stale[0].message
+    assert stale[0].detail["field"] == "packtes"
+
+
+def test_sound_declaration_clean():
+    report = lint_fixture("fixture_scr007.py")
+    assert not any(f.symbol.startswith("SoundDeclaration")
+                   for f in report.findings)
+
+
+def test_undeclared_programs_are_not_required_to_declare():
+    # No claim, no cross-check: the rmw fixture declares nothing and is clean.
+    report = lint_fixture("fixture_scr005.py")
+    assert report.ok
+
+
+def test_shipped_zoo_is_scr007_clean():
+    report = lint_paths(["src/repro/programs"], rules=RULE)
+    assert report.ok, [f.message for f in report.findings]
+
+
+def test_finding_points_at_the_declaration_line():
+    report = lint_fixture("fixture_scr007.py")
+    source = open(fixture_path("fixture_scr007.py")).read().splitlines()
+    for finding in report.findings:
+        assert "SCR_COMMUTATIVE_FIELDS" in source[finding.line - 1]

@@ -31,7 +31,7 @@ def run_cli(argv):
 
 def test_core_rules_registered():
     assert rule_ids() == ["SCR001", "SCR002", "SCR003", "SCR004", "SCR005",
-                          "SCR006"]
+                          "SCR006", "SCR007"]
     for rule in all_rules():
         assert rule.title
         assert rule.paper_ref
@@ -41,6 +41,18 @@ def test_get_rule_round_trips_and_rejects_unknown():
     assert get_rule("scr001").id == "SCR001"
     with pytest.raises(KeyError):
         get_rule("SCR999")
+
+
+def test_get_rule_suggests_zero_padded_near_miss():
+    with pytest.raises(KeyError, match=r"did you mean SCR007\?"):
+        get_rule("scr7")
+    with pytest.raises(KeyError, match=r"did you mean SCR001\?"):
+        get_rule("SCR01")
+
+
+def test_get_rule_suggests_close_matches():
+    with pytest.raises(KeyError, match="did you mean SCR00"):
+        get_rule("SRC001")  # transposition still lands near the family
 
 
 # -- runner ------------------------------------------------------------------
@@ -119,3 +131,39 @@ def test_cli_list_rules():
     assert code == 0
     for rule_id in ("SCR001", "SCR002", "SCR003", "SCR004", "SCR005"):
         assert rule_id in text
+
+
+def test_cli_lint_select_runs_only_named_rules():
+    # The SCR001 fixture is clean under SCR005 alone.
+    code, text = run_cli([
+        "lint", "--select", "SCR005", fixture_path("fixture_scr001.py"),
+    ])
+    assert code == 0 and "clean" in text
+    code, text = run_cli([
+        "lint", "--select", "scr001,scr005", fixture_path("fixture_scr001.py"),
+    ])
+    assert code == 1 and "SCR001" in text
+
+
+def test_cli_lint_ignore_drops_named_rules():
+    code, text = run_cli([
+        "lint", "--ignore", "SCR001", fixture_path("fixture_scr001.py"),
+    ])
+    assert "SCR001" not in text
+
+
+def test_cli_lint_select_near_miss_suggests():
+    code, text = run_cli([
+        "lint", "--select", "scr7", fixture_path("fixture_scr001.py"),
+    ])
+    assert code == 2
+    assert "did you mean SCR007?" in text
+
+
+def test_cli_lint_select_and_ignore_cannot_cancel_out():
+    code, text = run_cli([
+        "lint", "--select", "SCR001", "--ignore", "SCR001",
+        fixture_path("fixture_scr001.py"),
+    ])
+    assert code == 2
+    assert "no rules" in text

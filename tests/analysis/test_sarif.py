@@ -1,0 +1,66 @@
+"""SARIF 2.1.0 rendering of lint reports."""
+
+import io
+import json
+
+from repro.analysis import (
+    all_rules,
+    format_sarif,
+    get_rule,
+    lint_paths,
+    report_to_sarif,
+)
+from repro.analysis.runner import LintReport
+from repro.analysis.sarif import SARIF_SCHEMA_URI, SARIF_VERSION
+from repro.cli import main
+
+from .conftest import fixture_path
+
+
+def test_sarif_log_shape():
+    report = lint_paths([fixture_path("fixture_scr005.py")])
+    log = report_to_sarif(report)
+    assert log["version"] == SARIF_VERSION
+    assert log["$schema"] == SARIF_SCHEMA_URI
+    (run,) = log["runs"]
+    assert run["tool"]["driver"]["name"] == "scrlint"
+    assert len(run["results"]) == len(report.findings)
+    assert run["properties"]["filesChecked"] == 1
+
+
+def test_sarif_rules_describe_every_registered_rule():
+    log = report_to_sarif(LintReport())
+    ids = [r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]]
+    assert ids == [rule.id for rule in all_rules()]
+    for descriptor in log["runs"][0]["tool"]["driver"]["rules"]:
+        assert descriptor["shortDescription"]["text"]
+
+
+def test_sarif_result_location_is_one_based():
+    report = lint_paths([fixture_path("fixture_scr005.py")])
+    log = report_to_sarif(report)
+    finding = sorted(report.findings)[0]
+    result = log["runs"][0]["results"][0]
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert result["ruleId"] == finding.rule
+    assert region["startLine"] == finding.line
+    assert region["startColumn"] == finding.col + 1  # SARIF is 1-based
+
+
+def test_sarif_respects_rule_selection():
+    report = lint_paths([fixture_path("fixture_scr007.py")],
+                        rules=[get_rule("SCR007")])
+    log = report_to_sarif(report, rules=[get_rule("SCR007")])
+    ids = [r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]]
+    assert ids == ["SCR007"]
+    assert all(r["ruleId"] == "SCR007" for r in log["runs"][0]["results"])
+
+
+def test_cli_lint_format_sarif_parses_and_fails_on_findings():
+    out = io.StringIO()
+    code = main(["lint", "--format", "sarif",
+                 fixture_path("fixture_scr007.py")], out=out)
+    assert code == 1  # findings present
+    log = json.loads(out.getvalue())
+    assert log["version"] == SARIF_VERSION
+    assert log["runs"][0]["results"]

@@ -4,6 +4,7 @@ import pytest
 
 from repro.parallel import (
     TECHNIQUES,
+    RelaxedScrEngine,
     RssPlusPlusEngine,
     ScrEngine,
     ShardedRssEngine,
@@ -15,14 +16,19 @@ from repro.parallel import (
 from repro.programs import make_program
 
 
-def test_four_techniques():
-    assert set(TECHNIQUES) == {"scr", "shared", "rss", "rss++"}
+def test_technique_set():
+    assert set(TECHNIQUES) == {"scr", "relaxed_scr", "shared", "rss", "rss++"}
     assert technique_names() == list(TECHNIQUES)
 
 
 @pytest.mark.parametrize(
     "name,cls",
-    [("scr", ScrEngine), ("rss", ShardedRssEngine), ("rss++", RssPlusPlusEngine)],
+    [
+        ("scr", ScrEngine),
+        ("relaxed_scr", RelaxedScrEngine),
+        ("rss", ShardedRssEngine),
+        ("rss++", RssPlusPlusEngine),
+    ],
 )
 def test_make_engine_types(name, cls):
     assert isinstance(make_engine(name, make_program("ddos"), 2), cls)

@@ -1,0 +1,88 @@
+"""Relaxed SCR: single merged-delta history for commutative programs."""
+
+import pytest
+
+from repro.cpu import TABLE4_PARAMS, PerfTrace, simulate
+from repro.packet import make_udp_packet
+from repro.parallel import RelaxedScrEngine, ScrEngine, make_engine
+from repro.programs import make_program
+from repro.traffic import Trace
+
+
+def elephant(n=3000, prog="ddos", wire=192):
+    pkts = [make_udp_packet(1, 2, 3, 4) for _ in range(n)]
+    return PerfTrace.from_trace(Trace(pkts).truncated(wire), make_program(prog))
+
+
+def capacity_mpps(engine, pt, probe=400e6):
+    return simulate(pt, probe, engine).achieved_mpps
+
+
+COMMUTATIVE = ["ddos", "victim_monitor", "heavy_hitter", "sampler",
+               "peak_meter", "spreader"]
+NON_COMMUTATIVE = ["token_bucket", "port_knocking", "conntrack", "nat",
+                   "load_balancer"]
+
+
+@pytest.mark.parametrize("name", COMMUTATIVE)
+def test_relaxed_for_commutative_programs(name):
+    eng = RelaxedScrEngine(make_program(name), 4)
+    assert eng.relaxed
+    assert eng.codec.num_slots == 1
+
+
+@pytest.mark.parametrize("name", NON_COMMUTATIVE)
+def test_degenerates_for_non_commutative_programs(name):
+    """Unsound pruning must never happen: full history, full cost."""
+    relaxed = RelaxedScrEngine(make_program(name), 4)
+    strict = ScrEngine(make_program(name), 4)
+    assert not relaxed.relaxed
+    assert relaxed.codec.num_slots == strict.codec.num_slots
+    pt = elephant(prog=name)
+    assert capacity_mpps(relaxed, pt) == capacity_mpps(strict, pt)
+
+
+def test_history_capped_at_one_item():
+    eng = RelaxedScrEngine(make_program("ddos"), 7)
+    for pp in elephant(10).records:
+        eng.steer(pp)
+    assert eng._history_items() == 1
+
+
+def test_throughput_tracks_relaxed_model():
+    """Service is t + min(k-1, 1)*c2 — per-core cost stops growing with k."""
+    pt = elephant()
+    p = TABLE4_PARAMS["ddos"]
+    for k in (1, 3, 7):
+        measured = capacity_mpps(RelaxedScrEngine(make_program("ddos"), k), pt)
+        predicted = k / (p.t + min(k - 1, 1) * p.c2) * 1e3
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+
+def test_beats_strict_scr_at_high_core_counts():
+    pt = elephant()
+    strict = capacity_mpps(ScrEngine(make_program("ddos"), 7), pt)
+    relaxed = capacity_mpps(RelaxedScrEngine(make_program("ddos"), 7), pt)
+    assert relaxed > strict
+
+
+def test_wire_overhead_shrinks_to_one_slot():
+    prog = make_program("heavy_hitter")
+    strict = ScrEngine(prog, 4)
+    relaxed = RelaxedScrEngine(make_program("heavy_hitter"), 4)
+    assert relaxed.codec.overhead_bytes < strict.codec.overhead_bytes
+    assert (strict.codec.overhead_bytes - relaxed.codec.overhead_bytes
+            == 3 * prog.metadata_size)
+
+
+def test_gap_coverage_window_unchanged():
+    """The logical window (num_slots) still covers the core count — only
+    the frame layout shrinks to one slot."""
+    eng = RelaxedScrEngine(make_program("ddos"), 4)
+    assert eng.num_slots == 4
+    assert eng.codec.num_slots == 1
+
+
+def test_registry_builds_relaxed():
+    eng = make_engine("relaxed_scr", make_program("spreader"), 2)
+    assert isinstance(eng, RelaxedScrEngine)

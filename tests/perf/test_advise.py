@@ -1,0 +1,107 @@
+"""The measurement-side advisor glue (repro.perf.advise)."""
+
+import pytest
+
+from repro.analysis.advisor import ADVISOR_TECHNIQUES
+from repro.perf.advise import (
+    REPORT_SCHEMA,
+    advice_report,
+    advise_programs,
+    costs_for,
+    load_bench_costs,
+    measured_techniques,
+    program_facts,
+    workload_profile,
+)
+from repro.programs import make_program, program_names
+from repro.scenario import StackBuilder, TraceSpec
+
+
+def test_program_facts_resolve_for_every_registered_program():
+    for name in program_names():
+        facts = program_facts(name)
+        assert facts.program_name == name
+
+
+def test_costs_prefer_bench_table4_over_builtin():
+    row = {"ddos": {"t": 200.0, "c2": 20.0, "d": 180.0, "c1": 20.0}}
+    assert costs_for("ddos", row).t == 200.0
+    assert costs_for("ddos").t != 200.0  # builtin Table 4 untouched
+
+
+def test_costs_unknown_program_raises():
+    with pytest.raises(KeyError, match="no Table 4"):
+        costs_for("mystery")
+
+
+def test_load_bench_costs_round_trips(tmp_path):
+    from repro.perf.artifact import BenchArtifact
+
+    art = BenchArtifact.create("x", config={}, seed_policy={},
+                               programs=["ddos"])
+    path = art.save(tmp_path)
+    table4 = load_bench_costs(str(path))
+    assert costs_for("ddos", table4) == costs_for("ddos")
+
+
+def test_workload_profile_many_flows_spreads_rss():
+    prog = make_program("ddos")
+    spec = TraceSpec(workload="univ_dc", num_flows=40, max_packets=1500,
+                     seed=7, packet_size=192)
+    pt = StackBuilder().perf_trace("ddos", spec)
+    profile = workload_profile(prog, pt, cores=(1, 2, 4))
+    assert 0 < profile.hot_key_share < 1
+    assert profile.global_fraction == 0.0
+    # With 40 flows the busiest of 4 cores holds less than everything,
+    # but at least a perfect quarter.
+    assert 0.25 <= profile.rss_share(4) < 1.0
+
+
+def test_workload_profile_single_flow_pins_one_core():
+    prog = make_program("ddos")
+    spec = TraceSpec(workload="single-flow", num_flows=1, max_packets=400,
+                     seed=7, packet_size=192)
+    pt = StackBuilder().perf_trace("ddos", spec)
+    profile = workload_profile(prog, pt, cores=(4,))
+    assert profile.hot_key_share == 1.0
+    assert profile.rss_share(4) == 1.0
+
+
+def test_measured_techniques_follow_facts():
+    assert measured_techniques(program_facts("ddos")) == ADVISOR_TECHNIQUES
+    assert measured_techniques(program_facts("token_bucket")) == (
+        "scr", "rss", "shared",
+    )
+    assert measured_techniques(program_facts("nat")) == ("scr", "shared")
+
+
+def test_advise_programs_expected_winners():
+    """The headline prediction: relaxed SCR exactly for the commutative
+    family, strict SCR elsewhere (RSS can't hold the elephant, shared
+    state can't scale)."""
+    advices = {a.program: a for a in advise_programs()}
+    commutative = {"ddos", "victim_monitor", "heavy_hitter", "sampler",
+                   "peak_meter", "spreader"}
+    for name, advice in advices.items():
+        expected = "relaxed_scr" if name in commutative else "scr"
+        assert advice.recommended == expected, name
+
+
+def test_advise_programs_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown program"):
+        advise_programs(["mystery"])
+
+
+def test_scr_wins_ties_at_two_cores():
+    """At k=2 both SCR flavors fast-forward exactly one history item, so
+    they tie — and the tie goes to plain SCR (no relaxation needed)."""
+    (advice,) = advise_programs(["ddos"], cores=(1, 2))
+    assert advice.recommended == "scr"
+
+
+def test_advice_report_schema():
+    advices = advise_programs(["ddos"], cores=(1, 4))
+    report = advice_report(advices, {"workload": "univ_dc"})
+    assert report["schema"] == REPORT_SCHEMA
+    assert report["recommendations"] == {"ddos": "relaxed_scr"}
+    assert report["programs"][0]["decision_cores"] == 4

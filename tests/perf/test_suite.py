@@ -17,8 +17,9 @@ PARAMS = SuiteParams(reps=1, quick=True)
 
 def test_suite_names_stable():
     assert suite_names() == [
-        "engine_mlffr", "faults_recovery", "fig11_model_fit", "fig6_scaling",
-        "hostwall", "obs_overhead", "tail_latency",
+        "advisor_validation", "engine_mlffr", "faults_recovery",
+        "fig11_model_fit", "fig6_scaling", "hostwall", "obs_overhead",
+        "tail_latency",
     ]
 
 
@@ -67,6 +68,20 @@ def test_fig11_deterministic_repeat_compares_neutral(fig11):
             [p.reps for p in series.points]
     res = compare_artifacts(fig11, again)
     assert res.verdict == "neutral"
+
+
+def test_advisor_validation_agreement():
+    art = run_suite("advisor_validation", PARAMS)
+    agreement = art.series["agreement"]
+    assert agreement.unit == "bool"
+    # Acceptance: the advisor's pick matches measurement for >= 10 of the
+    # 12 registered programs (it currently matches all 12).
+    agreed = sum(p.median for p in agreement.points)
+    assert agreed >= 10, art.config["predicted"]
+    assert len(agreement.points) == len(art.config["predicted"]) == 12
+    # Every measured technique series carries real throughput numbers.
+    for name in ("scr", "shared"):
+        assert all(p.median > 0 for p in art.series[name].points)
 
 
 def test_fig6_profile_and_residuals():

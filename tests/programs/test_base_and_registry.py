@@ -77,6 +77,7 @@ def test_registry_contains_all_programs():
     assert set(PROGRAM_FACTORIES) == {
         "ddos", "heavy_hitter", "conntrack", "token_bucket",
         "port_knocking", "forwarder", "nat", "sampler", "load_balancer",
+        "victim_monitor", "peak_meter", "spreader",
     }
 
 

@@ -19,7 +19,8 @@ def test_programs_lists_table1_and_extensions():
     assert code == 0
     for name in ("ddos", "conntrack", "token_bucket"):
         assert name in text
-    assert "extensions: forwarder, load_balancer, nat, sampler" in text
+    assert ("extensions: forwarder, load_balancer, nat, peak_meter, "
+            "sampler, spreader, victim_monitor") in text
 
 
 def test_synthesize_scrt(tmp_path):
