@@ -2,7 +2,7 @@
 
 .PHONY: install test lint typecheck advise bench bench-compare \
 	bench-baseline bench-figures chaos profile report reproduce examples \
-	telemetry-demo clean
+	telemetry-demo hotpath clean
 
 install:
 	python setup.py develop
@@ -78,6 +78,19 @@ profile:
 report:
 	PYTHONPATH=src python -m repro.cli report results/telemetry-demo \
 		results/bench/BENCH_fig6_scaling.json --out results/report.html
+
+# Columnar hot path: the bit-exact parity gate against the scalar oracle,
+# then the hotpath bench suite vs its committed baseline (the speedup
+# must stay won — see docs/HOTPATH.md).
+hotpath:
+	PYTHONPATH=src python -m pytest -x -q tests/cpu/test_hotpath_parity.py \
+		tests/nic/test_rss.py
+	PYTHONPATH=src python -m repro.cli bench --suite hotpath \
+		--out results/bench-hotpath
+	PYTHONPATH=src python -m repro.cli bench \
+		--compare benchmarks/baselines-hostwall/BENCH_hotpath.json \
+		results/bench-hotpath/BENCH_hotpath.json \
+		--rel-tol 3.0 --noise-mult 4.0
 
 # The paper-figure pytest benches (tables/figures with printed series).
 bench-figures:

@@ -48,6 +48,9 @@ DEFAULT_LINT_PATHS: Tuple[str, ...] = (
     "src/repro/analysis/advisor.py",
     "src/repro/analysis/sarif.py",
     "src/repro/perf/advise.py",
+    # The columnar hot path must satisfy the same replay-hygiene rules as
+    # the engines it batches for (SCR004: no clocks, no process RNG).
+    "src/repro/cpu/columnar.py",
 )
 
 

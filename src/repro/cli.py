@@ -36,12 +36,14 @@ deterministic sample of packet indices (see :mod:`repro.obs`).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from .bench import ExperimentRunner, render_scaling_series, render_table
 from .bench.export import scaling_points_to_csv
 from .core import ScrFunctionalEngine, reference_run
+from .cpu.columnar import HOTPATH_ENV, HOTPATH_MODES
 from .parallel import TECHNIQUES
 from .programs import make_program, program_names, table1_rows
 from .sequencer import NetFpgaSequencerModel, TofinoSequencerModel
@@ -49,6 +51,21 @@ from .telemetry import NULL_TELEMETRY, Telemetry, summarize_artifact
 from .traffic import TRACE_DISTRIBUTIONS, Trace, read_pcap, synthesize_trace, write_pcap
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_hotpath_arg(p: argparse.ArgumentParser) -> None:
+    """``--hotpath`` on every simulating subcommand.
+
+    ``main`` exports the choice through :data:`HOTPATH_ENV` so ``--jobs``
+    worker processes inherit it (docs/HOTPATH.md).
+    """
+    p.add_argument(
+        "--hotpath",
+        choices=list(HOTPATH_MODES),
+        default=None,
+        help="simulator inner loop: columnar batch math (default) or the "
+        "scalar reference event loop (results are bit-identical)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hostprof", metavar="DIR",
                    help="profile host wall time and write a hostprof "
                         "artifact here (see docs/PROFILING.md)")
+    _add_hotpath_arg(p)
 
     p = sub.add_parser("mlffr", help="measure MLFFR throughput")
     p.add_argument("--program", choices=program_names(), default="ddos")
@@ -103,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hostprof", metavar="DIR",
                    help="profile host wall time and write a hostprof "
                         "artifact here (see docs/PROFILING.md)")
+    _add_hotpath_arg(p)
 
     p = sub.add_parser("sweep", help="throughput-vs-cores sweep")
     p.add_argument("--program", choices=program_names(), default="ddos")
@@ -127,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hostprof", metavar="DIR",
                    help="profile host wall time and write a hostprof "
                         "artifact here (see docs/PROFILING.md)")
+    _add_hotpath_arg(p)
 
     p = sub.add_parser("hardware", help="sequencer capacity and resources")
     p.add_argument("--rows", type=int, default=16, help="NetFPGA history rows")
@@ -139,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", metavar="DIR",
                    help="content-addressed trace cache (see docs/BENCHMARKS.md)")
     p.add_argument("--csv", help="write the series to this CSV path")
+    _add_hotpath_arg(p)
 
     p = sub.add_parser("inspect", help="summarize a telemetry run artifact")
     p.add_argument("dir", help="artifact directory (or manifest.json path)")
@@ -182,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hostprof", metavar="DIR",
                    help="profile host wall time of the suite runs and "
                         "write a hostprof artifact here")
+    _add_hotpath_arg(p)
 
     p = sub.add_parser(
         "profile",
@@ -206,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="results/hostprof", metavar="DIR",
                    help="artifact directory (hostprof.json, profile.folded, "
                         "profile.speedscope.json)")
+    _add_hotpath_arg(p)
 
     p = sub.add_parser(
         "chaos", help="fault-injection matrix: detection, recovery, MLFFR"
@@ -221,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="longer traces (2000/3000 packets) instead of quick")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="content-addressed trace cache (see docs/BENCHMARKS.md)")
+    _add_hotpath_arg(p)
 
     p = sub.add_parser(
         "lint", help="SCR-safety static analysis (scrlint, SCR001–SCR007)"
@@ -991,6 +1015,10 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "hotpath", None):
+        # Exported (not passed point-to-point) so --jobs worker processes
+        # inherit the selected simulator inner loop.
+        os.environ[HOTPATH_ENV] = args.hotpath
     try:
         return _COMMANDS[args.command](args, out if out is not None else sys.stdout)
     except BrokenPipeError:

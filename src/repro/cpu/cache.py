@@ -13,7 +13,7 @@ Two effects dominate the paper's Figure 8 story:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Set, Tuple
+from typing import Dict, Hashable, Iterable, Set, Tuple
 
 from .costmodel import L2_BYTES, STATE_ENTRY_BYTES
 
@@ -54,6 +54,15 @@ class L2Model:
             return 0.0, 0.0
         miss_prob = excess / len(resident)
         return miss_prob, miss_prob * self.spill_ns
+
+    def install(self, core: int, keys: Iterable[Hashable]) -> None:
+        """Bulk-mark ``keys`` resident on ``core``.
+
+        The columnar hot path computes miss fractions for a whole run with
+        array math (:func:`repro.cpu.columnar.l2_spill_rows`) and then
+        commits the end state here — equivalent to touching each key once.
+        """
+        self._resident[core].update(keys)
 
     def resident_entries(self, core: int) -> int:
         return len(self._resident[core])

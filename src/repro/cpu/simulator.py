@@ -8,9 +8,13 @@ service time comes from a :class:`PerfEngine` (one per scaling technique in
 ``repro.parallel``).  Loss — the MLFFR search signal — arises naturally when
 rings overflow or the wire saturates.
 
-For speed, traces are preprocessed once into :class:`PerfTrace` records
-(program state key, RSS hashes, wire length); each simulated rate then only
-rescales timestamps.
+For speed, traces are preprocessed once into :class:`PerfTrace` — a
+struct-of-arrays container (interned key ids, the three Toeplitz hashes,
+wire lengths, validity flags as numpy columns); each simulated rate then
+only rescales timestamps.  Runs execute on the columnar hot path
+(``repro.cpu.columnar``) when possible and on the scalar event loop below
+otherwise — the scalar loop is the reference oracle the columnar path must
+match bit-for-bit (``--hotpath scalar``; see docs/HOTPATH.md).
 """
 
 from __future__ import annotations
@@ -19,9 +23,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Protocol, Sequence, Tuple
 
+import numpy as np
+
 from ..nic.nic import ETHERNET_OVERHEAD_BYTES, MIN_FRAME_BYTES
 from ..nic.queues import DEFAULT_DESCRIPTORS
-from ..nic.rss import SYMMETRIC_RSS_KEY, hash_input_l3, hash_input_l4, toeplitz_hash
+from ..nic.rss import SYMMETRIC_RSS_KEY, hash_input_l4, toeplitz_hash, toeplitz_hash_batch
 from ..programs.base import PacketProgram
 from ..telemetry.events import (
     EV_FAULT_DROP,
@@ -72,43 +78,200 @@ class PerfPacket:
 
 
 class PerfTrace:
-    """A trace lowered to :class:`PerfPacket` records for one program."""
+    """A trace lowered to per-packet *columns* for one program.
+
+    Struct-of-arrays container: ``key_ids`` (int64 indices into the
+    ``key_table`` of interned program state keys), the three Toeplitz
+    hashes (uint32), ``wire_lens`` (int64), and ``valid`` /
+    ``touches_global`` (bool) — what the columnar hot path consumes
+    directly.  The legacy row-major view (:attr:`records`, a list of
+    :class:`PerfPacket`) is rebuilt lazily for scalar consumers.  The
+    columns are read-only; pickling round-trips columns only (the trace
+    cache's ``CACHE_SCHEMA`` was bumped for this layout).
+    """
+
+    _COLUMN_STATE = (
+        "program_name", "name", "key_table", "key_ids",
+        "hash_l3", "hash_l4", "hash_sym", "wire_lens",
+        "valid", "touches_global",
+    )
 
     def __init__(self, records: Sequence[PerfPacket], program_name: str, name: str):
-        self.records = list(records)
+        records = list(records)
+        n = len(records)
+        key_table: List[object] = []
+        key_index: Dict[object, int] = {}
+        key_ids = np.empty(n, dtype=np.int64)
+        for i, r in enumerate(records):
+            kid = key_index.get(r.key)
+            if kid is None:
+                kid = len(key_table)
+                key_index[r.key] = kid
+                key_table.append(r.key)
+            key_ids[i] = kid
+        self._bind_columns(
+            program_name=program_name,
+            name=name,
+            key_table=key_table,
+            key_ids=key_ids,
+            hash_l3=np.fromiter((r.hash_l3 for r in records), dtype=np.uint32, count=n),
+            hash_l4=np.fromiter((r.hash_l4 for r in records), dtype=np.uint32, count=n),
+            hash_sym=np.fromiter((r.hash_sym for r in records), dtype=np.uint32, count=n),
+            wire_lens=np.fromiter((r.wire_len for r in records), dtype=np.int64, count=n),
+            valid=np.fromiter((r.valid for r in records), dtype=bool, count=n),
+            touches_global=np.fromiter(
+                (r.touches_global for r in records), dtype=bool, count=n),
+        )
+        self._records: Optional[List[PerfPacket]] = records
+
+    def _bind_columns(
+        self,
+        program_name: str,
+        name: str,
+        key_table: List[object],
+        key_ids: np.ndarray,
+        hash_l3: np.ndarray,
+        hash_l4: np.ndarray,
+        hash_sym: np.ndarray,
+        wire_lens: np.ndarray,
+        valid: np.ndarray,
+        touches_global: np.ndarray,
+    ) -> None:
         self.program_name = program_name
         self.name = name
-        self.unique_keys = len({r.key for r in self.records if r.valid})
-
-    def __len__(self) -> int:
-        return len(self.records)
+        self.key_table = key_table
+        self.key_ids = key_ids
+        self.hash_l3 = hash_l3
+        self.hash_l4 = hash_l4
+        self.hash_sym = hash_sym
+        self.wire_lens = wire_lens
+        self.valid = valid
+        self.touches_global = touches_global
+        for column in (key_ids, hash_l3, hash_l4, hash_sym,
+                       wire_lens, valid, touches_global):
+            column.setflags(write=False)
+        self._unique_keys: Optional[int] = None
 
     @classmethod
-    def from_trace(cls, trace: Trace, program: PacketProgram) -> "PerfTrace":
-        records = []
-        for i, pkt in enumerate(trace):
+    def from_columns(
+        cls,
+        program_name: str,
+        name: str,
+        key_table: List[object],
+        key_ids: np.ndarray,
+        hash_l3: np.ndarray,
+        hash_l4: np.ndarray,
+        hash_sym: np.ndarray,
+        wire_lens: np.ndarray,
+        valid: np.ndarray,
+        touches_global: np.ndarray,
+    ) -> "PerfTrace":
+        """Build directly from columns (the vectorized lowering path)."""
+        pt = cls.__new__(cls)
+        pt._bind_columns(
+            program_name=program_name, name=name, key_table=key_table,
+            key_ids=key_ids, hash_l3=hash_l3, hash_l4=hash_l4,
+            hash_sym=hash_sym, wire_lens=wire_lens, valid=valid,
+            touches_global=touches_global,
+        )
+        pt._records = None
+        return pt
+
+    def __len__(self) -> int:
+        return len(self.key_ids)
+
+    @property
+    def records(self) -> List[PerfPacket]:
+        """Row-major :class:`PerfPacket` view, rebuilt lazily on demand."""
+        if self._records is None:
+            table = self.key_table
+            self._records = [
+                PerfPacket(index=i, key=table[kid], hash_l3=h3, hash_l4=h4,
+                           hash_sym=hs, wire_len=wl, valid=v, touches_global=tg)
+                for i, (kid, h3, h4, hs, wl, v, tg) in enumerate(zip(
+                    self.key_ids.tolist(), self.hash_l3.tolist(),
+                    self.hash_l4.tolist(), self.hash_sym.tolist(),
+                    self.wire_lens.tolist(), self.valid.tolist(),
+                    self.touches_global.tolist()))
+            ]
+        return self._records
+
+    @property
+    def unique_keys(self) -> int:
+        """Distinct state keys among valid packets (lazy, cached)."""
+        if self._unique_keys is None:
+            ids = self.key_ids[self.valid]
+            self._unique_keys = int(np.unique(ids).size) if ids.size else 0
+        return self._unique_keys
+
+    def __getstate__(self) -> Dict[str, object]:
+        return {f: getattr(self, f) for f in self._COLUMN_STATE}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        if set(state) != set(self._COLUMN_STATE):
+            raise ValueError("incompatible PerfTrace pickle (pre-columnar layout)")
+        kwargs = dict(state)
+        self._bind_columns(**kwargs)  # type: ignore[arg-type]
+        self._records = None
+
+    @classmethod
+    def from_trace(
+        cls, trace: Trace, program: PacketProgram,
+        hotpath: Optional[str] = None,
+    ) -> "PerfTrace":
+        from .columnar import resolve_hotpath
+
+        mode = resolve_hotpath(hotpath)
+        key_table: List[object] = []
+        key_index: Dict[object, int] = {}
+        key_ids: List[int] = []
+        wire_lens: List[int] = []
+        valid: List[bool] = []
+        touches: List[bool] = []
+        packed: List[bytes] = []
+        for pkt in trace:
             meta = program.extract_metadata(pkt)
             key = program.key(meta)
-            ft = pkt.five_tuple()
-            l3 = toeplitz_hash(hash_input_l3(ft))
-            l4 = toeplitz_hash(hash_input_l4(ft))
-            sym = toeplitz_hash(hash_input_l4(ft), key=SYMMETRIC_RSS_KEY)
+            kid = key_index.get(key)
+            if kid is None:
+                kid = len(key_table)
+                key_index[key] = kid
+                key_table.append(key)
+            key_ids.append(kid)
+            # One packed 4-tuple hash input per packet, shared by all three
+            # hashes: the L3 input (src+dst IP) is its 8-byte prefix.
+            packed.append(hash_input_l4(pkt.five_tuple()))
+            wire_lens.append(pkt.wire_len)
             # "valid" mirrors the program's control dependency: packets that
             # cannot touch state (wrong protocol) still cost dispatch.
-            valid = pkt.is_ipv4
-            records.append(
-                PerfPacket(
-                    index=i,
-                    key=key,
-                    hash_l3=l3,
-                    hash_l4=l4,
-                    hash_sym=sym,
-                    wire_len=pkt.wire_len,
-                    valid=valid,
-                    touches_global=program.touches_global(meta),
-                )
-            )
-        return cls(records, program_name=program.name, name=trace.name)
+            valid.append(pkt.is_ipv4)
+            touches.append(program.touches_global(meta))
+        n = len(key_ids)
+        if mode == "columnar" and n:
+            mat = np.frombuffer(b"".join(packed), dtype=np.uint8).reshape(n, 12)
+            l3 = toeplitz_hash_batch(mat[:, :8])
+            l4 = toeplitz_hash_batch(mat)
+            sym = toeplitz_hash_batch(mat, key=SYMMETRIC_RSS_KEY)
+        else:
+            l3 = np.fromiter(
+                (toeplitz_hash(p[:8]) for p in packed), dtype=np.uint32, count=n)
+            l4 = np.fromiter(
+                (toeplitz_hash(p) for p in packed), dtype=np.uint32, count=n)
+            sym = np.fromiter(
+                (toeplitz_hash(p, key=SYMMETRIC_RSS_KEY) for p in packed),
+                dtype=np.uint32, count=n)
+        return cls.from_columns(
+            program_name=program.name,
+            name=trace.name,
+            key_table=key_table,
+            key_ids=np.asarray(key_ids, dtype=np.int64),
+            hash_l3=l3,
+            hash_l4=l4,
+            hash_sym=sym,
+            wire_lens=np.asarray(wire_lens, dtype=np.int64),
+            valid=np.asarray(valid, dtype=bool),
+            touches_global=np.asarray(touches, dtype=bool),
+        )
 
 
 class PerfEngine(Protocol):
@@ -128,6 +291,16 @@ class PerfEngine(Protocol):
     # host interconnect, which can exceed wire bytes when a NIC-resident
     # sequencer appends history after the MAC (§4.2 PCIe overheads).  The
     # simulator falls back to ``wire_len`` when absent.
+    #
+    # Engines may also opt into the columnar hot path by providing the
+    # batched row-math hooks (``columnar_eligible`` / ``wire_len_batch`` /
+    # ``dma_len_batch`` / ``steer_batch`` / ``service_rows`` /
+    # ``service_batch`` / ``commit_steer_batch`` / ``history_cap``) —
+    # ``repro.parallel.base.BaseEngine`` carries conservative defaults,
+    # including a scalar ``service_batch`` shim that loops ``service_ns``,
+    # so subclasses only override what they can batch.  Engines without
+    # the hooks (or reporting ineligible) run on the scalar event loop
+    # below unchanged (see docs/HOTPATH.md).
 
     def steer(self, pp: PerfPacket) -> int:
         """RX queue / core index for this packet."""
@@ -247,6 +420,7 @@ def simulate(
     faults: Optional["FaultPlan"] = None,
     spans: SpanEmitter = NULL_SPANS,
     hostprof: PhaseClock = NULL_HOSTPROF,
+    hotpath: Optional[str] = None,
 ) -> SimResult:
     """Offer ``perf_trace`` at ``rate_pps`` to ``engine`` and measure.
 
@@ -285,10 +459,36 @@ def simulate(
     packet indices (NIC arrival → ring enqueue → core pop, plus the fault
     path); the default disabled emitter costs one attribute read, and
     emission never moves simulated time.
+
+    ``hotpath`` picks the execution strategy (``scalar`` | ``columnar``;
+    default: the ``REPRO_HOTPATH`` env var, else columnar).  The columnar
+    driver is bit-identical to the scalar loop and silently falls back to
+    it whenever a run needs per-event fidelity (drops, faults, tracing).
     """
     if rate_pps <= 0:
         raise ValueError("rate must be positive")
     engine.reset()
+    from .columnar import resolve_hotpath
+
+    if resolve_hotpath(hotpath) == "columnar":
+        from .columnar import simulate_columnar
+
+        columnar_result = simulate_columnar(
+            perf_trace, rate_pps, engine,
+            line_rate_gbps=line_rate_gbps,
+            ring_capacity=ring_capacity,
+            burst_size=burst_size,
+            grace_fraction=grace_fraction,
+            grace_min_ns=grace_min_ns,
+            pcie_rate_gbps=pcie_rate_gbps,
+            collect_latency=collect_latency,
+            tracer=tracer,
+            faults=faults,
+            spans=spans,
+            hostprof=hostprof,
+        )
+        if columnar_result is not None:
+            return columnar_result
     k = engine.num_cores
     interval = 1e9 / rate_pps
     line_rate_bps = line_rate_gbps * 1e9

@@ -10,6 +10,7 @@ from .rss import (
     hash_input_l3,
     hash_input_l4,
     toeplitz_hash,
+    toeplitz_hash_batch,
 )
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "hash_input_l3",
     "hash_input_l4",
     "toeplitz_hash",
+    "toeplitz_hash_batch",
 ]

@@ -14,7 +14,9 @@ header (§3.3.1).
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
+
+import numpy as np
 
 from ..packet import Packet
 from ..packet.flow import FiveTuple
@@ -23,6 +25,7 @@ __all__ = [
     "MSFT_RSS_KEY",
     "SYMMETRIC_RSS_KEY",
     "toeplitz_hash",
+    "toeplitz_hash_batch",
     "hash_input_l3",
     "hash_input_l4",
     "hash_input_l2",
@@ -61,6 +64,61 @@ def toeplitz_hash(data: bytes, key: bytes = MSFT_RSS_KEY) -> int:
                 shift = key_bits - 32 - (i * 8 + bit)
                 result ^= (key_int >> shift) & 0xFFFFFFFF
     return result
+
+
+#: Per-(key, input-length) lookup tables for the batch Toeplitz path:
+#: ``table[i][b]`` is the XOR of the 32-bit key windows selected by the set
+#: bits of byte value ``b`` at byte position ``i``.  The hash of a row is
+#: then the XOR-fold of one table lookup per byte — the classic
+#: table-driven formulation of the same hardware definition, bit-identical
+#: to :func:`toeplitz_hash` (the scalar oracle; see docs/HOTPATH.md).
+_TOEPLITZ_TABLES: Dict[Tuple[bytes, int], np.ndarray] = {}
+
+
+def _toeplitz_tables(key: bytes, length: int) -> np.ndarray:
+    """The ``(length, 256)`` uint32 lookup tables for ``key``, cached."""
+    cached = _TOEPLITZ_TABLES.get((key, length))
+    if cached is not None:
+        return cached
+    if len(key) * 8 < length * 8 + 32:
+        raise ValueError("key too short for input length")
+    key_int = int.from_bytes(key, "big")
+    key_bits = len(key) * 8
+    # windows[i*8 + bit] = the 32-bit key window XORed in when that input
+    # bit is set (same shift arithmetic as the scalar loop).
+    windows = np.empty(length * 8, dtype=np.uint32)
+    for pos in range(length * 8):
+        shift = key_bits - 32 - pos
+        windows[pos] = (key_int >> shift) & 0xFFFFFFFF
+    # bit_sel[b, bit] — is bit ``bit`` (MSB first) set in byte value b?
+    byte_vals = np.arange(256, dtype=np.uint16)
+    bit_sel = (byte_vals[:, None] & (0x80 >> np.arange(8))) != 0
+    tables = np.empty((length, 256), dtype=np.uint32)
+    for i in range(length):
+        selected = np.where(bit_sel, windows[i * 8:(i + 1) * 8][None, :], 0)
+        tables[i] = np.bitwise_xor.reduce(selected.astype(np.uint32), axis=1)
+    tables.setflags(write=False)
+    _TOEPLITZ_TABLES[(key, length)] = tables
+    return tables
+
+
+def toeplitz_hash_batch(data: np.ndarray, key: bytes = MSFT_RSS_KEY) -> np.ndarray:
+    """Toeplitz hashes for a whole matrix of inputs at once.
+
+    ``data`` is an ``(n, length)`` uint8 matrix — one hash input per row,
+    all the same length.  Returns ``n`` uint32 hashes, each bit-identical
+    to ``toeplitz_hash(bytes(row), key)``; precomputed per-byte lookup
+    tables replace the per-bit scalar loop (see docs/HOTPATH.md).
+    """
+    mat = np.ascontiguousarray(data, dtype=np.uint8)
+    if mat.ndim != 2:
+        raise ValueError("data must be an (n, length) matrix")
+    n, length = mat.shape
+    tables = _toeplitz_tables(key, length)
+    out = np.zeros(n, dtype=np.uint32)
+    for i in range(length):
+        out ^= tables[i][mat[:, i]]
+    return out
 
 
 def hash_input_l3(ft: FiveTuple) -> bytes:

@@ -6,7 +6,7 @@ from .functional import (
     ShardedFunctionalEngine,
     SharedFunctionalEngine,
 )
-from .registry import TECHNIQUES, make_engine, technique_names
+from .registry import COLUMNAR_TECHNIQUES, TECHNIQUES, make_engine, technique_names
 from .relaxed_scr import RelaxedScrEngine
 from .scr_technique import ScrEngine
 from .sharded import RssPlusPlusEngine, ShardedRssEngine
@@ -19,6 +19,7 @@ __all__ = [
     "SharedFunctionalEngine",
     "ShardedFunctionalEngine",
     "TECHNIQUES",
+    "COLUMNAR_TECHNIQUES",
     "make_engine",
     "technique_names",
     "ScrEngine",

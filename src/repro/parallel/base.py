@@ -10,7 +10,9 @@ parameters and the contention constants in ``repro.cpu.costmodel``.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
 
 from ..cpu.cache import L2Model
 from ..cpu.costmodel import (
@@ -26,7 +28,10 @@ from ..obs.spans import NULL_SPANS, SpanEmitter
 from ..programs.base import PacketProgram
 from ..telemetry.events import NULL_TRACER, EventTracer
 
-__all__ = ["BaseEngine", "hash_for_program"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cpu.simulator import PerfTrace
+
+__all__ = ["BaseEngine", "hash_for_program", "hash_column_for_program"]
 
 
 def hash_for_program(program: PacketProgram, pp: PerfPacket) -> int:
@@ -41,6 +46,16 @@ def hash_for_program(program: PacketProgram, pp: PerfPacket) -> int:
     if program.rss_fields == "src & dst IP":
         return pp.hash_l3
     return pp.hash_l4
+
+
+def hash_column_for_program(program: PacketProgram, trace: "PerfTrace") -> np.ndarray:
+    """Column twin of :func:`hash_for_program`: the whole trace's RSS
+    hashes under the program's configured hash fields."""
+    if program.bidirectional:
+        return trace.hash_sym
+    if program.rss_fields == "src & dst IP":
+        return trace.hash_l3
+    return trace.hash_l4
 
 
 class BaseEngine(ABC):
@@ -114,3 +129,75 @@ class BaseEngine(ABC):
     @abstractmethod
     def service_ns(self, core: int, pp: PerfPacket, start_ns: float) -> float:
         ...
+
+    # Columnar hot-path hooks (see repro.cpu.columnar / docs/HOTPATH.md).
+    # Conservative defaults: an engine is ineligible until it opts in, and
+    # ``service_batch`` falls back to a scalar shim over ``service_ns`` so
+    # every technique keeps working unchanged when called in bursts.
+
+    def columnar_eligible(self) -> bool:
+        """Can whole runs be replayed as batched row math?
+
+        Only true when steering and service time are pure functions of the
+        packet row (plus replay-invariant engine state) — no time-dependent
+        contention, no RNG, no mutable steering tables.
+        """
+        return False
+
+    def wire_len_batch(self, trace: "PerfTrace") -> np.ndarray:
+        """Per-packet wire bytes for the whole trace (``wire_len`` rowwise)."""
+        return trace.wire_lens
+
+    def dma_len_batch(self, trace: "PerfTrace") -> np.ndarray:
+        """Per-packet host-interconnect bytes (defaults to wire bytes,
+        mirroring the simulator's scalar ``dma_len -> wire_len`` fallback)."""
+        return self.wire_len_batch(trace)
+
+    def steer_batch(self, trace: "PerfTrace") -> np.ndarray:
+        """Target core per packet for the whole trace, without mutating
+        steer state (the driver calls :meth:`commit_steer_batch` once the
+        speculative run is known to commit)."""
+        raise NotImplementedError(f"{self.name} has no batched steering")
+
+    def commit_steer_batch(self, count: int) -> None:
+        """Advance steer state as if ``count`` packets were steered."""
+
+    def history_cap(self) -> int:
+        """Upper bound on piggybacked history items per packet (0 for
+        techniques that carry no history)."""
+        return 0
+
+    def service_rows(
+        self,
+        trace: "PerfTrace",
+        rows: np.ndarray,
+        miss_frac: np.ndarray,
+        spill_ns: np.ndarray,
+        history_items: np.ndarray,
+    ) -> np.ndarray:
+        """Pure service times (ns) for ``rows``, given each row's L2
+        outcome and history depth; charges nothing."""
+        raise NotImplementedError(f"{self.name} has no batched service math")
+
+    def service_batch(
+        self,
+        trace: "PerfTrace",
+        rows: np.ndarray,
+        cores: np.ndarray,
+        start_ns: np.ndarray,
+        steered_before: np.ndarray,
+    ) -> np.ndarray:
+        """Service a burst of packets and charge counters, returning each
+        packet's service time.  ``rows`` are trace indices in service
+        order; ``steered_before`` is how many packets had been steered
+        when each one reached its core (what SCR's history depth reads).
+
+        Default: a scalar shim over :meth:`service_ns`, so engines without
+        batched row math behave identically when driven in bursts.
+        """
+        records = trace.records
+        out = np.empty(len(rows), dtype=np.float64)
+        for i in range(len(rows)):
+            out[i] = self.service_ns(
+                int(cores[i]), records[int(rows[i])], float(start_ns[i]))
+        return out

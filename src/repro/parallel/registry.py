@@ -11,12 +11,20 @@ from .scr_technique import ScrEngine
 from .sharded import RssPlusPlusEngine, ShardedRssEngine
 from .shared import make_shared_engine
 
-__all__ = ["TECHNIQUES", "make_engine", "technique_names"]
+__all__ = ["TECHNIQUES", "COLUMNAR_TECHNIQUES", "make_engine", "technique_names"]
 
 #: The four techniques compared throughout §4.2, plus relaxed SCR — the
 #: pruned-history variant for commutative state the advisor recommends
 #: (docs/ADVISOR.md).
 TECHNIQUES = ("scr", "relaxed_scr", "shared", "rss", "rss++")
+
+#: Techniques whose engines can opt into the columnar hot path
+#: (``columnar_eligible`` may still say no at runtime, e.g. SCR with loss
+#: injection): scr / relaxed_scr (pure round-robin row math) and rss
+#: (static indirection-table gather).  ``shared`` engines serialize on
+#: time-dependent contention and ``rss++`` mutates its steering table
+#: mid-run, so both always run the scalar event loop (docs/HOTPATH.md).
+COLUMNAR_TECHNIQUES = ("scr", "relaxed_scr", "rss")
 
 
 def make_engine(

@@ -57,3 +57,11 @@ class RelaxedScrEngine(ScrEngine):
         if self.relaxed:
             return min(h, 1)
         return h
+
+    def history_cap(self) -> int:
+        """One merged delta when relaxed — the columnar hot path clamps
+        the batched history depth exactly like :meth:`_history_items`."""
+        cap = super().history_cap()
+        if self.relaxed:
+            return min(cap, 1)
+        return cap

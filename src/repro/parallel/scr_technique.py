@@ -19,7 +19,9 @@ no bouncing.  What SCR pays instead:
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
 
 from ..core.packet_format import ScrPacketCodec
 from ..cpu.costmodel import CPU_FREQ_GHZ
@@ -32,6 +34,9 @@ from ..telemetry.events import (
     EV_SPRAY,
 )
 from .base import BaseEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cpu.simulator import PerfTrace
 
 __all__ = ["ScrEngine"]
 
@@ -186,6 +191,98 @@ class ScrEngine(BaseEngine):
     def _history_items(self) -> int:
         """Fast-forward work per packet: k-1 in steady state, fewer early."""
         return min(max(self._seq - 1, 0), self.num_cores - 1)
+
+    # -- columnar hot-path hooks (docs/HOTPATH.md) --------------------------------
+
+    def columnar_eligible(self) -> bool:
+        """Batched replay is exact unless loss injection draws from the RNG
+        (injected losses change which packets reach the rings); recovery
+        *logging* alone is pure row math and stays eligible."""
+        return self.loss_rate == 0.0
+
+    def wire_len_batch(self, trace: "PerfTrace") -> np.ndarray:
+        if not self.count_wire_overhead:
+            return trace.wire_lens
+        return trace.wire_lens + self.codec.overhead_bytes
+
+    def dma_len_batch(self, trace: "PerfTrace") -> np.ndarray:
+        if self.count_wire_overhead:
+            return self.wire_len_batch(trace)
+        if not self.codec.dummy_eth:  # NIC-resident sequencer
+            return trace.wire_lens + self.codec.overhead_bytes
+        return trace.wire_lens
+
+    def steer_batch(self, trace: "PerfTrace") -> np.ndarray:
+        """Round-robin spraying as pure row math (state advances in
+        :meth:`commit_steer_batch`)."""
+        offsets = np.arange(len(trace), dtype=np.int64)
+        return (self._rr + offsets) % self.num_cores
+
+    def commit_steer_batch(self, count: int) -> None:
+        self._seq += count
+        self._rr = (self._rr + count) % self.num_cores
+
+    def history_cap(self) -> int:
+        return self.num_cores - 1
+
+    def service_rows(
+        self,
+        trace: "PerfTrace",
+        rows: np.ndarray,
+        miss_frac: np.ndarray,
+        spill_ns: np.ndarray,
+        history_items: np.ndarray,
+    ) -> np.ndarray:
+        """Batched history fast-forward: the Appendix A row math
+        ``d + c1 + h·c2 (+ spill + log)`` over whole arrays, adding floats
+        in the exact order :meth:`service_ns` does."""
+        c = self.costs
+        extra = self.extra_compute_ns
+        history = history_items * (c.c2 + extra)
+        compute = (c.c1 + extra) + history
+        total = (c.d + compute) + spill_ns
+        if self.with_recovery:
+            total = total + (history_items + 1) * self.contention.log_write_ns
+        return np.where(trace.valid[rows], total, c.d + c.c1 + extra)
+
+    def service_batch(
+        self,
+        trace: "PerfTrace",
+        rows: np.ndarray,
+        cores: np.ndarray,
+        start_ns: np.ndarray,
+        steered_before: np.ndarray,
+    ) -> np.ndarray:
+        from ..cpu.columnar import l2_spill_rows
+
+        c = self.costs
+        extra = self.extra_compute_ns
+        h = np.minimum(np.maximum(steered_before - 1, 0), self.history_cap())
+        miss_frac, spill = l2_spill_rows(
+            self.l2, trace, rows, cores, self.num_cores, commit=True)
+        services = self.service_rows(trace, rows, miss_frac, spill, h)
+        valid = trace.valid[rows]
+        history = h * (c.c2 + extra)
+        charge = ((c.c1 + extra) + history) + spill
+        if self.with_recovery:
+            charge = charge + (h + 1) * self.contention.log_write_ns
+        compute_col = np.where(valid, charge, c.c1 + extra)
+        history_col = np.where(valid, history, 0.0)
+        dispatch_col = np.full(len(rows), c.d, dtype=np.float64)
+        accesses = valid.astype(np.int64)
+        for core in range(self.num_cores):
+            sel = np.flatnonzero(cores == core)
+            if len(sel) == 0:
+                continue
+            self.counters.cores[core].charge_batch(
+                dispatch_ns=dispatch_col[sel],
+                compute_ns=compute_col[sel],
+                state_accesses=accesses[sel],
+                l2_misses=miss_frac[sel],
+                program_ns=compute_col[sel],
+                history_ns=history_col[sel],
+            )
+        return services
 
     def service_ns(self, core: int, pp: PerfPacket, start_ns: float) -> float:
         c = self.costs

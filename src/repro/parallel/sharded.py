@@ -15,11 +15,16 @@ calls out as RSS++'s limits (§4.2).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List
+
+import numpy as np
 
 from ..cpu.simulator import PerfPacket
 from ..nic.rss import RssIndirection
-from .base import BaseEngine, hash_for_program
+from .base import BaseEngine, hash_column_for_program, hash_for_program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cpu.simulator import PerfTrace
 
 __all__ = ["ShardedRssEngine", "RssPlusPlusEngine"]
 
@@ -58,6 +63,65 @@ class ShardedRssEngine(BaseEngine):
         )
         return c.d + c.c1 + spill
 
+    # -- columnar hot-path hooks (docs/HOTPATH.md) --------------------------------
+
+    def columnar_eligible(self) -> bool:
+        """Static hash → static table: steering and service are pure
+        functions of the packet row, so batched replay is exact."""
+        return True
+
+    def steer_batch(self, trace: "PerfTrace") -> np.ndarray:
+        hashes = hash_column_for_program(self.program, trace)
+        size = self.indirection.table_size
+        if size & (size - 1) == 0:
+            shards = hashes & np.uint32(size - 1)
+        else:
+            shards = hashes % np.uint32(size)
+        table = np.asarray(self.indirection.table, dtype=np.int64)
+        return table[shards]
+
+    def service_rows(
+        self,
+        trace: "PerfTrace",
+        rows: np.ndarray,
+        miss_frac: np.ndarray,
+        spill_ns: np.ndarray,
+        history_items: np.ndarray,
+    ) -> np.ndarray:
+        c = self.costs
+        return np.where(trace.valid[rows], (c.d + c.c1) + spill_ns, c.d + c.c1)
+
+    def service_batch(
+        self,
+        trace: "PerfTrace",
+        rows: np.ndarray,
+        cores: np.ndarray,
+        start_ns: np.ndarray,
+        steered_before: np.ndarray,
+    ) -> np.ndarray:
+        from ..cpu.columnar import l2_spill_rows
+
+        c = self.costs
+        miss_frac, spill = l2_spill_rows(
+            self.l2, trace, rows, cores, self.num_cores, commit=True)
+        services = self.service_rows(trace, rows, miss_frac, spill, steered_before)
+        valid = trace.valid[rows]
+        compute_col = np.where(valid, c.c1 + spill, c.c1)
+        dispatch_col = np.full(len(rows), c.d, dtype=np.float64)
+        accesses = valid.astype(np.int64)
+        for core in range(self.num_cores):
+            sel = np.flatnonzero(cores == core)
+            if len(sel) == 0:
+                continue
+            self.counters.cores[core].charge_batch(
+                dispatch_ns=dispatch_col[sel],
+                compute_ns=compute_col[sel],
+                state_accesses=accesses[sel],
+                l2_misses=miss_frac[sel],
+                program_ns=compute_col[sel],
+            )
+        return services
+
 
 class RssPlusPlusEngine(ShardedRssEngine):
     """RSS++ load-aware shard migration on top of RSS sharding."""
@@ -91,6 +155,12 @@ class RssPlusPlusEngine(ShardedRssEngine):
         self._key_gen = {}
         self._since_rebalance = 0
         self.migrations = 0
+
+    def columnar_eligible(self) -> bool:
+        """RSS++ mutates its steering table mid-run (shard migrations) and
+        surcharges first-touch-after-migration services — per-packet order
+        matters, so it stays on the scalar event loop."""
+        return False
 
     def steer(self, pp: PerfPacket) -> int:
         shard = self.indirection.shard_of(hash_for_program(self.program, pp))

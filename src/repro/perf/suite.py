@@ -1,6 +1,6 @@
 """The curated perf suite: the runs whose numbers must not silently move.
 
-Eight suites, each writing one ``BENCH_<name>.json`` artifact:
+Nine suites, each writing one ``BENCH_<name>.json`` artifact:
 
 * ``fig6_scaling``   — the Figure 6 main-result panel (ddos @ caida, all
   four techniques vs cores), plus the SCR series' Appendix A residuals
@@ -18,9 +18,14 @@ Eight suites, each writing one ``BENCH_<name>.json`` artifact:
   deterministic sampled-span volume;
 * ``hostwall``       — packets per host wall-second per stack stage
   (synthesis, lowering, simulation, the full MLFFR search) via
-  ``repro.hostprof``.  The only suite measuring *host* time: values are
+  ``repro.hostprof``.  A suite measuring *host* time: values are
   machine-dependent, so its baseline lives apart and is gated with the
   loose wall-noise policy in docs/PROFILING.md;
+* ``hotpath``        — the columnar hot path vs the scalar oracle on the
+  same run: per-stage host wall throughput for both modes plus the
+  ``speedup`` ratio (docs/HOTPATH.md).  Host time like ``hostwall``, so
+  its baseline also lives in ``benchmarks/baselines-hostwall/`` under
+  the loose wall-noise gate;
 * ``advisor_validation`` — the scradvisor loop closed: for every
   registered program, measure each eligible technique's MLFFR and gate
   that the advisor's statically predicted winner (``scr-repro advise``)
@@ -531,6 +536,99 @@ def run_hostwall(params: SuiteParams) -> BenchArtifact:
     return art
 
 
+#: Inner simulate() repetitions per timed hotpath measurement — smooths
+#: scheduler jitter on the sub-10 ms columnar runs.
+_HOTPATH_SIM_INNER = 3
+
+#: Fixed trace length for the hotpath suite (independent of ``quick``):
+#: long enough that per-call fixed overhead amortizes and the measured
+#: ratio reflects the per-packet asymptote the acceptance floor gates.
+_HOTPATH_PACKETS = 6000
+
+
+def run_hotpath(params: SuiteParams) -> BenchArtifact:
+    """Columnar hot path vs the scalar oracle: host wall throughput.
+
+    One underload SCR run (ddos @ univ_dc, 4 cores — rings never back
+    up, so the columnar driver commits rather than falling back), timed
+    per stage and per mode on the *same* synthesized workload:
+
+    * ``scalar_kpps`` / ``columnar_kpps`` — packets per host wall-second
+      through packet lowering (``PerfTrace.from_trace``) and the
+      fixed-rate ``simulate`` call.  Host time: machine-dependent, gated
+      only with the loose wall-noise policy (docs/PROFILING.md);
+    * ``speedup`` — scalar wall / columnar wall per stage.  A ratio of
+      walls on one machine, so roughly machine-portable; the acceptance
+      floor for the columnar path (docs/HOTPATH.md) gates here.
+
+    Parity is not measured here — the hotpath test suite pins it
+    bit-for-bit; this suite only watches the speed stay won.
+    """
+    import time
+
+    from ..cpu.simulator import PerfTrace, simulate
+    from ..parallel.registry import make_engine
+    from ..programs.registry import make_program
+    from ..scenario.build import build_trace
+    from ..scenario.spec import TraceSpec, packet_size_for
+
+    program, trace, technique, cores = "ddos", "univ_dc", "scr", 4
+    rate_pps = 2e6
+    stages = ("lower", "simulate")
+    art = BenchArtifact.create(
+        "hotpath",
+        config=params.config(program=program, trace=trace,
+                             technique=technique, cores=cores,
+                             rate_pps=rate_pps, stages=list(stages),
+                             sim_inner=_HOTPATH_SIM_INNER,
+                             hotpath_packets=_HOTPATH_PACKETS,
+                             note="host wall time; values are "
+                                  "machine-dependent by design"),
+        seed_policy=params.seed_policy(),
+        programs=[program],
+    )
+    prog = make_program(program)
+    engine = make_engine(technique, prog, cores, **_SCR_IN_FRAME)
+    walls: Dict[Tuple[str, str], List[float]] = {
+        (mode, stage): [] for mode in ("scalar", "columnar") for stage in stages
+    }
+    packets = 0
+    for rep, seed in enumerate(params.rep_seeds):
+        spec = TraceSpec(trace, num_flows=params.num_flows,
+                         max_packets=_HOTPATH_PACKETS, seed=seed,
+                         packet_size=packet_size_for(program))
+        raw = build_trace(spec)
+        for mode in ("scalar", "columnar"):
+            if rep == 0:
+                # Warm code paths and the cached Toeplitz tables so the
+                # first repetition doesn't pay one-time setup.
+                simulate(PerfTrace.from_trace(raw, prog, hotpath=mode),
+                         rate_pps, engine, hotpath=mode)
+            t0 = time.perf_counter()
+            pt = PerfTrace.from_trace(raw, prog, hotpath=mode)
+            walls[(mode, "lower")].append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            for _ in range(_HOTPATH_SIM_INNER):
+                simulate(pt, rate_pps, engine, hotpath=mode)
+            walls[(mode, "simulate")].append(
+                (time.perf_counter() - t0) / _HOTPATH_SIM_INNER)
+            packets = len(pt)
+    for mode in ("scalar", "columnar"):
+        series = art.add_series(BenchSeries(
+            name=f"{mode}_kpps", unit="kpps", direction="higher_better"))
+        for stage in stages:
+            series.points.append(BenchPoint.from_reps(
+                stage, [packets / w / 1e3 for w in walls[(mode, stage)]]))
+    speedup = art.add_series(BenchSeries(
+        name="speedup", unit="x", direction="higher_better"))
+    for stage in stages:
+        speedup.points.append(BenchPoint.from_reps(stage, [
+            s / c for s, c in zip(walls[("scalar", stage)],
+                                  walls[("columnar", stage)])
+        ]))
+    return art
+
+
 #: Measured-vs-predicted winners may differ by quantization and model
 #: slack; within 5 % of the best technique the advisor is "right enough"
 #: (the MLFFR search itself stops within ~5 % of analytic capacity).
@@ -625,6 +723,7 @@ SUITES: Dict[str, Callable[[SuiteParams], BenchArtifact]] = {
     "faults_recovery": run_faults_recovery,
     "obs_overhead": run_obs_overhead,
     "hostwall": run_hostwall,
+    "hotpath": run_hotpath,
     "advisor_validation": run_advisor_validation,
 }
 

@@ -38,7 +38,9 @@ __all__ = ["CACHE_SCHEMA", "DEFAULT_CACHE_DIR", "TraceCache"]
 #: Bump on any semantic change to synthesis/lowering or the on-disk
 #: formats; old entries live under the old version directory and are
 #: simply never read again.
-CACHE_SCHEMA = 1
+#: v2: PerfTrace became a struct-of-arrays container and pickles columns
+#: only — pre-columnar row-major pickles are orphaned, not loaded.
+CACHE_SCHEMA = 2
 
 #: Where the CLI and CI put the cache unless told otherwise.
 DEFAULT_CACHE_DIR = "results/cache"

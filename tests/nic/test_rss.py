@@ -1,5 +1,6 @@
 """Toeplitz RSS: official verification vectors, symmetry, indirection."""
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -11,6 +12,7 @@ from repro.nic import (
     hash_input_l3,
     hash_input_l4,
     toeplitz_hash,
+    toeplitz_hash_batch,
 )
 from repro.packet import FiveTuple, make_udp_packet
 
@@ -75,6 +77,59 @@ def test_l2_input_covers_ethernet_header():
     data = hash_input_l2(pkt)
     assert len(data) == 14
     assert data[:6] == b"\x02" * 6
+
+
+class TestBatchToeplitz:
+    """`toeplitz_hash_batch` is the columnar twin of `toeplitz_hash`:
+    bit-identical on every input shape the lowering path produces."""
+
+    def _as_matrix(self, rows):
+        return np.frombuffer(b"".join(rows), dtype=np.uint8).reshape(
+            len(rows), len(rows[0]))
+
+    def test_official_vectors_batched(self):
+        fts = [FiveTuple(s, d, sp, dp) for s, d, sp, dp, _, _ in MSFT_VECTORS]
+        l3 = toeplitz_hash_batch(self._as_matrix([hash_input_l3(ft) for ft in fts]))
+        l4 = toeplitz_hash_batch(self._as_matrix([hash_input_l4(ft) for ft in fts]))
+        assert l3.tolist() == [v[4] for v in MSFT_VECTORS]
+        assert l4.tolist() == [v[5] for v in MSFT_VECTORS]
+
+    @given(st.lists(st.binary(min_size=1, max_size=36), min_size=1, max_size=16),
+           st.sampled_from([None, SYMMETRIC_RSS_KEY]))
+    def test_matches_scalar_on_random_bytes(self, blobs, key):
+        """Property parity on arbitrary byte strings (per-row lengths vary,
+        so batch row-by-row with width-1 matrices of each length)."""
+        kw = {} if key is None else {"key": key}
+        for blob in blobs:
+            mat = np.frombuffer(blob, dtype=np.uint8).reshape(1, len(blob))
+            assert int(toeplitz_hash_batch(mat, **kw)[0]) == toeplitz_hash(blob, **kw)
+
+    @given(u32, u32, port, port)
+    def test_matches_scalar_on_all_input_shapes(self, src, dst, sport, dport):
+        """Every `hash_input_*` shape: L2 (14 B), L3 (8 B), L4 (12 B)."""
+        ft = FiveTuple(src_ip=src, dst_ip=dst, src_port=sport, dst_port=dport)
+        pkt = make_udp_packet(src, dst, sport, dport)
+        for data in (hash_input_l2(pkt), hash_input_l3(ft), hash_input_l4(ft)):
+            mat = np.frombuffer(data, dtype=np.uint8).reshape(1, len(data))
+            assert int(toeplitz_hash_batch(mat)[0]) == toeplitz_hash(data)
+            assert int(toeplitz_hash_batch(mat, key=SYMMETRIC_RSS_KEY)[0]) == \
+                toeplitz_hash(data, key=SYMMETRIC_RSS_KEY)
+
+    def test_l3_input_is_l4_prefix(self):
+        """The lowering fast path packs one 12-byte L4 input per packet and
+        hashes its first 8 bytes as the L3 input — pin that layout."""
+        ft = FiveTuple(0x420995BB, 0xA18E6450, 2794, 1766)
+        assert hash_input_l4(ft)[:8] == hash_input_l3(ft)
+        assert toeplitz_hash(hash_input_l4(ft)[:8]) == 0x323E8FC2
+
+    def test_empty_batch(self):
+        out = toeplitz_hash_batch(np.empty((0, 12), dtype=np.uint8))
+        assert out.shape == (0,)
+        assert out.dtype == np.uint32
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            toeplitz_hash_batch(np.zeros((1, 12), dtype=np.uint8), key=b"\x00" * 10)
 
 
 class TestIndirection:

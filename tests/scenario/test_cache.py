@@ -119,6 +119,48 @@ class TestPerfTraceCache:
         assert not path.exists()
         assert cache.corrupt_evictions == 1
 
+    def test_pre_columnar_pickle_rejected(self, cache, spec, monkeypatch):
+        """A v1-era row-major PerfTrace pickle must never half-load: the
+        struct-of-arrays ``__setstate__`` refuses the old layout, and the
+        cache evicts it like any other corrupt entry.  (Belt and braces —
+        the CACHE_SCHEMA bump to 2 already orphans the v1 directory.)"""
+        from repro.cpu.simulator import PerfTrace
+
+        pt = build_perf_trace(
+            Scenario.create("ddos", "caida", "scr", 1,
+                            num_flows=10, max_packets=300), cache=None
+        )
+        legacy_state = {
+            "records": pt.records,
+            "program_name": pt.program_name,
+            "name": pt.name,
+        }
+        monkeypatch.setattr(PerfTrace, "__getstate__", lambda self: legacy_state)
+        blob = pickle.dumps(pt)
+        monkeypatch.undo()
+        with pytest.raises(ValueError, match="pre-columnar"):
+            pickle.loads(blob)
+        path = cache.perf_path("ddos", spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(blob)
+        assert cache.load_perf_trace("ddos", spec) is None
+        assert not path.exists()
+        assert cache.corrupt_evictions == 1
+
+    def test_schema_is_v2_columnar(self, cache, spec):
+        """The columnar PerfTrace layout shipped with CACHE_SCHEMA 2, so
+        every pre-columnar entry (under ``v1/``) stopped matching at once."""
+        assert CACHE_SCHEMA >= 2
+        pt = build_perf_trace(
+            Scenario.create("ddos", "caida", "scr", 1,
+                            num_flows=10, max_packets=300), cache=None
+        )
+        cache.store_perf_trace("ddos", spec, pt)
+        path = cache.perf_path("ddos", spec)
+        assert f"v{CACHE_SCHEMA}" in path.parts
+        v1 = path.parents[1].parent / "v1" / "perf" / path.name
+        assert not v1.exists()
+
 
 class TestBuilderIntegration:
     def test_builder_populates_and_reuses(self, tmp_path, spec):
