@@ -2,7 +2,7 @@
 
 .PHONY: install test lint typecheck advise bench bench-compare \
 	bench-baseline bench-figures chaos profile report reproduce examples \
-	telemetry-demo hotpath clean
+	telemetry-demo hotpath multitenant clean
 
 install:
 	python setup.py develop
@@ -91,6 +91,18 @@ hotpath:
 		--compare benchmarks/baselines-hostwall/BENCH_hotpath.json \
 		results/bench-hotpath/BENCH_hotpath.json \
 		--rel-tol 3.0 --noise-mult 4.0
+
+# Multi-tenant placement gate: the placement test package, then the
+# multitenant suite (hybrid vs scr vs rss on zipf, 10^3..10^6 flows)
+# against its committed baseline.  Simulated-time numbers, so the gate
+# uses the default noise-aware tolerances (see docs/MULTITENANT.md).
+multitenant:
+	PYTHONPATH=src python -m pytest -x -q tests/placement
+	PYTHONPATH=src python -m repro.cli bench --suite multitenant \
+		--jobs 2 --out results/bench-multitenant
+	PYTHONPATH=src python -m repro.cli bench \
+		--compare benchmarks/baselines/BENCH_multitenant.json \
+		results/bench-multitenant/BENCH_multitenant.json
 
 # The paper-figure pytest benches (tables/figures with printed series).
 bench-figures:

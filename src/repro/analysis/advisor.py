@@ -17,7 +17,13 @@ MLFFR curve each would achieve at k = 1..K cores:
   or multi-entry state that sharding cannot place (§2.2);
 * **shared** — one state map for all cores, atomics or per-entry locks by
   the program's Table 1 row: min of the per-core rate (each access pays
-  the cache-line bounce) and the hottest entry's serialization rate.
+  the cache-line bounce) and the hottest entry's serialization rate;
+* **hybrid** — elephant/mice placement (:mod:`repro.placement`): the hot
+  flows ride SCR (replicated, sprayed), everyone else stays RSS-sharded.
+  Per-core load is ``e/k·(t + (k-1)·c2) + (1-e)·s_mice·t`` plus the
+  per-packet classifier probe; eligible only when the program is
+  shardable *and* the workload carries enough concurrent flows for
+  placement to pay for the classifier.
 
 The advisor is *pure*: it sees measurements only through its arguments,
 so the same inputs always produce the same advice.  Measurement-backed
@@ -37,6 +43,7 @@ from .dataflow import ProgramFacts
 __all__ = [
     "ADVICE_SCHEMA",
     "ADVISOR_TECHNIQUES",
+    "HYBRID_MIN_FLOWS",
     "WorkloadProfile",
     "TechniqueScore",
     "Advice",
@@ -47,7 +54,13 @@ __all__ = [
 ADVICE_SCHEMA = "scr-repro/advice/v1"
 
 #: The techniques the advisor ranks, in presentation order.
-ADVISOR_TECHNIQUES = ("scr", "relaxed_scr", "rss", "shared")
+ADVISOR_TECHNIQUES = ("scr", "relaxed_scr", "rss", "shared", "hybrid")
+
+#: Concurrent flows below which elephant/mice placement cannot pay for
+#: its classifier: with few flows a purebred technique already places
+#: them all, so the hybrid is scored ineligible rather than recommended
+#: off sketch noise.
+HYBRID_MIN_FLOWS = 1024
 
 _NS_TO_MPPS = 1e3  # 1 packet/ns == 1000 Mpps
 
@@ -68,6 +81,9 @@ class WorkloadProfile:
     #: k -> busiest core's traffic share when RSS hashes the program's key
     #: fields; missing entries fall back to the single-elephant worst case.
     rss_core_shares: Mapping[int, float] = field(default_factory=dict)
+    #: distinct state keys seen concurrently (the hybrid technique's
+    #: eligibility gate); the single-elephant default is 1.
+    flow_count: int = 1
 
     def rss_share(self, k: int) -> float:
         if k <= 1:
@@ -229,6 +245,39 @@ def _shared_curve(
     )
 
 
+def _hybrid_curve(
+    costs: CostParams,
+    workload: WorkloadProfile,
+    contention: ContentionParams,
+    cores: Sequence[int],
+) -> Tuple[List[float], str]:
+    """Elephant/mice placement: the hot share ``e`` is sprayed SCR-style
+    over all cores, the mice stay sharded; every packet pays one sketch
+    probe.  Degenerates toward plain SCR at e→1 and toward RSS at e→0."""
+    e = min(1.0, max(0.0, workload.hot_key_share))
+    probe = contention.atomic_ns
+    mice_cost = costs.t + probe
+    curve: List[float] = []
+    for k in cores:
+        if e >= 1.0:
+            mice_share = 0.0
+        else:
+            # Busiest mice core once the elephant traffic is carved out of
+            # the RSS load; never better than a perfect 1/k split.
+            mice_share = min(
+                1.0, max(1.0 / k, (workload.rss_share(k) - e) / (1.0 - e))
+            )
+        per_core = (
+            e / k * (costs.t + (k - 1) * costs.c2 + probe)
+            + (1.0 - e) * mice_share * mice_cost
+        )
+        curve.append(_NS_TO_MPPS / per_core)
+    return curve, (
+        f"elephants ({e:.0%} of traffic) replicated via SCR, mice stay "
+        "sharded; every packet pays one classifier probe"
+    )
+
+
 def advise_program(
     facts: ProgramFacts,
     costs: CostParams,
@@ -252,6 +301,42 @@ def advise_program(
     scores: List[TechniqueScore] = []
 
     for technique in ADVISOR_TECHNIQUES:
+        if technique == "hybrid":
+            # Placement eligibility is workload-dependent, unlike the
+            # purely structural gates below.
+            if "rss" not in eligible:
+                reason = (
+                    "mice sharding needs flow-placeable state; global/"
+                    "multi-entry state rules out the RSS half (§2.2)"
+                )
+            elif workload.flow_count < HYBRID_MIN_FLOWS:
+                reason = (
+                    f"only {workload.flow_count} concurrent flows "
+                    f"(placement pays off from {HYBRID_MIN_FLOWS}); "
+                    "a purebred technique already places them all"
+                )
+            else:
+                curve, why = _hybrid_curve(costs, workload, contention, cores)
+                scores.append(
+                    TechniqueScore(
+                        technique=technique,
+                        eligible=True,
+                        mlffr_mpps=tuple(curve),
+                        cores=cores,
+                        reason=why,
+                    )
+                )
+                continue
+            scores.append(
+                TechniqueScore(
+                    technique=technique,
+                    eligible=False,
+                    mlffr_mpps=(),
+                    cores=cores,
+                    reason=reason,
+                )
+            )
+            continue
         if technique not in eligible:
             scores.append(
                 TechniqueScore(

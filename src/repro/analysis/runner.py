@@ -51,6 +51,9 @@ DEFAULT_LINT_PATHS: Tuple[str, ...] = (
     # The columnar hot path must satisfy the same replay-hygiene rules as
     # the engines it batches for (SCR004: no clocks, no process RNG).
     "src/repro/cpu/columnar.py",
+    # Placement decisions feed the hybrid engine's routing, so the
+    # classifier is held to the same determinism bar (SCR004).
+    "src/repro/placement",
 )
 
 

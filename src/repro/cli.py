@@ -91,6 +91,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-file", help="SCRT/pcap trace to replay")
     p.add_argument("--workload", choices=sorted(TRACE_DISTRIBUTIONS), default="univ_dc")
     p.add_argument("--flows", type=int, default=30)
+    p.add_argument("--tenants", type=int, default=1,
+                   help="partition flows across this many tenants and "
+                        "report the occupancy split (repro.placement)")
     p.add_argument("--packets", type=int, default=2000)
     p.add_argument("--loss-rate", type=float, default=0.0)
     p.add_argument("--seed", type=int, default=0)
@@ -110,7 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--technique", choices=list(TECHNIQUES),
                    default="scr")
     p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--flows", type=int, default=60)
     p.add_argument("--packets", type=int, default=4000)
+    p.add_argument("--tenants", type=int, default=1,
+                   help="tenants sharing the data plane; >1 attaches a "
+                        "PlacementSpec (hybrid placement, repro.placement)")
+    p.add_argument("--tenant-quota", type=int, default=None, metavar="N",
+                   help="max resident state entries per tenant "
+                        "(default: unlimited)")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="content-addressed trace cache (see docs/BENCHMARKS.md)")
     p.add_argument("--telemetry", metavar="DIR",
@@ -132,7 +142,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--techniques", nargs="+",
                    default=["scr", "shared", "rss", "rss++"])
     p.add_argument("--cores", nargs="+", type=int, default=[1, 2, 4, 7])
+    p.add_argument("--flows", type=int, default=60)
     p.add_argument("--packets", type=int, default=4000)
+    p.add_argument("--tenants", type=int, default=1,
+                   help="tenants sharing the data plane; >1 attaches a "
+                        "PlacementSpec (hybrid placement, repro.placement)")
+    p.add_argument("--tenant-quota", type=int, default=None, metavar="N",
+                   help="max resident state entries per tenant "
+                        "(default: unlimited)")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker processes (results identical to --jobs 1)")
     p.add_argument("--cache-dir", metavar="DIR",
@@ -307,6 +324,19 @@ def _cache_for(args) -> "Optional[TraceCache]":
     return None
 
 
+def _placement_for(args):
+    """A PlacementSpec when ``--tenants``/``--tenant-quota`` were given,
+    else None (single-tenant scenarios carry no placement config).  May
+    raise ValueError; callers report it like Scenario.create's errors."""
+    from .placement import PlacementSpec
+
+    tenants = getattr(args, "tenants", 1)
+    quota = getattr(args, "tenant_quota", None)
+    if tenants == 1 and quota is None:
+        return None
+    return PlacementSpec(num_tenants=tenants, tenant_quota=quota)
+
+
 def _load_or_synthesize(args, cache=None, hostprof=None) -> Trace:
     from .hostprof import NULL_HOSTPROF
     from .scenario import StackBuilder, TraceSpec
@@ -407,7 +437,7 @@ def _finish_hostprof(hp, args, out) -> bool:
         command=args.command,
         config=_config_from(
             args, "program", "workload", "technique", "techniques",
-            "cores", "packets", "flows", "seed", "jobs", "suite",
+            "cores", "packets", "flows", "tenants", "seed", "jobs", "suite",
         ),
         clock=hp,
     )
@@ -454,8 +484,8 @@ def _finish_telemetry(tele, args, out, num_cores, extra_metrics=None) -> bool:
             command=args.command,
             config=_config_from(
                 args, "program", "workload", "technique", "techniques",
-                "cores", "packets", "flows", "loss_rate", "seed",
-                "trace_sample",
+                "cores", "packets", "flows", "tenants", "tenant_quota",
+                "loss_rate", "seed", "trace_sample",
             ),
             extra_metrics=extra_metrics,
             num_cores=num_cores,
@@ -471,6 +501,9 @@ def _finish_telemetry(tele, args, out, num_cores, extra_metrics=None) -> bool:
 
 
 def cmd_run(args, out) -> int:
+    if args.tenants < 1:
+        print(f"error: --tenants must be >= 1, got {args.tenants}", file=out)
+        return 2
     cache = _cache_for(args)
     hp = _hostprof_for(args)
     trace = _load_or_synthesize(args, cache=cache, hostprof=hp)
@@ -499,6 +532,15 @@ def cmd_run(args, out) -> int:
     print(f"replicas consistent: {consistent}", file=out)
     if not result.lost_seqs:
         print(f"matches single-threaded reference: {matches}", file=out)
+    if args.tenants > 1:
+        from .placement import tenant_of
+
+        occupancy: dict = {}
+        for flow in trace.flow_sizes():
+            t = tenant_of(flow, args.tenants, args.seed)
+            occupancy[t] = occupancy.get(t, 0) + 1
+        print(f"tenants: {args.tenants} ({len(occupancy)} occupied, "
+              f"busiest holds {max(occupancy.values())} flows)", file=out)
     if tele.enabled:
         reg = tele.registry
         reg.counter("packets_offered").inc(result.offered)
@@ -531,10 +573,15 @@ def cmd_mlffr(args, out) -> int:
     tele = _telemetry_for(args)
     hp = _hostprof_for(args)
     cache = _cache_for(args)
-    scenario = Scenario.create(
-        args.program, args.workload, args.technique, args.cores,
-        max_packets=args.packets,
-    )
+    try:
+        scenario = Scenario.create(
+            args.program, args.workload, args.technique, args.cores,
+            num_flows=args.flows, max_packets=args.packets,
+            placement=_placement_for(args),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
     executor = ScenarioExecutor(
         cache=cache, telemetry=tele if tele.enabled else None, hostprof=hp
     )
@@ -542,6 +589,12 @@ def cmd_mlffr(args, out) -> int:
     print(f"{args.program} @ {args.workload}, {args.technique}, "
           f"{args.cores} cores: {result.mlffr_mpps:.2f} Mpps "
           f"({result.iterations} search iterations)", file=out)
+    stats = result.placement_stats
+    if stats is not None:
+        print(f"placement: {stats['promotions']} promotions, "
+              f"{stats['demotions']} demotions, "
+              f"{stats['migrations']} migrations, "
+              f"{stats['tenant_quota_drops_total']} quota drops", file=out)
     _record_cache_metrics(tele, cache)
     if not _finish_telemetry(tele, args, out, num_cores=args.cores,
                              extra_metrics=_result_metrics([result])):
@@ -562,7 +615,8 @@ def cmd_sweep(args, out) -> int:
     try:
         grid = scenario_grid(
             args.program, args.workload, args.techniques, args.cores,
-            max_packets=args.packets,
+            num_flows=args.flows, max_packets=args.packets,
+            placement=_placement_for(args),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=out)

@@ -338,6 +338,10 @@ class SimResult:
     #: injector summary (counts per fault kind) when the run had a fault
     #: plan; None on fault-free runs so old artifacts stay byte-identical.
     fault_stats: Optional[Dict[str, object]] = None
+    #: elephant/mice placement counters (promotions, migrations, quota
+    #: drops) when the engine exposes ``placement_summary`` (the hybrid
+    #: technique); None otherwise so old artifacts stay byte-identical.
+    placement_stats: Optional[Dict[str, object]] = None
 
     def latency_percentile_ns(self, q: float) -> float:
         """The q-quantile (0..1) of per-packet sojourn time (exact samples)."""
@@ -701,6 +705,10 @@ def simulate(
         recovery = getattr(engine, "fault_summary", None)
         if recovery is not None:
             fault_stats.update(recovery())
+    placement_stats: Optional[Dict[str, object]] = None
+    placement = getattr(engine, "placement_summary", None)
+    if placement is not None:
+        placement_stats = placement()
     if tracing:
         summary_fields = dict(
             engine=getattr(engine, "name", "?"),
@@ -715,6 +723,8 @@ def simulate(
         )
         if fault_stats is not None:
             summary_fields["fault_stats"] = fault_stats
+        if placement_stats is not None:
+            summary_fields["placement_stats"] = placement_stats
         emit(EV_RUN_SUMMARY, ts_ns=duration, **summary_fields)
     return SimResult(
         offered=offered,
@@ -731,4 +741,5 @@ def simulate(
         latency_samples_ns=latency_samples,
         latency_histogram=latency_hist,
         fault_stats=fault_stats,
+        placement_stats=placement_stats,
     )

@@ -6,6 +6,7 @@ from .functional import (
     ShardedFunctionalEngine,
     SharedFunctionalEngine,
 )
+from .hybrid import HybridEngine
 from .registry import COLUMNAR_TECHNIQUES, TECHNIQUES, make_engine, technique_names
 from .relaxed_scr import RelaxedScrEngine
 from .scr_technique import ScrEngine
@@ -24,6 +25,7 @@ __all__ = [
     "technique_names",
     "ScrEngine",
     "RelaxedScrEngine",
+    "HybridEngine",
     "RssPlusPlusEngine",
     "ShardedRssEngine",
     "SharedAtomicEngine",

@@ -6,6 +6,7 @@ from typing import List
 
 from ..programs.base import PacketProgram
 from .base import BaseEngine
+from .hybrid import HybridEngine
 from .relaxed_scr import RelaxedScrEngine
 from .scr_technique import ScrEngine
 from .sharded import RssPlusPlusEngine, ShardedRssEngine
@@ -15,8 +16,9 @@ __all__ = ["TECHNIQUES", "COLUMNAR_TECHNIQUES", "make_engine", "technique_names"
 
 #: The four techniques compared throughout §4.2, plus relaxed SCR — the
 #: pruned-history variant for commutative state the advisor recommends
-#: (docs/ADVISOR.md).
-TECHNIQUES = ("scr", "relaxed_scr", "shared", "rss", "rss++")
+#: (docs/ADVISOR.md) — plus the elephant/mice placement hybrid
+#: (repro.placement, docs/MULTITENANT.md).
+TECHNIQUES = ("scr", "relaxed_scr", "shared", "rss", "rss++", "hybrid")
 
 #: Techniques whose engines can opt into the columnar hot path
 #: (``columnar_eligible`` may still say no at runtime, e.g. SCR with loss
@@ -45,6 +47,8 @@ def make_engine(
         return ShardedRssEngine(program, num_cores, **kwargs)
     if technique == "rss++":
         return RssPlusPlusEngine(program, num_cores, **kwargs)
+    if technique == "hybrid":
+        return HybridEngine(program, num_cores, **kwargs)
     raise ValueError(
         f"unknown technique {technique!r}; known: {', '.join(technique_names())}"
     )

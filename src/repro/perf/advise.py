@@ -135,8 +135,9 @@ def workload_profile(
         counts = Counter(r.key for r in valid)
         hot = max(counts.values()) / len(valid)
         global_fraction = sum(1 for r in valid if r.touches_global) / len(valid)
+        flow_count = len(counts)
     else:
-        hot, global_fraction = 0.0, 0.0
+        hot, global_fraction, flow_count = 0.0, 0.0, 0
     shares: Dict[int, float] = {}
     if records:
         hashes = [hash_for_program(program, r) for r in records]
@@ -152,6 +153,7 @@ def workload_profile(
         hot_key_share=hot,
         global_fraction=global_fraction,
         rss_core_shares=shares,
+        flow_count=flow_count,
     )
 
 

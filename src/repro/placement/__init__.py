@@ -1,0 +1,31 @@
+"""Flow placement for multi-tenant scale-out (docs/MULTITENANT.md).
+
+The paper parallelizes *one* hot flow; a production data plane serves
+millions of flows where only a handful are elephants.  This package
+decides, online and deterministically, which flows earn SCR replication
+and which stay on plain RSS sharding:
+
+* :class:`CountMinSketch` — the approximate per-flow packet counter the
+  classification path reads (one sketch update per packet, never a per-flow
+  exact counter at million-flow scale);
+* :class:`ElephantClassifier` — space-saving candidate tracking over the
+  sketch with promote/demote **hysteresis** and periodic decay, so
+  placement never flaps on flows oscillating around the threshold;
+* :class:`PlacementSpec` — the frozen, content-hashed scenario knob that
+  configures both (tenancy, quotas, thresholds, sketch geometry).
+
+Everything is seeded and pure: the same seed and packet stream produce
+the same promotions on every run, at every MLFFR probe rate, and under
+any ``--jobs N`` (the SCR004 hygiene bar engines are held to).
+"""
+
+from .classifier import CountMinSketch, ElephantClassifier, PlacementEvent
+from .spec import PlacementSpec, tenant_of
+
+__all__ = [
+    "CountMinSketch",
+    "ElephantClassifier",
+    "PlacementEvent",
+    "PlacementSpec",
+    "tenant_of",
+]

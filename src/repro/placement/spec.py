@@ -1,0 +1,113 @@
+"""PlacementSpec: the frozen tenancy/placement knob on a Scenario.
+
+Mirrors :class:`repro.faults.FaultSpec`: a frozen dataclass of JSON
+scalars with a ``canonical_dict`` that participates in the scenario
+content hash — two scenarios differing only in placement never share a
+cache entry or a baseline point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Hashable, Optional, Union
+
+from ..state.cuckoo import _fnv1a, _key_bytes
+
+__all__ = ["PlacementSpec", "tenant_of"]
+
+_TENANT_SALT = 0x7E6A4E7B
+
+
+def tenant_of(key: Hashable, num_tenants: int, seed: int = 0) -> int:
+    """Deterministic tenant owning a flow key (seeded FNV-1a bucket).
+
+    The simulator has no tenant column on its packets, so tenancy is a
+    pure function of the flow key — reproducible across probes, workers,
+    and runs, which is what the quota drop-cause accounting needs.
+    """
+    if num_tenants < 1:
+        raise ValueError("num_tenants must be positive")
+    if num_tenants == 1:
+        return 0
+    return _fnv1a(_key_bytes(key), seed ^ _TENANT_SALT) % num_tenants
+
+
+@dataclasses.dataclass(frozen=True)
+class PlacementSpec:
+    """Frozen placement/tenancy configuration (all JSON scalars).
+
+    ``promote_threshold`` > ``demote_threshold`` is the hysteresis band:
+    a flow is promoted to SCR when its estimated packet count reaches the
+    former and demoted back to RSS only when periodic decay drags the
+    estimate below the latter — flows hovering at one threshold cannot
+    flap.  See docs/MULTITENANT.md for the model.
+    """
+
+    #: tenants sharing the data plane (keys are namespaced per tenant).
+    num_tenants: int = 1
+    #: max resident state entries per tenant (None: unlimited).
+    tenant_quota: Optional[int] = None
+    #: how many flows may hold SCR placement at once (sequencer capacity).
+    max_elephants: int = 4
+    #: estimated packets at which a flow is promoted to SCR.
+    promote_threshold: int = 64
+    #: estimated packets below which a promoted flow is demoted to RSS.
+    demote_threshold: int = 16
+    #: observations between sketch halvings (the demotion clock).
+    decay_interval: int = 4096
+    #: count-min geometry.
+    sketch_width: int = 1024
+    sketch_depth: int = 4
+    #: seeds sketch rows, shard selection, and tenant assignment.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_tenants < 1:
+            raise ValueError("num_tenants must be >= 1")
+        if self.tenant_quota is not None and self.tenant_quota < 1:
+            raise ValueError("tenant_quota must be >= 1 (or None)")
+        if self.max_elephants < 1:
+            raise ValueError("max_elephants must be >= 1")
+        if self.promote_threshold < 1:
+            raise ValueError("promote_threshold must be >= 1")
+        if not 0 <= self.demote_threshold < self.promote_threshold:
+            raise ValueError(
+                "demote_threshold must satisfy "
+                "0 <= demote < promote (the hysteresis band)"
+            )
+        if self.decay_interval < 1:
+            raise ValueError("decay_interval must be >= 1")
+        if self.sketch_width < 1 or self.sketch_depth < 1:
+            raise ValueError("sketch geometry must be positive")
+
+    @classmethod
+    def create(
+        cls,
+        num_tenants: int = 1,
+        tenant_quota: Optional[int] = None,
+        **kwargs: Union[int, None],
+    ) -> "PlacementSpec":
+        return cls(num_tenants=num_tenants, tenant_quota=tenant_quota,
+                   **kwargs)  # type: ignore[arg-type]
+
+    def canonical_dict(self) -> Dict[str, Union[int, None]]:
+        """JSON-stable content for the scenario hash (sorted by key)."""
+        return {
+            "decay_interval": self.decay_interval,
+            "demote_threshold": self.demote_threshold,
+            "max_elephants": self.max_elephants,
+            "num_tenants": self.num_tenants,
+            "promote_threshold": self.promote_threshold,
+            "seed": self.seed,
+            "sketch_depth": self.sketch_depth,
+            "sketch_width": self.sketch_width,
+            "tenant_quota": self.tenant_quota,
+        }
+
+    def describe(self) -> str:
+        quota = "∞" if self.tenant_quota is None else str(self.tenant_quota)
+        return (
+            f"placement(tenants={self.num_tenants}, quota={quota}, "
+            f"elephants<={self.max_elephants}, "
+            f"promote@{self.promote_threshold}/demote@{self.demote_threshold})"
+        )

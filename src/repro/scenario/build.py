@@ -85,6 +85,8 @@ class ScenarioResult:
     metrics: Optional[Dict[str, dict]] = None
     #: injector + recovery counters at the reported rate (faulted runs).
     fault_stats: Optional[Dict[str, object]] = None
+    #: placement/quota counters at the reported rate (hybrid runs).
+    placement_stats: Optional[Dict[str, object]] = None
     #: worker PhaseClock snapshot, folded by the executor (profiled runs).
     host_phases: Optional[Dict[str, Dict[str, int]]] = None
     mlffr: Optional["MlffrResult"] = None
@@ -168,6 +170,10 @@ class StackBuilder:
         if scenario.faults is not None and scenario.technique == "scr":
             # The recovery cost model reads the fault regime's epoch.
             kwargs.setdefault("fault_epoch_len", scenario.faults.epoch_len)
+        if scenario.placement is not None and scenario.technique == "hybrid":
+            # The spec object itself is builder-wired (engine kwargs hold
+            # JSON scalars only); its knobs are hashed via the scenario.
+            kwargs.setdefault("placement", scenario.placement)
         with self.hostprof.phase("engine.build"):
             return make_engine(
                 scenario.technique,
@@ -294,6 +300,7 @@ def run_scenario(
     best = res.result_at_mlffr
     if best is not None:
         result.fault_stats = best.fault_stats
+        result.placement_stats = best.placement_stats
         if instrumented or scenario.collect_latency:
             result.counters = best.counters.snapshot()
             hist = best.latency_histogram
@@ -328,3 +335,19 @@ def _record_point(
     hist = best.latency_histogram
     if hist is not None and hist.count:
         reg.histogram("latency_ns", help="per-packet latency at MLFFR").merge(hist)
+    placement = result.placement_stats
+    if placement is not None:
+        for metric in (
+            "promotions",
+            "demotions",
+            "migrations",
+            "tenant_quota_drops_total",
+            "statemap_grow_events",
+        ):
+            value = placement.get(metric)
+            if isinstance(value, (int, float)) and value:
+                reg.counter(
+                    "placement_%s{%s}" % (metric, labels),
+                    help="elephant/mice placement counter at MLFFR "
+                    "(repro.placement)",
+                ).inc(value)

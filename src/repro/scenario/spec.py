@@ -35,12 +35,14 @@ from ..programs.registry import make_program, program_names
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..faults.spec import FaultSpec
+    from ..placement.spec import PlacementSpec
 
 __all__ = [
     "SPEC_SCHEMA",
     "PACKET_SIZE_DEFAULT",
     "PACKET_SIZE_CONNTRACK",
     "SINGLE_FLOW_WORKLOAD",
+    "MAX_NUM_FLOWS",
     "EngineKwargs",
     "packet_size_for",
     "freeze_engine_kwargs",
@@ -52,7 +54,14 @@ __all__ = [
 #: Bump on any incompatible change to the canonical spec shape; part of
 #: every content hash, so old cache entries stop matching automatically.
 #: 2: scenarios carry an optional FaultSpec (repro.faults).
-SPEC_SCHEMA = 2
+#: 3: scenarios carry an optional PlacementSpec (repro.placement) for
+#:    tenancy and elephant/mice placement.
+SPEC_SCHEMA = 3
+
+#: Upper bound on synthesized flow counts — generous headroom over the
+#: multitenant suite's 10^6-flow ceiling while still catching sign slips
+#: and unit mistakes (e.g. passing bytes where a count belongs).
+MAX_NUM_FLOWS = 16_000_000
 
 #: Fixed packet sizes used across baselines (§4.2).
 PACKET_SIZE_DEFAULT = 192
@@ -163,6 +172,10 @@ class Scenario:
     #: Participates in the content hash, so a faulted scenario can never
     #: share a cached result with its fault-free twin.
     faults: Optional["FaultSpec"] = None
+    #: optional tenancy/placement config (repro.placement.PlacementSpec);
+    #: None = single-tenant, no placement engine wiring.  Hashed for the
+    #: same reason as ``faults``.
+    placement: Optional["PlacementSpec"] = None
 
     @classmethod
     def create(
@@ -182,6 +195,7 @@ class Scenario:
         collect_latency: bool = False,
         profile: bool = False,
         faults: Optional["FaultSpec"] = None,
+        placement: Optional["PlacementSpec"] = None,
     ) -> "Scenario":
         """Validated scenario with the evaluation's defaults filled in.
 
@@ -201,6 +215,16 @@ class Scenario:
             )
         if cores < 1:
             raise ValueError("need at least one core")
+        if not 1 <= num_flows <= MAX_NUM_FLOWS:
+            raise ValueError(
+                f"num_flows must be in [1, {MAX_NUM_FLOWS}], got {num_flows}"
+            )
+        if placement is not None and not 1 <= placement.num_tenants <= num_flows:
+            raise ValueError(
+                f"num_tenants must be in [1, num_flows={num_flows}] "
+                f"(more tenants than flows leaves empty tenants), "
+                f"got {placement.num_tenants}"
+            )
         size = packet_size if packet_size is not None else packet_size_for(program)
         bidirectional = bool(make_program(program).bidirectional)
         return cls(
@@ -221,6 +245,7 @@ class Scenario:
             collect_latency=collect_latency,
             profile=profile,
             faults=faults,
+            placement=placement,
         )
 
     @property
@@ -243,6 +268,9 @@ class Scenario:
             "collect_latency": self.collect_latency,
             "profile": self.profile,
             "faults": None if self.faults is None else self.faults.canonical_dict(),
+            "placement": (
+                None if self.placement is None else self.placement.canonical_dict()
+            ),
         }
 
     def content_hash(self) -> str:
@@ -258,6 +286,10 @@ class Scenario:
         """The same measurement under a different fault regime."""
         return dataclasses.replace(self, faults=faults)
 
+    def with_placement(self, placement: Optional["PlacementSpec"]) -> "Scenario":
+        """The same measurement under a different tenancy/placement config."""
+        return dataclasses.replace(self, placement=placement)
+
     def describe(self) -> str:
         base = (
             f"{self.program} @ {self.workload}, {self.technique}, "
@@ -265,6 +297,8 @@ class Scenario:
         )
         if self.faults is not None:
             base += f" [faults: {self.faults.describe()}]"
+        if self.placement is not None:
+            base += f" [{self.placement.describe()}]"
         return base
 
 

@@ -1,12 +1,15 @@
-"""State substrate: cuckoo hash table and shared / per-core map wrappers."""
+"""State substrate: cuckoo hash table and shared / per-core / sharded maps."""
 
 from .cuckoo import CuckooHashTable, CuckooInsertError
 from .maps import PerCoreStateMap, SharedStateMap, StateMap
+from .sharded import QUOTA_DROP_CAUSE, ShardedStateMap
 
 __all__ = [
     "CuckooHashTable",
     "CuckooInsertError",
     "PerCoreStateMap",
+    "QUOTA_DROP_CAUSE",
     "SharedStateMap",
+    "ShardedStateMap",
     "StateMap",
 ]

@@ -88,6 +88,9 @@ class CuckooHashTable:
         self._size = 0
         # _kick_cursor makes eviction choice deterministic without an RNG.
         self._kick_cursor = 0
+        #: how many times the table doubled; shard-sizing observability —
+        #: a control plane that sized the map right sees 0 here.
+        self.grow_events = 0
 
     @staticmethod
     def _geometry(capacity: int, slots: int) -> int:
@@ -187,6 +190,7 @@ class CuckooHashTable:
 
     def _grow(self) -> None:
         """Double the bucket array and rehash everything (plus any pending)."""
+        self.grow_events += 1
         entries = list(self.items())
         pending = getattr(self, "_pending", None)
         if pending is not None:

@@ -47,6 +47,20 @@ class StateMap:
         """A plain-dict copy, used by tests to compare replica states."""
         return dict(self._table.items())
 
+    @property
+    def grow_events(self) -> int:
+        """How many times the backing cuckoo table doubled (shard sizing)."""
+        return self._table.grow_events
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Sizing observability beside :meth:`snapshot` (which stays a pure
+        contents copy so replica-equality comparisons are unaffected)."""
+        return {
+            "entries": len(self._table),
+            "bucket_count": self._table.bucket_count,
+            "grow_events": self._table.grow_events,
+        }
+
     def clear(self) -> None:
         self._table.clear()
 
@@ -131,3 +145,8 @@ class PerCoreStateMap:
         """True when every core's replica holds identical contents."""
         snaps = self.snapshots()
         return all(s == snaps[0] for s in snaps[1:])
+
+    @property
+    def grow_events(self) -> int:
+        """Total grow events across all replicas (sizing observability)."""
+        return sum(r.grow_events for r in self._replicas)

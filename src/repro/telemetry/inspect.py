@@ -204,6 +204,53 @@ def _slo_section(artifact: RunArtifact) -> List[str]:
     return lines
 
 
+#: Placement/tenancy counters ``_record_point`` folds for hybrid runs
+#: (metric base name -> meaning); instance names carry a ``{...}`` label
+#: suffix identifying the scenario point.
+_PLACEMENT_METRICS = {
+    "placement_promotions": "flows promoted to the SCR path",
+    "placement_demotions": "flows demoted back to RSS sharding",
+    "placement_migrations": "migration handoffs (cost charged in-band)",
+    "placement_tenant_quota_drops_total": "state entries refused by tenant quota",
+    "placement_statemap_grow_events": "sharded state-map growth events",
+}
+
+
+def _placement_section(artifact: RunArtifact) -> List[str]:
+    """Elephant/mice placement counters, for hybrid-technique runs.
+
+    Purebred runs (and artifacts that predate ``repro.placement``) have
+    no such counters and skip the section silently; a *hybrid* run whose
+    artifact lacks them gets a one-line note (and a zero exit) instead
+    of an error, like the slo and cache sections.
+    """
+    registry = artifact.metrics.get("registry", {})
+    rows = []
+    for name, inst in sorted(registry.items()):
+        base = name.split("{", 1)[0]
+        if base not in _PLACEMENT_METRICS:
+            continue
+        if not isinstance(inst, dict) or inst.get("type") != "counter":
+            continue
+        rows.append([name, f"{inst.get('value', 0):g}",
+                     _PLACEMENT_METRICS[base]])
+    if not rows:
+        techniques = {
+            str(artifact.config.get(key, ""))
+            for key in ("technique", "techniques")
+        }
+        if any("hybrid" in t for t in techniques):
+            return [
+                "",
+                "placement: counters not recorded (artifact predates "
+                "placement telemetry; re-run to record)",
+            ]
+        return []
+    lines = ["", "placement & tenancy (hybrid runs, at the reported rate):"]
+    lines.extend(_table(["metric", "value", "meaning"], rows))
+    return lines
+
+
 def _cache_section(artifact: RunArtifact) -> List[str]:
     """TraceCache hit/miss/corrupt-evict counters, when recorded.
 
@@ -278,6 +325,9 @@ def summarize_artifact(directory: Union[str, Path]) -> str:
 
     # 2c. trace-cache effectiveness ------------------------------------------
     lines.extend(_cache_section(artifact))
+
+    # 2d. elephant/mice placement & tenancy ----------------------------------
+    lines.extend(_placement_section(artifact))
 
     # 3. latency percentiles --------------------------------------------------
     latency = artifact.metrics.get("latency_ns")

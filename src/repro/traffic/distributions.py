@@ -28,6 +28,7 @@ __all__ = [
     "univ_dc_flow_sizes",
     "caida_backbone_flow_sizes",
     "hyperscalar_dc_flow_sizes",
+    "zipf_flow_sizes",
     "TRACE_DISTRIBUTIONS",
     "MSS_BYTES",
 ]
@@ -189,20 +190,36 @@ class ZipfFlowSizes(FlowSizeDistribution):
     dominating elephant) in tests and ablations.
     """
 
-    def __init__(self, exponent: float = 1.0, total_packets: int = 100_000):
+    def __init__(
+        self,
+        exponent: float = 1.0,
+        total_packets: int = 100_000,
+        packets_per_flow: Optional[int] = None,
+    ):
         if exponent <= 0:
             raise ValueError("exponent must be positive")
         self.exponent = exponent
         self.total_packets = total_packets
+        #: when set, the packet budget scales as ``packets_per_flow * count``
+        #: instead of the fixed ``total_packets`` — flow-count sweeps then
+        #: keep the same *shape* (elephant share, tail mass) at every count
+        #: rather than starving the tail at high counts.
+        self.packets_per_flow = packets_per_flow
         self.name = f"zipf(s={exponent})"
 
     def sample_packets(self, rng: np.random.Generator, count: int) -> List[int]:
-        weights = np.array([1.0 / (r**self.exponent) for r in range(1, count + 1)])
+        total = (
+            self.packets_per_flow * count
+            if self.packets_per_flow is not None
+            else self.total_packets
+        )
+        ranks = np.arange(1, count + 1, dtype=np.float64)
+        weights = ranks ** (-self.exponent)
         weights /= weights.sum()
-        sizes = [max(1, int(w * self.total_packets)) for w in weights]
+        sizes = np.maximum(1, (weights * total).astype(np.int64))
         # Shuffle so rank order is not arrival order.
         rng.shuffle(sizes)
-        return sizes
+        return [int(s) for s in sizes]
 
     def cdf_series(self, points: int = 50) -> Tuple[List[float], List[float]]:
         sizes = sorted(self.sample_packets(np.random.default_rng(0), points))
@@ -278,9 +295,24 @@ def hyperscalar_dc_flow_sizes() -> EmpiricalFlowSizes:
     return EmpiricalFlowSizes(cdf, name="hyperscalar_dc")
 
 
-#: The three evaluation workloads, by trace name used throughout benches.
+def zipf_flow_sizes() -> ZipfFlowSizes:
+    """Zipf-skewed flow sizes for the multitenant placement suite.
+
+    Rank r carries ~C/r^1.1 packets: a handful of elephants dominate while
+    almost every other flow is a single-digit mouse — the regime where
+    elephant/mice placement (``hybrid``, docs/MULTITENANT.md) should beat
+    both pure SCR and pure RSS.  The packet budget scales with the flow
+    count, so a 10^6-flow sweep point keeps the same elephant share as a
+    10^3-flow one instead of starving the tail.
+    """
+    return ZipfFlowSizes(exponent=1.1, packets_per_flow=50)
+
+
+#: The three evaluation workloads, by trace name used throughout benches,
+#: plus the synthetic Zipf workload the multitenant suite sweeps.
 TRACE_DISTRIBUTIONS = {
     "univ_dc": univ_dc_flow_sizes,
     "caida": caida_backbone_flow_sizes,
     "hyperscalar_dc": hyperscalar_dc_flow_sizes,
+    "zipf": zipf_flow_sizes,
 }

@@ -162,23 +162,36 @@ def synthesize_trace(
         )
 
     # Merge per-flow packet streams by timestamp with a heap; the tie-breaker
-    # (flow index, packet index) keeps synthesis deterministic.
-    streams = [
-        flow_packets(s, bidirectional=bidirectional, payload_size=payload_size)
-        for s in specs
-    ]
-    heap: List[Tuple[int, int, int, Packet]] = []
-    for fi, stream in enumerate(streams):
-        heapq.heappush(heap, (stream[0].timestamp_ns, fi, 0, stream[0]))
+    # (flow index, packet index) keeps synthesis deterministic.  Flows are
+    # admitted lazily in start order: a flow's packets are only materialized
+    # once its start time is due, so a million-flow spec truncated by
+    # ``max_packets`` never pays for the flows past the cap.  (A flow's
+    # packets all carry timestamps >= its start, and specs are built in
+    # start order, so lazy admission merges identically to the eager merge.)
+    heap: List[Tuple[int, int, int, List[Packet]]] = []
     merged: List[Packet] = []
-    while heap:
-        ts, fi, pi, pkt = heapq.heappop(heap)
-        merged.append(pkt)
+    next_flow = 0
+    while True:
+        while next_flow < len(specs) and (
+            not heap or specs[next_flow].start_ns <= heap[0][0]
+        ):
+            stream = flow_packets(
+                specs[next_flow],
+                bidirectional=bidirectional,
+                payload_size=payload_size,
+            )
+            heapq.heappush(
+                heap, (stream[0].timestamp_ns, next_flow, 0, stream)
+            )
+            next_flow += 1
+        if not heap:
+            break
+        ts, fi, pi, stream = heapq.heappop(heap)
+        merged.append(stream[pi])
         if max_packets is not None and len(merged) >= max_packets:
             break
-        if pi + 1 < len(streams[fi]):
-            nxt = streams[fi][pi + 1]
-            heapq.heappush(heap, (nxt.timestamp_ns, fi, pi + 1, nxt))
+        if pi + 1 < len(stream):
+            heapq.heappush(heap, (stream[pi + 1].timestamp_ns, fi, pi + 1, stream))
 
     trace_name = name or f"{distribution.name}-{num_flows}flows"
     return Trace(merged, name=trace_name)

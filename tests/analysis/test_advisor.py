@@ -31,11 +31,42 @@ COSTS = TABLE4_PARAMS["ddos"]
 
 
 def test_eligibility_drops_rss_for_global_and_multikey_state():
-    assert eligible_techniques(make_facts()) == ADVISOR_TECHNIQUES
+    # eligible_techniques covers the *measurable* purebreds; hybrid's
+    # workload-dependent eligibility is decided inside advise_program.
+    assert eligible_techniques(make_facts()) == \
+        tuple(t for t in ADVISOR_TECHNIQUES if t != "hybrid")
     for kwargs in ({"has_global_state": True}, {"multi_key": True}):
         eligible = eligible_techniques(make_facts(**kwargs))
         assert "rss" not in eligible
         assert set(eligible) == {"scr", "relaxed_scr", "shared"}
+
+
+def test_hybrid_needs_flow_placeable_state():
+    # Global/multi-entry state rules out the RSS half of the hybrid.
+    advice = advise_program(make_facts(has_global_state=True), COSTS,
+                            workload=WorkloadProfile(flow_count=10_000))
+    hybrid = advice.score("hybrid")
+    assert not hybrid.eligible
+    assert "rss" in hybrid.reason.lower() or "state" in hybrid.reason.lower()
+
+
+def test_hybrid_needs_enough_concurrent_flows():
+    advice = advise_program(make_facts(), COSTS,
+                            workload=WorkloadProfile(flow_count=46))
+    hybrid = advice.score("hybrid")
+    assert not hybrid.eligible
+    assert "46" in hybrid.reason
+
+
+def test_hybrid_wins_zipf_many_flow_workloads():
+    """Mice-heavy traffic at high core counts: the hybrid's predicted
+    curve must beat pure SCR (it skips the mice's history replay)."""
+    workload = WorkloadProfile(hot_key_share=0.2, flow_count=100_000)
+    advice = advise_program(make_facts(), COSTS, workload=workload,
+                            cores=(1, 2, 4, 8))
+    hybrid, scr = advice.score("hybrid"), advice.score("scr")
+    assert hybrid.eligible
+    assert hybrid.mlffr_mpps[-1] > scr.mlffr_mpps[-1]
 
 
 def test_scr_curve_matches_appendix_a():

@@ -17,7 +17,8 @@ from repro.programs import make_program
 
 
 def test_technique_set():
-    assert set(TECHNIQUES) == {"scr", "relaxed_scr", "shared", "rss", "rss++"}
+    assert set(TECHNIQUES) == {"scr", "relaxed_scr", "shared", "rss",
+                               "rss++", "hybrid"}
     assert technique_names() == list(TECHNIQUES)
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.analysis.advisor import ADVISOR_TECHNIQUES
 from repro.perf.advise import (
     REPORT_SCHEMA,
     advice_report,
@@ -68,7 +67,11 @@ def test_workload_profile_single_flow_pins_one_core():
 
 
 def test_measured_techniques_follow_facts():
-    assert measured_techniques(program_facts("ddos")) == ADVISOR_TECHNIQUES
+    # hybrid is advised but not validation-measured (its win is workload-
+    # dependent; the multitenant suite gates it on the zipf sweep instead).
+    assert measured_techniques(program_facts("ddos")) == (
+        "scr", "relaxed_scr", "rss", "shared",
+    )
     assert measured_techniques(program_facts("token_bucket")) == (
         "scr", "rss", "shared",
     )

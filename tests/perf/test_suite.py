@@ -19,7 +19,7 @@ def test_suite_names_stable():
     assert suite_names() == [
         "advisor_validation", "engine_mlffr", "faults_recovery",
         "fig11_model_fit", "fig6_scaling", "hostwall", "hotpath",
-        "obs_overhead", "tail_latency",
+        "multitenant", "obs_overhead", "tail_latency",
     ]
 
 

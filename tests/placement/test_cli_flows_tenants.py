@@ -1,0 +1,65 @@
+"""The --flows/--tenants/--tenant-quota CLI plumbing."""
+
+import io
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+_MLFFR = ["mlffr", "--program", "ddos", "--workload", "univ_dc",
+          "--technique", "hybrid", "--cores", "2", "--packets", "400"]
+
+
+def test_mlffr_flows_out_of_range_lists_valid_range():
+    code, text = run_cli(_MLFFR + ["--flows", "0"])
+    assert code == 2
+    assert "num_flows" in text and "[1," in text
+
+
+def test_mlffr_tenants_exceeding_flows_rejected():
+    code, text = run_cli(_MLFFR + ["--flows", "4", "--tenants", "5"])
+    assert code == 2
+    assert "num_tenants" in text
+
+
+def test_mlffr_hybrid_reports_placement_counters():
+    code, text = run_cli(_MLFFR + ["--flows", "30", "--tenants", "3"])
+    assert code == 0
+    assert "placement:" in text
+    assert "promotions" in text and "quota drops" in text
+
+
+def test_mlffr_purebred_ignores_placement_line():
+    code, text = run_cli(["mlffr", "--program", "ddos", "--workload",
+                          "univ_dc", "--technique", "scr", "--cores", "2",
+                          "--packets", "400", "--flows", "30"])
+    assert code == 0
+    assert "placement:" not in text
+
+
+def test_run_tenant_occupancy_report():
+    code, text = run_cli(["run", "--program", "ddos", "--workload", "univ_dc",
+                          "--packets", "400", "--tenants", "4"])
+    assert code == 0
+    assert "tenants: 4" in text
+    assert "occupied" in text
+
+
+def test_run_tenants_validated():
+    code, text = run_cli(["run", "--program", "ddos", "--workload", "univ_dc",
+                          "--packets", "400", "--tenants", "0"])
+    assert code == 2
+
+
+def test_sweep_flows_tenants_accepted():
+    code, text = run_cli(["sweep", "--program", "ddos", "--workload",
+                          "univ_dc", "--techniques", "hybrid", "--cores",
+                          "2", "--packets", "400", "--flows", "30",
+                          "--tenants", "2", "--tenant-quota", "8"])
+    assert code == 0
+    assert "hybrid" in text

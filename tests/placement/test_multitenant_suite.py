@@ -1,0 +1,57 @@
+"""The multitenant suite: artifact shape, acceptance gate, jobs parity."""
+
+import pytest
+
+from repro.perf import SuiteParams, run_suite
+
+#: One repetition keeps this fast; median-of-1 is the value itself.
+PARAMS = SuiteParams(reps=1, quick=True)
+
+
+@pytest.fixture(scope="module")
+def art():
+    return run_suite("multitenant", PARAMS)
+
+
+def test_artifact_shape(art):
+    assert set(art.series) == {
+        "hybrid", "scr", "rss",
+        "hybrid_p99_ns", "scr_p99_ns", "rss_p99_ns",
+        "hybrid_promotions", "hybrid_wins",
+    }
+    flows = [1_000, 10_000, 100_000, 1_000_000]
+    for name in ("hybrid", "scr", "rss"):
+        series = art.series[name]
+        assert series.unit == "mpps"
+        assert [p.x for p in series.points] == flows
+        assert all(p.median > 0 for p in series.points)
+    assert art.config["placement"]["promote_threshold"] > \
+        art.config["placement"]["demote_threshold"]
+
+
+def test_hybrid_beats_both_purebreds_at_high_flow_counts(art):
+    """The PR's acceptance gate: at >= 10^5 Zipf-skewed flows the hybrid
+    engine's aggregate MLFFR beats pure SCR and pure RSS outright."""
+    for point in range(2, 4):  # 100_000 and 1_000_000
+        hybrid = art.series["hybrid"].points[point].median
+        scr = art.series["scr"].points[point].median
+        rss = art.series["rss"].points[point].median
+        assert hybrid > scr, (point, hybrid, scr)
+        assert hybrid > rss, (point, hybrid, rss)
+    assert all(p.median == 1.0 for p in art.series["hybrid_wins"].points)
+
+
+def test_promotions_recorded_and_deterministic(art):
+    promos = art.series["hybrid_promotions"]
+    assert promos.noise_floor == 0.0
+    assert all(p.median >= 1 for p in promos.points)
+
+
+def test_jobs_parallel_artifact_identical(art, tmp_path):
+    parallel = run_suite(
+        "multitenant",
+        SuiteParams(reps=1, quick=True, jobs=2, cache_dir=tmp_path / "c"),
+    )
+    for name, series in art.series.items():
+        assert [p.reps for p in parallel.series[name].points] == \
+            [p.reps for p in series.points], name

@@ -118,6 +118,57 @@ class TestScenarioCreate:
         assert "ddos" in sc.describe() and "scr" in sc.describe()
 
 
+class TestScenarioPlacement:
+    def placement(self, **kw):
+        from repro.placement import PlacementSpec
+        return PlacementSpec(**kw)
+
+    def test_flow_count_validated_with_range_in_message(self):
+        from repro.scenario.spec import MAX_NUM_FLOWS
+        with pytest.raises(ValueError, match=rf"\[1, {MAX_NUM_FLOWS}\]"):
+            Scenario.create("ddos", "caida", "scr", 4, num_flows=0)
+        with pytest.raises(ValueError, match=rf"\[1, {MAX_NUM_FLOWS}\]"):
+            Scenario.create("ddos", "caida", "scr", 4,
+                            num_flows=MAX_NUM_FLOWS + 1)
+
+    def test_tenants_bounded_by_flows(self):
+        with pytest.raises(ValueError, match=r"num_tenants.*num_flows=10"):
+            Scenario.create("ddos", "caida", "hybrid", 4, num_flows=10,
+                            placement=self.placement(num_tenants=11))
+        sc = Scenario.create("ddos", "caida", "hybrid", 4, num_flows=10,
+                             placement=self.placement(num_tenants=10))
+        assert sc.placement.num_tenants == 10
+
+    def test_hash_covers_placement(self):
+        base = Scenario.create("ddos", "caida", "hybrid", 4,
+                               placement=self.placement())
+        same = Scenario.create("ddos", "caida", "hybrid", 4,
+                               placement=self.placement())
+        assert base.content_hash() == same.content_hash()
+        for variant in (
+            Scenario.create("ddos", "caida", "hybrid", 4),
+            Scenario.create("ddos", "caida", "hybrid", 4,
+                            placement=self.placement(num_tenants=4)),
+            Scenario.create("ddos", "caida", "hybrid", 4,
+                            placement=self.placement(promote_threshold=32)),
+        ):
+            assert variant.content_hash() != base.content_hash()
+
+    def test_with_placement_and_describe(self):
+        sc = Scenario.create("ddos", "caida", "hybrid", 4)
+        assert sc.placement is None
+        pl = self.placement(num_tenants=4, tenant_quota=100)
+        with_pl = sc.with_placement(pl)
+        assert with_pl.placement == pl
+        assert sc.placement is None  # original untouched (frozen spec)
+        assert pl.describe() in with_pl.describe()
+
+    def test_picklable_with_placement(self):
+        sc = Scenario.create("ddos", "caida", "hybrid", 4,
+                             placement=self.placement(num_tenants=2))
+        assert pickle.loads(pickle.dumps(sc)) == sc
+
+
 def test_scenario_grid_order_matches_scaling_sweep():
     grid = scenario_grid("ddos", "caida", ["scr", "rss"], [1, 2],
                          max_packets=500)

@@ -94,3 +94,43 @@ class TestPerCoreStateMap:
         m = PerCoreStateMap(2)
         m.replica(1).update("x", 5)
         assert m.lookup(1, "x") == 5
+
+    def test_tenant_namespaced_keys_stay_isolated_per_replica(self):
+        """Placement-layer keys are ``(tenant_id, key)`` tuples; replicas
+        must keep them apart per core AND per tenant."""
+        m = PerCoreStateMap(2)
+        m.update(0, (1, "flow"), "t1@core0")
+        m.update(0, (2, "flow"), "t2@core0")
+        m.update(1, (1, "flow"), "t1@core1")
+        assert m.lookup(0, (1, "flow")) == "t1@core0"
+        assert m.lookup(0, (2, "flow")) == "t2@core0"
+        assert m.lookup(1, (2, "flow")) is None
+        assert not m.replicas_consistent()
+        m.update(1, (2, "flow"), "t2@core0")
+        assert not m.replicas_consistent()  # same tenant, different value
+
+    def test_grow_events_sum_replicas(self):
+        m = PerCoreStateMap(2, capacity=1)
+        for i in range(100):
+            m.update(0, f"k{i}", i)
+        assert m.grow_events == m.replica(0).grow_events > 0
+        assert m.replica(1).grow_events == 0
+
+
+class TestSharedBounceAfterDelete:
+    def test_delete_then_reinsert_still_tracks_last_writer(self):
+        """Deleting an entry does not launder its cache line: the line's
+        last writer survives the delete, so a reinsert from another core
+        is still a bounce (delete itself dirties the line)."""
+        m = SharedStateMap()
+        m.update_from_core(0, "k", 1)
+        assert m.delete("k")
+        assert m.update_from_core(1, "k", 2)
+        assert m.bounce_count == 1
+
+    def test_same_core_reinsert_never_bounces(self):
+        m = SharedStateMap()
+        m.update_from_core(0, "k", 1)
+        assert m.delete("k")
+        assert not m.update_from_core(0, "k", 2)
+        assert m.bounce_count == 0

@@ -1,0 +1,60 @@
+"""``scr-repro inspect`` section 2d: placement & tenancy counters."""
+
+import io
+
+from repro.cli import main
+from repro.telemetry import Telemetry
+from repro.telemetry.inspect import summarize_artifact
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def _artifact(tmp_path, technique, with_counters):
+    tele = Telemetry()
+    if with_counters:
+        labels = f'technique="{technique}"'
+        reg = tele.registry
+        reg.counter("placement_promotions{%s}" % labels, help="").inc(3)
+        reg.counter("placement_migrations{%s}" % labels, help="").inc(4)
+        reg.counter(
+            "placement_tenant_quota_drops_total{%s}" % labels, help=""
+        ).inc(2)
+    out = tmp_path / "art"
+    tele.write_artifact(out, command="test",
+                        config={"technique": technique}, num_cores=2)
+    return out
+
+
+class TestInspectPlacementSection:
+    def test_counters_shown_for_hybrid_runs(self, tmp_path):
+        text = summarize_artifact(_artifact(tmp_path, "hybrid", True))
+        assert "placement & tenancy" in text
+        assert "flows promoted to the SCR path" in text
+        assert "state entries refused by tenant quota" in text
+
+    def test_hybrid_artifact_without_counters_gets_note(self, tmp_path):
+        art = _artifact(tmp_path, "hybrid", False)
+        code, text = run_cli(["inspect", str(art)])
+        assert code == 0  # graceful on pre-placement artifacts
+        assert "placement: counters not recorded" in text
+
+    def test_purebred_artifact_skips_section_silently(self, tmp_path):
+        art = _artifact(tmp_path, "scr", False)
+        code, text = run_cli(["inspect", str(art)])
+        assert code == 0
+        assert "placement" not in text
+
+    def test_end_to_end_hybrid_mlffr_artifact(self, tmp_path):
+        code, _ = run_cli([
+            "mlffr", "--program", "ddos", "--workload", "univ_dc",
+            "--technique", "hybrid", "--cores", "2", "--packets", "400",
+            "--flows", "30", "--telemetry", str(tmp_path / "tele"),
+        ])
+        assert code == 0
+        text = summarize_artifact(tmp_path / "tele")
+        assert "placement & tenancy" in text
+        assert "placement_promotions" in text

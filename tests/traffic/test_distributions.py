@@ -127,6 +127,21 @@ class TestPrimitives:
         with pytest.raises(ValueError):
             ZipfFlowSizes(exponent=-1)
 
+    def test_zipf_per_flow_budget_scales_with_flow_count(self):
+        dist = ZipfFlowSizes(exponent=1.1, packets_per_flow=50)
+        small = dist.sample_packets(np.random.default_rng(0), 100)
+        large = dist.sample_packets(np.random.default_rng(0), 10_000)
+        assert sum(small) >= 50 * 100 * 0.9
+        assert sum(large) >= 50 * 10_000 * 0.9
+        # The elephant share survives the flow-count change: the rank-1
+        # flow keeps roughly the same *fraction* of the total.
+        assert max(large) / sum(large) > 0.3 * max(small) / sum(small)
+
+    def test_zipf_registered_as_trace_distribution(self):
+        dist = TRACE_DISTRIBUTIONS["zipf"]()
+        assert isinstance(dist, ZipfFlowSizes)
+        assert dist.packets_per_flow == 50
+
     def test_cdf_series_of_primitives_monotone(self):
         for dist in (ParetoFlowSizes(), LognormalFlowSizes(), ZipfFlowSizes()):
             xs, ys = dist.cdf_series(points=30)

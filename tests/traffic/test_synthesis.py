@@ -127,6 +127,41 @@ class TestSynthesizeTrace:
             synthesize_trace(univ_dc_flow_sizes(), 0)
 
 
+class TestLazyFlowAdmission:
+    """The heap merge admits flows lazily; semantics must not change."""
+
+    def test_merged_trace_is_time_ordered(self):
+        trace = synthesize_trace(univ_dc_flow_sizes(), 300, seed=3,
+                                 max_packets=2000)
+        stamps = [p.timestamp_ns for p in trace]
+        assert stamps == sorted(stamps)
+
+    def test_deterministic_across_runs(self):
+        a = synthesize_trace(univ_dc_flow_sizes(), 200, seed=9,
+                             max_packets=1000)
+        b = synthesize_trace(univ_dc_flow_sizes(), 200, seed=9,
+                             max_packets=1000)
+        assert [p.to_bytes() for p in a] == [p.to_bytes() for p in b]
+        assert [p.timestamp_ns for p in a] == [p.timestamp_ns for p in b]
+
+    def test_max_packets_cap_is_exact(self):
+        trace = synthesize_trace(univ_dc_flow_sizes(), 500, seed=1,
+                                 max_packets=777)
+        assert len(trace) == 777
+
+    def test_huge_flow_spec_truncated_cheaply(self):
+        """A million-flow spec capped at a small window must not pay for
+        the flows past the cap (the lazy-admission point)."""
+        import time
+        t0 = time.perf_counter()
+        trace = synthesize_trace(univ_dc_flow_sizes(), 1_000_000, seed=7,
+                                 max_packets=500)
+        assert len(trace) == 500
+        # Eager materialization took minutes; lazy admission is seconds
+        # even on a slow machine (sampling 10^6 flow sizes dominates).
+        assert time.perf_counter() - t0 < 60
+
+
 class TestSingleFlowTrace:
     def test_single_connection(self, elephant_trace):
         assert elephant_trace.stats(bidirectional=True).flows == 1
